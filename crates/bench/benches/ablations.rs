@@ -1,0 +1,155 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Proxy producer parallelism** — sibling producers executed by the
+//!    proxy (parallel) vs the same calls issued sequentially.
+//! 2. **Adaptive schema threshold *n*** — flat full dump vs hierarchical
+//!    names-only retrieval, measured as agent tokens/calls on read tasks.
+//! 3. **Exemplar top-k** — `get_value` payload size as k grows.
+
+use benchkit::harness::run_bird_cell_with_policy;
+use benchkit::{generate_bird_ext, BirdCell, Role, TaskClass, Toolkit};
+use bridgescope_core::{BridgeScopeServer, SecurityPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmsim::LlmProfile;
+use std::time::Instant;
+use toolproto::{Json, Registry};
+
+/// Ablation 1: parallel vs sequential execution of sibling producers.
+fn ablate_proxy_parallelism(c: &mut Criterion) {
+    let db = benchkit::housing::build_database(5_000, 7);
+    db.create_user("analyst", false).expect("fresh db");
+    db.grant("analyst", sqlkit::Action::Select, "house")
+        .expect("house exists");
+    let server = BridgeScopeServer::build(
+        db,
+        "analyst",
+        SecurityPolicy::default(),
+        &mltools::ml_registry(),
+    )
+    .expect("analyst exists");
+    let registry = server.registry;
+    // Four independent aggregation producers feeding one consumer.
+    let producer = |lo: f64, hi: f64| -> String {
+        format!(
+            r#"{{"tool": "select", "args": {{"sql": "SELECT median_income, median_house_value FROM house WHERE median_income >= {lo} AND median_income < {hi}"}}, "transform": "/rows"}}"#
+        )
+    };
+    let unit = format!(
+        r#"{{"target_tool": "train_test_split", "tool_args": {{
+            "data": {{"producers": [{}, {}, {}, {}]}},
+            "test_ratio": {{"value": 0.2}}}}}}"#,
+        producer(0.0, 2.0),
+        producer(2.0, 4.0),
+        producer(4.0, 8.0),
+        producer(8.0, 16.0)
+    );
+    // NB: producers-list binds the *array of outputs*; train_test_split sees
+    // four row-arrays. That is fine for a timing comparison of the fan-out.
+    let unit_json = Json::parse(&unit).expect("valid spec");
+
+    let mut group = c.benchmark_group("ablation_proxy_parallelism");
+    group.sample_size(20);
+    group.bench_function("parallel_via_proxy", |b| {
+        b.iter(|| registry.call("proxy", &unit_json).expect("proxy runs"))
+    });
+    group.bench_function("sequential_manual_routing", |b| {
+        // The same unit executed by hand: producers one after another, then
+        // the consumer — what an orchestrator without parallel producers
+        // would do.
+        b.iter(|| {
+            let mut gathered: Vec<Json> = Vec::new();
+            for (lo, hi) in [(0.0, 2.0), (2.0, 4.0), (4.0, 8.0), (8.0, 16.0)] {
+                let out = registry
+                    .call(
+                        "select",
+                        &Json::object([(
+                            "sql",
+                            Json::str(format!(
+                                "SELECT median_income, median_house_value FROM house \
+                                 WHERE median_income >= {lo} AND median_income < {hi}"
+                            )),
+                        )]),
+                    )
+                    .expect("select runs");
+                gathered.push(out.value.get("rows").cloned().expect("rows"));
+            }
+            registry
+                .call(
+                    "train_test_split",
+                    &Json::object([
+                        ("data", Json::Array(gathered)),
+                        ("test_ratio", Json::num(0.2)),
+                    ]),
+                )
+                .expect("split runs")
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 2: adaptive schema threshold n — agent cost with a flat dump
+/// (n = 64, everything inlined) vs hierarchical retrieval (n = 1).
+fn ablate_schema_threshold(_c: &mut Criterion) {
+    let bench = generate_bird_ext(42);
+    println!("\nAblation: adaptive schema threshold n (BridgeScope, GPT-4o, 40 read tasks)");
+    println!(
+        "{:<14} {:>11} {:>11}",
+        "threshold n", "avg calls", "avg tokens"
+    );
+    for (label, n) in [("flat (n=64)", 64usize), ("names (n=1)", 1usize)] {
+        let start = Instant::now();
+        let out = run_bird_cell_with_policy(
+            &bench,
+            &BirdCell {
+                toolkit: Toolkit::BridgeScope,
+                profile: LlmProfile::gpt4o(),
+                role: Role::Administrator,
+                class: TaskClass::Read,
+                limit: Some(40),
+                seed: 42,
+            },
+            SecurityPolicy::default().with_schema_threshold(n),
+        );
+        println!(
+            "{label:<14} {:>11.2} {:>11.0}   ({:.2?})",
+            out.aggregate.avg_llm_calls(),
+            out.aggregate.avg_tokens(),
+            start.elapsed()
+        );
+    }
+}
+
+/// Ablation 3: get_value payload tokens as k grows.
+fn ablate_exemplar_k(_c: &mut Criterion) {
+    let db = benchkit::bird::build_database(42);
+    let server = BridgeScopeServer::build(db, "admin", SecurityPolicy::default(), &Registry::new())
+        .expect("admin exists");
+    println!("\nAblation: exemplar top-k (get_value on brand_a_sales.category, key 'women')");
+    println!("{:>4} {:>14}", "k", "payload tokens");
+    for k in [1usize, 3, 5, 10, 25] {
+        let out = server
+            .registry
+            .call(
+                "get_value",
+                &Json::object([
+                    ("table", Json::str("brand_a_sales")),
+                    ("column", Json::str("category")),
+                    ("key", Json::str("women")),
+                    ("k", Json::num(k as f64)),
+                ]),
+            )
+            .expect("get_value runs");
+        println!(
+            "{k:>4} {:>14}",
+            llmsim::tokens::estimate(&out.value.to_compact())
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    ablate_proxy_parallelism,
+    ablate_schema_threshold,
+    ablate_exemplar_k
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Microbenchmarks of the substrate layers (not tied to a specific paper
+//! figure): SQL parsing, engine query paths, similarity ranking, and JSON
+//! round-trips. These keep the substrate's performance visible while the
+//! paper-level benches above track the experiment shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minidb::Database;
+use toolproto::Json;
+
+fn db_with_rows(n: usize) -> Database {
+    let db = Database::new();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, amount REAL, label TEXT)")
+        .unwrap();
+    let mut batch = Vec::with_capacity(500);
+    for i in 0..n {
+        batch.push(format!(
+            "({i}, {}, {}.5, 'label {}')",
+            i % 50,
+            i % 997,
+            i % 20
+        ));
+        if batch.len() == 500 {
+            s.execute_sql(&format!("INSERT INTO t VALUES {}", batch.join(", ")))
+                .unwrap();
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        s.execute_sql(&format!("INSERT INTO t VALUES {}", batch.join(", ")))
+            .unwrap();
+    }
+    db
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let sql = "SELECT d.name, COUNT(*) AS n, SUM(x.amount) FROM sales AS x \
+               JOIN dept AS d ON x.dept_id = d.id WHERE x.amount BETWEEN 10 AND 500 \
+               AND d.region IN ('west', 'east') GROUP BY d.name \
+               HAVING COUNT(*) > 3 ORDER BY n DESC LIMIT 10";
+    c.bench_function("sqlkit/parse_complex_select", |b| {
+        b.iter(|| sqlkit::parse_statement(sql).unwrap())
+    });
+    let stmt = sqlkit::parse_statement(sql).unwrap();
+    c.bench_function("sqlkit/analyze_access_profile", |b| {
+        b.iter(|| sqlkit::analyze(&stmt))
+    });
+    c.bench_function("sqlkit/format_roundtrip", |b| {
+        b.iter(|| sqlkit::format_statement(&stmt))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minidb");
+    for &n in &[1_000usize, 10_000] {
+        let db = db_with_rows(n);
+        group.bench_with_input(BenchmarkId::new("full_scan_filter", n), &db, |b, db| {
+            let mut s = db.session("admin").unwrap();
+            b.iter(|| {
+                s.execute_sql("SELECT COUNT(*) FROM t WHERE amount > 400")
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("group_by_sum", n), &db, |b, db| {
+            let mut s = db.session("admin").unwrap();
+            b.iter(|| {
+                s.execute_sql("SELECT grp, SUM(amount) FROM t GROUP BY grp")
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pk_point_update", n), &db, |b, db| {
+            let mut s = db.session("admin").unwrap();
+            b.iter(|| {
+                s.execute_sql("UPDATE t SET amount = amount + 1 WHERE id = 37")
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("txn_insert_rollback", n), &db, |b, db| {
+            let mut s = db.session("admin").unwrap();
+            b.iter(|| {
+                s.execute_sql("BEGIN").unwrap();
+                s.execute_sql(
+                    "INSERT INTO t VALUES (9999991, 1, 1.0, 'x'), (9999992, 1, 2.0, 'y')",
+                )
+                .unwrap();
+                s.execute_sql("ROLLBACK").unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity_and_json(c: &mut Criterion) {
+    let values: Vec<String> = (0..500)
+        .map(|i| format!("category value number {i} with words"))
+        .collect();
+    c.bench_function("similarity/top_k_500_values", |b| {
+        b.iter(|| bridgescope_core::similarity::top_k("value number 250", &values, 5))
+    });
+    let doc = {
+        let rows: Vec<Json> = (0..1_000)
+            .map(|i| {
+                Json::array([
+                    Json::num(i as f64),
+                    Json::str(format!("row {i}")),
+                    Json::num(i as f64 * 0.5),
+                ])
+            })
+            .collect();
+        Json::object([("rows", Json::Array(rows))])
+    };
+    let text = doc.to_compact();
+    c.bench_function("json/serialize_1k_rows", |b| b.iter(|| doc.to_compact()));
+    c.bench_function("json/parse_1k_rows", |b| {
+        b.iter(|| Json::parse(&text).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_engine,
+    bench_similarity_and_json
+);
+criterion_main!(benches);

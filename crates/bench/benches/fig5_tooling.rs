@@ -1,0 +1,66 @@
+//! Regenerates **Figure 5** (coarse- vs fine-grained tooling, §3.2):
+//! (a) average LLM calls with/without explicit context-retrieval tools,
+//! (b) task accuracy with modular vs monolithic SQL tools,
+//! (c) transaction-initiation ratio with/without explicit txn tools.
+//!
+//! The full figure is printed once from the complete BIRD-Ext task set; the
+//! timed benchmark then measures the cost of one representative cell so the
+//! harness itself has a tracked performance number.
+
+use benchkit::{fig5, generate_bird_ext, run_bird_cell, BirdCell, Role, TaskClass, Toolkit};
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmsim::LlmProfile;
+
+fn bench_fig5(c: &mut Criterion) {
+    let bench = generate_bird_ext(42);
+    let report = fig5(&bench, None, 42);
+    println!("\n{}", report.render());
+    for row in &report.rows {
+        assert!(
+            row.calls_pg_mcp_minus > row.calls_bridgescope,
+            "{}: figure 5(a) shape regressed",
+            row.agent
+        );
+        assert!(
+            row.txn_bridgescope > row.txn_pg_mcp,
+            "{}: figure 5(c) shape regressed",
+            row.agent
+        );
+    }
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("bridgescope_read_cell_10_tasks", |b| {
+        b.iter(|| {
+            run_bird_cell(
+                &bench,
+                &BirdCell {
+                    toolkit: Toolkit::BridgeScope,
+                    profile: LlmProfile::gpt4o(),
+                    role: Role::Administrator,
+                    class: TaskClass::Read,
+                    limit: Some(10),
+                    seed: 1,
+                },
+            )
+        })
+    });
+    group.bench_function("pg_mcp_minus_read_cell_10_tasks", |b| {
+        b.iter(|| {
+            run_bird_cell(
+                &bench,
+                &BirdCell {
+                    toolkit: Toolkit::PgMcpMinus,
+                    profile: LlmProfile::gpt4o(),
+                    role: Role::Administrator,
+                    class: TaskClass::Read,
+                    limit: Some(10),
+                    seed: 1,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

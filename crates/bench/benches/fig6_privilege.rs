@@ -1,0 +1,55 @@
+//! Regenerates **Figure 6** (average LLM calls per role/task cell, §3.3)
+//! and checks its headline shape: BridgeScope approaches the best-achievable
+//! bound on infeasible cells while PG-MCP burns extra reasoning steps.
+
+use benchkit::report::privilege_experiment;
+use benchkit::{generate_bird_ext, run_bird_cell, BirdCell, Role, TaskClass, Toolkit};
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmsim::LlmProfile;
+
+fn bench_fig6(c: &mut Criterion) {
+    let bench = generate_bird_ext(42);
+    let report = privilege_experiment(&bench, None, 42);
+    println!("\n{}", report.render_fig6());
+    // Shape: on each infeasible cell (indices 2..5) BridgeScope needs fewer
+    // calls than PG-MCP for both agents.
+    for agent in ["GPT-4o", "Claude-4"] {
+        let bs = report
+            .rows
+            .iter()
+            .find(|r| r.agent == agent && r.toolkit == "BridgeScope")
+            .expect("row exists");
+        let pg = report
+            .rows
+            .iter()
+            .find(|r| r.agent == agent && r.toolkit == "PG-MCP")
+            .expect("row exists");
+        for cell in 2..5 {
+            assert!(
+                bs.calls[cell] < pg.calls[cell],
+                "{agent} cell {cell}: figure 6 shape regressed"
+            );
+        }
+    }
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("infeasible_normal_write_cell_10_tasks", |b| {
+        b.iter(|| {
+            run_bird_cell(
+                &bench,
+                &BirdCell {
+                    toolkit: Toolkit::BridgeScope,
+                    profile: LlmProfile::claude4(),
+                    role: Role::Normal,
+                    class: TaskClass::Write,
+                    limit: Some(10),
+                    seed: 1,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Regenerates the §3 preamble result: "we tested scenarios involving
+//! privilege violations and operations exceeding users' security policies,
+//! all of which were successfully intercepted by BridgeScope's rule-based
+//! security controls." Runs an adversarial suite (prompt-injection-style
+//! statements, hallucinated objects, blacklisted-table access, destructive
+//! DDL) against a BridgeScope server and asserts every attack is denied
+//! before the engine mutates anything; then times the verification gate.
+
+use bridgescope_core::{BridgeScopeServer, SecurityPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use minidb::Database;
+use sqlkit::Action;
+use toolproto::{Json, Registry, ToolError};
+
+fn build() -> (Database, Registry) {
+    let db = benchkit::bird::build_database(42);
+    db.create_user("manager", false).expect("fresh db");
+    db.grant_all("manager", "brand_a_sales")
+        .expect("table exists");
+    db.grant("manager", Action::Select, "stores")
+        .expect("table exists");
+    let policy = SecurityPolicy::default()
+        .with_blacklist(["employee_salaries"])
+        .with_blocked_tools(["drop"]);
+    let server = BridgeScopeServer::build(db.clone(), "manager", policy, &Registry::new())
+        .expect("manager exists");
+    (db, server.registry)
+}
+
+fn sql(s: &str) -> Json {
+    Json::object([("sql", Json::str(s))])
+}
+
+fn bench_security(c: &mut Criterion) {
+    let (db, registry) = build();
+    let before_rows = db.table_rows("brand_a_sales").unwrap();
+
+    // (tool, statement, expected denial class or absence of the tool)
+    let attacks: Vec<(&str, String, &str)> = vec![
+        // Action smuggling through the wrong tool.
+        ("select", "DROP TABLE brand_a_sales".into(), "wrong-action"),
+        ("select", "DELETE FROM brand_a_sales".into(), "wrong-action"),
+        (
+            "insert",
+            "UPDATE brand_a_sales SET amount = 0".into(),
+            "wrong-action",
+        ),
+        // Unauthorized object, directly and via subquery.
+        ("select", "SELECT * FROM satscores".into(), "privilege"),
+        (
+            "select",
+            "SELECT * FROM brand_a_sales WHERE store_id IN (SELECT cds FROM schools)".into(),
+            "privilege",
+        ),
+        // Policy-blacklisted object despite any privileges.
+        ("select", "SELECT * FROM employee_salaries".into(), "policy"),
+        // Write beyond privileges.
+        (
+            "insert",
+            "INSERT INTO stores (store_id, store_name, region) VALUES (99, 'X', 'west')".into(),
+            "privilege",
+        ),
+        (
+            "update",
+            "UPDATE stores SET region = 'east'".into(),
+            "privilege",
+        ),
+        ("delete", "DELETE FROM satscores".into(), "privilege"),
+    ];
+    let mut intercepted = 0;
+    for (tool, stmt, kind) in &attacks {
+        if !registry.contains(tool) {
+            intercepted += 1; // tool not even exposed — strongest interception
+            continue;
+        }
+        match registry.call(tool, &sql(stmt)) {
+            Err(ToolError::Denied { .. }) | Err(ToolError::Execution(_)) => intercepted += 1,
+            Ok(_) => panic!("attack not intercepted ({kind}): {tool} <- {stmt}"),
+            Err(other) => panic!("unexpected error class for {stmt}: {other}"),
+        }
+    }
+    // The drop tool must be absent entirely (tool blacklist).
+    assert!(!registry.contains("drop"), "blocked tool leaked");
+    assert_eq!(intercepted, attacks.len());
+    assert_eq!(
+        db.table_rows("brand_a_sales").unwrap(),
+        before_rows,
+        "no attack may mutate the database"
+    );
+    println!(
+        "\nSecurity gate: {intercepted}/{} adversarial operations intercepted, 0 rows changed",
+        attacks.len()
+    );
+
+    let mut group = c.benchmark_group("security_gate");
+    group.bench_function("verify_and_deny_unauthorized_select", |b| {
+        b.iter(|| {
+            let _ = registry.call("select", &sql("SELECT * FROM satscores"));
+        })
+    });
+    group.bench_function("verify_and_allow_authorized_select", |b| {
+        b.iter(|| {
+            registry
+                .call("select", &sql("SELECT COUNT(*) FROM brand_a_sales"))
+                .expect("authorized")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_security);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates **Table 1** (token usage per role/task cell, §3.3) and checks
+//! the headline claim: BridgeScope cuts token costs on infeasible cells
+//! (the paper reports 30–82%) while staying comparable on feasible ones.
+
+use benchkit::generate_bird_ext;
+use benchkit::report::privilege_experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let bench = generate_bird_ext(42);
+    let report = privilege_experiment(&bench, None, 42);
+    println!("\n{}", report.render_table1());
+    for agent in ["GPT-4o", "Claude-4"] {
+        for cell in 2..5 {
+            let saving = report.token_saving(agent, cell).expect("cells populated");
+            println!("{agent} cell {cell}: token saving {:.0}%", saving * 100.0);
+            assert!(
+                saving > 0.25,
+                "{agent} cell {cell}: table 1 shape regressed"
+            );
+        }
+        let feasible = report.token_saving(agent, 0).expect("cells populated");
+        assert!(
+            feasible.abs() < 0.45,
+            "{agent} (A, read): feasible costs should stay comparable, got {feasible}"
+        );
+    }
+    // Timed unit: the aggregation pipeline over a modest cell.
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("privilege_experiment_5_tasks", |b| {
+        b.iter(|| privilege_experiment(&bench, Some(5), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates **Table 2** (proxy effectiveness on NL2ML, §3.4) at the
+//! paper's full scale: a 20,000-row house table, 30 tasks, three toolkits
+//! per agent, plus the idealized-PG-MCP ≥1.5M-token lower bound.
+
+use benchkit::report::table2;
+use benchkit::{run_nl2ml, Nl2mlConfig, Toolkit};
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmsim::LlmProfile;
+
+fn bench_table2(c: &mut Criterion) {
+    let report = table2(20_000, 20, None, 42);
+    println!("\n{}", report.render());
+    for agent in ["GPT-4o", "Claude-4"] {
+        let get = |tk: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.agent == agent && r.toolkit == tk)
+                .expect("row exists")
+        };
+        let bs = get("BridgeScope");
+        let pg = get("PG-MCP");
+        let sampled = get("PG-MCP-S");
+        assert!(
+            (bs.completion - 1.0).abs() < 1e-9,
+            "{agent}: BridgeScope must complete every NL2ML task"
+        );
+        assert!(
+            pg.completion < 0.05,
+            "{agent}: PG-MCP must fail on the full table (context overflow)"
+        );
+        assert!(
+            (sampled.completion - 1.0).abs() < 0.2,
+            "{agent}: PG-MCP-S completes on the sampled table"
+        );
+        assert!(sampled.calls > bs.calls, "{agent}: call-count shape");
+        assert!(sampled.tokens > bs.tokens, "{agent}: token shape");
+        assert!(
+            report.idealized_pg_mcp_bound as f64 >= bs.tokens * 50.0,
+            "{agent}: >= two orders of magnitude vs the idealized bound"
+        );
+    }
+    assert!(
+        report.idealized_pg_mcp_bound >= 1_000_000,
+        "full-table transfers must be in the paper's >=1.5M-token regime, got {}",
+        report.idealized_pg_mcp_bound
+    );
+
+    // Timed unit: one BridgeScope NL2ML run over a smaller table.
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("bridgescope_nl2ml_6_tasks_2k_rows", |b| {
+        b.iter(|| {
+            run_nl2ml(&Nl2mlConfig {
+                toolkit: Toolkit::BridgeScope,
+                profile: LlmProfile::gpt4o(),
+                rows: 2_000,
+                limit: Some(6),
+                seed: 1,
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! # bridgescope-bench
+//!
+//! Criterion benchmark targets regenerating every table and figure of the
+//! paper's evaluation, plus ablations and substrate microbenchmarks. See the
+//! `benches/` directory:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig5_tooling` | Figure 5 (a) LLM calls, (b) accuracy, (c) txn ratio |
+//! | `fig6_privilege` | Figure 6 (avg LLM calls per role/task cell) |
+//! | `table1_tokens` | Table 1 (token usage per role/task cell) |
+//! | `table2_proxy` | Table 2 (NL2ML completion/tokens/calls + idealized bound) |
+//! | `security_gate` | §3 preamble (all adversarial operations intercepted) |
+//! | `ablations` | DESIGN.md ablations (proxy parallelism, schema threshold, top-k) |
+//! | `engine_micro` | substrate microbenchmarks (parser, engine, similarity, JSON) |
+//!
+//! Run all of them with `cargo bench --workspace`; each paper bench prints
+//! its regenerated table/figure and asserts the published *shape* still
+//! holds before timing a representative unit.
+
+#![warn(missing_docs)]

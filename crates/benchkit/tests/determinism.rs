@@ -1,0 +1,88 @@
+//! Reproducibility invariants: identical seeds must give identical
+//! benchmarks, traces, and aggregates — the property all EXPERIMENTS.md
+//! numbers rely on.
+
+use benchkit::{
+    generate_bird_ext, run_bird_cell, run_nl2ml, BirdCell, Nl2mlConfig, Role, TaskClass, Toolkit,
+};
+use llmsim::LlmProfile;
+
+#[test]
+fn bird_cells_are_deterministic() {
+    let bench_a = generate_bird_ext(42);
+    let bench_b = generate_bird_ext(42);
+    for toolkit in [Toolkit::BridgeScope, Toolkit::PgMcp] {
+        let cell = BirdCell {
+            toolkit,
+            profile: LlmProfile::claude4(),
+            role: Role::Administrator,
+            class: TaskClass::All,
+            limit: Some(12),
+            seed: 7,
+        };
+        let a = run_bird_cell(&bench_a, &cell);
+        let b = run_bird_cell(&bench_b, &cell);
+        assert_eq!(a.aggregate.llm_calls, b.aggregate.llm_calls, "{toolkit:?}");
+        assert_eq!(a.aggregate.tokens, b.aggregate.tokens, "{toolkit:?}");
+        assert_eq!(a.aggregate.correct, b.aggregate.correct, "{toolkit:?}");
+        assert_eq!(a.aggregate.began_txn, b.aggregate.began_txn, "{toolkit:?}");
+        for (ta, tb) in a.traces.iter().zip(&b.traces) {
+            assert_eq!(ta.llm_calls, tb.llm_calls, "{}", ta.task_id);
+            assert_eq!(ta.total_tokens(), tb.total_tokens(), "{}", ta.task_id);
+            assert_eq!(
+                format!("{:?}", ta.outcome),
+                format!("{:?}", tb.outcome),
+                "{}",
+                ta.task_id
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_change_stochastic_outcomes() {
+    // Not a tautology: with a stochastic behaviour profile, some draw
+    // (retries, wrong-variant picks) must differ across run seeds — the
+    // simulation is genuinely sampling, not constant.
+    let bench = generate_bird_ext(42);
+    let cell = |seed| BirdCell {
+        toolkit: Toolkit::PgMcpMinus,
+        profile: LlmProfile::gpt4o(),
+        role: Role::Administrator,
+        class: TaskClass::All,
+        limit: Some(25),
+        seed,
+    };
+    let a = run_bird_cell(&bench, &cell(1)).aggregate;
+    let b = run_bird_cell(&bench, &cell(2)).aggregate;
+    assert_ne!(
+        (a.llm_calls, a.tokens),
+        (b.llm_calls, b.tokens),
+        "seeds must matter for a stochastic profile"
+    );
+}
+
+#[test]
+fn nl2ml_runs_are_deterministic() {
+    let cfg = Nl2mlConfig {
+        toolkit: Toolkit::BridgeScope,
+        profile: LlmProfile::gpt4o(),
+        rows: 500,
+        limit: Some(5),
+        seed: 3,
+    };
+    let a = run_nl2ml(&cfg);
+    let b = run_nl2ml(&cfg);
+    assert_eq!(a.aggregate.tokens, b.aggregate.tokens);
+    assert_eq!(a.aggregate.completed, b.aggregate.completed);
+    // Even the trained-model metrics must be bit-identical (seeded forests,
+    // deterministic splits).
+    for (ta, tb) in a.traces.iter().zip(&b.traces) {
+        assert_eq!(
+            ta.answer.as_ref().map(|v| v.to_compact()),
+            tb.answer.as_ref().map(|v| v.to_compact()),
+            "{}",
+            ta.task_id
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Shared plumbing between BridgeScope tools and the database engine.
+//!
+//! All tools of one server share a [`BridgeContext`]: the database handle,
+//! the acting user, the user-side security policy, and — crucially — a single
+//! database session, so `begin`/`insert`/`commit` tool calls compose into one
+//! transaction the way the paper's Figure 3 shows.
+
+use crate::config::SecurityPolicy;
+use minidb::{Database, DbError, QueryResult, Session, Value};
+use parking_lot::Mutex;
+use sqlkit::ast::Action;
+use std::sync::Arc;
+use toolproto::{Json, ToolError, ToolOutput};
+
+/// Shared state of one BridgeScope (or baseline) server instance.
+pub struct BridgeContext {
+    /// The database.
+    pub db: Database,
+    /// The acting database user.
+    pub user: String,
+    /// The user-side security policy.
+    pub policy: SecurityPolicy,
+    /// The shared session carrying transaction state across tool calls.
+    pub session: Mutex<Session>,
+}
+
+impl BridgeContext {
+    /// Open a context (and its session) for `user`.
+    pub fn new(db: Database, user: &str, policy: SecurityPolicy) -> Result<Arc<Self>, DbError> {
+        let session = db.session(user)?;
+        Ok(Arc::new(BridgeContext {
+            db,
+            user: user.to_owned(),
+            policy,
+            session: Mutex::new(session),
+        }))
+    }
+
+    /// Database-side privilege check, as a tool error.
+    pub fn check_privilege(&self, action: Action, object: &str) -> Result<(), ToolError> {
+        let privs = self
+            .db
+            .privileges_of(&self.user)
+            .map_err(|e| ToolError::Execution(e.to_string()))?;
+        if privs.superuser || privs.has(action, object) {
+            Ok(())
+        } else {
+            Err(ToolError::Denied {
+                code: "privilege".into(),
+                message: format!(
+                    "user \"{}\" lacks the {action} privilege on \"{object}\"",
+                    self.user
+                ),
+            })
+        }
+    }
+
+    /// User-side policy check, as a tool error.
+    pub fn check_policy_object(&self, object: &str) -> Result<(), ToolError> {
+        if self.policy.object_allowed(object) {
+            Ok(())
+        } else {
+            Err(ToolError::Denied {
+                code: "policy".into(),
+                message: format!("object \"{object}\" is restricted by the user's security policy"),
+            })
+        }
+    }
+}
+
+/// Map an engine error onto the tool error model: privilege denials become
+/// [`ToolError::Denied`] (the agent aborts), everything else an execution
+/// error (the agent may retry).
+pub fn db_error_to_tool(e: DbError) -> ToolError {
+    if e.is_privilege() {
+        ToolError::Denied {
+            code: "privilege".into(),
+            message: e.to_string(),
+        }
+    } else {
+        ToolError::Execution(e.to_string())
+    }
+}
+
+/// Convert an engine value to JSON.
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Int(i) => Json::Number(*i as f64),
+        Value::Float(f) => Json::Number(*f),
+        Value::Text(s) => Json::Str(s.clone()),
+        Value::Bool(b) => Json::Bool(*b),
+    }
+}
+
+/// Convert a query result to the tool output JSON conventions:
+/// `{"columns": …, "rows": …}`, `{"affected": n}`, or `{"status": "…"}`.
+pub fn result_to_output(result: QueryResult) -> ToolOutput {
+    match result {
+        QueryResult::Rows { columns, rows } => {
+            let n = rows.len();
+            let value = Json::object([
+                ("columns", Json::array(columns.into_iter().map(Json::Str))),
+                (
+                    "rows",
+                    Json::array(
+                        rows.iter()
+                            .map(|r| Json::array(r.iter().map(value_to_json))),
+                    ),
+                ),
+            ]);
+            ToolOutput::with_rows(value, n)
+        }
+        QueryResult::Affected(n) => {
+            ToolOutput::with_rows(Json::object([("affected", Json::num(n as f64))]), n)
+        }
+        QueryResult::Status(s) => ToolOutput::value(Json::object([("status", Json::str(s))])),
+    }
+}
+
+/// Like [`result_to_output`], but rows are rendered as objects keyed by
+/// column name — the verbose shape the stock PostgreSQL MCP server emits
+/// (and a large part of why routing bulk results through an LLM is so
+/// expensive). BridgeScope's own tools use the compact array form.
+pub fn result_to_output_verbose(result: QueryResult) -> ToolOutput {
+    match result {
+        QueryResult::Rows { columns, rows } => {
+            let n = rows.len();
+            let value = Json::object([
+                (
+                    "columns",
+                    Json::array(columns.iter().map(|c| Json::str(c.clone()))),
+                ),
+                (
+                    "rows",
+                    Json::array(rows.iter().map(|r| {
+                        Json::object(
+                            columns
+                                .iter()
+                                .zip(r)
+                                .map(|(c, v)| (c.clone(), value_to_json(v))),
+                        )
+                    })),
+                ),
+            ]);
+            ToolOutput::with_rows(value, n)
+        }
+        other => result_to_output(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_db() -> Database {
+        let db = Database::new();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            .unwrap();
+        s.execute_sql("INSERT INTO t VALUES (1, 'a')").unwrap();
+        db
+    }
+
+    #[test]
+    fn context_shares_a_session() {
+        let db = demo_db();
+        let ctx = BridgeContext::new(db, "admin", SecurityPolicy::default()).unwrap();
+        ctx.session.lock().execute_sql("BEGIN").unwrap();
+        assert!(ctx.session.lock().in_transaction());
+        ctx.session.lock().execute_sql("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn privilege_check_maps_to_denied() {
+        let db = demo_db();
+        db.create_user("reader", false).unwrap();
+        db.grant("reader", Action::Select, "t").unwrap();
+        let ctx = BridgeContext::new(db, "reader", SecurityPolicy::default()).unwrap();
+        assert!(ctx.check_privilege(Action::Select, "t").is_ok());
+        let err = ctx.check_privilege(Action::Insert, "t").unwrap_err();
+        assert!(matches!(err, ToolError::Denied { ref code, .. } if code == "privilege"));
+    }
+
+    #[test]
+    fn policy_check_maps_to_denied() {
+        let db = demo_db();
+        let policy = SecurityPolicy::default().with_blacklist(["t"]);
+        let ctx = BridgeContext::new(db, "admin", policy).unwrap();
+        let err = ctx.check_policy_object("t").unwrap_err();
+        assert!(matches!(err, ToolError::Denied { ref code, .. } if code == "policy"));
+    }
+
+    #[test]
+    fn result_conversion() {
+        let out = result_to_output(QueryResult::Rows {
+            columns: vec!["a".into()],
+            rows: vec![vec![Value::Int(1)], vec![Value::Null]],
+        });
+        assert_eq!(out.rows, Some(2));
+        assert_eq!(
+            out.value.pointer("/rows/0/0").and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(out.value.pointer("/rows/1/0"), Some(&Json::Null));
+        let out = result_to_output(QueryResult::Affected(3));
+        assert_eq!(out.value.get("affected").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn db_error_mapping() {
+        let denied = DbError::PrivilegeDenied {
+            user: "u".into(),
+            action: Action::Drop,
+            object: "t".into(),
+        };
+        assert!(matches!(db_error_to_tool(denied), ToolError::Denied { .. }));
+        let exec = DbError::UnknownColumn("c".into());
+        assert!(matches!(db_error_to_tool(exec), ToolError::Execution(_)));
+    }
+}

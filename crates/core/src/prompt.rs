@@ -1,0 +1,56 @@
+//! The crafted system prompts (paper §2.6).
+//!
+//! BridgeScope ships a prompt that steers any general-purpose agent toward
+//! efficient, ACID-compliant database interactions; the baselines use the
+//! generic prompt a stock MCP database server would get.
+
+/// BridgeScope's crafted system prompt. Incorporated into any agent, it
+/// teaches the context-retrieval-first workflow, transaction discipline,
+/// privilege awareness, and proxy usage for bulk data.
+pub const BRIDGESCOPE_PROMPT: &str = "\
+You are a data agent operating a database through fine-grained tools.
+
+Workflow for every database task:
+1. CONTEXT FIRST. Call get_schema before writing any SQL. The output lists \
+only objects you may access, annotated with your privileges per object. If an \
+object or privilege your task needs is absent, the task is NOT feasible: say \
+so and stop — do not attempt the operation. For large databases get_schema \
+returns names only; fetch details with get_object. Ground text predicates \
+with get_value(table, column, key, k) instead of guessing stored spellings.
+2. ONE TOOL PER ACTION. Each SQL tool executes exactly one statement kind \
+(select, insert, update, delete, create, drop, alter). The tools you can see \
+are the operations you are allowed to perform.
+3. TRANSACTIONS. Before any statement that modifies the database, call \
+begin(). Commit() only after every modification succeeded; on any failure \
+call rollback(). Never leave a transaction open.
+4. BULK DATA NEVER PASSES THROUGH YOU. When query results feed another tool \
+(analysis, ML, export), call proxy with a proxy unit instead of copying data: \
+the proxy runs the producers, adapts their output, and feeds the consumer \
+directly. Nest units for multi-stage pipelines.
+Answer concisely when the task completes or must be aborted.";
+
+/// The generic prompt of a stock MCP database server (used by the PG-MCP
+/// baselines).
+pub const GENERIC_DB_PROMPT: &str = "\
+You are a data agent. You can operate a database with the provided tools. \
+Answer the user's request using SQL where needed.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bridgescope_prompt_covers_the_four_functionalities() {
+        for needle in ["get_schema", "get_value", "begin", "rollback", "proxy"] {
+            assert!(
+                BRIDGESCOPE_PROMPT.contains(needle),
+                "prompt should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn generic_prompt_is_terse() {
+        assert!(GENERIC_DB_PROMPT.len() < BRIDGESCOPE_PROMPT.len() / 4);
+    }
+}

@@ -1,0 +1,521 @@
+//! F4 — the proxy mechanism for inter-tool data transmission.
+//!
+//! A proxy unit is the paper's ⟨p, c, f⟩ triple: data producers `p`, a
+//! consumer tool `c`, and an adaptation function `f`. Units nest — a unit can
+//! act as a producer for a higher-level unit — and the proxy executes the
+//! hierarchy bottom-up, forwarding data *directly between tools* so bulk
+//! results never enter the LLM context. Sibling producers run in parallel
+//! (crossbeam scoped threads), reproducing the paper's §2.5 efficiency claim.
+//!
+//! ## Wire format of the `proxy` tool
+//!
+//! ```json
+//! {
+//!   "target_tool": "train_linear_regression",
+//!   "tool_args": {
+//!     "data":   {"tool": "select", "args": {"sql": "…"}, "transform": "/rows"},
+//!     "extra":  {"unit": { …nested unit… }, "transform": "identity"},
+//!     "both":   {"producers": [ {…}, {…} ], "transform": "identity"},
+//!     "target": {"value": "median_house_value"}
+//!   }
+//! }
+//! ```
+//!
+//! Transforms `f`: `"identity"` passes the producer output through; a string
+//! starting with `/` is applied as an RFC-6901 JSON pointer (e.g. `"/rows"`
+//! unwraps a query result to its row array).
+
+use std::sync::Arc;
+use toolproto::{Args, FnTool, Json, Registry, Risk, Signature, Tool, ToolError, ToolOutput};
+
+/// Maximum nesting depth of proxy units (a safety valve; the NL2ML
+/// benchmark's hardest tasks use 3).
+pub const MAX_PROXY_DEPTH: usize = 16;
+
+/// The adaptation function `f` of a proxy unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transform {
+    /// Pass the producer output through unchanged.
+    Identity,
+    /// Apply an RFC-6901 JSON pointer to the producer output.
+    Pointer(String),
+}
+
+impl Transform {
+    fn parse(spec: Option<&Json>) -> Result<Transform, ToolError> {
+        match spec {
+            None => Ok(Transform::Identity),
+            Some(Json::Str(s)) if s == "identity" => Ok(Transform::Identity),
+            Some(Json::Str(s)) if s.starts_with('/') => Ok(Transform::Pointer(s.clone())),
+            Some(other) => Err(ToolError::Execution(format!(
+                "unknown transform {other}; use \"identity\" or a JSON pointer"
+            ))),
+        }
+    }
+
+    fn apply(&self, value: Json) -> Result<Json, ToolError> {
+        match self {
+            Transform::Identity => Ok(value),
+            Transform::Pointer(p) => value.pointer(p).cloned().ok_or_else(|| {
+                ToolError::Execution(format!("transform pointer '{p}' did not match the output"))
+            }),
+        }
+    }
+}
+
+/// A data producer: a direct tool call or a nested unit.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// Invoke a tool with literal arguments.
+    Tool {
+        /// Tool name.
+        name: String,
+        /// Arguments passed verbatim.
+        args: Json,
+    },
+    /// Execute a nested proxy unit.
+    Unit(Box<ProxyUnit>),
+}
+
+/// A producer plus its adaptation function.
+#[derive(Debug, Clone)]
+pub struct Producer {
+    /// Where the data comes from.
+    pub source: Source,
+    /// How it is adapted for the consumer.
+    pub transform: Transform,
+}
+
+/// How one consumer argument is filled.
+#[derive(Debug, Clone)]
+pub enum ArgBinding {
+    /// A literal value.
+    Value(Json),
+    /// A single producer.
+    One(Producer),
+    /// Several producers; the argument receives the array of their outputs.
+    Many(Vec<Producer>),
+}
+
+/// A parsed proxy unit ⟨p, c, f⟩.
+#[derive(Debug, Clone)]
+pub struct ProxyUnit {
+    /// The consumer tool `c`.
+    pub target_tool: String,
+    /// Argument bindings (producers `p` with transforms `f`, plus literals).
+    pub args: Vec<(String, ArgBinding)>,
+}
+
+impl ProxyUnit {
+    /// Parse a unit from its wire JSON.
+    pub fn parse(value: &Json) -> Result<ProxyUnit, ToolError> {
+        let target_tool = value
+            .get("target_tool")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ToolError::Execution("proxy unit needs 'target_tool'".into()))?
+            .to_owned();
+        let mut args = Vec::new();
+        if let Some(map) = value.get("tool_args").and_then(Json::as_object) {
+            for (name, spec) in map {
+                args.push((name.clone(), Self::parse_binding(spec)?));
+            }
+        }
+        Ok(ProxyUnit { target_tool, args })
+    }
+
+    fn parse_binding(spec: &Json) -> Result<ArgBinding, ToolError> {
+        let obj = spec.as_object().ok_or_else(|| {
+            ToolError::Execution(format!(
+                "argument spec must be an object with 'value', 'tool', 'unit', or 'producers'; got {spec}"
+            ))
+        })?;
+        if let Some(v) = obj.get("value") {
+            return Ok(ArgBinding::Value(v.clone()));
+        }
+        if obj.contains_key("producers") {
+            let list = obj["producers"]
+                .as_array()
+                .ok_or_else(|| ToolError::Execution("'producers' must be an array".into()))?;
+            let producers = list
+                .iter()
+                .map(Self::parse_producer)
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(ArgBinding::Many(producers));
+        }
+        Ok(ArgBinding::One(Self::parse_producer(spec)?))
+    }
+
+    fn parse_producer(spec: &Json) -> Result<Producer, ToolError> {
+        let transform = Transform::parse(spec.get("transform"))?;
+        if let Some(name) = spec.get("tool").and_then(Json::as_str) {
+            return Ok(Producer {
+                source: Source::Tool {
+                    name: name.to_owned(),
+                    args: spec.get("args").cloned().unwrap_or(Json::Null),
+                },
+                transform,
+            });
+        }
+        if let Some(unit) = spec.get("unit") {
+            return Ok(Producer {
+                source: Source::Unit(Box::new(ProxyUnit::parse(unit)?)),
+                transform,
+            });
+        }
+        Err(ToolError::Execution(
+            "producer needs 'tool' or 'unit'".into(),
+        ))
+    }
+
+    /// Count the nesting depth of this unit.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .args
+            .iter()
+            .map(|(_, b)| match b {
+                ArgBinding::Value(_) => 0,
+                ArgBinding::One(p) => producer_depth(p),
+                ArgBinding::Many(ps) => ps.iter().map(producer_depth).max().unwrap_or(0),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn producer_depth(p: &Producer) -> usize {
+    match &p.source {
+        Source::Tool { .. } => 0,
+        Source::Unit(u) => u.depth(),
+    }
+}
+
+/// Execute a proxy unit bottom-up against a registry. Sibling producers run
+/// in parallel threads.
+pub fn execute_unit(
+    registry: &Registry,
+    unit: &ProxyUnit,
+    depth: usize,
+) -> Result<Json, ToolError> {
+    if depth > MAX_PROXY_DEPTH {
+        return Err(ToolError::Execution(format!(
+            "proxy unit nesting exceeds {MAX_PROXY_DEPTH}"
+        )));
+    }
+    // Gather producer jobs across all arguments so siblings parallelize.
+    enum Slot {
+        Literal(Json),
+        One(usize),
+        Many(Vec<usize>),
+    }
+    let mut jobs: Vec<&Producer> = Vec::new();
+    let mut slots: Vec<(String, Slot)> = Vec::new();
+    for (name, binding) in &unit.args {
+        let slot = match binding {
+            ArgBinding::Value(v) => Slot::Literal(v.clone()),
+            ArgBinding::One(p) => {
+                jobs.push(p);
+                Slot::One(jobs.len() - 1)
+            }
+            ArgBinding::Many(ps) => {
+                let mut ids = Vec::with_capacity(ps.len());
+                for p in ps {
+                    jobs.push(p);
+                    ids.push(jobs.len() - 1);
+                }
+                Slot::Many(ids)
+            }
+        };
+        slots.push((name.clone(), slot));
+    }
+    // Run all producers, in parallel when there are several.
+    let results: Vec<Result<Json, ToolError>> = if jobs.len() <= 1 {
+        jobs.iter()
+            .map(|p| run_producer(registry, p, depth))
+            .collect()
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|p| scope.spawn(move |_| run_producer(registry, p, depth)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ToolError::Execution("producer thread panicked".into()))
+                    })
+                })
+                .collect()
+        })
+        .map_err(|_| ToolError::Execution("producer scope panicked".into()))?
+    };
+    let mut outputs = Vec::with_capacity(results.len());
+    for r in results {
+        outputs.push(r?);
+    }
+    // Assemble the consumer's arguments.
+    let mut arg_pairs: Vec<(String, Json)> = Vec::with_capacity(slots.len());
+    for (name, slot) in slots {
+        let value = match slot {
+            Slot::Literal(v) => v,
+            Slot::One(i) => outputs[i].clone(),
+            Slot::Many(ids) => Json::array(ids.into_iter().map(|i| outputs[i].clone())),
+        };
+        arg_pairs.push((name, value));
+    }
+    // Invoke the consumer; its output propagates upward.
+    let out = registry.call(&unit.target_tool, &Json::object(arg_pairs))?;
+    Ok(out.value)
+}
+
+fn run_producer(registry: &Registry, p: &Producer, depth: usize) -> Result<Json, ToolError> {
+    let raw = match &p.source {
+        Source::Tool { name, args } => registry.call(name, args)?.value,
+        Source::Unit(unit) => execute_unit(registry, unit, depth + 1)?,
+    };
+    p.transform.apply(raw)
+}
+
+/// Build the `proxy` tool over a snapshot of the tool surface. The snapshot
+/// should contain every tool proxy units may reference (database tools plus
+/// any domain-specific MCP tools) — but not the proxy itself; nesting is
+/// expressed with `unit`, not recursive proxy calls.
+pub fn proxy_tool(surface: Registry) -> impl Tool {
+    let surface = Arc::new(surface);
+    FnTool::new(
+        "proxy",
+        "Route data between tools without it passing through you. 'target_tool' is the \
+         consumer; 'tool_args' maps each argument to {\"value\": …}, {\"tool\": …, \"args\": …, \
+         \"transform\": f}, {\"unit\": …} for nesting, or {\"producers\": […]}. Transforms: \
+         \"identity\" or a JSON pointer like \"/rows\". Always use this for bulk data flows.",
+        Signature::open(vec![]),
+        move |args: &Args| {
+            let spec = Json::Object(args.clone());
+            let unit = ProxyUnit::parse(&spec)?;
+            let value = execute_unit(&surface, &unit, 1)?;
+            Ok(ToolOutput::value(value))
+        },
+    )
+    .with_risk(Risk::Safe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+    use toolproto::{ArgSpec, ArgType, FnTool, Signature};
+
+    fn test_registry() -> Registry {
+        let mut reg = Registry::new();
+        reg.register_tool(FnTool::new(
+            "numbers",
+            "produce rows",
+            Signature::new(vec![ArgSpec::required("n", ArgType::Integer, "count")]),
+            |args: &Args| {
+                let n = args["n"].as_i64().unwrap();
+                let rows: Vec<Json> = (0..n).map(|i| Json::num(i as f64)).collect();
+                Ok(ToolOutput::value(Json::object([(
+                    "rows",
+                    Json::array(rows),
+                )])))
+            },
+        ));
+        reg.register_tool(FnTool::new(
+            "sum",
+            "sum an array",
+            Signature::open(vec![]),
+            |args: &Args| {
+                let data = args
+                    .get("data")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| ToolError::Execution("need data array".into()))?;
+                let total: f64 = data.iter().filter_map(Json::as_f64).sum();
+                Ok(ToolOutput::value(Json::object([(
+                    "total",
+                    Json::num(total),
+                )])))
+            },
+        ));
+        reg.register_tool(FnTool::new(
+            "pair_sum",
+            "sum two scalars",
+            Signature::open(vec![]),
+            |args: &Args| {
+                let a = args
+                    .get("a")
+                    .and_then(|v| v.get("total"))
+                    .and_then(Json::as_f64);
+                let b = args
+                    .get("b")
+                    .and_then(|v| v.get("total"))
+                    .and_then(Json::as_f64);
+                match (a, b) {
+                    (Some(a), Some(b)) => Ok(ToolOutput::value(Json::object([(
+                        "total",
+                        Json::num(a + b),
+                    )]))),
+                    _ => Err(ToolError::Execution("need a.total and b.total".into())),
+                }
+            },
+        ));
+        reg
+    }
+
+    #[test]
+    fn single_level_unit() {
+        let reg = test_registry();
+        let spec = Json::parse(
+            r#"{"target_tool": "sum",
+                "tool_args": {"data": {"tool": "numbers", "args": {"n": 5}, "transform": "/rows"}}}"#,
+        )
+        .unwrap();
+        let unit = ProxyUnit::parse(&spec).unwrap();
+        assert_eq!(unit.depth(), 1);
+        let out = execute_unit(&reg, &unit, 1).unwrap();
+        assert_eq!(out.get("total").and_then(Json::as_f64), Some(10.0));
+    }
+
+    #[test]
+    fn nested_units_propagate_bottom_up() {
+        let reg = test_registry();
+        // pair_sum(a = sum(numbers(3)), b = sum(numbers(4)))
+        let spec = Json::parse(
+            r#"{"target_tool": "pair_sum", "tool_args": {
+                "a": {"unit": {"target_tool": "sum", "tool_args": {
+                      "data": {"tool": "numbers", "args": {"n": 3}, "transform": "/rows"}}}},
+                "b": {"unit": {"target_tool": "sum", "tool_args": {
+                      "data": {"tool": "numbers", "args": {"n": 4}, "transform": "/rows"}}}}
+            }}"#,
+        )
+        .unwrap();
+        let unit = ProxyUnit::parse(&spec).unwrap();
+        assert_eq!(unit.depth(), 2);
+        let out = execute_unit(&reg, &unit, 1).unwrap();
+        // 0+1+2 = 3, 0+1+2+3 = 6.
+        assert_eq!(out.get("total").and_then(Json::as_f64), Some(9.0));
+    }
+
+    #[test]
+    fn producers_list_collects_outputs() {
+        let reg = test_registry();
+        let spec = Json::parse(
+            r#"{"target_tool": "sum", "tool_args": {
+                "data": {"producers": [
+                    {"tool": "numbers", "args": {"n": 2}, "transform": "/rows/1"},
+                    {"tool": "numbers", "args": {"n": 3}, "transform": "/rows/2"}
+                ]}}}"#,
+        )
+        .unwrap();
+        let unit = ProxyUnit::parse(&spec).unwrap();
+        let out = execute_unit(&reg, &unit, 1).unwrap();
+        // rows/1 of n=2 is 1; rows/2 of n=3 is 2 → sum 3.
+        assert_eq!(out.get("total").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn parallel_producers_actually_overlap() {
+        static CONCURRENT: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let mut reg = Registry::new();
+        reg.register_tool(FnTool::new(
+            "slow",
+            "sleep then emit",
+            Signature::open(vec![]),
+            |_: &Args| {
+                let now = CONCURRENT.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(50));
+                CONCURRENT.fetch_sub(1, Ordering::SeqCst);
+                Ok(ToolOutput::value(Json::object([("total", Json::num(1.0))])))
+            },
+        ));
+        reg.register_tool(FnTool::new(
+            "pair_sum",
+            "sum",
+            Signature::open(vec![]),
+            |args: &Args| {
+                let a = args["a"].get("total").and_then(Json::as_f64).unwrap();
+                let b = args["b"].get("total").and_then(Json::as_f64).unwrap();
+                Ok(ToolOutput::value(Json::object([(
+                    "total",
+                    Json::num(a + b),
+                )])))
+            },
+        ));
+        let spec = Json::parse(
+            r#"{"target_tool": "pair_sum", "tool_args": {
+                "a": {"tool": "slow"}, "b": {"tool": "slow"}}}"#,
+        )
+        .unwrap();
+        let unit = ProxyUnit::parse(&spec).unwrap();
+        let out = execute_unit(&reg, &unit, 1).unwrap();
+        assert_eq!(out.get("total").and_then(Json::as_f64), Some(2.0));
+        assert!(
+            PEAK.load(Ordering::SeqCst) >= 2,
+            "sibling producers should run concurrently"
+        );
+    }
+
+    #[test]
+    fn proxy_tool_end_to_end() {
+        let surface = test_registry();
+        let mut reg = Registry::new();
+        reg.register_tool(proxy_tool(surface));
+        let out = reg
+            .call(
+                "proxy",
+                &Json::parse(
+                    r#"{"target_tool": "sum",
+                        "tool_args": {"data": {"tool": "numbers", "args": {"n": 4}, "transform": "/rows"}}}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(out.value.get("total").and_then(Json::as_f64), Some(6.0));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let reg = test_registry();
+        // Unknown consumer.
+        let unit =
+            ProxyUnit::parse(&Json::parse(r#"{"target_tool": "nope", "tool_args": {}}"#).unwrap())
+                .unwrap();
+        assert!(matches!(
+            execute_unit(&reg, &unit, 1),
+            Err(ToolError::UnknownTool(_))
+        ));
+        // Bad transform pointer.
+        let unit = ProxyUnit::parse(
+            &Json::parse(
+                r#"{"target_tool": "sum", "tool_args": {
+                    "data": {"tool": "numbers", "args": {"n": 2}, "transform": "/missing"}}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(execute_unit(&reg, &unit, 1).is_err());
+        // Malformed unit specs.
+        assert!(ProxyUnit::parse(&Json::parse(r#"{"tool_args": {}}"#).unwrap()).is_err());
+        assert!(ProxyUnit::parse(
+            &Json::parse(r#"{"target_tool": "sum", "tool_args": {"x": {"bogus": 1}}}"#).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let reg = test_registry();
+        // Build a unit nested beyond the limit.
+        let mut spec = r#"{"target_tool": "sum", "tool_args": {"data": {"tool": "numbers", "args": {"n": 1}, "transform": "/rows"}}}"#.to_string();
+        for _ in 0..MAX_PROXY_DEPTH + 1 {
+            spec = format!(
+                r#"{{"target_tool": "sum", "tool_args": {{"data": {{"unit": {spec}, "transform": "identity"}}}}}}"#
+            );
+        }
+        let unit = ProxyUnit::parse(&Json::parse(&spec).unwrap()).unwrap();
+        let err = execute_unit(&reg, &unit, 1).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Assembly of a per-user BridgeScope tool surface.
+//!
+//! [`BridgeScopeServer::build`] is where the paper's action-level
+//! modularization becomes concrete: the registry handed to a user's agent
+//! contains a SQL tool **only if** the user holds the corresponding privilege
+//! on at least one object *and* the user-side policy allows the tool. A
+//! read-only user's agent simply never sees `insert`.
+
+use crate::bridge::BridgeContext;
+use crate::config::SecurityPolicy;
+use crate::context_tools::{get_object_tool, get_schema_tool, get_value_tool};
+use crate::proxy::proxy_tool;
+use crate::sql_tools::{action_risk, action_tool};
+use crate::txn_tools::{begin_tool, commit_tool, rollback_tool};
+use minidb::{Database, DbError};
+use sqlkit::ast::Action;
+use std::sync::Arc;
+use toolproto::Registry;
+
+/// A built BridgeScope server: the tool registry for one user plus the
+/// crafted system prompt.
+pub struct BridgeScopeServer {
+    /// The tools exposed to this user's agent.
+    pub registry: Registry,
+    /// The system prompt to install in the agent.
+    pub prompt: &'static str,
+    /// The shared context (for tests and advanced wiring).
+    pub context: Arc<BridgeContext>,
+}
+
+impl BridgeScopeServer {
+    /// Build the tool surface for `user` under `policy`. Tools in
+    /// `external` (e.g. ML/MCP tools) become available to proxy units and
+    /// are re-exported in the final registry.
+    pub fn build(
+        db: Database,
+        user: &str,
+        policy: SecurityPolicy,
+        external: &Registry,
+    ) -> Result<BridgeScopeServer, DbError> {
+        let ctx = BridgeContext::new(db.clone(), user, policy)?;
+        let mut registry = Registry::new();
+
+        // F1 — context retrieval (always exposed; outputs are filtered).
+        registry.register_tool(get_schema_tool(Arc::clone(&ctx)));
+        registry.register_tool(get_object_tool(Arc::clone(&ctx)));
+        registry.register_tool(get_value_tool(Arc::clone(&ctx)));
+
+        // F2 — per-action SQL tools, exposed by privilege ∧ policy.
+        let privs = db.privileges_of(user)?;
+        let held = privs.held_actions();
+        let mut any_write_tool = false;
+        for action in Action::DATA_ACTIONS {
+            if !held.contains(&action) {
+                continue;
+            }
+            let name = action.keyword();
+            if !ctx.policy.tool_allowed(name, action_risk(action)) {
+                continue;
+            }
+            if action.is_write() {
+                any_write_tool = true;
+            }
+            registry.register(Arc::new(action_tool(Arc::clone(&ctx), action)));
+        }
+
+        // F3 — transaction tools, useful only when the user can write.
+        if any_write_tool {
+            for (name, _) in [("begin", 0), ("commit", 0), ("rollback", 0)] {
+                if !ctx.policy.tool_allowed(name, toolproto::Risk::Mutating) {
+                    continue;
+                }
+                match name {
+                    "begin" => registry.register_tool(begin_tool(Arc::clone(&ctx))),
+                    "commit" => registry.register_tool(commit_tool(Arc::clone(&ctx))),
+                    _ => registry.register_tool(rollback_tool(Arc::clone(&ctx))),
+                }
+            }
+        }
+
+        // External (MCP-ecosystem) tools join the surface.
+        registry.extend(external);
+
+        // F4 — the proxy operates over a snapshot of everything above.
+        let surface = registry.clone();
+        registry.register_tool(proxy_tool(surface));
+
+        Ok(BridgeScopeServer {
+            registry,
+            prompt: crate::prompt::BRIDGESCOPE_PROMPT,
+            context: ctx,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toolproto::Json;
+
+    fn demo_db() -> Database {
+        let db = Database::new();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("CREATE TABLE sales (id INTEGER PRIMARY KEY, amount REAL)")
+            .unwrap();
+        s.execute_sql("INSERT INTO sales VALUES (1, 10.0)").unwrap();
+        db.create_user("reader", false).unwrap();
+        db.grant("reader", Action::Select, "sales").unwrap();
+        db.create_user("manager", false).unwrap();
+        db.grant_all("manager", "sales").unwrap();
+        db
+    }
+
+    #[test]
+    fn reader_sees_only_select_and_context_tools() {
+        let db = demo_db();
+        let server =
+            BridgeScopeServer::build(db, "reader", SecurityPolicy::default(), &Registry::new())
+                .unwrap();
+        let names = server.registry.names();
+        assert!(names.contains(&"select"));
+        assert!(names.contains(&"get_schema"));
+        assert!(names.contains(&"get_value"));
+        assert!(names.contains(&"proxy"));
+        assert!(!names.contains(&"insert"), "read-only user: no insert tool");
+        assert!(!names.contains(&"delete"));
+        assert!(!names.contains(&"begin"), "no writes → no txn tools");
+    }
+
+    #[test]
+    fn manager_gets_full_crud_and_txn_tools() {
+        let db = demo_db();
+        let server =
+            BridgeScopeServer::build(db, "manager", SecurityPolicy::default(), &Registry::new())
+                .unwrap();
+        let names = server.registry.names();
+        for t in [
+            "select", "insert", "update", "delete", "begin", "commit", "rollback",
+        ] {
+            assert!(names.contains(&t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn policy_blocks_destructive_tools() {
+        let db = demo_db();
+        let policy = SecurityPolicy::default().with_blocked_tools(["drop"]);
+        let server = BridgeScopeServer::build(db, "manager", policy, &Registry::new()).unwrap();
+        assert!(!server.registry.contains("drop"));
+        // Admin with risk cap: nothing destructive.
+        let db = demo_db();
+        let policy = SecurityPolicy::default().with_max_risk(toolproto::Risk::Mutating);
+        let server = BridgeScopeServer::build(db, "admin", policy, &Registry::new()).unwrap();
+        assert!(!server.registry.contains("drop"));
+        assert!(!server.registry.contains("create"));
+        assert!(server.registry.contains("insert"));
+    }
+
+    #[test]
+    fn proxy_reaches_external_tools() {
+        let db = demo_db();
+        let mut external = Registry::new();
+        external.register_tool(toolproto::FnTool::new(
+            "count_rows",
+            "count array entries",
+            toolproto::Signature::open(vec![]),
+            |args: &toolproto::Args| {
+                let n = args
+                    .get("data")
+                    .and_then(Json::as_array)
+                    .map_or(0, <[Json]>::len);
+                Ok(toolproto::ToolOutput::value(Json::object([(
+                    "count",
+                    Json::num(n as f64),
+                )])))
+            },
+        ));
+        let server =
+            BridgeScopeServer::build(db, "manager", SecurityPolicy::default(), &external).unwrap();
+        let out = server
+            .registry
+            .call(
+                "proxy",
+                &Json::parse(
+                    r#"{"target_tool": "count_rows", "tool_args": {
+                        "data": {"tool": "select", "args": {"sql": "SELECT * FROM sales"},
+                                 "transform": "/rows"}}}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(out.value.get("count").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn end_to_end_transactional_flow_through_registry() {
+        let db = demo_db();
+        let server = BridgeScopeServer::build(
+            db.clone(),
+            "manager",
+            SecurityPolicy::default(),
+            &Registry::new(),
+        )
+        .unwrap();
+        let reg = &server.registry;
+        reg.call("begin", &Json::Null).unwrap();
+        reg.call(
+            "insert",
+            &Json::object([("sql", Json::str("INSERT INTO sales VALUES (2, 20.0)"))]),
+        )
+        .unwrap();
+        reg.call("commit", &Json::Null).unwrap();
+        assert_eq!(db.table_rows("sales").unwrap(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! F3 — transaction management tools: `begin`, `commit`, `rollback`.
+//!
+//! Thin wrappers over the shared session. Their value is not mechanism but
+//! *salience*: the paper's §3.2 shows that surfacing transaction control as
+//! explicit tools is what makes agents actually use it (Figure 5c).
+
+use crate::bridge::{db_error_to_tool, result_to_output, BridgeContext};
+use std::sync::Arc;
+use toolproto::{Args, FnTool, Risk, Signature, Tool};
+
+/// Build the `begin` tool.
+pub fn begin_tool(ctx: Arc<BridgeContext>) -> impl Tool {
+    FnTool::new(
+        "begin",
+        "Begin a transaction. Call before any statement that modifies the database.",
+        Signature::new(vec![]),
+        move |_: &Args| {
+            let result = ctx.session.lock().begin().map_err(db_error_to_tool)?;
+            Ok(result_to_output(result))
+        },
+    )
+    .with_risk(Risk::Mutating)
+}
+
+/// Build the `commit` tool.
+pub fn commit_tool(ctx: Arc<BridgeContext>) -> impl Tool {
+    FnTool::new(
+        "commit",
+        "Commit the current transaction.",
+        Signature::new(vec![]),
+        move |_: &Args| {
+            let result = ctx.session.lock().commit().map_err(db_error_to_tool)?;
+            Ok(result_to_output(result))
+        },
+    )
+    .with_risk(Risk::Mutating)
+}
+
+/// Build the `rollback` tool.
+pub fn rollback_tool(ctx: Arc<BridgeContext>) -> impl Tool {
+    FnTool::new(
+        "rollback",
+        "Roll back the current transaction, discarding its changes.",
+        Signature::new(vec![]),
+        move |_: &Args| {
+            let result = ctx.session.lock().rollback().map_err(db_error_to_tool)?;
+            Ok(result_to_output(result))
+        },
+    )
+    .with_risk(Risk::Mutating)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SecurityPolicy;
+    use crate::sql_tools::action_tool;
+    use minidb::Database;
+    use sqlkit::ast::Action;
+    use toolproto::{Json, Registry};
+
+    fn setup() -> (Database, Registry) {
+        let db = Database::new();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+            .unwrap();
+        let ctx = BridgeContext::new(db.clone(), "admin", SecurityPolicy::default()).unwrap();
+        let mut reg = Registry::new();
+        reg.register_tool(begin_tool(Arc::clone(&ctx)));
+        reg.register_tool(commit_tool(Arc::clone(&ctx)));
+        reg.register_tool(rollback_tool(Arc::clone(&ctx)));
+        reg.register(std::sync::Arc::new(action_tool(ctx, Action::Insert)));
+        (db, reg)
+    }
+
+    #[test]
+    fn begin_insert_commit_persists() {
+        let (db, reg) = setup();
+        reg.call("begin", &Json::Null).unwrap();
+        reg.call(
+            "insert",
+            &Json::object([("sql", Json::str("INSERT INTO t VALUES (1)"))]),
+        )
+        .unwrap();
+        reg.call("commit", &Json::Null).unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn begin_insert_rollback_discards() {
+        let (db, reg) = setup();
+        reg.call("begin", &Json::Null).unwrap();
+        reg.call(
+            "insert",
+            &Json::object([("sql", Json::str("INSERT INTO t VALUES (1)"))]),
+        )
+        .unwrap();
+        reg.call("rollback", &Json::Null).unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn commit_without_begin_fails() {
+        let (_db, reg) = setup();
+        assert!(reg.call("commit", &Json::Null).is_err());
+        assert!(reg.call("rollback", &Json::Null).is_err());
+    }
+}

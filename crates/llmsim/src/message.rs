@@ -1,0 +1,100 @@
+//! Conversation transcript with token accounting.
+
+use crate::tokens::estimate;
+
+/// Who produced a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The system prompt (toolkit guidance + tool list).
+    System,
+    /// The user's task.
+    User,
+    /// The (simulated) model: reasoning plus a tool call or final answer.
+    Assistant,
+    /// A tool result fed back to the model.
+    Tool,
+}
+
+/// One transcript entry.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Producer role.
+    pub role: Role,
+    /// Raw content (tool results are compact JSON).
+    pub content: String,
+    /// Cached token estimate of `content`.
+    pub tokens: usize,
+}
+
+impl Message {
+    /// Build a message, computing its token estimate once.
+    pub fn new(role: Role, content: impl Into<String>) -> Self {
+        let content = content.into();
+        let tokens = estimate(&content);
+        Message {
+            role,
+            content,
+            tokens,
+        }
+    }
+}
+
+/// An append-only transcript.
+#[derive(Debug, Clone, Default)]
+pub struct Transcript {
+    messages: Vec<Message>,
+    total_tokens: usize,
+}
+
+impl Transcript {
+    /// Empty transcript.
+    pub fn new() -> Self {
+        Transcript::default()
+    }
+
+    /// Append a message, returning its token count.
+    pub fn push(&mut self, role: Role, content: impl Into<String>) -> usize {
+        let msg = Message::new(role, content);
+        let t = msg.tokens;
+        self.total_tokens += t;
+        self.messages.push(msg);
+        t
+    }
+
+    /// Total tokens across all messages (the prompt cost of the next call).
+    pub fn total_tokens(&self) -> usize {
+        self.total_tokens
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the transcript is empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Read access to the messages.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_tokens() {
+        let mut t = Transcript::new();
+        let a = t.push(Role::System, "x".repeat(40));
+        let b = t.push(Role::User, "y".repeat(20));
+        assert_eq!(a, 10);
+        assert_eq!(b, 5);
+        assert_eq!(t.total_tokens(), 15);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.messages()[0].role, Role::System);
+    }
+}

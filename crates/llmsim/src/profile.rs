@@ -1,0 +1,141 @@
+//! Behavioural profiles of the simulated agents.
+//!
+//! These parameters are *inputs* to the simulation, calibrated against the
+//! paper's qualitative descriptions of GPT-4o and Claude-4 behaviour (see
+//! DESIGN.md §"Honesty notes"); every reported metric is then measured from
+//! the resulting interaction traces, never hard-coded. Parameters are public
+//! so ablation benches can sweep them.
+
+/// Behaviour parameters of one simulated LLM.
+#[derive(Debug, Clone)]
+pub struct LlmProfile {
+    /// Display name, e.g. "GPT-4o".
+    pub name: String,
+    /// Context window in tokens.
+    pub context_window: usize,
+    /// Probability that, *without* explicit schema retrieval, a first SQL
+    /// attempt hallucinates schema details (wrong column/table spelling).
+    pub schema_hallucination_rate: f64,
+    /// Probability that a text predicate misses the actual stored value when
+    /// no column-exemplar tool is available (synonyms, spelling variants).
+    pub predicate_error_rate: f64,
+    /// Probability of noticing a suspicious empty result caused by a bad
+    /// predicate and retrying with a corrected one.
+    pub empty_result_suspicion: f64,
+    /// Probability of correctly reading privilege annotations / the exposed
+    /// tool set and aborting an infeasible task *before* executing SQL.
+    pub privilege_awareness: f64,
+    /// Probability of initiating a transaction for write tasks when explicit
+    /// `begin`/`commit` tools are exposed.
+    pub txn_awareness_explicit: f64,
+    /// Probability of initiating a transaction through a generic
+    /// `execute_sql` tool (the paper finds agents "rarely recognize" this).
+    pub txn_awareness_generic: f64,
+    /// Probability of correctly abstracting a proxy unit when the proxy tool
+    /// is available (near 1.0 for modern LLMs, per the paper's §3.4).
+    pub proxy_abstraction: f64,
+    /// Probability a generated final SQL is semantically correct (drives the
+    /// BIRD-style accuracy ceiling of Fig. 5b, toolkit-independent).
+    pub sql_accuracy: f64,
+    /// Probability of wrongly aborting a feasible task (the "minor gaps"
+    /// of Fig. 5c).
+    pub spurious_abort_rate: f64,
+    /// Probability of retrying once more after a privilege denial instead of
+    /// aborting immediately (burns calls and tokens on infeasible tasks).
+    pub retry_on_denial: f64,
+    /// Probability of issuing a verification SELECT after modifying the
+    /// database *outside* a transaction — a common agent behaviour when no
+    /// rollback safety net exists. Explicit transaction tools make this
+    /// unnecessary (the commit acknowledges atomicity), which is part of why
+    /// the paper finds BridgeScope's write costs comparable despite its
+    /// extra begin/commit calls.
+    pub verify_unprotected_writes: f64,
+    /// Maximum corrective retries per SQL step.
+    pub max_retries: usize,
+    /// Verbosity multiplier for emitted reasoning text (Claude ≈ 1.6× GPT).
+    pub verbosity: f64,
+}
+
+impl LlmProfile {
+    /// Profile modelling GPT-4o: solid but less decisive about aborting
+    /// infeasible work, moderately verbose.
+    pub fn gpt4o() -> Self {
+        LlmProfile {
+            name: "GPT-4o".into(),
+            context_window: 128_000,
+            schema_hallucination_rate: 0.55,
+            predicate_error_rate: 0.40,
+            empty_result_suspicion: 0.70,
+            privilege_awareness: 0.80,
+            txn_awareness_explicit: 0.98,
+            txn_awareness_generic: 0.06,
+            proxy_abstraction: 1.0,
+            sql_accuracy: 0.62,
+            spurious_abort_rate: 0.03,
+            retry_on_denial: 0.50,
+            verify_unprotected_writes: 0.85,
+            max_retries: 2,
+            verbosity: 1.0,
+        }
+    }
+
+    /// Profile modelling Claude-4: stronger reasoning (aborts infeasible
+    /// tasks faster, higher SQL accuracy) but more verbose, so wasted loops
+    /// cost proportionally more tokens — reproducing the paper's observation
+    /// that BridgeScope's savings are larger for Claude-4.
+    pub fn claude4() -> Self {
+        LlmProfile {
+            name: "Claude-4".into(),
+            context_window: 200_000,
+            schema_hallucination_rate: 0.45,
+            predicate_error_rate: 0.35,
+            empty_result_suspicion: 0.85,
+            privilege_awareness: 0.95,
+            txn_awareness_explicit: 1.0,
+            txn_awareness_generic: 0.08,
+            proxy_abstraction: 1.0,
+            sql_accuracy: 0.70,
+            spurious_abort_rate: 0.02,
+            retry_on_denial: 0.65,
+            verify_unprotected_writes: 0.90,
+            max_retries: 3,
+            verbosity: 1.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_sane() {
+        for p in [LlmProfile::gpt4o(), LlmProfile::claude4()] {
+            assert!(p.context_window >= 100_000);
+            for v in [
+                p.schema_hallucination_rate,
+                p.predicate_error_rate,
+                p.empty_result_suspicion,
+                p.privilege_awareness,
+                p.txn_awareness_explicit,
+                p.txn_awareness_generic,
+                p.proxy_abstraction,
+                p.sql_accuracy,
+                p.spurious_abort_rate,
+                p.retry_on_denial,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{}: {v} out of range", p.name);
+            }
+            assert!(p.verbosity >= 1.0);
+        }
+    }
+
+    #[test]
+    fn claude_is_more_decisive_and_verbose() {
+        let g = LlmProfile::gpt4o();
+        let c = LlmProfile::claude4();
+        assert!(c.privilege_awareness > g.privilege_awareness);
+        assert!(c.verbosity > g.verbosity);
+        assert!(c.context_window > g.context_window);
+    }
+}

@@ -1,0 +1,711 @@
+//! The database facade and per-user sessions.
+//!
+//! [`Database`] owns state behind a lock; [`Session`]s execute SQL as a
+//! specific user, with engine-side privilege enforcement and explicit
+//! transaction support. A session in an explicit transaction holds a global
+//! transaction slot, so concurrent writers observe SQLite-style "database is
+//! locked" semantics rather than anomalies — adequate and honest for the
+//! single-agent benchmark workloads (see DESIGN.md).
+
+use crate::error::{DbError, DbResult};
+use crate::exec::{self, DbState, QueryResult};
+use crate::privilege::PrivilegeCatalog;
+use crate::schema::TableSchema;
+use crate::txn::{self, TxnStatus, UndoOp};
+use crate::value::Value;
+use parking_lot::RwLock;
+use sqlkit::ast::{Action, Statement};
+use sqlkit::parse_statement;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Inner {
+    state: DbState,
+    privileges: PrivilegeCatalog,
+    /// Session id currently holding the explicit-transaction slot.
+    txn_owner: Option<u64>,
+}
+
+/// A shared in-memory database.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<RwLock<Inner>>,
+    next_session: Arc<AtomicU64>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// New empty database with a single superuser `admin`.
+    pub fn new() -> Self {
+        let mut privileges = PrivilegeCatalog::new();
+        privileges
+            .create_user("admin", true)
+            .expect("fresh catalog");
+        Database {
+            inner: Arc::new(RwLock::new(Inner {
+                state: DbState::default(),
+                privileges,
+                txn_owner: None,
+            })),
+            next_session: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// Open a session for `user`.
+    pub fn session(&self, user: &str) -> DbResult<Session> {
+        {
+            let inner = self.inner.read();
+            if !inner.privileges.contains(user) {
+                return Err(DbError::UnknownUser(user.to_owned()));
+            }
+        }
+        Ok(Session {
+            db: self.clone(),
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+            user: user.to_owned(),
+            undo: Vec::new(),
+            savepoints: Vec::new(),
+            status: TxnStatus::Autocommit,
+        })
+    }
+
+    /// Create a user (administrative API).
+    pub fn create_user(&self, name: &str, superuser: bool) -> DbResult<()> {
+        self.inner.write().privileges.create_user(name, superuser)
+    }
+
+    /// Grant an action on an object (administrative API).
+    pub fn grant(&self, user: &str, action: Action, object: &str) -> DbResult<()> {
+        self.inner.write().privileges.grant(user, action, object)
+    }
+
+    /// Grant all data actions on an object.
+    pub fn grant_all(&self, user: &str, object: &str) -> DbResult<()> {
+        self.inner.write().privileges.grant_all(user, object)
+    }
+
+    /// Revoke an action on an object.
+    pub fn revoke(&self, user: &str, action: Action, object: &str) -> DbResult<()> {
+        self.inner.write().privileges.revoke(user, action, object)
+    }
+
+    /// Snapshot of one user's privileges.
+    pub fn privileges_of(&self, user: &str) -> DbResult<crate::privilege::UserPrivileges> {
+        Ok(self.inner.read().privileges.user(user)?.clone())
+    }
+
+    /// Table names currently in the catalog.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .state
+            .catalog
+            .table_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// View definitions currently in the catalog, as `(name, columns)`.
+    pub fn views(&self) -> Vec<(String, Vec<String>)> {
+        let inner = self.inner.read();
+        inner
+            .state
+            .catalog
+            .view_names()
+            .into_iter()
+            .map(|n| {
+                let def = inner.state.catalog.view(n).expect("listed view exists");
+                (n.to_owned(), def.columns.clone())
+            })
+            .collect()
+    }
+
+    /// Snapshot a table schema.
+    pub fn table_schema(&self, name: &str) -> DbResult<TableSchema> {
+        Ok(self.inner.read().state.catalog.table(name)?.clone())
+    }
+
+    /// Number of rows in a table.
+    pub fn table_rows(&self, name: &str) -> DbResult<usize> {
+        let inner = self.inner.read();
+        inner.state.catalog.table(name)?;
+        Ok(inner.state.data.get(name).map_or(0, |d| d.len()))
+    }
+
+    /// Distinct values of a column, in total order — the raw material for
+    /// BridgeScope's `get_value` exemplar retrieval.
+    pub fn column_values(&self, table: &str, column: &str) -> DbResult<Vec<Value>> {
+        let inner = self.inner.read();
+        let schema = inner.state.catalog.table(table)?;
+        let pos = schema
+            .column_index(column)
+            .ok_or_else(|| DbError::UnknownColumn(format!("{table}.{column}")))?;
+        let data = inner
+            .state
+            .data
+            .get(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_owned()))?;
+        let mut values: Vec<Value> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, row) in data.iter() {
+            let v = &row[pos];
+            if !v.is_null() && seen.insert(crate::value::Key(vec![v.clone()])) {
+                values.push(v.clone());
+            }
+        }
+        values.sort_by(|a, b| a.total_cmp(b));
+        Ok(values)
+    }
+
+    /// Run a read-only closure over the raw state (test/bench support).
+    pub fn with_state<R>(&self, f: impl FnOnce(&DbState) -> R) -> R {
+        f(&self.inner.read().state)
+    }
+
+    /// Deep-copy the database: an independent instance with identical
+    /// catalog, data, and privileges. Benchmarks fork a pristine template
+    /// per task run so write tasks cannot contaminate each other.
+    pub fn fork(&self) -> Database {
+        let inner = self.inner.read();
+        Database {
+            inner: Arc::new(RwLock::new(Inner {
+                state: inner.state.clone(),
+                privileges: inner.privileges.clone(),
+                txn_owner: None,
+            })),
+            next_session: Arc::new(AtomicU64::new(1)),
+        }
+    }
+}
+
+/// A connection bound to one user, carrying transaction state.
+pub struct Session {
+    db: Database,
+    id: u64,
+    user: String,
+    undo: Vec<UndoOp>,
+    /// Named savepoints: `(name, undo-log length at creation)`. Rolling back
+    /// to one replays the undo suffix; releasing discards the marker.
+    savepoints: Vec<(String, usize)>,
+    status: TxnStatus,
+}
+
+impl Session {
+    /// The session's user name.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Current transaction status.
+    pub fn txn_status(&self) -> TxnStatus {
+        self.status
+    }
+
+    /// Whether an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.status != TxnStatus::Autocommit
+    }
+
+    /// Parse and execute one SQL statement as this session's user.
+    pub fn execute_sql(&mut self, sql: &str) -> DbResult<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute(&stmt)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute(&mut self, stmt: &Statement) -> DbResult<QueryResult> {
+        match stmt {
+            Statement::Begin => return self.begin(),
+            Statement::Commit => return self.commit(),
+            Statement::Rollback => return self.rollback(),
+            Statement::Savepoint(name) => return self.savepoint(name),
+            Statement::RollbackTo(name) => return self.rollback_to(name),
+            Statement::Release(name) => return self.release(name),
+            _ => {}
+        }
+        if self.status == TxnStatus::Aborted {
+            return Err(DbError::TransactionState(
+                "current transaction is aborted, commands ignored until ROLLBACK".into(),
+            ));
+        }
+        // Privilege checks from static analysis.
+        let profile = sqlkit::analyze(stmt);
+        {
+            let inner = self.db.inner.read();
+            if let Statement::GrantRevoke(_) = stmt {
+                if !inner.privileges.user(&self.user)?.superuser {
+                    return Err(DbError::PrivilegeDenied {
+                        user: self.user.clone(),
+                        action: Action::GrantRevoke,
+                        object: profile.all_objects().into_iter().next().unwrap_or_default(),
+                    });
+                }
+            } else {
+                for (action, object) in profile.required_privileges() {
+                    inner.privileges.check(&self.user, action, &object)?;
+                }
+            }
+        }
+        // GRANT/REVOKE routes to the privilege catalog.
+        if let Statement::GrantRevoke(g) = stmt {
+            let mut inner = self.db.inner.write();
+            if !inner.privileges.contains(&g.user) {
+                inner.privileges.create_user(&g.user, false)?;
+            }
+            for object in &g.objects {
+                inner.state.catalog.table(object)?;
+                match &g.actions {
+                    None => {
+                        if g.grant {
+                            inner.privileges.grant_all(&g.user, object)?;
+                        } else {
+                            inner.privileges.revoke_all(&g.user, object)?;
+                        }
+                    }
+                    Some(actions) => {
+                        for &a in actions {
+                            if g.grant {
+                                inner.privileges.grant(&g.user, a, object)?;
+                            } else {
+                                inner.privileges.revoke(&g.user, a, object)?;
+                            }
+                        }
+                    }
+                }
+            }
+            return Ok(QueryResult::Status(if g.grant {
+                "granted".to_owned()
+            } else {
+                "revoked".to_owned()
+            }));
+        }
+        // Reads don't need the transaction slot.
+        if let Statement::Select(sel) = stmt {
+            let inner = self.db.inner.read();
+            return exec::execute_select(&inner.state, sel);
+        }
+        if let Statement::Explain(explained) = stmt {
+            let inner = self.db.inner.read();
+            return exec::explain(&inner.state, explained);
+        }
+        // Writes: respect the transaction slot.
+        let mut inner = self.db.inner.write();
+        if let Some(owner) = inner.txn_owner {
+            if owner != self.id {
+                return Err(DbError::TransactionState(
+                    "database is locked by another session's transaction".into(),
+                ));
+            }
+        }
+        if self.status == TxnStatus::Explicit {
+            let mark = self.undo.len();
+            match exec::execute(&mut inner.state, stmt, &mut self.undo) {
+                Ok(result) => Ok(result),
+                Err(e) => {
+                    // Undo the partial effects of this statement, then mark
+                    // the transaction aborted (statement-level atomicity).
+                    let partial = self.undo.split_off(mark);
+                    txn::rollback(&mut inner.state, partial);
+                    self.status = TxnStatus::Aborted;
+                    Err(e)
+                }
+            }
+        } else {
+            let mut undo = Vec::new();
+            match exec::execute(&mut inner.state, stmt, &mut undo) {
+                Ok(result) => Ok(result),
+                Err(e) => {
+                    txn::rollback(&mut inner.state, undo);
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// BEGIN an explicit transaction.
+    pub fn begin(&mut self) -> DbResult<QueryResult> {
+        if self.status != TxnStatus::Autocommit {
+            return Err(DbError::TransactionState(
+                "a transaction is already in progress".into(),
+            ));
+        }
+        let mut inner = self.db.inner.write();
+        if inner.txn_owner.is_some() {
+            return Err(DbError::TransactionState(
+                "database is locked by another session's transaction".into(),
+            ));
+        }
+        inner.txn_owner = Some(self.id);
+        self.status = TxnStatus::Explicit;
+        self.undo.clear();
+        self.savepoints.clear();
+        Ok(QueryResult::Status("transaction started".into()))
+    }
+
+    /// COMMIT the transaction. In the aborted state this degrades to a
+    /// rollback, as in PostgreSQL.
+    pub fn commit(&mut self) -> DbResult<QueryResult> {
+        match self.status {
+            TxnStatus::Autocommit => Err(DbError::TransactionState(
+                "no transaction in progress".into(),
+            )),
+            TxnStatus::Explicit => {
+                let mut inner = self.db.inner.write();
+                inner.txn_owner = None;
+                self.undo.clear();
+                self.savepoints.clear();
+                self.status = TxnStatus::Autocommit;
+                Ok(QueryResult::Status("transaction committed".into()))
+            }
+            TxnStatus::Aborted => {
+                self.rollback()?;
+                Ok(QueryResult::Status(
+                    "aborted transaction rolled back".into(),
+                ))
+            }
+        }
+    }
+
+    /// ROLLBACK the transaction, restoring the pre-BEGIN state.
+    pub fn rollback(&mut self) -> DbResult<QueryResult> {
+        if self.status == TxnStatus::Autocommit {
+            return Err(DbError::TransactionState(
+                "no transaction in progress".into(),
+            ));
+        }
+        let mut inner = self.db.inner.write();
+        let log = std::mem::take(&mut self.undo);
+        txn::rollback(&mut inner.state, log);
+        self.savepoints.clear();
+        inner.txn_owner = None;
+        self.status = TxnStatus::Autocommit;
+        Ok(QueryResult::Status("transaction rolled back".into()))
+    }
+
+    /// SAVEPOINT: mark the current position in the transaction. Redefining
+    /// an existing name moves it (PostgreSQL semantics).
+    pub fn savepoint(&mut self, name: &str) -> DbResult<QueryResult> {
+        if self.status != TxnStatus::Explicit {
+            return Err(DbError::TransactionState(
+                "SAVEPOINT requires an open transaction".into(),
+            ));
+        }
+        self.savepoints.retain(|(n, _)| n != name);
+        self.savepoints.push((name.to_owned(), self.undo.len()));
+        Ok(QueryResult::Status(format!("savepoint \"{name}\" set")))
+    }
+
+    /// ROLLBACK TO SAVEPOINT: undo everything after the savepoint, keeping
+    /// the transaction (and the savepoint itself) open. Also recovers an
+    /// aborted transaction, as in PostgreSQL.
+    pub fn rollback_to(&mut self, name: &str) -> DbResult<QueryResult> {
+        if self.status == TxnStatus::Autocommit {
+            return Err(DbError::TransactionState(
+                "ROLLBACK TO SAVEPOINT requires an open transaction".into(),
+            ));
+        }
+        let Some(pos) = self.savepoints.iter().position(|(n, _)| n == name) else {
+            return Err(DbError::TransactionState(format!(
+                "savepoint \"{name}\" does not exist"
+            )));
+        };
+        let mark = self.savepoints[pos].1;
+        // Later savepoints are destroyed; this one survives.
+        self.savepoints.truncate(pos + 1);
+        let suffix = self.undo.split_off(mark);
+        let mut inner = self.db.inner.write();
+        txn::rollback(&mut inner.state, suffix);
+        self.status = TxnStatus::Explicit;
+        Ok(QueryResult::Status(format!(
+            "rolled back to savepoint \"{name}\""
+        )))
+    }
+
+    /// RELEASE SAVEPOINT: discard the savepoint (and any later ones),
+    /// keeping its effects.
+    pub fn release(&mut self, name: &str) -> DbResult<QueryResult> {
+        if self.status != TxnStatus::Explicit {
+            return Err(DbError::TransactionState(
+                "RELEASE SAVEPOINT requires an open transaction".into(),
+            ));
+        }
+        let Some(pos) = self.savepoints.iter().position(|(n, _)| n == name) else {
+            return Err(DbError::TransactionState(format!(
+                "savepoint \"{name}\" does not exist"
+            )));
+        };
+        self.savepoints.truncate(pos);
+        Ok(QueryResult::Status(format!(
+            "savepoint \"{name}\" released"
+        )))
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Abandoned open transactions roll back, releasing the slot.
+        if self.status != TxnStatus::Autocommit {
+            let _ = self.rollback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Database {
+        let db = Database::new();
+        let mut admin = db.session("admin").unwrap();
+        admin
+            .execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT NOT NULL)")
+            .unwrap();
+        admin
+            .execute_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_through_session() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        let r = s.execute_sql("SELECT v FROM t ORDER BY id").unwrap();
+        match r {
+            QueryResult::Rows { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][0], Value::Text("a".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn privilege_enforcement() {
+        let db = setup();
+        db.create_user("reader", false).unwrap();
+        db.grant("reader", Action::Select, "t").unwrap();
+        let mut s = db.session("reader").unwrap();
+        assert!(s.execute_sql("SELECT * FROM t").is_ok());
+        let err = s.execute_sql("DELETE FROM t").unwrap_err();
+        assert!(err.is_privilege());
+        // Insert-select requires both privileges.
+        let err = s
+            .execute_sql("INSERT INTO t SELECT id + 10, v FROM t")
+            .unwrap_err();
+        assert!(err.is_privilege());
+    }
+
+    #[test]
+    fn grant_via_sql_requires_superuser() {
+        let db = setup();
+        db.create_user("pleb", false).unwrap();
+        let mut pleb = db.session("pleb").unwrap();
+        assert!(pleb
+            .execute_sql("GRANT SELECT ON t TO pleb")
+            .unwrap_err()
+            .is_privilege());
+        let mut admin = db.session("admin").unwrap();
+        admin.execute_sql("GRANT SELECT ON t TO pleb").unwrap();
+        assert!(pleb.execute_sql("SELECT * FROM t").is_ok());
+        admin.execute_sql("REVOKE SELECT ON t FROM pleb").unwrap();
+        assert!(pleb
+            .execute_sql("SELECT * FROM t")
+            .unwrap_err()
+            .is_privilege());
+    }
+
+    #[test]
+    fn explicit_transaction_commit_and_rollback() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("BEGIN").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (3, 'c')").unwrap();
+        s.execute_sql("COMMIT").unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 3);
+
+        s.execute_sql("BEGIN").unwrap();
+        s.execute_sql("DELETE FROM t").unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 0);
+        s.execute_sql("ROLLBACK").unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 3);
+    }
+
+    #[test]
+    fn failed_statement_aborts_transaction() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("BEGIN").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (3, 'c')").unwrap();
+        // Duplicate PK fails…
+        assert!(s.execute_sql("INSERT INTO t VALUES (1, 'dup')").is_err());
+        // …and the transaction is now aborted.
+        let err = s.execute_sql("SELECT * FROM t").unwrap_err();
+        assert!(matches!(err, DbError::TransactionState(_)));
+        // COMMIT degrades to rollback.
+        s.execute_sql("COMMIT").unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 2, "insert of 3 rolled back");
+    }
+
+    #[test]
+    fn autocommit_rolls_back_failed_statement() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        // Multi-row insert where the second row violates the PK: the whole
+        // statement must be atomic.
+        assert!(s
+            .execute_sql("INSERT INTO t VALUES (9, 'x'), (1, 'dup')")
+            .is_err());
+        assert_eq!(db.table_rows("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn transaction_slot_blocks_other_writers() {
+        let db = setup();
+        let mut a = db.session("admin").unwrap();
+        let mut b = db.session("admin").unwrap();
+        a.execute_sql("BEGIN").unwrap();
+        a.execute_sql("INSERT INTO t VALUES (5, 'e')").unwrap();
+        let err = b.execute_sql("INSERT INTO t VALUES (6, 'f')").unwrap_err();
+        assert!(matches!(err, DbError::TransactionState(_)));
+        // Reads still work.
+        assert!(b.execute_sql("SELECT COUNT(*) FROM t").is_ok());
+        a.execute_sql("COMMIT").unwrap();
+        assert!(b.execute_sql("INSERT INTO t VALUES (6, 'f')").is_ok());
+    }
+
+    #[test]
+    fn dropped_session_releases_transaction() {
+        let db = setup();
+        {
+            let mut a = db.session("admin").unwrap();
+            a.execute_sql("BEGIN").unwrap();
+            a.execute_sql("DELETE FROM t").unwrap();
+        } // dropped without commit
+        assert_eq!(db.table_rows("t").unwrap(), 2, "uncommitted delete undone");
+        let mut b = db.session("admin").unwrap();
+        assert!(b.execute_sql("INSERT INTO t VALUES (7, 'g')").is_ok());
+    }
+
+    #[test]
+    fn nested_begin_rejected() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("BEGIN").unwrap();
+        assert!(s.execute_sql("BEGIN").is_err());
+        s.execute_sql("ROLLBACK").unwrap();
+        assert!(s.execute_sql("ROLLBACK").is_err(), "no txn to roll back");
+    }
+
+    #[test]
+    fn column_values_distinct_sorted() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (3, 'a')").unwrap();
+        let vals = db.column_values("t", "v").unwrap();
+        assert_eq!(vals, vec![Value::Text("a".into()), Value::Text("b".into())]);
+        assert!(db.column_values("t", "zzz").is_err());
+    }
+
+    #[test]
+    fn unknown_user_session_rejected() {
+        let db = setup();
+        assert!(db.session("nobody").is_err());
+    }
+}
+
+#[cfg(test)]
+mod savepoint_tests {
+    use super::*;
+
+    fn setup() -> Database {
+        let db = Database::new();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn rollback_to_savepoint_keeps_earlier_work() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("BEGIN").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (1)").unwrap();
+        s.execute_sql("SAVEPOINT sp1").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (2)").unwrap();
+        s.execute_sql("ROLLBACK TO SAVEPOINT sp1").unwrap();
+        assert_eq!(
+            db.table_rows("t").unwrap(),
+            1,
+            "post-savepoint insert undone"
+        );
+        // The savepoint survives and can be rolled back to again.
+        s.execute_sql("INSERT INTO t VALUES (3)").unwrap();
+        s.execute_sql("ROLLBACK TO sp1").unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 1);
+        s.execute_sql("COMMIT").unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn savepoint_recovers_aborted_transaction() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("BEGIN").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (1)").unwrap();
+        s.execute_sql("SAVEPOINT sp").unwrap();
+        // Duplicate PK aborts the transaction…
+        assert!(s.execute_sql("INSERT INTO t VALUES (1)").is_err());
+        assert!(s.execute_sql("SELECT * FROM t").is_err(), "aborted");
+        // …but rolling back to the savepoint recovers it (PostgreSQL style).
+        s.execute_sql("ROLLBACK TO SAVEPOINT sp").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (2)").unwrap();
+        s.execute_sql("COMMIT").unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn release_discards_marker_but_keeps_effects() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("BEGIN").unwrap();
+        s.execute_sql("SAVEPOINT sp").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (1)").unwrap();
+        s.execute_sql("RELEASE SAVEPOINT sp").unwrap();
+        assert!(s.execute_sql("ROLLBACK TO sp").is_err(), "released");
+        s.execute_sql("COMMIT").unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn nested_savepoints_truncate_correctly() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("BEGIN").unwrap();
+        s.execute_sql("SAVEPOINT a").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (1)").unwrap();
+        s.execute_sql("SAVEPOINT b").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (2)").unwrap();
+        s.execute_sql("ROLLBACK TO a").unwrap();
+        // b was destroyed by rolling back past it.
+        assert!(s.execute_sql("ROLLBACK TO b").is_err());
+        s.execute_sql("COMMIT").unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn savepoint_outside_transaction_rejected() {
+        let db = setup();
+        let mut s = db.session("admin").unwrap();
+        assert!(s.execute_sql("SAVEPOINT sp").is_err());
+        assert!(s.execute_sql("ROLLBACK TO sp").is_err());
+        assert!(s.execute_sql("RELEASE sp").is_err());
+    }
+}

@@ -1,0 +1,1788 @@
+//! Statement execution: SELECT pipeline, DML with constraint enforcement,
+//! and DDL.
+//!
+//! The executor is deliberately simple — nested-loop joins, hash-free
+//! grouping over ordered keys — but semantically complete for the dialect:
+//! three-valued predicates, LEFT JOIN null extension, aggregates with
+//! DISTINCT, uncorrelated subqueries (resolved to constants up front),
+//! primary-key/unique/foreign-key/CHECK enforcement, and undo logging for
+//! transactional rollback.
+
+use crate::error::{DbError, DbResult};
+use crate::expr::{self, eval, Scope, ScopeCol};
+use crate::schema::{Catalog, Column, ForeignKey, IndexDef, TableSchema};
+use crate::storage::{RowId, TableData};
+use crate::txn::UndoOp;
+use crate::value::{Key, Row, Value};
+use sqlkit::ast::{
+    AlterTable, CreateIndex, CreateTable, Delete, Expr, Insert, InsertSource, Join, JoinKind,
+    OrderDir, Select, SelectItem, Statement, TableConstraint, Update,
+};
+use std::collections::BTreeMap;
+
+/// Mutable database state: catalog + per-table storage.
+#[derive(Debug, Clone, Default)]
+pub struct DbState {
+    /// Table schemas.
+    pub catalog: Catalog,
+    /// Table storage, keyed by table name.
+    pub data: BTreeMap<String, TableData>,
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// A result set.
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// Output rows.
+        rows: Vec<Row>,
+    },
+    /// Row count of a DML statement.
+    Affected(usize),
+    /// Status message of a DDL/TCL statement.
+    Status(String),
+}
+
+impl QueryResult {
+    /// Row count for any result kind.
+    pub fn row_count(&self) -> usize {
+        match self {
+            QueryResult::Rows { rows, .. } => rows.len(),
+            QueryResult::Affected(n) => *n,
+            QueryResult::Status(_) => 0,
+        }
+    }
+}
+
+/// Execute any statement except transaction control (handled by sessions).
+pub fn execute(
+    state: &mut DbState,
+    stmt: &Statement,
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<QueryResult> {
+    match stmt {
+        Statement::Select(sel) => execute_select(state, sel),
+        Statement::Insert(ins) => execute_insert(state, ins, undo),
+        Statement::Update(up) => execute_update(state, up, undo),
+        Statement::Delete(del) => execute_delete(state, del, undo),
+        Statement::CreateTable(ct) => execute_create_table(state, ct, undo),
+        Statement::DropTable(dt) => {
+            let mut total = 0;
+            for name in &dt.names {
+                total += execute_drop_table(state, name, dt.if_exists, &dt.names, undo)?;
+            }
+            Ok(QueryResult::Status(format!("dropped {total} table(s)")))
+        }
+        Statement::CreateView(cv) => execute_create_view(state, cv, undo),
+        Statement::DropView { name, if_exists } => execute_drop_view(state, name, *if_exists, undo),
+        Statement::CreateIndex(ci) => execute_create_index(state, ci, undo),
+        Statement::AlterTable(at) => execute_alter(state, at, undo),
+        Statement::Begin
+        | Statement::Commit
+        | Statement::Rollback
+        | Statement::Savepoint(_)
+        | Statement::RollbackTo(_)
+        | Statement::Release(_) => Err(DbError::TransactionState(
+            "transaction control must go through a session".into(),
+        )),
+        Statement::GrantRevoke(_) => Err(DbError::Execution(
+            "GRANT/REVOKE must go through the database facade".into(),
+        )),
+        Statement::Explain(inner) => explain(state, inner),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+/// Describe how a statement would run — notably whether table access uses a
+/// full scan or an index — without executing it.
+pub fn explain(state: &DbState, stmt: &Statement) -> DbResult<QueryResult> {
+    let mut lines: Vec<String> = Vec::new();
+    match stmt {
+        Statement::Select(sel) => explain_select(state, sel, 0, &mut lines)?,
+        Statement::Insert(ins) => {
+            state.catalog.table(&ins.table)?;
+            let rows = match &ins.source {
+                InsertSource::Values(v) => format!("{} row(s)", v.len()),
+                InsertSource::Select(_) => "from subquery".to_owned(),
+            };
+            lines.push(format!("Insert on {} ({rows})", ins.table));
+            if let InsertSource::Select(sel) = &ins.source {
+                explain_select(state, sel, 1, &mut lines)?;
+            }
+        }
+        Statement::Update(up) => {
+            let schema = state.catalog.table(&up.table)?;
+            lines.push(format!(
+                "Update on {} ({})",
+                up.table,
+                access_path(state, schema, &up.table, up.where_clause.as_ref())
+            ));
+        }
+        Statement::Delete(del) => {
+            let schema = state.catalog.table(&del.table)?;
+            lines.push(format!(
+                "Delete on {} ({})",
+                del.table,
+                access_path(state, schema, &del.table, del.where_clause.as_ref())
+            ));
+        }
+        Statement::Explain(inner) => return explain(state, inner),
+        other => {
+            lines.push(format!("Utility: {}", sqlkit::format_statement(other)));
+        }
+    }
+    Ok(QueryResult::Rows {
+        columns: vec!["plan".into()],
+        rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+    })
+}
+
+fn explain_select(
+    state: &DbState,
+    sel: &Select,
+    depth: usize,
+    lines: &mut Vec<String>,
+) -> DbResult<()> {
+    let pad = "  ".repeat(depth);
+    if sel.limit.is_some() || sel.offset.is_some() {
+        lines.push(format!("{pad}Limit"));
+    }
+    if !sel.order_by.is_empty() {
+        lines.push(format!("{pad}Sort ({} key(s))", sel.order_by.len()));
+    }
+    let aggregated = !sel.group_by.is_empty()
+        || sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr::contains_aggregate(expr)));
+    if aggregated {
+        if sel.group_by.is_empty() {
+            lines.push(format!("{pad}Aggregate"));
+        } else {
+            lines.push(format!(
+                "{pad}GroupAggregate ({} key(s))",
+                sel.group_by.len()
+            ));
+        }
+    }
+    match &sel.from {
+        None => lines.push(format!("{pad}Result (no table)")),
+        Some(from) => {
+            if state.catalog.view(&from.name).is_some() {
+                lines.push(format!("{pad}View Expand on {}", from.name));
+            } else {
+                let schema = state.catalog.table(&from.name)?;
+                let pushdown = if sel.joins.is_empty() {
+                    sel.where_clause.as_ref()
+                } else {
+                    None
+                };
+                lines.push(format!(
+                    "{pad}{}",
+                    scan_line(state, schema, from.binding(), pushdown)
+                ));
+            }
+            for join in &sel.joins {
+                let kind = match join.kind {
+                    JoinKind::Inner => "Nested Loop Join",
+                    JoinKind::Left => "Nested Loop Left Join",
+                    JoinKind::Cross => "Nested Loop Cross Join",
+                };
+                if state.catalog.view(&join.table.name).is_some() {
+                    lines.push(format!("{pad}  {kind} with view {}", join.table.name));
+                } else {
+                    let schema = state.catalog.table(&join.table.name)?;
+                    lines.push(format!(
+                        "{pad}  {kind} with {}",
+                        scan_line(state, schema, join.table.binding(), None)
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn access_path(
+    state: &DbState,
+    schema: &TableSchema,
+    table: &str,
+    predicate: Option<&Expr>,
+) -> String {
+    match predicate {
+        Some(pred) => {
+            if let Some(data) = state.data.get(&schema.name) {
+                if index_candidates(schema, data, table, pred).is_some() {
+                    return "index scan".into();
+                }
+            }
+            "seq scan".into()
+        }
+        None => "seq scan, all rows".into(),
+    }
+}
+
+fn scan_line(
+    state: &DbState,
+    schema: &TableSchema,
+    binding: &str,
+    predicate: Option<&Expr>,
+) -> String {
+    let rows = state.data.get(&schema.name).map_or(0, TableData::len);
+    match access_path(state, schema, binding, predicate).as_str() {
+        "index scan" => format!("Index Scan on {} (~{rows} rows)", schema.name),
+        _ => format!("Seq Scan on {} ({rows} rows)", schema.name),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subquery resolution
+// ---------------------------------------------------------------------------
+
+/// Replace uncorrelated subqueries in an expression with constants by
+/// executing them eagerly.
+fn resolve_expr(state: &DbState, e: &Expr) -> DbResult<Expr> {
+    Ok(match e {
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
+            let result = execute_select(state, subquery)?;
+            let rows = match result {
+                QueryResult::Rows { rows, .. } => rows,
+                _ => unreachable!("select returns rows"),
+            };
+            let list = rows
+                .into_iter()
+                .map(|mut r| {
+                    if r.is_empty() {
+                        Err(DbError::Execution("subquery returned no columns".into()))
+                    } else {
+                        Ok(Expr::Literal(value_to_literal(r.swap_remove(0))))
+                    }
+                })
+                .collect::<DbResult<Vec<_>>>()?;
+            Expr::InList {
+                expr: Box::new(resolve_expr(state, expr)?),
+                list,
+                negated: *negated,
+            }
+        }
+        Expr::ScalarSubquery(sub) => {
+            let result = execute_select(state, sub)?;
+            let value = match result {
+                QueryResult::Rows { rows, .. } => match rows.into_iter().next() {
+                    Some(mut row) if !row.is_empty() => row.swap_remove(0),
+                    _ => Value::Null,
+                },
+                _ => unreachable!("select returns rows"),
+            };
+            Expr::Literal(value_to_literal(value))
+        }
+        Expr::Literal(_) | Expr::Column(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(resolve_expr(state, expr)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(resolve_expr(state, left)?),
+            op: *op,
+            right: Box::new(resolve_expr(state, right)?),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| resolve_expr(state, a))
+                .collect::<DbResult<_>>()?,
+            distinct: *distinct,
+            star: *star,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(resolve_expr(state, expr)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(resolve_expr(state, expr)?),
+            list: list
+                .iter()
+                .map(|i| resolve_expr(state, i))
+                .collect::<DbResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(resolve_expr(state, expr)?),
+            low: Box::new(resolve_expr(state, low)?),
+            high: Box::new(resolve_expr(state, high)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(resolve_expr(state, expr)?),
+            pattern: Box::new(resolve_expr(state, pattern)?),
+            negated: *negated,
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| Ok((resolve_expr(state, c)?, resolve_expr(state, v)?)))
+                .collect::<DbResult<_>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(resolve_expr(state, e)?)),
+                None => None,
+            },
+        },
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(resolve_expr(state, expr)?),
+            ty: *ty,
+        },
+    })
+}
+
+fn value_to_literal(v: Value) -> sqlkit::ast::Literal {
+    use sqlkit::ast::Literal;
+    match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(i),
+        Value::Float(f) => Literal::Float(f),
+        Value::Text(s) => Literal::Str(s),
+        Value::Bool(b) => Literal::Bool(b),
+    }
+}
+
+fn resolve_opt(state: &DbState, e: &Option<Expr>) -> DbResult<Option<Expr>> {
+    match e {
+        Some(e) => Ok(Some(resolve_expr(state, e)?)),
+        None => Ok(None),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+/// Execute a SELECT against a read-only state snapshot.
+pub fn execute_select(state: &DbState, sel: &Select) -> DbResult<QueryResult> {
+    // Resolve subqueries everywhere first.
+    let mut sel = sel.clone();
+    sel.where_clause = resolve_opt(state, &sel.where_clause)?;
+    sel.having = resolve_opt(state, &sel.having)?;
+    for item in &mut sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            *expr = resolve_expr(state, expr)?;
+        }
+    }
+    for g in &mut sel.group_by {
+        *g = resolve_expr(state, g)?;
+    }
+    for o in &mut sel.order_by {
+        o.expr = resolve_expr(state, &o.expr)?;
+    }
+    for j in &mut sel.joins {
+        j.on = resolve_opt(state, &j.on)?;
+    }
+
+    // Build the base row set (FROM + JOINs).
+    let (scope_cols, mut rows) = build_from(state, &sel)?;
+
+    // WHERE.
+    if let Some(pred) = &sel.where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let scope = Scope {
+                columns: &scope_cols,
+                values: &row,
+            };
+            if expr::truth(&eval(pred, &scope)?) == Some(true) {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    let has_aggregate = !sel.group_by.is_empty()
+        || sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr::contains_aggregate(expr)))
+        || sel.having.as_ref().is_some_and(expr::contains_aggregate)
+        || sel
+            .order_by
+            .iter()
+            .any(|o| expr::contains_aggregate(&o.expr));
+
+    let out_columns = output_columns(&sel, &scope_cols)?;
+
+    // Each output row pairs the projected values with the rows that produced
+    // it (one row, or a whole group) so ORDER BY can evaluate expressions
+    // not present in the projection.
+    let mut produced: Vec<(Row, Vec<Row>)> = Vec::new();
+
+    if has_aggregate {
+        // Group rows by GROUP BY keys (single group if none).
+        let mut groups: BTreeMap<Key, Vec<Row>> = BTreeMap::new();
+        if sel.group_by.is_empty() {
+            groups.insert(Key(vec![]), rows);
+        } else {
+            for row in rows {
+                let scope = Scope {
+                    columns: &scope_cols,
+                    values: &row,
+                };
+                let key = Key(sel
+                    .group_by
+                    .iter()
+                    .map(|g| eval(g, &scope))
+                    .collect::<DbResult<Vec<_>>>()?);
+                groups.entry(key).or_default().push(row);
+            }
+        }
+        for (_, group_rows) in groups {
+            // An empty global group still yields one row of aggregates
+            // (e.g. COUNT(*) = 0), but grouped queries skip empty groups.
+            if group_rows.is_empty() && !sel.group_by.is_empty() {
+                continue;
+            }
+            if let Some(h) = &sel.having {
+                let keep = eval_agg(h, &scope_cols, &group_rows)?;
+                if expr::truth(&keep) != Some(true) {
+                    continue;
+                }
+            }
+            let mut out = Vec::new();
+            for item in &sel.items {
+                match item {
+                    SelectItem::Expr { expr, .. } => {
+                        out.push(eval_agg(expr, &scope_cols, &group_rows)?);
+                    }
+                    SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                        return Err(DbError::Execution(
+                            "wildcard projection is not valid in aggregate queries".into(),
+                        ));
+                    }
+                }
+            }
+            produced.push((out, group_rows));
+        }
+    } else {
+        for row in rows {
+            let scope = Scope {
+                columns: &scope_cols,
+                values: &row,
+            };
+            let mut out = Vec::new();
+            for item in &sel.items {
+                match item {
+                    SelectItem::Wildcard => out.extend(row.iter().cloned()),
+                    SelectItem::QualifiedWildcard(t) => {
+                        let mut any = false;
+                        for (i, c) in scope_cols.iter().enumerate() {
+                            if c.binding.as_deref() == Some(t.as_str()) {
+                                out.push(row[i].clone());
+                                any = true;
+                            }
+                        }
+                        if !any {
+                            return Err(DbError::UnknownTable(t.clone()));
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => out.push(eval(expr, &scope)?),
+                }
+            }
+            produced.push((out, vec![row]));
+        }
+    }
+
+    // ORDER BY.
+    if !sel.order_by.is_empty() {
+        // Pre-compute sort keys.
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(produced.len());
+        for (out, source_rows) in produced {
+            let mut keys = Vec::with_capacity(sel.order_by.len());
+            for item in &sel.order_by {
+                keys.push(order_key(
+                    &item.expr,
+                    &sel,
+                    &out_columns,
+                    &out,
+                    &scope_cols,
+                    &source_rows,
+                    has_aggregate,
+                )?);
+            }
+            keyed.push((keys, out));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, item) in sel.order_by.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = match item.dir {
+                    OrderDir::Asc => ord,
+                    OrderDir::Desc => ord.reverse(),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        produced = keyed.into_iter().map(|(_, out)| (out, vec![])).collect();
+    }
+
+    let mut out_rows: Vec<Row> = produced.into_iter().map(|(out, _)| out).collect();
+
+    // DISTINCT.
+    if sel.distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        out_rows.retain(|r| seen.insert(Key(r.clone())));
+    }
+
+    // OFFSET / LIMIT.
+    if let Some(off) = sel.offset {
+        let off = off as usize;
+        out_rows = if off >= out_rows.len() {
+            Vec::new()
+        } else {
+            out_rows.split_off(off)
+        };
+    }
+    if let Some(lim) = sel.limit {
+        out_rows.truncate(lim as usize);
+    }
+
+    Ok(QueryResult::Rows {
+        columns: out_columns,
+        rows: out_rows,
+    })
+}
+
+/// Resolve an ORDER BY expression to a sort key for one output row.
+#[allow(clippy::too_many_arguments)]
+fn order_key(
+    e: &Expr,
+    sel: &Select,
+    out_columns: &[String],
+    out: &Row,
+    scope_cols: &[ScopeCol],
+    source_rows: &[Row],
+    has_aggregate: bool,
+) -> DbResult<Value> {
+    // ORDER BY <n> — positional reference.
+    if let Expr::Literal(sqlkit::ast::Literal::Int(n)) = e {
+        let idx = *n as usize;
+        if idx >= 1 && idx <= out.len() {
+            return Ok(out[idx - 1].clone());
+        }
+        return Err(DbError::Execution(format!(
+            "ORDER BY position {n} is out of range"
+        )));
+    }
+    // ORDER BY <alias> — matches an output column name.
+    if let Expr::Column(c) = e {
+        if c.table.is_none() {
+            if let Some(i) = out_columns.iter().position(|n| *n == c.column) {
+                return Ok(out[i].clone());
+            }
+        }
+    }
+    // Same expression as a projection item → reuse its value.
+    for (i, item) in sel.items.iter().enumerate() {
+        if let SelectItem::Expr { expr, .. } = item {
+            if expr == e && i < out.len() {
+                return Ok(out[i].clone());
+            }
+        }
+    }
+    // Fall back to evaluating against the source rows.
+    if has_aggregate {
+        eval_agg(e, scope_cols, source_rows)
+    } else {
+        let row = source_rows.first().ok_or_else(|| {
+            DbError::Execution("cannot evaluate ORDER BY expression after projection".into())
+        })?;
+        let scope = Scope {
+            columns: scope_cols,
+            values: row,
+        };
+        eval(e, &scope)
+    }
+}
+
+/// Output column names for a projection.
+fn output_columns(sel: &Select, scope_cols: &[ScopeCol]) -> DbResult<Vec<String>> {
+    let mut out = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                out.extend(scope_cols.iter().map(|c| c.name.clone()));
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                out.extend(
+                    scope_cols
+                        .iter()
+                        .filter(|c| c.binding.as_deref() == Some(t.as_str()))
+                        .map(|c| c.name.clone()),
+                );
+            }
+            SelectItem::Expr { expr, alias } => out.push(match alias {
+                Some(a) => a.clone(),
+                None => derive_name(expr),
+            }),
+        }
+    }
+    Ok(out)
+}
+
+fn derive_name(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => c.column.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        Expr::Cast { expr, .. } => derive_name(expr),
+        _ => "expr".to_owned(),
+    }
+}
+
+/// Build the FROM/JOIN row set and its scope columns.
+fn build_from(state: &DbState, sel: &Select) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
+    let Some(from) = &sel.from else {
+        // SELECT without FROM: one empty row.
+        return Ok((Vec::new(), vec![Vec::new()]));
+    };
+    // Single-table queries push the WHERE clause down to the scan so point
+    // predicates use indexes; joined queries filter after the join.
+    let pushdown = if sel.joins.is_empty() {
+        sel.where_clause.as_ref()
+    } else {
+        None
+    };
+    let (mut cols, mut rows) = scan_table_filtered(state, from.binding(), &from.name, pushdown)?;
+    for join in &sel.joins {
+        let (right_cols, right_rows) = scan_table(state, join.table.binding(), &join.table.name)?;
+        (cols, rows) = join_rows(cols, rows, right_cols, right_rows, join)?;
+    }
+    Ok((cols, rows))
+}
+
+fn scan_table(state: &DbState, binding: &str, table: &str) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
+    scan_table_filtered(state, binding, table, None)
+}
+
+/// Scan a table, using an index to prune rows when the (optional) predicate
+/// pins all columns of some index to constants. The caller still applies the
+/// full predicate afterwards — the index is only a sound pre-filter.
+fn scan_table_filtered(
+    state: &DbState,
+    binding: &str,
+    table: &str,
+    predicate: Option<&Expr>,
+) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
+    // Views expand to their defining query (definer semantics: privilege
+    // checks happened at the session layer against the view object).
+    if let Some(view) = state.catalog.view(table) {
+        let result = execute_select(state, &view.query.clone())?;
+        let rows = match result {
+            QueryResult::Rows { rows, .. } => rows,
+            _ => unreachable!("select returns rows"),
+        };
+        let cols = view
+            .columns
+            .iter()
+            .map(|c| ScopeCol {
+                binding: Some(binding.to_owned()),
+                name: c.clone(),
+            })
+            .collect();
+        return Ok((cols, rows));
+    }
+    let schema = state.catalog.table(table)?;
+    let data = state
+        .data
+        .get(table)
+        .ok_or_else(|| DbError::UnknownTable(table.to_owned()))?;
+    let cols: Vec<ScopeCol> = schema
+        .columns
+        .iter()
+        .map(|c| ScopeCol {
+            binding: Some(binding.to_owned()),
+            name: c.name.clone(),
+        })
+        .collect();
+    if let Some(pred) = predicate {
+        if let Some(rids) = index_candidates(schema, data, binding, pred) {
+            let rows = rids
+                .into_iter()
+                .filter_map(|rid| data.get(rid).cloned())
+                .collect();
+            return Ok((cols, rows));
+        }
+    }
+    let rows = data.iter().map(|(_, r)| r.clone()).collect();
+    Ok((cols, rows))
+}
+
+/// Candidate `(rid, row)` pairs for a DML statement: index-pruned when the
+/// predicate pins an index, otherwise a full scan.
+fn dml_candidates(
+    schema: &TableSchema,
+    data: &TableData,
+    table: &str,
+    predicate: Option<&Expr>,
+) -> Vec<(RowId, Row)> {
+    if let Some(pred) = predicate {
+        if let Some(rids) = index_candidates(schema, data, table, pred) {
+            return rids
+                .into_iter()
+                .filter_map(|rid| data.get(rid).map(|r| (rid, r.clone())))
+                .collect();
+        }
+    }
+    data.iter().map(|(rid, r)| (rid, r.clone())).collect()
+}
+
+/// If the predicate's top-level AND conjuncts pin every column of some index
+/// to non-NULL constants, return the matching row ids.
+fn index_candidates(
+    schema: &TableSchema,
+    data: &TableData,
+    binding: &str,
+    predicate: &Expr,
+) -> Option<Vec<RowId>> {
+    use sqlkit::ast::BinaryOp;
+    // Collect `col = literal` bindings from the AND chain.
+    let mut pinned: BTreeMap<usize, Value> = BTreeMap::new();
+    let mut stack = vec![predicate];
+    while let Some(e) = stack.pop() {
+        if let Expr::Binary { left, op, right } = e {
+            match op {
+                BinaryOp::And => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+                BinaryOp::Eq => {
+                    let pair = match (&**left, &**right) {
+                        (Expr::Column(c), Expr::Literal(l))
+                        | (Expr::Literal(l), Expr::Column(c)) => Some((c, l)),
+                        _ => None,
+                    };
+                    if let Some((c, l)) = pair {
+                        let table_matches = c
+                            .table
+                            .as_deref()
+                            .is_none_or(|t| t == binding || t == schema.name);
+                        if table_matches {
+                            if let Some(pos) = schema.column_index(&c.column) {
+                                let value = crate::expr::literal_value(l);
+                                if !value.is_null() {
+                                    pinned.entry(pos).or_insert(value);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if pinned.is_empty() {
+        return None;
+    }
+    // First index fully covered by the pinned columns wins.
+    for idx in data.indexes.values() {
+        if !idx.columns.is_empty() && idx.columns.iter().all(|c| pinned.contains_key(c)) {
+            let key = Key(idx.columns.iter().map(|c| pinned[c].clone()).collect());
+            return Some(idx.lookup(&key));
+        }
+    }
+    None
+}
+
+fn join_rows(
+    left_cols: Vec<ScopeCol>,
+    left_rows: Vec<Row>,
+    right_cols: Vec<ScopeCol>,
+    right_rows: Vec<Row>,
+    join: &Join,
+) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
+    let mut cols = left_cols;
+    let right_width = right_cols.len();
+    cols.extend(right_cols);
+    let mut out = Vec::new();
+    for l in &left_rows {
+        let mut matched = false;
+        for r in &right_rows {
+            let mut combined = l.clone();
+            combined.extend(r.iter().cloned());
+            let keep = match (&join.kind, &join.on) {
+                (JoinKind::Cross, _) => true,
+                (_, Some(on)) => {
+                    let scope = Scope {
+                        columns: &cols,
+                        values: &combined,
+                    };
+                    expr::truth(&eval(on, &scope)?) == Some(true)
+                }
+                (_, None) => true,
+            };
+            if keep {
+                matched = true;
+                out.push(combined);
+            }
+        }
+        if join.kind == JoinKind::Left && !matched {
+            let mut combined = l.clone();
+            combined.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(combined);
+        }
+    }
+    Ok((cols, out))
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+/// Evaluate an expression over a group of rows, computing aggregates over
+/// the group and non-aggregate parts on the group's first row.
+fn eval_agg(e: &Expr, cols: &[ScopeCol], group: &[Row]) -> DbResult<Value> {
+    match e {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } if expr::is_aggregate_name(name) => {
+            compute_aggregate(name, args, *distinct, *star, cols, group)
+        }
+        _ if !expr::contains_aggregate(e) => {
+            // Evaluate on the first row of the group (a grouping key, per
+            // SQL's single-value rule; we do not validate the rule).
+            let empty = Vec::new();
+            let row = group.first().unwrap_or(&empty);
+            let scope = Scope {
+                columns: cols,
+                values: row,
+            };
+            eval(e, &scope)
+        }
+        Expr::Unary { op, expr } => {
+            let inner = eval_agg(expr, cols, group)?;
+            let scope = Scope {
+                columns: &[],
+                values: &[],
+            };
+            eval(
+                &Expr::Unary {
+                    op: *op,
+                    expr: Box::new(Expr::Literal(value_to_literal(inner))),
+                },
+                &scope,
+            )
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_agg(left, cols, group)?;
+            let r = eval_agg(right, cols, group)?;
+            let scope = Scope {
+                columns: &[],
+                values: &[],
+            };
+            eval(
+                &Expr::Binary {
+                    left: Box::new(Expr::Literal(value_to_literal(l))),
+                    op: *op,
+                    right: Box::new(Expr::Literal(value_to_literal(r))),
+                },
+                &scope,
+            )
+        }
+        Expr::Cast { expr, ty } => {
+            let v = eval_agg(expr, cols, group)?;
+            v.cast_to(*ty).map_err(DbError::TypeError)
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (c, v) in branches {
+                if expr::truth(&eval_agg(c, cols, group)?) == Some(true) {
+                    return eval_agg(v, cols, group);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_agg(e, cols, group),
+                None => Ok(Value::Null),
+            }
+        }
+        // A scalar function whose arguments contain aggregates, e.g.
+        // ROUND(SUM(x), 2): compute the arguments in aggregate context,
+        // then apply the function.
+        Expr::Function { name, args, .. } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_agg(a, cols, group)?);
+            }
+            expr::scalar_function(name, &vals)
+        }
+        other => Err(DbError::Execution(format!(
+            "unsupported aggregate expression shape: {}",
+            sqlkit::format_expr(other)
+        ))),
+    }
+}
+
+fn compute_aggregate(
+    name: &str,
+    args: &[Expr],
+    distinct: bool,
+    star: bool,
+    cols: &[ScopeCol],
+    group: &[Row],
+) -> DbResult<Value> {
+    if star {
+        if name != "count" {
+            return Err(DbError::Execution(format!("{name}(*) is not valid")));
+        }
+        return Ok(Value::Int(group.len() as i64));
+    }
+    if args.len() != 1 {
+        return Err(DbError::TypeError(format!(
+            "aggregate {name}() expects exactly one argument"
+        )));
+    }
+    // Collect non-null argument values across the group.
+    let mut values = Vec::new();
+    for row in group {
+        let scope = Scope {
+            columns: cols,
+            values: row,
+        };
+        let v = eval(&args[0], &scope)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        values.retain(|v| seen.insert(Key(vec![v.clone()])));
+    }
+    match name {
+        "count" => Ok(Value::Int(values.len() as i64)),
+        "sum" | "avg" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            let mut total = 0f64;
+            for v in &values {
+                total += v.as_f64().ok_or_else(|| {
+                    DbError::TypeError(format!("{name}() on non-numeric value {}", v.render()))
+                })?;
+            }
+            if name == "avg" {
+                Ok(Value::Float(total / values.len() as f64))
+            } else if all_int {
+                Ok(Value::Int(total as i64))
+            } else {
+                Ok(Value::Float(total))
+            }
+        }
+        "min" | "max" => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let take_new = match v.sql_cmp(&b) {
+                            Some(std::cmp::Ordering::Less) => name == "min",
+                            Some(std::cmp::Ordering::Greater) => name == "max",
+                            _ => false,
+                        };
+                        if take_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        other => Err(DbError::Execution(format!("unknown aggregate '{other}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constraint validation
+// ---------------------------------------------------------------------------
+
+/// Validate a candidate row against schema constraints. `ignore` is the row
+/// being replaced, for UPDATE.
+fn validate_row(
+    state: &DbState,
+    schema: &TableSchema,
+    row: &Row,
+    ignore: Option<RowId>,
+) -> DbResult<()> {
+    // NOT NULL.
+    for (i, col) in schema.columns.iter().enumerate() {
+        if col.not_null && row[i].is_null() {
+            return Err(DbError::ConstraintViolation(format!(
+                "null value in column \"{}\" of \"{}\" violates not-null constraint",
+                col.name, schema.name
+            )));
+        }
+    }
+    // Unique indexes (covers PK, single-column UNIQUE, and table UNIQUEs —
+    // all materialized as unique indexes at DDL time).
+    let data = state
+        .data
+        .get(&schema.name)
+        .ok_or_else(|| DbError::UnknownTable(schema.name.clone()))?;
+    for (name, idx) in &data.indexes {
+        if idx.unique {
+            let key = idx.key_of(row);
+            if idx.would_conflict(&key, ignore) {
+                return Err(DbError::ConstraintViolation(format!(
+                    "duplicate key value violates unique constraint \"{name}\" on \"{}\"",
+                    schema.name
+                )));
+            }
+        }
+    }
+    // CHECK constraints (NULL result passes, per SQL).
+    let scope_cols: Vec<ScopeCol> = schema
+        .columns
+        .iter()
+        .map(|c| ScopeCol {
+            binding: Some(schema.name.clone()),
+            name: c.name.clone(),
+        })
+        .collect();
+    for check in &schema.checks {
+        let scope = Scope {
+            columns: &scope_cols,
+            values: row,
+        };
+        if expr::truth(&eval(check, &scope)?) == Some(false) {
+            return Err(DbError::ConstraintViolation(format!(
+                "row violates check constraint on \"{}\": {}",
+                schema.name,
+                sqlkit::format_expr(check)
+            )));
+        }
+    }
+    // Outbound foreign keys: referenced values must exist.
+    for fk in &schema.foreign_keys {
+        let local: Vec<usize> = schema.resolve_columns(&fk.columns)?;
+        let key_vals: Vec<Value> = local.iter().map(|&i| row[i].clone()).collect();
+        if key_vals.iter().any(Value::is_null) {
+            continue; // SQL MATCH SIMPLE: NULLs pass.
+        }
+        if !foreign_key_target_exists(state, fk, &key_vals)? {
+            return Err(DbError::ConstraintViolation(format!(
+                "insert or update on \"{}\" violates foreign key to \"{}\" ({:?} not present)",
+                schema.name,
+                fk.foreign_table,
+                key_vals.iter().map(Value::render).collect::<Vec<_>>()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn foreign_key_target_exists(state: &DbState, fk: &ForeignKey, key: &[Value]) -> DbResult<bool> {
+    let target_schema = state.catalog.table(&fk.foreign_table)?;
+    let target_data = state
+        .data
+        .get(&fk.foreign_table)
+        .ok_or_else(|| DbError::UnknownTable(fk.foreign_table.clone()))?;
+    let positions = target_schema.resolve_columns(&fk.foreign_columns)?;
+    // Try an index whose leading columns match exactly.
+    for idx in target_data.indexes.values() {
+        if idx.columns == positions {
+            return Ok(!idx.lookup(&Key(key.to_vec())).is_empty());
+        }
+    }
+    // Fallback scan.
+    Ok(target_data.iter().any(|(_, row)| {
+        positions
+            .iter()
+            .zip(key)
+            .all(|(&p, k)| row[p].sql_eq(k) == Some(true))
+    }))
+}
+
+/// RESTRICT check: error if any row in another table references `key_vals`
+/// in `table`'s columns at `positions`.
+fn check_inbound_references(state: &DbState, table: &str, old_row: &Row) -> DbResult<()> {
+    let schema = state.catalog.table(table)?;
+    for other in state.catalog.referencing_tables(table) {
+        for fk in other
+            .foreign_keys
+            .iter()
+            .filter(|f| f.foreign_table == table)
+        {
+            let target_pos = schema.resolve_columns(&fk.foreign_columns)?;
+            let key: Vec<Value> = target_pos.iter().map(|&i| old_row[i].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            let other_data = state
+                .data
+                .get(&other.name)
+                .ok_or_else(|| DbError::UnknownTable(other.name.clone()))?;
+            let local_pos = other.resolve_columns(&fk.columns)?;
+            let referenced = other_data.iter().any(|(_, row)| {
+                local_pos
+                    .iter()
+                    .zip(&key)
+                    .all(|(&p, k)| row[p].sql_eq(k) == Some(true))
+            });
+            if referenced {
+                return Err(DbError::ConstraintViolation(format!(
+                    "row in \"{table}\" is still referenced by \"{}\"",
+                    other.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+fn execute_insert(
+    state: &mut DbState,
+    ins: &Insert,
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<QueryResult> {
+    reject_view_dml(state, &ins.table)?;
+    let schema = state.catalog.table(&ins.table)?.clone();
+    // Resolve target column positions.
+    let targets: Vec<usize> = if ins.columns.is_empty() {
+        (0..schema.columns.len()).collect()
+    } else {
+        schema.resolve_columns(&ins.columns)?
+    };
+    // Materialize source rows.
+    let source_rows: Vec<Row> = match &ins.source {
+        InsertSource::Values(rows) => {
+            let scope = Scope {
+                columns: &[],
+                values: &[],
+            };
+            let mut out = Vec::with_capacity(rows.len());
+            for row_exprs in rows {
+                let mut resolved = Vec::with_capacity(row_exprs.len());
+                for e in row_exprs {
+                    let e = resolve_expr(state, e)?;
+                    resolved.push(eval(&e, &scope)?);
+                }
+                out.push(resolved);
+            }
+            out
+        }
+        InsertSource::Select(sel) => match execute_select(state, sel)? {
+            QueryResult::Rows { rows, .. } => rows,
+            _ => unreachable!(),
+        },
+    };
+    let mut inserted = 0usize;
+    for source in source_rows {
+        if source.len() != targets.len() {
+            return Err(DbError::Execution(format!(
+                "INSERT has {} values but {} target column(s)",
+                source.len(),
+                targets.len()
+            )));
+        }
+        // Start from defaults.
+        let mut row: Row = schema
+            .columns
+            .iter()
+            .map(|c| c.default.clone().unwrap_or(Value::Null))
+            .collect();
+        for (&pos, value) in targets.iter().zip(source) {
+            row[pos] = value
+                .coerce_to(schema.columns[pos].ty)
+                .map_err(DbError::TypeError)?;
+        }
+        validate_row(state, &schema, &row, None)?;
+        let data = state
+            .data
+            .get_mut(&ins.table)
+            .ok_or_else(|| DbError::UnknownTable(ins.table.clone()))?;
+        let rid = data.insert(row);
+        undo.push(UndoOp::Insert {
+            table: ins.table.clone(),
+            rid,
+        });
+        inserted += 1;
+    }
+    Ok(QueryResult::Affected(inserted))
+}
+
+fn execute_update(
+    state: &mut DbState,
+    up: &Update,
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<QueryResult> {
+    reject_view_dml(state, &up.table)?;
+    let schema = state.catalog.table(&up.table)?.clone();
+    let scope_cols: Vec<ScopeCol> = schema
+        .columns
+        .iter()
+        .map(|c| ScopeCol {
+            binding: Some(up.table.clone()),
+            name: c.name.clone(),
+        })
+        .collect();
+    let assignments: Vec<(usize, Expr)> = up
+        .assignments
+        .iter()
+        .map(|(name, e)| {
+            let pos = schema
+                .column_index(name)
+                .ok_or_else(|| DbError::UnknownColumn(format!("{}.{name}", up.table)))?;
+            Ok((pos, resolve_expr(state, e)?))
+        })
+        .collect::<DbResult<_>>()?;
+    let predicate = resolve_opt(state, &up.where_clause)?;
+
+    // Phase 1: compute new rows (index-pruned when the predicate allows).
+    let data = state
+        .data
+        .get(&up.table)
+        .ok_or_else(|| DbError::UnknownTable(up.table.clone()))?;
+    let mut changes: Vec<(RowId, Row, Row)> = Vec::new();
+    for (rid, row) in dml_candidates(&schema, data, &up.table, predicate.as_ref()) {
+        let scope = Scope {
+            columns: &scope_cols,
+            values: &row,
+        };
+        if let Some(pred) = &predicate {
+            if expr::truth(&eval(pred, &scope)?) != Some(true) {
+                continue;
+            }
+        }
+        let mut new_row = row.clone();
+        for (pos, e) in &assignments {
+            let v = eval(e, &scope)?;
+            new_row[*pos] = v
+                .coerce_to(schema.columns[*pos].ty)
+                .map_err(DbError::TypeError)?;
+        }
+        changes.push((rid, row, new_row));
+    }
+
+    // Phase 2: validate and apply.
+    let changed_positions: Vec<usize> = assignments.iter().map(|(p, _)| *p).collect();
+    for (rid, old_row, new_row) in &changes {
+        validate_row(state, &schema, new_row, Some(*rid))?;
+        // If a referenced key column changes away from a referenced value,
+        // restrict.
+        let key_changed = changed_positions
+            .iter()
+            .any(|&p| old_row[p].sql_eq(&new_row[p]) != Some(true));
+        if key_changed && !state.catalog.referencing_tables(&up.table).is_empty() {
+            // Only restrict when the old key is actually referenced.
+            let changed_names: Vec<&str> = changed_positions
+                .iter()
+                .map(|&p| schema.columns[p].name.as_str())
+                .collect();
+            let touches_referenced_cols = state
+                .catalog
+                .referencing_tables(&up.table)
+                .iter()
+                .flat_map(|t| t.foreign_keys.iter())
+                .filter(|fk| fk.foreign_table == up.table)
+                .any(|fk| {
+                    fk.foreign_columns
+                        .iter()
+                        .any(|c| changed_names.contains(&c.as_str()))
+                });
+            if touches_referenced_cols {
+                check_inbound_references(state, &up.table, old_row)?;
+            }
+        }
+    }
+    let count = changes.len();
+    let data = state
+        .data
+        .get_mut(&up.table)
+        .ok_or_else(|| DbError::UnknownTable(up.table.clone()))?;
+    for (rid, old_row, new_row) in changes {
+        data.update(rid, new_row);
+        undo.push(UndoOp::Update {
+            table: up.table.clone(),
+            rid,
+            old: old_row,
+        });
+    }
+    Ok(QueryResult::Affected(count))
+}
+
+fn execute_delete(
+    state: &mut DbState,
+    del: &Delete,
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<QueryResult> {
+    reject_view_dml(state, &del.table)?;
+    let schema = state.catalog.table(&del.table)?.clone();
+    let scope_cols: Vec<ScopeCol> = schema
+        .columns
+        .iter()
+        .map(|c| ScopeCol {
+            binding: Some(del.table.clone()),
+            name: c.name.clone(),
+        })
+        .collect();
+    let predicate = resolve_opt(state, &del.where_clause)?;
+    let data = state
+        .data
+        .get(&del.table)
+        .ok_or_else(|| DbError::UnknownTable(del.table.clone()))?;
+    let mut victims: Vec<(RowId, Row)> = Vec::new();
+    for (rid, row) in dml_candidates(&schema, data, &del.table, predicate.as_ref()) {
+        let scope = Scope {
+            columns: &scope_cols,
+            values: &row,
+        };
+        let keep = match &predicate {
+            Some(pred) => expr::truth(&eval(pred, &scope)?) == Some(true),
+            None => true,
+        };
+        if keep {
+            victims.push((rid, row));
+        }
+    }
+    // RESTRICT inbound references (ignoring rows deleted in this statement
+    // would require FK graph analysis; we use the simple conservative rule).
+    for (_, row) in &victims {
+        check_inbound_references(state, &del.table, row)?;
+    }
+    let count = victims.len();
+    let data = state
+        .data
+        .get_mut(&del.table)
+        .ok_or_else(|| DbError::UnknownTable(del.table.clone()))?;
+    for (rid, row) in victims {
+        data.delete(rid);
+        undo.push(UndoOp::Delete {
+            table: del.table.clone(),
+            rid,
+            row,
+        });
+    }
+    Ok(QueryResult::Affected(count))
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+fn execute_create_table(
+    state: &mut DbState,
+    ct: &CreateTable,
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<QueryResult> {
+    if state.catalog.view(&ct.name).is_some() {
+        return Err(DbError::AlreadyExists(ct.name.clone()));
+    }
+    if state.catalog.contains(&ct.name) {
+        if ct.if_not_exists {
+            return Ok(QueryResult::Status(format!(
+                "table \"{}\" already exists, skipped",
+                ct.name
+            )));
+        }
+        return Err(DbError::AlreadyExists(ct.name.clone()));
+    }
+    let const_scope = Scope {
+        columns: &[],
+        values: &[],
+    };
+    let mut columns = Vec::new();
+    let mut primary_key = Vec::new();
+    let mut uniques = Vec::new();
+    let mut foreign_keys = Vec::new();
+    let mut checks = Vec::new();
+    for cd in &ct.columns {
+        if columns.iter().any(|c: &Column| c.name == cd.name) {
+            return Err(DbError::AlreadyExists(format!("{}.{}", ct.name, cd.name)));
+        }
+        let default = match &cd.default {
+            Some(e) => Some(
+                eval(e, &const_scope)?
+                    .coerce_to(cd.ty)
+                    .map_err(DbError::TypeError)?,
+            ),
+            None => None,
+        };
+        if cd.primary_key {
+            primary_key.push(cd.name.clone());
+        }
+        if let Some((t, c)) = &cd.references {
+            foreign_keys.push(ForeignKey {
+                columns: vec![cd.name.clone()],
+                foreign_table: t.clone(),
+                foreign_columns: vec![c.clone()],
+            });
+        }
+        if let Some(check) = &cd.check {
+            checks.push(check.clone());
+        }
+        columns.push(Column {
+            name: cd.name.clone(),
+            ty: cd.ty,
+            not_null: cd.not_null || cd.primary_key,
+            unique: cd.unique,
+            default,
+        });
+    }
+    for cons in &ct.constraints {
+        match cons {
+            TableConstraint::PrimaryKey(cols) => {
+                if !primary_key.is_empty() {
+                    return Err(DbError::ConstraintViolation(
+                        "multiple primary keys declared".into(),
+                    ));
+                }
+                primary_key = cols.clone();
+                for c in cols {
+                    if let Some(col) = columns.iter_mut().find(|col| &col.name == c) {
+                        col.not_null = true;
+                    }
+                }
+            }
+            TableConstraint::Unique(cols) => uniques.push(cols.clone()),
+            TableConstraint::ForeignKey {
+                columns: c,
+                foreign_table,
+                foreign_columns,
+            } => foreign_keys.push(ForeignKey {
+                columns: c.clone(),
+                foreign_table: foreign_table.clone(),
+                foreign_columns: foreign_columns.clone(),
+            }),
+            TableConstraint::Check(e) => checks.push(e.clone()),
+        }
+    }
+    let schema = TableSchema {
+        name: ct.name.clone(),
+        columns,
+        primary_key: primary_key.clone(),
+        uniques: uniques.clone(),
+        foreign_keys: foreign_keys.clone(),
+        checks,
+        indexes: Vec::new(),
+    };
+    // Validate FK targets (allowing self-reference).
+    for fk in &foreign_keys {
+        let target = if fk.foreign_table == ct.name {
+            &schema
+        } else {
+            state.catalog.table(&fk.foreign_table)?
+        };
+        if fk.columns.len() != fk.foreign_columns.len() {
+            return Err(DbError::ConstraintViolation(
+                "foreign key column count mismatch".into(),
+            ));
+        }
+        target.resolve_columns(&fk.foreign_columns)?;
+        schema.resolve_columns(&fk.columns)?;
+    }
+    // Materialize storage + automatic unique indexes.
+    let mut data = TableData::new();
+    if !primary_key.is_empty() {
+        let positions = schema.resolve_columns(&primary_key)?;
+        data.build_index("__pk", positions, true)
+            .map_err(DbError::ConstraintViolation)?;
+    }
+    for col in schema.columns.iter().filter(|c| c.unique) {
+        let pos = schema.column_index(&col.name).expect("own column");
+        data.build_index(&format!("__unique_{}", col.name), vec![pos], true)
+            .map_err(DbError::ConstraintViolation)?;
+    }
+    for (i, cols) in uniques.iter().enumerate() {
+        let positions = schema.resolve_columns(cols)?;
+        data.build_index(&format!("__uniques_{i}"), positions, true)
+            .map_err(DbError::ConstraintViolation)?;
+    }
+    state.catalog.add_table(schema)?;
+    state.data.insert(ct.name.clone(), data);
+    undo.push(UndoOp::CreateTable {
+        name: ct.name.clone(),
+    });
+    Ok(QueryResult::Status(format!(
+        "created table \"{}\"",
+        ct.name
+    )))
+}
+
+fn execute_drop_table(
+    state: &mut DbState,
+    name: &str,
+    if_exists: bool,
+    all_dropped: &[String],
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<usize> {
+    if !state.catalog.contains(name) {
+        if if_exists {
+            return Ok(0);
+        }
+        return Err(DbError::UnknownTable(name.to_owned()));
+    }
+    // Inbound FK restriction, except from tables being dropped in the same
+    // statement.
+    let blockers: Vec<String> = state
+        .catalog
+        .referencing_tables(name)
+        .iter()
+        .map(|t| t.name.clone())
+        .filter(|t| t != name && !all_dropped.contains(t))
+        .collect();
+    if !blockers.is_empty() {
+        return Err(DbError::ConstraintViolation(format!(
+            "cannot drop \"{name}\": referenced by {}",
+            blockers.join(", ")
+        )));
+    }
+    let schema = state.catalog.remove_table(name)?;
+    let data = state.data.remove(name).unwrap_or_default();
+    undo.push(UndoOp::DropTable {
+        name: name.to_owned(),
+        schema,
+        data,
+    });
+    Ok(1)
+}
+
+fn reject_view_dml(state: &DbState, name: &str) -> DbResult<()> {
+    if state.catalog.view(name).is_some() {
+        return Err(DbError::Execution(format!(
+            "\"{name}\" is a view; views are read-only"
+        )));
+    }
+    Ok(())
+}
+
+fn execute_create_view(
+    state: &mut DbState,
+    cv: &sqlkit::ast::CreateView,
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<QueryResult> {
+    if state.catalog.contains_object(&cv.name) {
+        return Err(DbError::AlreadyExists(cv.name.clone()));
+    }
+    // Validate the defining query and fix the output column names now.
+    let result = execute_select(state, &cv.query)?;
+    let columns = match result {
+        QueryResult::Rows { columns, .. } => columns,
+        _ => unreachable!("select returns rows"),
+    };
+    state.catalog.add_view(crate::schema::ViewDef {
+        name: cv.name.clone(),
+        query: cv.query.clone(),
+        columns,
+    })?;
+    undo.push(UndoOp::CreateView {
+        name: cv.name.clone(),
+    });
+    Ok(QueryResult::Status(format!("created view \"{}\"", cv.name)))
+}
+
+fn execute_drop_view(
+    state: &mut DbState,
+    name: &str,
+    if_exists: bool,
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<QueryResult> {
+    if state.catalog.view(name).is_none() {
+        if if_exists {
+            return Ok(QueryResult::Status("no such view, skipped".into()));
+        }
+        if state.catalog.contains(name) {
+            return Err(DbError::Execution(format!(
+                "\"{name}\" is a table; use DROP TABLE"
+            )));
+        }
+        return Err(DbError::UnknownTable(name.to_owned()));
+    }
+    let def = state.catalog.remove_view(name)?;
+    undo.push(UndoOp::DropView { def });
+    Ok(QueryResult::Status(format!("dropped view \"{name}\"")))
+}
+
+fn execute_create_index(
+    state: &mut DbState,
+    ci: &CreateIndex,
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<QueryResult> {
+    let schema = state.catalog.table(&ci.table)?.clone();
+    if schema.indexes.iter().any(|i| i.name == ci.name) {
+        return Err(DbError::AlreadyExists(ci.name.clone()));
+    }
+    let positions = schema.resolve_columns(&ci.columns)?;
+    let data = state
+        .data
+        .get_mut(&ci.table)
+        .ok_or_else(|| DbError::UnknownTable(ci.table.clone()))?;
+    data.build_index(&ci.name, positions, ci.unique)
+        .map_err(DbError::ConstraintViolation)?;
+    state.catalog.table_mut(&ci.table)?.indexes.push(IndexDef {
+        name: ci.name.clone(),
+        columns: ci.columns.clone(),
+        unique: ci.unique,
+    });
+    undo.push(UndoOp::CreateIndex {
+        table: ci.table.clone(),
+        name: ci.name.clone(),
+    });
+    Ok(QueryResult::Status(format!(
+        "created index \"{}\" on \"{}\"",
+        ci.name, ci.table
+    )))
+}
+
+fn execute_alter(
+    state: &mut DbState,
+    at: &AlterTable,
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<QueryResult> {
+    // Snapshot-based undo: cheap at our scale and trivially correct.
+    let table_name = at.table().to_owned();
+    let schema_before = state.catalog.table(&table_name)?.clone();
+    let data_before = state
+        .data
+        .get(&table_name)
+        .ok_or_else(|| DbError::UnknownTable(table_name.clone()))?
+        .clone();
+    let result = match at {
+        AlterTable::AddColumn { table, column } => {
+            let const_scope = Scope {
+                columns: &[],
+                values: &[],
+            };
+            let default = match &column.default {
+                Some(e) => eval(e, &const_scope)?
+                    .coerce_to(column.ty)
+                    .map_err(DbError::TypeError)?,
+                None => Value::Null,
+            };
+            if column.not_null && default.is_null() {
+                return Err(DbError::ConstraintViolation(format!(
+                    "cannot add NOT NULL column \"{}\" without a default",
+                    column.name
+                )));
+            }
+            let schema = state.catalog.table_mut(table)?;
+            if schema.column_index(&column.name).is_some() {
+                return Err(DbError::AlreadyExists(format!("{table}.{}", column.name)));
+            }
+            schema.columns.push(Column {
+                name: column.name.clone(),
+                ty: column.ty,
+                not_null: column.not_null,
+                unique: false,
+                default: if default.is_null() {
+                    None
+                } else {
+                    Some(default.clone())
+                },
+            });
+            // Extend existing rows. Index keys are positional and unchanged.
+            let data = state.data.get_mut(table).expect("checked above");
+            let rids: Vec<RowId> = data.iter().map(|(rid, _)| rid).collect();
+            for rid in rids {
+                let mut row = data.get(rid).expect("live row").clone();
+                row.push(default.clone());
+                data.update(rid, row);
+            }
+            QueryResult::Status(format!("added column \"{}\" to \"{table}\"", column.name))
+        }
+        AlterTable::DropColumn { table, column } => {
+            let schema = state.catalog.table_mut(table)?;
+            let pos = schema
+                .column_index(column)
+                .ok_or_else(|| DbError::UnknownColumn(format!("{table}.{column}")))?;
+            if schema.primary_key.contains(column) {
+                return Err(DbError::ConstraintViolation(format!(
+                    "cannot drop primary-key column \"{column}\""
+                )));
+            }
+            schema.columns.remove(pos);
+            schema.uniques.retain(|u| !u.contains(column));
+            schema
+                .foreign_keys
+                .retain(|fk| !fk.columns.contains(column));
+            schema.indexes.retain(|i| !i.columns.contains(column));
+            // Drop the column from storage and rebuild indexes (positions
+            // shift).
+            let data = state.data.get_mut(table).expect("checked above");
+            let mut rebuilt = TableData::new();
+            let schema = state.catalog.table(table)?.clone();
+            for (_, row) in data.iter() {
+                let mut r = row.clone();
+                r.remove(pos);
+                rebuilt.insert(r);
+            }
+            if !schema.primary_key.is_empty() {
+                let positions = schema.resolve_columns(&schema.primary_key)?;
+                rebuilt
+                    .build_index("__pk", positions, true)
+                    .map_err(DbError::ConstraintViolation)?;
+            }
+            for idx in &schema.indexes {
+                let positions = schema.resolve_columns(&idx.columns)?;
+                rebuilt
+                    .build_index(&idx.name, positions, idx.unique)
+                    .map_err(DbError::ConstraintViolation)?;
+            }
+            *data = rebuilt;
+            QueryResult::Status(format!("dropped column \"{column}\" from \"{table}\""))
+        }
+        AlterTable::RenameTable { table, new_name } => {
+            state.catalog.rename_table(table, new_name)?;
+            let data = state.data.remove(table).unwrap_or_default();
+            state.data.insert(new_name.clone(), data);
+            QueryResult::Status(format!("renamed \"{table}\" to \"{new_name}\""))
+        }
+    };
+    undo.push(UndoOp::AlterSnapshot {
+        table: table_name,
+        schema: schema_before,
+        data: data_before,
+        renamed_to: match at {
+            AlterTable::RenameTable { new_name, .. } => Some(new_name.clone()),
+            _ => None,
+        },
+    });
+    Ok(result)
+}

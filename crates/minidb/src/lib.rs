@@ -1,0 +1,43 @@
+//! # minidb — an in-memory relational engine with privileges and ACID
+//! transactions
+//!
+//! The database substrate for the BridgeScope reproduction (the paper runs on
+//! PostgreSQL; see DESIGN.md for the substitution argument). Features:
+//!
+//! * typed storage ([`value::Value`]) with SQL three-valued comparison
+//!   semantics;
+//! * a catalog ([`schema`]) with primary keys, unique constraints, foreign
+//!   keys, CHECK constraints, and secondary indexes;
+//! * an executor ([`exec`]) covering single-block SELECT (inner/left/cross
+//!   joins, aggregation with DISTINCT, uncorrelated subqueries, ORDER BY /
+//!   LIMIT / OFFSET / DISTINCT) and fully validated DML/DDL;
+//! * undo-log transactions ([`txn`]) with statement-level atomicity and
+//!   PostgreSQL-style aborted-transaction behaviour;
+//! * a PostgreSQL-style privilege catalog ([`privilege`]) checked by the
+//!   engine on every statement;
+//! * a concurrency-safe facade ([`db::Database`] / [`db::Session`]).
+//!
+//! Concurrency model: statements serialize on an internal lock and an open
+//! explicit transaction holds a global slot (other writers see "database is
+//! locked"). This is deliberate — the paper's workloads are single-agent —
+//! and is documented in DESIGN.md.
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod privilege;
+pub mod schema;
+pub mod storage;
+pub mod txn;
+pub mod value;
+
+pub use db::{Database, Session};
+pub use error::{DbError, DbResult};
+pub use exec::QueryResult;
+pub use privilege::{PrivilegeCatalog, UserPrivileges};
+pub use schema::{Catalog, Column, ForeignKey, TableSchema};
+pub use txn::TxnStatus;
+pub use value::{Row, Value};

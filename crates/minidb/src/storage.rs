@@ -1,0 +1,306 @@
+//! Row storage and ordered secondary indexes.
+//!
+//! Rows live in a slotted vector with tombstones so a `RowId` stays stable
+//! for the lifetime of the row — the transaction undo log addresses rows by
+//! id. Indexes are ordered maps from key tuples to row-id sets, giving the
+//! executor point and range lookups.
+
+use crate::value::{Key, Row, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stable identifier of a row within one table.
+pub type RowId = usize;
+
+/// Index payload: an ordered map from key tuple to the set of rows with
+/// that key.
+#[derive(Debug, Clone, Default)]
+pub struct IndexData {
+    /// Positions (into the table schema) of the indexed columns.
+    pub columns: Vec<usize>,
+    /// Whether duplicate keys are rejected.
+    pub unique: bool,
+    entries: BTreeMap<Key, BTreeSet<RowId>>,
+}
+
+impl IndexData {
+    /// New empty index over the given column positions.
+    pub fn new(columns: Vec<usize>, unique: bool) -> Self {
+        IndexData {
+            columns,
+            unique,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Extract this index's key from a row.
+    pub fn key_of(&self, row: &Row) -> Key {
+        Key(self.columns.iter().map(|&i| row[i].clone()).collect())
+    }
+
+    /// Whether inserting `key` would violate uniqueness. NULL-containing
+    /// keys never conflict (SQL UNIQUE semantics).
+    pub fn would_conflict(&self, key: &Key, ignore: Option<RowId>) -> bool {
+        if !self.unique || key.0.iter().any(Value::is_null) {
+            return false;
+        }
+        match self.entries.get(key) {
+            None => false,
+            Some(set) => set.iter().any(|&rid| Some(rid) != ignore),
+        }
+    }
+
+    /// Add a row under its key.
+    pub fn insert(&mut self, key: Key, rid: RowId) {
+        self.entries.entry(key).or_default().insert(rid);
+    }
+
+    /// Remove a row from its key.
+    pub fn remove(&mut self, key: &Key, rid: RowId) {
+        if let Some(set) = self.entries.get_mut(key) {
+            set.remove(&rid);
+            if set.is_empty() {
+                self.entries.remove(key);
+            }
+        }
+    }
+
+    /// Row ids exactly matching a key.
+    pub fn lookup(&self, key: &Key) -> Vec<RowId> {
+        self.entries
+            .get(key)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Storage of one table: slotted rows plus named indexes.
+#[derive(Debug, Clone, Default)]
+pub struct TableData {
+    slots: Vec<Option<Row>>,
+    free: Vec<RowId>,
+    live: usize,
+    /// Secondary indexes by name.
+    pub indexes: BTreeMap<String, IndexData>,
+}
+
+impl TableData {
+    /// Empty storage.
+    pub fn new() -> Self {
+        TableData::default()
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a row, maintaining all indexes. The row must already be
+    /// validated (types, constraints) by the executor.
+    pub fn insert(&mut self, row: Row) -> RowId {
+        let rid = match self.free.pop() {
+            Some(rid) => {
+                self.slots[rid] = Some(row);
+                rid
+            }
+            None => {
+                self.slots.push(Some(row));
+                self.slots.len() - 1
+            }
+        };
+        self.live += 1;
+        let row_ref = self.slots[rid].as_ref().expect("just inserted").clone();
+        for idx in self.indexes.values_mut() {
+            let key = idx.key_of(&row_ref);
+            idx.insert(key, rid);
+        }
+        rid
+    }
+
+    /// Re-insert a row at a specific id (transaction rollback of a delete).
+    /// Panics if the slot is occupied — that would mean the undo log and the
+    /// storage diverged.
+    pub fn restore(&mut self, rid: RowId, row: Row) {
+        if rid >= self.slots.len() {
+            self.slots.resize(rid + 1, None);
+        }
+        assert!(
+            self.slots[rid].is_none(),
+            "restore into occupied slot {rid}"
+        );
+        // The slot may sit in the free list; drop it from there lazily by
+        // filtering on next allocation.
+        self.free.retain(|&f| f != rid);
+        for idx in self.indexes.values_mut() {
+            let key = idx.key_of(&row);
+            idx.insert(key, rid);
+        }
+        self.slots[rid] = Some(row);
+        self.live += 1;
+    }
+
+    /// Delete a row by id, returning it.
+    pub fn delete(&mut self, rid: RowId) -> Option<Row> {
+        let row = self.slots.get_mut(rid)?.take()?;
+        self.free.push(rid);
+        self.live -= 1;
+        for idx in self.indexes.values_mut() {
+            let key = idx.key_of(&row);
+            idx.remove(&key, rid);
+        }
+        Some(row)
+    }
+
+    /// Replace a row in place, maintaining indexes. Returns the old row.
+    pub fn update(&mut self, rid: RowId, new_row: Row) -> Option<Row> {
+        let slot = self.slots.get_mut(rid)?;
+        let old = slot.take()?;
+        for idx in self.indexes.values_mut() {
+            let old_key = idx.key_of(&old);
+            idx.remove(&old_key, rid);
+            let new_key = idx.key_of(&new_row);
+            idx.insert(new_key, rid);
+        }
+        *slot = Some(new_row);
+        Some(old)
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.slots.get(rid).and_then(Option::as_ref)
+    }
+
+    /// Iterate over `(RowId, &Row)` for live rows, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(rid, slot)| slot.as_ref().map(|row| (rid, row)))
+    }
+
+    /// Add an index over column positions and build it from existing rows.
+    /// Returns `Err` with a conflicting key description if a unique index
+    /// finds duplicates.
+    pub fn build_index(
+        &mut self,
+        name: &str,
+        columns: Vec<usize>,
+        unique: bool,
+    ) -> Result<(), String> {
+        let mut idx = IndexData::new(columns, unique);
+        for (rid, row) in self.iter() {
+            let key = idx.key_of(row);
+            if idx.would_conflict(&key, None) {
+                return Err(format!(
+                    "duplicate key {:?} violates unique index \"{name}\"",
+                    key.0.iter().map(Value::render).collect::<Vec<_>>()
+                ));
+            }
+            idx.insert(key, rid);
+        }
+        self.indexes.insert(name.to_owned(), idx);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: i64, name: &str) -> Row {
+        vec![Value::Int(id), Value::Text(name.into())]
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut t = TableData::new();
+        let a = t.insert(row(1, "a"));
+        let b = t.insert(row(2, "b"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap()[0], Value::Int(1));
+        let old = t.delete(a).unwrap();
+        assert_eq!(old[1], Value::Text("a".into()));
+        assert_eq!(t.len(), 1);
+        assert!(t.get(a).is_none());
+        assert!(t.get(b).is_some());
+    }
+
+    #[test]
+    fn slot_reuse_keeps_ids_stable() {
+        let mut t = TableData::new();
+        let a = t.insert(row(1, "a"));
+        t.insert(row(2, "b"));
+        t.delete(a);
+        let c = t.insert(row(3, "c"));
+        assert_eq!(c, a, "freed slot should be reused");
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn restore_after_delete() {
+        let mut t = TableData::new();
+        let a = t.insert(row(1, "a"));
+        let old = t.delete(a).unwrap();
+        t.restore(a, old);
+        assert_eq!(t.get(a).unwrap()[0], Value::Int(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn restore_into_live_slot_panics() {
+        let mut t = TableData::new();
+        let a = t.insert(row(1, "a"));
+        t.restore(a, row(9, "x"));
+    }
+
+    #[test]
+    fn index_maintenance() {
+        let mut t = TableData::new();
+        t.build_index("by_id", vec![0], true).unwrap();
+        let a = t.insert(row(1, "a"));
+        t.insert(row(2, "b"));
+        let idx = &t.indexes["by_id"];
+        assert_eq!(idx.lookup(&Key(vec![Value::Int(1)])), vec![a]);
+        // Update moves the index entry.
+        t.update(a, row(5, "a"));
+        let idx = &t.indexes["by_id"];
+        assert!(idx.lookup(&Key(vec![Value::Int(1)])).is_empty());
+        assert_eq!(idx.lookup(&Key(vec![Value::Int(5)])), vec![a]);
+        // Delete removes it.
+        t.delete(a);
+        let idx = &t.indexes["by_id"];
+        assert!(idx.lookup(&Key(vec![Value::Int(5)])).is_empty());
+    }
+
+    #[test]
+    fn unique_conflicts() {
+        let mut t = TableData::new();
+        t.build_index("u", vec![0], true).unwrap();
+        let a = t.insert(row(1, "a"));
+        let idx = &t.indexes["u"];
+        assert!(idx.would_conflict(&Key(vec![Value::Int(1)]), None));
+        assert!(!idx.would_conflict(&Key(vec![Value::Int(1)]), Some(a)));
+        assert!(!idx.would_conflict(&Key(vec![Value::Int(2)]), None));
+        // NULL keys never conflict.
+        assert!(!idx.would_conflict(&Key(vec![Value::Null]), None));
+    }
+
+    #[test]
+    fn build_unique_index_detects_existing_duplicates() {
+        let mut t = TableData::new();
+        t.insert(row(1, "a"));
+        t.insert(row(1, "b"));
+        assert!(t.build_index("u", vec![0], true).is_err());
+        assert!(t.build_index("nu", vec![0], false).is_ok());
+    }
+}

@@ -1,0 +1,256 @@
+//! Transactions via undo logging.
+//!
+//! Every mutating operation appends an [`UndoOp`] describing how to reverse
+//! it. COMMIT discards the log; ROLLBACK replays it in reverse. Sessions run
+//! in autocommit mode unless an explicit transaction is open — matching the
+//! PostgreSQL behaviour BridgeScope's `begin`/`commit`/`rollback` tools rely
+//! on. Isolation is serialized (a single writer lock in the facade), which
+//! trivially provides ACID's "I" for the workloads at hand.
+
+use crate::exec::DbState;
+use crate::schema::TableSchema;
+use crate::storage::{RowId, TableData};
+use crate::value::Row;
+
+/// One reversible step of a transaction.
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// A row was inserted; undo deletes it.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Inserted row id.
+        rid: RowId,
+    },
+    /// A row was deleted; undo restores it at the same id.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Deleted row id.
+        rid: RowId,
+        /// The deleted row.
+        row: Row,
+    },
+    /// A row was updated; undo writes the old image back.
+    Update {
+        /// Table name.
+        table: String,
+        /// Updated row id.
+        rid: RowId,
+        /// Pre-update row image.
+        old: Row,
+    },
+    /// A table was created; undo drops it.
+    CreateTable {
+        /// Table name.
+        name: String,
+    },
+    /// A table was dropped; undo re-registers schema and data.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Schema at drop time.
+        schema: TableSchema,
+        /// Data at drop time.
+        data: TableData,
+    },
+    /// A view was created; undo removes it.
+    CreateView {
+        /// View name.
+        name: String,
+    },
+    /// A view was dropped; undo re-registers it.
+    DropView {
+        /// The dropped definition.
+        def: crate::schema::ViewDef,
+    },
+    /// An index was created; undo removes it.
+    CreateIndex {
+        /// Table name.
+        table: String,
+        /// Index name.
+        name: String,
+    },
+    /// ALTER TABLE with snapshot-based undo.
+    AlterSnapshot {
+        /// Original table name.
+        table: String,
+        /// Schema before the ALTER.
+        schema: TableSchema,
+        /// Data before the ALTER.
+        data: TableData,
+        /// New name if the ALTER was a rename (so undo knows what to remove).
+        renamed_to: Option<String>,
+    },
+}
+
+/// Replay an undo log in reverse, restoring `state` to its pre-transaction
+/// image.
+pub fn rollback(state: &mut DbState, log: Vec<UndoOp>) {
+    for op in log.into_iter().rev() {
+        match op {
+            UndoOp::Insert { table, rid } => {
+                if let Some(data) = state.data.get_mut(&table) {
+                    data.delete(rid);
+                }
+            }
+            UndoOp::Delete { table, rid, row } => {
+                if let Some(data) = state.data.get_mut(&table) {
+                    data.restore(rid, row);
+                }
+            }
+            UndoOp::Update { table, rid, old } => {
+                if let Some(data) = state.data.get_mut(&table) {
+                    data.update(rid, old);
+                }
+            }
+            UndoOp::CreateTable { name } => {
+                let _ = state.catalog.remove_table(&name);
+                state.data.remove(&name);
+            }
+            UndoOp::DropTable { name, schema, data } => {
+                let _ = state.catalog.add_table(schema);
+                state.data.insert(name, data);
+            }
+            UndoOp::CreateView { name } => {
+                let _ = state.catalog.remove_view(&name);
+            }
+            UndoOp::DropView { def } => {
+                let _ = state.catalog.add_view(def);
+            }
+            UndoOp::CreateIndex { table, name } => {
+                if let Some(data) = state.data.get_mut(&table) {
+                    data.indexes.remove(&name);
+                }
+                if let Ok(schema) = state.catalog.table_mut(&table) {
+                    schema.indexes.retain(|i| i.name != name);
+                }
+            }
+            UndoOp::AlterSnapshot {
+                table,
+                schema,
+                data,
+                renamed_to,
+            } => {
+                let current_name = renamed_to.as_deref().unwrap_or(&table);
+                let _ = state.catalog.remove_table(current_name);
+                state.data.remove(current_name);
+                let _ = state.catalog.add_table(schema);
+                state.data.insert(table, data);
+            }
+        }
+    }
+}
+
+/// Session transaction status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Autocommit: every statement commits on success, rolls back on error.
+    Autocommit,
+    /// Inside an explicit BEGIN … COMMIT/ROLLBACK block.
+    Explicit,
+    /// A statement inside an explicit block failed; only ROLLBACK (or
+    /// COMMIT, which degrades to rollback à la PostgreSQL) is accepted.
+    Aborted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, QueryResult};
+    use sqlkit::parse_statement;
+
+    fn fresh() -> DbState {
+        let mut state = DbState::default();
+        let mut undo = Vec::new();
+        for sql in [
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)",
+            "INSERT INTO t VALUES (1, 'a'), (2, 'b')",
+        ] {
+            execute(&mut state, &parse_statement(sql).unwrap(), &mut undo).unwrap();
+        }
+        state
+    }
+
+    fn run(state: &mut DbState, sql: &str, undo: &mut Vec<UndoOp>) -> QueryResult {
+        execute(state, &parse_statement(sql).unwrap(), undo).unwrap()
+    }
+
+    fn count(state: &DbState, table: &str) -> usize {
+        state.data[table].len()
+    }
+
+    #[test]
+    fn rollback_insert_update_delete() {
+        let mut state = fresh();
+        let mut undo = Vec::new();
+        run(&mut state, "INSERT INTO t VALUES (3, 'c')", &mut undo);
+        run(&mut state, "UPDATE t SET v = 'z' WHERE id = 1", &mut undo);
+        run(&mut state, "DELETE FROM t WHERE id = 2", &mut undo);
+        assert_eq!(count(&state, "t"), 2);
+        rollback(&mut state, undo);
+        assert_eq!(count(&state, "t"), 2);
+        // Row 1's value restored, row 2 back, row 3 gone.
+        let rows: Vec<_> = state.data["t"].iter().map(|(_, r)| r.clone()).collect();
+        assert!(rows
+            .iter()
+            .any(|r| r[1] == crate::value::Value::Text("a".into())));
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn rollback_ddl() {
+        let mut state = fresh();
+        let mut undo = Vec::new();
+        run(&mut state, "CREATE TABLE u (x INTEGER)", &mut undo);
+        run(&mut state, "INSERT INTO u VALUES (1)", &mut undo);
+        run(&mut state, "CREATE INDEX ix ON t (v)", &mut undo);
+        run(&mut state, "DROP TABLE u", &mut undo);
+        rollback(&mut state, undo);
+        assert!(!state.catalog.contains("u"), "created table rolled back");
+        assert!(
+            !state.data["t"].indexes.contains_key("ix"),
+            "index rolled back"
+        );
+    }
+
+    #[test]
+    fn rollback_drop_restores_data() {
+        let mut state = fresh();
+        let mut undo = Vec::new();
+        run(&mut state, "DROP TABLE t", &mut undo);
+        assert!(!state.catalog.contains("t"));
+        rollback(&mut state, undo);
+        assert!(state.catalog.contains("t"));
+        assert_eq!(count(&state, "t"), 2);
+    }
+
+    #[test]
+    fn rollback_alter_rename() {
+        let mut state = fresh();
+        let mut undo = Vec::new();
+        run(&mut state, "ALTER TABLE t RENAME TO s", &mut undo);
+        assert!(state.catalog.contains("s"));
+        rollback(&mut state, undo);
+        assert!(state.catalog.contains("t"));
+        assert!(!state.catalog.contains("s"));
+        assert_eq!(count(&state, "t"), 2);
+    }
+
+    #[test]
+    fn rollback_alter_add_column() {
+        let mut state = fresh();
+        let mut undo = Vec::new();
+        run(
+            &mut state,
+            "ALTER TABLE t ADD COLUMN extra INTEGER",
+            &mut undo,
+        );
+        assert_eq!(state.catalog.table("t").unwrap().columns.len(), 3);
+        rollback(&mut state, undo);
+        assert_eq!(state.catalog.table("t").unwrap().columns.len(), 2);
+        for (_, row) in state.data["t"].iter() {
+            assert_eq!(row.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for savepoints: rolling back to a savepoint must
+//! restore exactly the state at its creation, under arbitrary DML mixes.
+
+use minidb::{Database, QueryResult};
+use proptest::prelude::*;
+
+fn fresh_db() -> Database {
+    let db = Database::new();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    for i in 0..10 {
+        s.execute_sql(&format!("INSERT INTO t VALUES ({i}, {})", i * 10))
+            .unwrap();
+    }
+    db
+}
+
+fn snapshot(db: &Database) -> Vec<(i64, i64)> {
+    let mut s = db.session("admin").unwrap();
+    match s.execute_sql("SELECT id, v FROM t ORDER BY id").unwrap() {
+        QueryResult::Rows { rows, .. } => rows
+            .into_iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect(),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    Bump(i64),
+    Remove(i64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (10i64..60).prop_map(Op::Insert),
+        (0i64..60).prop_map(Op::Bump),
+        (0i64..60).prop_map(Op::Remove),
+    ]
+}
+
+fn run_op(s: &mut minidb::Session, o: &Op) {
+    let sql = match o {
+        Op::Insert(id) => format!("INSERT INTO t VALUES ({id}, 0)"),
+        Op::Bump(id) => format!("UPDATE t SET v = v + 1 WHERE id = {id}"),
+        Op::Remove(id) => format!("DELETE FROM t WHERE id = {id}"),
+    };
+    // PK conflicts abort the transaction; recover through a scratch
+    // savepoint the way PostgreSQL clients do.
+    if s.execute_sql(&sql).is_err() {
+        let _ = s.execute_sql("ROLLBACK TO __scratch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ops₁ ; SAVEPOINT ; ops₂ ; ROLLBACK TO must equal just ops₁.
+    #[test]
+    fn rollback_to_savepoint_restores_midpoint(
+        before in prop::collection::vec(op(), 0..10),
+        after in prop::collection::vec(op(), 1..10),
+    ) {
+        let db = fresh_db();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("BEGIN").unwrap();
+        s.execute_sql("SAVEPOINT __scratch").unwrap();
+        for o in &before {
+            run_op(&mut s, o);
+            s.execute_sql("SAVEPOINT __scratch").unwrap();
+        }
+        s.execute_sql("SAVEPOINT mid").unwrap();
+        let midpoint = snapshot(&db);
+        for o in &after {
+            run_op(&mut s, o);
+            // Recreate the scratch savepoint above `mid` so error recovery
+            // never jumps below it.
+            s.execute_sql("SAVEPOINT __scratch").unwrap();
+        }
+        s.execute_sql("ROLLBACK TO SAVEPOINT mid").unwrap();
+        prop_assert_eq!(snapshot(&db), midpoint.clone());
+        // And the whole transaction still rolls back to the original state.
+        s.execute_sql("ROLLBACK").unwrap();
+        prop_assert_eq!(snapshot(&db), snapshot(&fresh_db()));
+    }
+
+    /// Committing after a partial rollback persists exactly the midpoint.
+    #[test]
+    fn commit_after_rollback_to_persists_midpoint(
+        before in prop::collection::vec(op(), 1..8),
+        after in prop::collection::vec(op(), 1..8),
+    ) {
+        let db = fresh_db();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("BEGIN").unwrap();
+        s.execute_sql("SAVEPOINT __scratch").unwrap();
+        for o in &before {
+            run_op(&mut s, o);
+            s.execute_sql("SAVEPOINT __scratch").unwrap();
+        }
+        s.execute_sql("SAVEPOINT mid").unwrap();
+        let midpoint = snapshot(&db);
+        for o in &after {
+            run_op(&mut s, o);
+            s.execute_sql("SAVEPOINT __scratch").unwrap();
+        }
+        s.execute_sql("ROLLBACK TO mid").unwrap();
+        s.execute_sql("COMMIT").unwrap();
+        prop_assert_eq!(snapshot(&db), midpoint);
+    }
+}

@@ -1,0 +1,704 @@
+//! End-to-end SQL semantics tests for the minidb engine, driven through the
+//! public session API exactly the way BridgeScope's tools drive it.
+
+use minidb::{Database, QueryResult, Value};
+
+fn db_with(setup: &[&str]) -> Database {
+    let db = Database::new();
+    let mut s = db.session("admin").unwrap();
+    for sql in setup {
+        s.execute_sql(sql)
+            .unwrap_or_else(|e| panic!("setup {sql:?} failed: {e}"));
+    }
+    db
+}
+
+fn rows(db: &Database, sql: &str) -> Vec<Vec<Value>> {
+    let mut s = db.session("admin").unwrap();
+    match s
+        .execute_sql(sql)
+        .unwrap_or_else(|e| panic!("{sql:?}: {e}"))
+    {
+        QueryResult::Rows { rows, .. } => rows,
+        other => panic!("expected rows from {sql:?}, got {other:?}"),
+    }
+}
+
+fn cell(db: &Database, sql: &str) -> Value {
+    let r = rows(db, sql);
+    assert_eq!(r.len(), 1, "expected a single row from {sql:?}");
+    r[0][0].clone()
+}
+
+fn sales_db() -> Database {
+    db_with(&[
+        "CREATE TABLE stores (id INTEGER PRIMARY KEY, name TEXT NOT NULL UNIQUE, region TEXT)",
+        "CREATE TABLE sales (id INTEGER PRIMARY KEY, store_id INTEGER NOT NULL REFERENCES stores(id), \
+         amount REAL NOT NULL, day TEXT, category TEXT)",
+        "INSERT INTO stores VALUES (1, 'downtown', 'west'), (2, 'airport', 'west'), (3, 'mall', 'east')",
+        "INSERT INTO sales VALUES \
+         (1, 1, 120.5, '2026-01-01', 'women'), \
+         (2, 1, 80.0,  '2026-01-02', 'men'), \
+         (3, 2, 200.0, '2026-01-01', 'women'), \
+         (4, 2, 50.0,  '2026-01-03', 'kids'), \
+         (5, 3, 75.0,  '2026-01-02', 'women')",
+    ])
+}
+
+#[test]
+fn filtering_and_projection() {
+    let db = sales_db();
+    let r = rows(
+        &db,
+        "SELECT id, amount FROM sales WHERE amount > 100 ORDER BY id",
+    );
+    assert_eq!(r.len(), 2);
+    assert_eq!(r[0][0], Value::Int(1));
+    assert_eq!(r[1][1], Value::Float(200.0));
+}
+
+#[test]
+fn inner_join() {
+    let db = sales_db();
+    let r = rows(
+        &db,
+        "SELECT s.name, x.amount FROM sales AS x JOIN stores AS s ON x.store_id = s.id \
+         WHERE s.region = 'west' ORDER BY x.amount DESC",
+    );
+    assert_eq!(r.len(), 4);
+    assert_eq!(r[0][0], Value::Text("airport".into()));
+}
+
+#[test]
+fn left_join_null_extension() {
+    let db = db_with(&[
+        "CREATE TABLE a (id INTEGER PRIMARY KEY)",
+        "CREATE TABLE b (id INTEGER PRIMARY KEY, a_id INTEGER)",
+        "INSERT INTO a VALUES (1), (2)",
+        "INSERT INTO b VALUES (10, 1)",
+    ]);
+    let r = rows(
+        &db,
+        "SELECT a.id, b.id FROM a LEFT JOIN b ON b.a_id = a.id ORDER BY a.id",
+    );
+    assert_eq!(r.len(), 2);
+    assert_eq!(r[1][1], Value::Null, "unmatched right side is NULL");
+}
+
+#[test]
+fn cross_join_cardinality() {
+    let db = sales_db();
+    let r = rows(&db, "SELECT * FROM stores CROSS JOIN stores AS s2");
+    assert_eq!(r.len(), 9);
+}
+
+#[test]
+fn aggregates_global() {
+    let db = sales_db();
+    assert_eq!(cell(&db, "SELECT COUNT(*) FROM sales"), Value::Int(5));
+    assert_eq!(
+        cell(&db, "SELECT SUM(amount) FROM sales"),
+        Value::Float(525.5)
+    );
+    assert_eq!(
+        cell(&db, "SELECT AVG(amount) FROM sales"),
+        Value::Float(105.1)
+    );
+    assert_eq!(
+        cell(&db, "SELECT MIN(amount) FROM sales"),
+        Value::Float(50.0)
+    );
+    assert_eq!(
+        cell(&db, "SELECT MAX(day) FROM sales"),
+        Value::Text("2026-01-03".into())
+    );
+    assert_eq!(
+        cell(&db, "SELECT COUNT(DISTINCT category) FROM sales"),
+        Value::Int(3)
+    );
+}
+
+#[test]
+fn aggregates_on_empty_table() {
+    let db = db_with(&["CREATE TABLE e (x INTEGER)"]);
+    assert_eq!(cell(&db, "SELECT COUNT(*) FROM e"), Value::Int(0));
+    assert_eq!(cell(&db, "SELECT SUM(x) FROM e"), Value::Null);
+    assert_eq!(cell(&db, "SELECT MAX(x) FROM e"), Value::Null);
+}
+
+#[test]
+fn group_by_having() {
+    let db = sales_db();
+    let r = rows(
+        &db,
+        "SELECT category, COUNT(*) AS n, SUM(amount) AS total FROM sales \
+         GROUP BY category HAVING COUNT(*) >= 2 ORDER BY total DESC",
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0], Value::Text("women".into()));
+    assert_eq!(r[0][1], Value::Int(3));
+    assert_eq!(r[0][2], Value::Float(395.5));
+}
+
+#[test]
+fn group_by_join() {
+    let db = sales_db();
+    let r = rows(
+        &db,
+        "SELECT s.region, SUM(x.amount) FROM sales AS x JOIN stores AS s ON x.store_id = s.id \
+         GROUP BY s.region ORDER BY s.region",
+    );
+    assert_eq!(
+        r,
+        vec![
+            vec![Value::Text("east".into()), Value::Float(75.0)],
+            vec![Value::Text("west".into()), Value::Float(450.5)],
+        ]
+    );
+}
+
+#[test]
+fn aggregate_expression_arithmetic() {
+    let db = sales_db();
+    assert_eq!(
+        cell(&db, "SELECT SUM(amount) - MIN(amount) FROM sales"),
+        Value::Float(475.5)
+    );
+    assert_eq!(
+        cell(&db, "SELECT COUNT(*) * 2 + 1 FROM sales"),
+        Value::Int(11)
+    );
+}
+
+#[test]
+fn order_by_variants() {
+    let db = sales_db();
+    // By alias.
+    let r = rows(&db, "SELECT amount AS a FROM sales ORDER BY a LIMIT 1");
+    assert_eq!(r[0][0], Value::Float(50.0));
+    // By position.
+    let r = rows(&db, "SELECT id, amount FROM sales ORDER BY 2 DESC LIMIT 1");
+    assert_eq!(r[0][0], Value::Int(3));
+    // By expression not in the projection.
+    let r = rows(&db, "SELECT id FROM sales ORDER BY amount * -1 LIMIT 1");
+    assert_eq!(r[0][0], Value::Int(3));
+}
+
+#[test]
+fn distinct_limit_offset() {
+    let db = sales_db();
+    let r = rows(&db, "SELECT DISTINCT category FROM sales ORDER BY category");
+    assert_eq!(r.len(), 3);
+    let r = rows(&db, "SELECT id FROM sales ORDER BY id LIMIT 2 OFFSET 2");
+    assert_eq!(r, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+    let r = rows(&db, "SELECT id FROM sales ORDER BY id LIMIT 10 OFFSET 99");
+    assert!(r.is_empty());
+}
+
+#[test]
+fn in_subquery_and_scalar_subquery() {
+    let db = sales_db();
+    let r = rows(
+        &db,
+        "SELECT id FROM sales WHERE store_id IN (SELECT id FROM stores WHERE region = 'west') ORDER BY id",
+    );
+    assert_eq!(r.len(), 4);
+    let v = cell(
+        &db,
+        "SELECT COUNT(*) FROM sales WHERE amount > (SELECT AVG(amount) FROM sales)",
+    );
+    assert_eq!(v, Value::Int(2));
+}
+
+#[test]
+fn select_without_from() {
+    let db = sales_db();
+    assert_eq!(cell(&db, "SELECT 1 + 1"), Value::Int(2));
+    assert_eq!(cell(&db, "SELECT UPPER('x')"), Value::Text("X".into()));
+}
+
+#[test]
+fn wildcards() {
+    let db = sales_db();
+    let r = rows(&db, "SELECT * FROM stores ORDER BY id LIMIT 1");
+    assert_eq!(r[0].len(), 3);
+    let r = rows(
+        &db,
+        "SELECT s.* FROM stores AS s JOIN sales AS x ON x.store_id = s.id WHERE x.id = 1",
+    );
+    assert_eq!(r[0].len(), 3);
+}
+
+#[test]
+fn case_in_projection() {
+    let db = sales_db();
+    let r = rows(
+        &db,
+        "SELECT id, CASE WHEN amount >= 100 THEN 'big' ELSE 'small' END AS size \
+         FROM sales ORDER BY id LIMIT 2",
+    );
+    assert_eq!(r[0][1], Value::Text("big".into()));
+    assert_eq!(r[1][1], Value::Text("small".into()));
+}
+
+#[test]
+fn update_with_expressions() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    let r = s
+        .execute_sql("UPDATE sales SET amount = amount * 1.1 WHERE category = 'women'")
+        .unwrap();
+    assert_eq!(r, QueryResult::Affected(3));
+    let v = cell(
+        &db,
+        "SELECT ROUND(SUM(amount), 2) FROM sales WHERE category = 'women'",
+    );
+    assert_eq!(v, Value::Float(435.05));
+}
+
+#[test]
+fn delete_with_predicate() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    let r = s
+        .execute_sql("DELETE FROM sales WHERE amount < 80")
+        .unwrap();
+    assert_eq!(r, QueryResult::Affected(2));
+    assert_eq!(cell(&db, "SELECT COUNT(*) FROM sales"), Value::Int(3));
+}
+
+#[test]
+fn insert_select() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql(
+        "CREATE TABLE sales_archive (id INTEGER PRIMARY KEY, store_id INTEGER, amount REAL, \
+         day TEXT, category TEXT)",
+    )
+    .unwrap();
+    let r = s
+        .execute_sql("INSERT INTO sales_archive SELECT * FROM sales WHERE day = '2026-01-01'")
+        .unwrap();
+    assert_eq!(r, QueryResult::Affected(2));
+}
+
+#[test]
+fn insert_with_defaults_and_column_list() {
+    let db = db_with(&[
+        "CREATE TABLE conf (k TEXT PRIMARY KEY, v TEXT DEFAULT 'unset', n INTEGER DEFAULT 0)",
+        "INSERT INTO conf (k) VALUES ('a')",
+        "INSERT INTO conf (k, n) VALUES ('b', 5)",
+    ]);
+    let r = rows(&db, "SELECT k, v, n FROM conf ORDER BY k");
+    assert_eq!(
+        r[0],
+        vec![
+            Value::Text("a".into()),
+            Value::Text("unset".into()),
+            Value::Int(0)
+        ]
+    );
+    assert_eq!(r[1][2], Value::Int(5));
+}
+
+#[test]
+fn not_null_and_unique_constraints() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    let e = s
+        .execute_sql("INSERT INTO stores VALUES (4, NULL, 'west')")
+        .unwrap_err();
+    assert!(e.to_string().contains("not-null"));
+    let e = s
+        .execute_sql("INSERT INTO stores VALUES (5, 'downtown', 'west')")
+        .unwrap_err();
+    assert!(e.to_string().contains("unique"));
+    let e = s
+        .execute_sql("INSERT INTO stores VALUES (1, 'other', 'west')")
+        .unwrap_err();
+    assert!(e.to_string().contains("unique"), "pk duplicate: {e}");
+}
+
+#[test]
+fn foreign_key_enforcement() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    // Insert referencing a missing store.
+    let e = s
+        .execute_sql("INSERT INTO sales VALUES (9, 99, 10.0, '2026-01-05', 'men')")
+        .unwrap_err();
+    assert!(e.to_string().contains("foreign key"), "{e}");
+    // Delete a referenced store.
+    let e = s
+        .execute_sql("DELETE FROM stores WHERE id = 1")
+        .unwrap_err();
+    assert!(e.to_string().contains("referenced"), "{e}");
+    // Deleting an unreferenced row is fine after clearing its sales.
+    s.execute_sql("DELETE FROM sales WHERE store_id = 3")
+        .unwrap();
+    s.execute_sql("DELETE FROM stores WHERE id = 3").unwrap();
+    // Updating a referenced key is restricted.
+    let e = s
+        .execute_sql("UPDATE stores SET id = 50 WHERE id = 1")
+        .unwrap_err();
+    assert!(e.to_string().contains("referenced"), "{e}");
+    // Dropping the referenced table is restricted…
+    let e = s.execute_sql("DROP TABLE stores").unwrap_err();
+    assert!(e.to_string().contains("referenced"), "{e}");
+    // …unless both go at once.
+    s.execute_sql("DROP TABLE sales, stores").unwrap();
+}
+
+#[test]
+fn check_constraints() {
+    let db = db_with(&["CREATE TABLE acct (id INTEGER PRIMARY KEY, bal REAL, CHECK (bal >= 0))"]);
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("INSERT INTO acct VALUES (1, 10.0)").unwrap();
+    // NULL passes a CHECK (SQL semantics).
+    s.execute_sql("INSERT INTO acct VALUES (2, NULL)").unwrap();
+    let e = s
+        .execute_sql("INSERT INTO acct VALUES (3, -1.0)")
+        .unwrap_err();
+    assert!(e.to_string().contains("check"), "{e}");
+    let e = s
+        .execute_sql("UPDATE acct SET bal = bal - 100 WHERE id = 1")
+        .unwrap_err();
+    assert!(e.to_string().contains("check"), "{e}");
+}
+
+#[test]
+fn type_coercion_on_write() {
+    let db = db_with(&["CREATE TABLE m (i INTEGER, f REAL, t TEXT, b BOOLEAN)"]);
+    let mut s = db.session("admin").unwrap();
+    // int → float widens; integral float → int narrows.
+    s.execute_sql("INSERT INTO m VALUES (3.0, 3, 'x', TRUE)")
+        .unwrap();
+    let r = rows(&db, "SELECT i, f FROM m");
+    assert_eq!(r[0][0], Value::Int(3));
+    assert_eq!(r[0][1], Value::Float(3.0));
+    // text into integer column is rejected.
+    let e = s
+        .execute_sql("INSERT INTO m VALUES ('nope', 1, 'x', FALSE)")
+        .unwrap_err();
+    assert!(e.to_string().contains("type"), "{e}");
+}
+
+#[test]
+fn alter_table_lifecycle() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("ALTER TABLE stores ADD COLUMN mgr TEXT DEFAULT 'tbd'")
+        .unwrap();
+    assert_eq!(
+        cell(&db, "SELECT mgr FROM stores WHERE id = 1"),
+        Value::Text("tbd".into())
+    );
+    s.execute_sql("ALTER TABLE stores DROP COLUMN mgr").unwrap();
+    assert!(db
+        .session("admin")
+        .unwrap()
+        .execute_sql("SELECT mgr FROM stores")
+        .is_err());
+    s.execute_sql("ALTER TABLE stores RENAME TO shops").unwrap();
+    assert_eq!(cell(&db, "SELECT COUNT(*) FROM shops"), Value::Int(3));
+    // FK from sales now points at shops.
+    let e = db
+        .session("admin")
+        .unwrap()
+        .execute_sql("DELETE FROM shops WHERE id = 1")
+        .unwrap_err();
+    assert!(e.to_string().contains("referenced"));
+}
+
+#[test]
+fn create_index_and_unique_index() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("CREATE INDEX by_cat ON sales (category)")
+        .unwrap();
+    // Unique index over duplicate data fails.
+    let e = s
+        .execute_sql("CREATE UNIQUE INDEX u_cat ON sales (category)")
+        .unwrap_err();
+    assert!(e.to_string().contains("duplicate"), "{e}");
+    // A real unique index then enforces on insert.
+    s.execute_sql("CREATE UNIQUE INDEX u_day_store ON sales (store_id, day)")
+        .unwrap();
+    let e = s
+        .execute_sql("INSERT INTO sales VALUES (10, 1, 5.0, '2026-01-01', 'men')")
+        .unwrap_err();
+    assert!(e.to_string().contains("unique"), "{e}");
+}
+
+#[test]
+fn null_predicate_semantics_in_where() {
+    let db = db_with(&[
+        "CREATE TABLE n (x INTEGER)",
+        "INSERT INTO n VALUES (1), (NULL), (3)",
+    ]);
+    // NULL rows don't satisfy either branch.
+    assert_eq!(
+        cell(&db, "SELECT COUNT(*) FROM n WHERE x > 1"),
+        Value::Int(1)
+    );
+    assert_eq!(
+        cell(&db, "SELECT COUNT(*) FROM n WHERE NOT x > 1"),
+        Value::Int(1)
+    );
+    assert_eq!(
+        cell(&db, "SELECT COUNT(*) FROM n WHERE x IS NULL"),
+        Value::Int(1)
+    );
+    // Aggregates skip NULLs.
+    assert_eq!(cell(&db, "SELECT COUNT(x) FROM n"), Value::Int(2));
+    assert_eq!(cell(&db, "SELECT SUM(x) FROM n"), Value::Int(4));
+}
+
+#[test]
+fn like_and_exemplar_style_queries() {
+    let db = sales_db();
+    assert_eq!(
+        cell(&db, "SELECT COUNT(*) FROM sales WHERE category LIKE 'w%'"),
+        Value::Int(3)
+    );
+    let r = rows(
+        &db,
+        "SELECT DISTINCT category FROM sales WHERE category LIKE '%e%' ORDER BY category",
+    );
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn ambiguous_column_is_an_error() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    let e = s
+        .execute_sql("SELECT id FROM sales JOIN stores ON store_id = stores.id")
+        .unwrap_err();
+    assert!(e.to_string().contains("ambiguous"), "{e}");
+}
+
+#[test]
+fn unknown_identifiers_error() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    assert!(s.execute_sql("SELECT * FROM missing").is_err());
+    assert!(s.execute_sql("SELECT missing_col FROM sales").is_err());
+    assert!(s
+        .execute_sql("INSERT INTO sales (nope) VALUES (1)")
+        .is_err());
+}
+
+#[test]
+fn multi_statement_transaction_over_two_tables() {
+    // The paper's chain-store scenario: atomically insert sales and refunds.
+    let db = db_with(&[
+        "CREATE TABLE brand_a_sales (id INTEGER PRIMARY KEY, amount REAL)",
+        "CREATE TABLE brand_a_refunds (id INTEGER PRIMARY KEY, amount REAL)",
+    ]);
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("BEGIN").unwrap();
+    s.execute_sql("INSERT INTO brand_a_sales VALUES (1, 100.0)")
+        .unwrap();
+    s.execute_sql("INSERT INTO brand_a_refunds VALUES (1, 10.0)")
+        .unwrap();
+    s.execute_sql("COMMIT").unwrap();
+    assert_eq!(db.table_rows("brand_a_sales").unwrap(), 1);
+    assert_eq!(db.table_rows("brand_a_refunds").unwrap(), 1);
+
+    s.execute_sql("BEGIN").unwrap();
+    s.execute_sql("INSERT INTO brand_a_sales VALUES (2, 50.0)")
+        .unwrap();
+    // Second insert fails (duplicate PK) → rollback both.
+    assert!(s
+        .execute_sql("INSERT INTO brand_a_refunds VALUES (1, 5.0)")
+        .is_err());
+    s.execute_sql("ROLLBACK").unwrap();
+    assert_eq!(db.table_rows("brand_a_sales").unwrap(), 1);
+}
+
+#[test]
+fn views_expand_and_stay_fresh() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql(
+        "CREATE VIEW women_sales AS SELECT id, amount FROM sales WHERE category = 'women'",
+    )
+    .unwrap();
+    assert_eq!(cell(&db, "SELECT COUNT(*) FROM women_sales"), Value::Int(3));
+    // Views reflect subsequent base-table changes.
+    s.execute_sql("INSERT INTO sales VALUES (6, 1, 42.0, '2026-01-04', 'women')")
+        .unwrap();
+    assert_eq!(cell(&db, "SELECT COUNT(*) FROM women_sales"), Value::Int(4));
+    // Views compose: join a view with a table, aggregate over a view.
+    assert_eq!(
+        cell(
+            &db,
+            "SELECT COUNT(*) FROM women_sales AS w JOIN sales AS s ON w.id = s.id"
+        ),
+        Value::Int(4)
+    );
+    let r = rows(&db, "SELECT MAX(amount) FROM women_sales");
+    assert_eq!(r[0][0], Value::Float(200.0));
+}
+
+#[test]
+fn views_are_read_only_and_namespaced() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("CREATE VIEW v AS SELECT id FROM sales")
+        .unwrap();
+    // DML on a view is rejected.
+    for stmt in [
+        "INSERT INTO v VALUES (99)",
+        "UPDATE v SET id = 1",
+        "DELETE FROM v",
+    ] {
+        let e = s.execute_sql(stmt).unwrap_err();
+        assert!(e.to_string().contains("view"), "{stmt}: {e}");
+    }
+    // Name collisions across tables and views are rejected both ways.
+    assert!(s.execute_sql("CREATE VIEW sales AS SELECT 1").is_err());
+    assert!(s.execute_sql("CREATE TABLE v (x INTEGER)").is_err());
+    // DROP mixups give clear errors.
+    assert!(s.execute_sql("DROP TABLE v").is_err());
+    let e = s.execute_sql("DROP VIEW sales").unwrap_err();
+    assert!(e.to_string().contains("DROP TABLE"), "{e}");
+    s.execute_sql("DROP VIEW v").unwrap();
+    assert!(s.execute_sql("SELECT * FROM v").is_err());
+    // IF EXISTS tolerates absence.
+    s.execute_sql("DROP VIEW IF EXISTS v").unwrap();
+}
+
+#[test]
+fn view_privileges_are_independent_of_base_tables() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql(
+        "CREATE VIEW store_totals AS SELECT store_id, SUM(amount) AS total FROM sales \
+         GROUP BY store_id",
+    )
+    .unwrap();
+    db.create_user("viewer", false).unwrap();
+    db.grant("viewer", sqlkit::Action::Select, "store_totals")
+        .unwrap();
+    let mut v = db.session("viewer").unwrap();
+    // The viewer can query the view without any privilege on `sales`…
+    let r = v.execute_sql("SELECT COUNT(*) FROM store_totals").unwrap();
+    assert_eq!(r.row_count(), 1);
+    // …but not the base table directly.
+    assert!(v
+        .execute_sql("SELECT * FROM sales")
+        .unwrap_err()
+        .is_privilege());
+}
+
+#[test]
+fn views_roll_back_with_transactions() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("BEGIN").unwrap();
+    s.execute_sql("CREATE VIEW tmp AS SELECT id FROM sales")
+        .unwrap();
+    assert_eq!(cell(&db, "SELECT COUNT(*) FROM tmp"), Value::Int(5));
+    s.execute_sql("ROLLBACK").unwrap();
+    assert!(db
+        .session("admin")
+        .unwrap()
+        .execute_sql("SELECT * FROM tmp")
+        .is_err());
+
+    s.execute_sql("CREATE VIEW keeper AS SELECT id FROM sales")
+        .unwrap();
+    s.execute_sql("BEGIN").unwrap();
+    s.execute_sql("DROP VIEW keeper").unwrap();
+    s.execute_sql("ROLLBACK").unwrap();
+    assert_eq!(cell(&db, "SELECT COUNT(*) FROM keeper"), Value::Int(5));
+}
+
+#[test]
+fn view_over_view_expands_recursively() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("CREATE VIEW big AS SELECT id, amount FROM sales WHERE amount > 70")
+        .unwrap();
+    s.execute_sql("CREATE VIEW big_ids AS SELECT id FROM big")
+        .unwrap();
+    assert_eq!(cell(&db, "SELECT COUNT(*) FROM big_ids"), Value::Int(4));
+}
+
+#[test]
+fn explain_reports_scan_choices_without_executing() {
+    let db = sales_db();
+    let mut s = db.session("admin").unwrap();
+    let plan_text = |sql: &str, s: &mut minidb::Session| -> String {
+        match s.execute_sql(sql).unwrap() {
+            QueryResult::Rows { rows, .. } => rows
+                .iter()
+                .map(|r| r[0].render())
+                .collect::<Vec<_>>()
+                .join("\n"),
+            other => panic!("{other:?}"),
+        }
+    };
+    // PK point query uses the index; a non-key predicate scans.
+    let plan = plan_text("EXPLAIN SELECT * FROM sales WHERE id = 3", &mut s);
+    assert!(plan.contains("Index Scan on sales"), "{plan}");
+    let plan = plan_text("EXPLAIN SELECT * FROM sales WHERE amount > 100", &mut s);
+    assert!(plan.contains("Seq Scan on sales"), "{plan}");
+    // Creating an index flips the choice.
+    s.execute_sql("CREATE INDEX by_cat ON sales (category)")
+        .unwrap();
+    let plan = plan_text(
+        "EXPLAIN SELECT * FROM sales WHERE category = 'women'",
+        &mut s,
+    );
+    assert!(plan.contains("Index Scan on sales"), "{plan}");
+    // Aggregates, sorts, limits and joins appear as plan nodes.
+    let plan = plan_text(
+        "EXPLAIN SELECT s.region, SUM(x.amount) FROM sales AS x \
+         JOIN stores AS s ON x.store_id = s.id GROUP BY s.region \
+         ORDER BY s.region LIMIT 3",
+        &mut s,
+    );
+    assert!(plan.contains("Limit"), "{plan}");
+    assert!(plan.contains("Sort"), "{plan}");
+    assert!(plan.contains("GroupAggregate"), "{plan}");
+    assert!(plan.contains("Nested Loop Join"), "{plan}");
+    // EXPLAIN on DML never executes.
+    let before = db.table_rows("sales").unwrap();
+    let plan = plan_text("EXPLAIN DELETE FROM sales WHERE id = 1", &mut s);
+    assert!(plan.contains("Delete on sales (index scan)"), "{plan}");
+    assert_eq!(
+        db.table_rows("sales").unwrap(),
+        before,
+        "EXPLAIN must not run the DML"
+    );
+    let plan = plan_text(
+        "EXPLAIN UPDATE sales SET amount = 0 WHERE amount > 1",
+        &mut s,
+    );
+    assert!(plan.contains("Update on sales (seq scan)"), "{plan}");
+    let plan = plan_text("EXPLAIN INSERT INTO sales (id) VALUES (99)", &mut s);
+    assert!(plan.contains("Insert on sales (1 row(s))"), "{plan}");
+    assert_eq!(db.table_rows("sales").unwrap(), before);
+}
+
+#[test]
+fn explain_requires_the_underlying_privileges() {
+    let db = sales_db();
+    db.create_user("reader", false).unwrap();
+    db.grant("reader", sqlkit::Action::Select, "sales").unwrap();
+    let mut r = db.session("reader").unwrap();
+    assert!(r
+        .execute_sql("EXPLAIN SELECT * FROM sales WHERE id = 1")
+        .is_ok());
+    assert!(r
+        .execute_sql("EXPLAIN DELETE FROM sales")
+        .unwrap_err()
+        .is_privilege());
+    assert!(r
+        .execute_sql("EXPLAIN SELECT * FROM stores")
+        .unwrap_err()
+        .is_privilege());
+}

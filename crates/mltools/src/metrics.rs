@@ -1,0 +1,77 @@
+//! Regression quality metrics.
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    if truth.is_empty() || truth.len() != pred.len() {
+        return f64::NAN;
+    }
+    let mse = truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum::<f64>()
+        / truth.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    if truth.is_empty() || truth.len() != pred.len() {
+        return f64::NAN;
+    }
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Coefficient of determination R². A constant-truth vector yields NAN.
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    if truth.is_empty() || truth.len() != pred.len() {
+        return f64::NAN;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return f64::NAN;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let t = vec![0.0, 0.0];
+        let p = vec![3.0, 4.0];
+        assert!((rmse(&t, &p) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert!((mae(&t, &p) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let t = vec![1.0, 2.0, 3.0];
+        let p = vec![2.0, 2.0, 2.0];
+        assert!(r2(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_nan() {
+        assert!(rmse(&[], &[]).is_nan());
+        assert!(rmse(&[1.0], &[]).is_nan());
+        assert!(r2(&[5.0, 5.0], &[5.0, 5.0]).is_nan());
+    }
+}

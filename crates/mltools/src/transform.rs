@@ -1,0 +1,180 @@
+//! Data-processing primitives: normalization and train/test splitting.
+//!
+//! These operate on raw JSON rows (the wire format between tools) so that
+//! categorical columns pass through untouched and the output can feed any
+//! downstream tool.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use toolproto::Json;
+
+/// Which normalization to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormKind {
+    /// (x − mean) / std, degenerate columns untouched.
+    ZScore,
+    /// (x − min) / (max − min), degenerate columns untouched.
+    MinMax,
+}
+
+/// Normalize the numeric columns of JSON rows, skipping the column at
+/// `exclude` (typically the target) when given. Non-numeric cells pass
+/// through unchanged.
+pub fn normalize_rows(
+    rows: &[Json],
+    kind: NormKind,
+    exclude: Option<usize>,
+) -> Result<Vec<Json>, String> {
+    if rows.is_empty() {
+        return Ok(Vec::new());
+    }
+    let width = rows[0]
+        .as_array()
+        .ok_or_else(|| "rows must be arrays".to_string())?
+        .len();
+    // Column statistics over numeric cells.
+    let mut count = vec![0usize; width];
+    let mut sum = vec![0.0f64; width];
+    let mut sumsq = vec![0.0f64; width];
+    let mut min = vec![f64::INFINITY; width];
+    let mut max = vec![f64::NEG_INFINITY; width];
+    for row in rows {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| "rows must be arrays".to_string())?;
+        if cells.len() != width {
+            return Err("ragged rows".into());
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            if let Some(v) = cell.as_f64() {
+                count[i] += 1;
+                sum[i] += v;
+                sumsq[i] += v * v;
+                min[i] = min[i].min(v);
+                max[i] = max[i].max(v);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let cells = row.as_array().expect("checked");
+        let mut new_cells = Vec::with_capacity(width);
+        for (i, cell) in cells.iter().enumerate() {
+            let keep = exclude == Some(i) || count[i] == 0;
+            match cell.as_f64() {
+                Some(v) if !keep => {
+                    let transformed = match kind {
+                        NormKind::ZScore => {
+                            let mean = sum[i] / count[i] as f64;
+                            let var = (sumsq[i] / count[i] as f64 - mean * mean).max(0.0);
+                            let std = var.sqrt();
+                            if std < 1e-12 {
+                                v
+                            } else {
+                                (v - mean) / std
+                            }
+                        }
+                        NormKind::MinMax => {
+                            let range = max[i] - min[i];
+                            if range < 1e-12 {
+                                v
+                            } else {
+                                (v - min[i]) / range
+                            }
+                        }
+                    };
+                    new_cells.push(Json::num(transformed));
+                }
+                _ => new_cells.push(cell.clone()),
+            }
+        }
+        out.push(Json::Array(new_cells));
+    }
+    Ok(out)
+}
+
+/// Deterministic train/test split of JSON rows.
+pub fn train_test_split(
+    rows: &[Json],
+    test_ratio: f64,
+    seed: u64,
+) -> Result<(Vec<Json>, Vec<Json>), String> {
+    if !(0.0..1.0).contains(&test_ratio) {
+        return Err(format!("test_ratio {test_ratio} must be in [0, 1)"));
+    }
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Fisher-Yates shuffle.
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let test_n = (rows.len() as f64 * test_ratio).round() as usize;
+    let (test_idx, train_idx) = order.split_at(test_n.min(rows.len()));
+    let pick = |idx: &[usize]| -> Vec<Json> {
+        let mut sorted = idx.to_vec();
+        sorted.sort_unstable();
+        sorted.into_iter().map(|i| rows[i].clone()).collect()
+    };
+    Ok((pick(train_idx), pick(test_idx)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Json> {
+        vec![
+            Json::parse(r#"[0.0, "a", 100]"#).unwrap(),
+            Json::parse(r#"[10.0, "b", 200]"#).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn zscore_normalizes_numeric_columns() {
+        let out = normalize_rows(&rows(), NormKind::ZScore, Some(2)).unwrap();
+        // Column 0: mean 5, std 5 → values ±1.
+        assert_eq!(out[0].at(0).and_then(Json::as_f64), Some(-1.0));
+        assert_eq!(out[1].at(0).and_then(Json::as_f64), Some(1.0));
+        // Strings untouched; excluded column untouched.
+        assert_eq!(out[0].at(1).and_then(Json::as_str), Some("a"));
+        assert_eq!(out[0].at(2).and_then(Json::as_f64), Some(100.0));
+    }
+
+    #[test]
+    fn minmax_normalizes_to_unit_interval() {
+        let out = normalize_rows(&rows(), NormKind::MinMax, None).unwrap();
+        assert_eq!(out[0].at(0).and_then(Json::as_f64), Some(0.0));
+        assert_eq!(out[1].at(0).and_then(Json::as_f64), Some(1.0));
+        assert_eq!(out[1].at(2).and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn constant_columns_pass_through() {
+        let rows = vec![Json::parse("[5]").unwrap(), Json::parse("[5]").unwrap()];
+        let out = normalize_rows(&rows, NormKind::ZScore, None).unwrap();
+        assert_eq!(out[0].at(0).and_then(Json::as_f64), Some(5.0));
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let rows: Vec<Json> = (0..100)
+            .map(|i| Json::parse(&format!("[{i}]")).unwrap())
+            .collect();
+        let (train_a, test_a) = train_test_split(&rows, 0.2, 7).unwrap();
+        let (train_b, test_b) = train_test_split(&rows, 0.2, 7).unwrap();
+        assert_eq!(train_a, train_b);
+        assert_eq!(test_a, test_b);
+        assert_eq!(train_a.len(), 80);
+        assert_eq!(test_a.len(), 20);
+        // Different seed → different split.
+        let (train_c, _) = train_test_split(&rows, 0.2, 8).unwrap();
+        assert_ne!(train_a, train_c);
+    }
+
+    #[test]
+    fn split_rejects_bad_ratio() {
+        assert!(train_test_split(&rows(), 1.0, 1).is_err());
+        assert!(train_test_split(&rows(), -0.1, 1).is_err());
+    }
+}

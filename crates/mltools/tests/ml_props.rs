@@ -1,0 +1,162 @@
+//! Property-based tests of the ML substrate: normalization statistics,
+//! split partitioning, regression recovery, and metric identities.
+
+use mltools::{linreg, metrics, transform, Dataset};
+use proptest::prelude::*;
+use toolproto::Json;
+
+fn rows_of_floats(data: &[Vec<f64>]) -> Vec<Json> {
+    data.iter()
+        .map(|r| Json::array(r.iter().map(|v| Json::num(*v))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Z-score output has mean ≈ 0 and std ≈ 1 per (non-constant) column.
+    #[test]
+    fn zscore_standardizes(
+        data in prop::collection::vec(
+            prop::collection::vec(-1.0e3f64..1.0e3, 2..4), 3..40
+        )
+    ) {
+        let width = data[0].len();
+        let data: Vec<Vec<f64>> = data.into_iter().map(|mut r| {
+            r.resize(width, 0.0);
+            r
+        }).collect();
+        let rows = rows_of_floats(&data);
+        let out = transform::normalize_rows(&rows, transform::NormKind::ZScore, None).unwrap();
+        for col in 0..width {
+            let vals: Vec<f64> = out
+                .iter()
+                .map(|r| r.at(col).and_then(Json::as_f64).unwrap())
+                .collect();
+            let n = vals.len() as f64;
+            let mean = vals.iter().sum::<f64>() / n;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            // Constant columns pass through unchanged.
+            let original: Vec<f64> = data.iter().map(|r| r[col]).collect();
+            let orig_mean = original.iter().sum::<f64>() / n;
+            let orig_var = original.iter().map(|v| (v - orig_mean).powi(2)).sum::<f64>() / n;
+            if orig_var.sqrt() > 1e-9 {
+                prop_assert!(mean.abs() < 1e-6, "col {col} mean {mean}");
+                prop_assert!((var - 1.0).abs() < 1e-6, "col {col} var {var}");
+            }
+        }
+    }
+
+    /// Min-max output lies in [0, 1] and attains both bounds.
+    #[test]
+    fn minmax_hits_unit_interval(
+        vals in prop::collection::vec(-1.0e4f64..1.0e4, 2..50)
+    ) {
+        let data: Vec<Vec<f64>> = vals.iter().map(|v| vec![*v]).collect();
+        let rows = rows_of_floats(&data);
+        let out = transform::normalize_rows(&rows, transform::NormKind::MinMax, None).unwrap();
+        let spread = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread > 1e-9 {
+            let outs: Vec<f64> = out
+                .iter()
+                .map(|r| r.at(0).and_then(Json::as_f64).unwrap())
+                .collect();
+            prop_assert!(outs.iter().all(|v| (-1e-9..=1.0 + 1e-9).contains(v)));
+            prop_assert!(outs.iter().any(|v| *v < 1e-9), "min must map to 0");
+            prop_assert!(outs.iter().any(|v| *v > 1.0 - 1e-9), "max must map to 1");
+        }
+    }
+
+    /// A split is a partition: disjoint, exhaustive, correctly sized.
+    #[test]
+    fn split_partitions(
+        n in 1usize..200,
+        ratio in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let rows: Vec<Json> = (0..n).map(|i| Json::array([Json::num(i as f64)])).collect();
+        let (train, test) = transform::train_test_split(&rows, ratio, seed).unwrap();
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert_eq!(test.len(), (n as f64 * ratio).round() as usize);
+        let mut ids: Vec<i64> = train
+            .iter()
+            .chain(&test)
+            .map(|r| r.at(0).and_then(Json::as_i64).unwrap())
+            .collect();
+        ids.sort_unstable();
+        let expect: Vec<i64> = (0..n as i64).collect();
+        prop_assert_eq!(ids, expect);
+    }
+
+    /// Linear regression recovers arbitrary linear functions exactly (up to
+    /// conditioning).
+    #[test]
+    fn linreg_recovers_linear_functions(
+        w0 in -100.0f64..100.0,
+        w1 in -10.0f64..10.0,
+        w2 in -10.0f64..10.0,
+        n in 10usize..60,
+    ) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| w0 + w1 * r[0] + w2 * r[1]).collect();
+        let model = linreg::fit(&x, &y, 1e-9).unwrap();
+        let preds = model.predict(&x);
+        let rmse = metrics::rmse(&y, &preds);
+        let scale = y.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        prop_assert!(rmse <= scale * 1e-6, "rmse {rmse} vs scale {scale}");
+    }
+
+    /// Metric identities: RMSE ≥ MAE ≥ 0; R² = 1 iff exact.
+    #[test]
+    fn metric_identities(
+        truth in prop::collection::vec(-1.0e3f64..1.0e3, 2..40),
+        noise in prop::collection::vec(-10.0f64..10.0, 2..40),
+    ) {
+        let n = truth.len().min(noise.len());
+        let truth = &truth[..n];
+        let pred: Vec<f64> = truth.iter().zip(&noise[..n]).map(|(t, e)| t + e).collect();
+        let rmse = metrics::rmse(truth, &pred);
+        let mae = metrics::mae(truth, &pred);
+        prop_assert!(rmse >= mae - 1e-9, "rmse {rmse} < mae {mae}");
+        prop_assert!(mae >= 0.0);
+        prop_assert_eq!(metrics::rmse(truth, truth), 0.0);
+        let spread: f64 = {
+            let mean = truth.iter().sum::<f64>() / n as f64;
+            truth.iter().map(|t| (t - mean).powi(2)).sum()
+        };
+        if spread > 1e-9 {
+            prop_assert!((metrics::r2(truth, truth) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Encoding round trip: the training recipe reproduces identical feature
+    /// vectors on the same rows and tolerates unseen categories.
+    #[test]
+    fn encoding_recipe_is_stable(
+        labels in prop::collection::vec("[abc]", 4..30),
+        unseen in prop::collection::vec("[xyz]", 1..5),
+    ) {
+        let rows: Vec<Json> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| Json::array([Json::str(l.clone()), Json::num(i as f64)]))
+            .collect();
+        let ds = Dataset::from_rows(&rows, 1).unwrap();
+        let again = Dataset::encode_with(&rows, 1, &ds.encoding).unwrap();
+        prop_assert_eq!(&again.x, &ds.x);
+        prop_assert_eq!(&again.feature_names, &ds.feature_names);
+        // Unseen categories encode to all-zero one-hot blocks of the same width.
+        let unseen_rows: Vec<Json> = unseen
+            .iter()
+            .map(|l| Json::array([Json::str(l.clone()), Json::num(0.0)]))
+            .collect();
+        let enc = Dataset::encode_with(&unseen_rows, 1, &ds.encoding).unwrap();
+        prop_assert_eq!(enc.width(), ds.width());
+        for row in &enc.x {
+            prop_assert!(row.iter().all(|v| *v == 0.0));
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! AST → SQL text rendering.
+//!
+//! Rendering is canonical (keywords upper-case, minimal parentheses driven by
+//! precedence) and round-trips through the parser: `parse(format(ast))`
+//! yields an equivalent AST. The property-based tests rely on this to fuzz
+//! the parser, and the benchmark generators use it to materialize gold SQL.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render any statement as SQL text.
+pub fn format_statement(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Select(s) => format_select(s),
+        Statement::Insert(i) => format_insert(i),
+        Statement::Update(u) => format_update(u),
+        Statement::Delete(d) => format_delete(d),
+        Statement::CreateTable(c) => format_create_table(c),
+        Statement::CreateView(v) => {
+            format!("CREATE VIEW {} AS {}", v.name, format_select(&v.query))
+        }
+        Statement::DropView { name, if_exists } => {
+            let exists = if *if_exists { "IF EXISTS " } else { "" };
+            format!("DROP VIEW {exists}{name}")
+        }
+        Statement::DropTable(d) => {
+            let exists = if d.if_exists { "IF EXISTS " } else { "" };
+            format!("DROP TABLE {exists}{}", d.names.join(", "))
+        }
+        Statement::CreateIndex(ci) => {
+            let unique = if ci.unique { "UNIQUE " } else { "" };
+            format!(
+                "CREATE {unique}INDEX {} ON {} ({})",
+                ci.name,
+                ci.table,
+                ci.columns.join(", ")
+            )
+        }
+        Statement::AlterTable(at) => match at {
+            AlterTable::AddColumn { table, column } => {
+                format!(
+                    "ALTER TABLE {table} ADD COLUMN {}",
+                    format_column_def(column)
+                )
+            }
+            AlterTable::DropColumn { table, column } => {
+                format!("ALTER TABLE {table} DROP COLUMN {column}")
+            }
+            AlterTable::RenameTable { table, new_name } => {
+                format!("ALTER TABLE {table} RENAME TO {new_name}")
+            }
+        },
+        Statement::Begin => "BEGIN".to_owned(),
+        Statement::Commit => "COMMIT".to_owned(),
+        Statement::Rollback => "ROLLBACK".to_owned(),
+        Statement::Savepoint(name) => format!("SAVEPOINT {name}"),
+        Statement::RollbackTo(name) => format!("ROLLBACK TO SAVEPOINT {name}"),
+        Statement::Release(name) => format!("RELEASE SAVEPOINT {name}"),
+        Statement::Explain(inner) => format!("EXPLAIN {}", format_statement(inner)),
+        Statement::GrantRevoke(g) => {
+            let verb = if g.grant { "GRANT" } else { "REVOKE" };
+            let privs = match &g.actions {
+                None => "ALL PRIVILEGES".to_owned(),
+                Some(actions) => actions
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            };
+            let conn = if g.grant { "TO" } else { "FROM" };
+            format!(
+                "{verb} {privs} ON {} {conn} {}",
+                g.objects.join(", "),
+                g.user
+            )
+        }
+    }
+}
+
+/// Render a SELECT.
+pub fn format_select(s: &Select) -> String {
+    let mut out = String::from("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    let items: Vec<String> = s
+        .items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Wildcard => "*".to_owned(),
+            SelectItem::QualifiedWildcard(t) => format!("{t}.*"),
+            SelectItem::Expr { expr, alias } => {
+                let mut text = format_expr(expr);
+                if let Some(a) = alias {
+                    let _ = write!(text, " AS {a}");
+                }
+                text
+            }
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    if let Some(from) = &s.from {
+        let _ = write!(out, " FROM {}", format_table_ref(from));
+        for j in &s.joins {
+            let kw = match j.kind {
+                JoinKind::Inner => "JOIN",
+                JoinKind::Left => "LEFT JOIN",
+                JoinKind::Cross => "CROSS JOIN",
+            };
+            let _ = write!(out, " {kw} {}", format_table_ref(&j.table));
+            if let Some(on) = &j.on {
+                let _ = write!(out, " ON {}", format_expr(on));
+            }
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        let _ = write!(out, " WHERE {}", format_expr(w));
+    }
+    if !s.group_by.is_empty() {
+        let keys: Vec<String> = s.group_by.iter().map(format_expr).collect();
+        let _ = write!(out, " GROUP BY {}", keys.join(", "));
+    }
+    if let Some(h) = &s.having {
+        let _ = write!(out, " HAVING {}", format_expr(h));
+    }
+    if !s.order_by.is_empty() {
+        let keys: Vec<String> = s
+            .order_by
+            .iter()
+            .map(|o| {
+                let dir = match o.dir {
+                    OrderDir::Asc => "",
+                    OrderDir::Desc => " DESC",
+                };
+                format!("{}{dir}", format_expr(&o.expr))
+            })
+            .collect();
+        let _ = write!(out, " ORDER BY {}", keys.join(", "));
+    }
+    if let Some(l) = s.limit {
+        let _ = write!(out, " LIMIT {l}");
+    }
+    if let Some(o) = s.offset {
+        let _ = write!(out, " OFFSET {o}");
+    }
+    out
+}
+
+fn format_table_ref(t: &TableRef) -> String {
+    match &t.alias {
+        Some(a) => format!("{} AS {a}", t.name),
+        None => t.name.clone(),
+    }
+}
+
+fn format_insert(i: &Insert) -> String {
+    let cols = if i.columns.is_empty() {
+        String::new()
+    } else {
+        format!(" ({})", i.columns.join(", "))
+    };
+    match &i.source {
+        InsertSource::Values(rows) => {
+            let rendered: Vec<String> = rows
+                .iter()
+                .map(|row| {
+                    let vals: Vec<String> = row.iter().map(format_expr).collect();
+                    format!("({})", vals.join(", "))
+                })
+                .collect();
+            format!(
+                "INSERT INTO {}{cols} VALUES {}",
+                i.table,
+                rendered.join(", ")
+            )
+        }
+        InsertSource::Select(sel) => {
+            format!("INSERT INTO {}{cols} {}", i.table, format_select(sel))
+        }
+    }
+}
+
+fn format_update(u: &Update) -> String {
+    let sets: Vec<String> = u
+        .assignments
+        .iter()
+        .map(|(c, e)| format!("{c} = {}", format_expr(e)))
+        .collect();
+    let mut out = format!("UPDATE {} SET {}", u.table, sets.join(", "));
+    if let Some(w) = &u.where_clause {
+        let _ = write!(out, " WHERE {}", format_expr(w));
+    }
+    out
+}
+
+fn format_delete(d: &Delete) -> String {
+    let mut out = format!("DELETE FROM {}", d.table);
+    if let Some(w) = &d.where_clause {
+        let _ = write!(out, " WHERE {}", format_expr(w));
+    }
+    out
+}
+
+fn format_column_def(c: &ColumnDef) -> String {
+    let mut out = format!("{} {}", c.name, c.ty.sql());
+    if c.primary_key {
+        out.push_str(" PRIMARY KEY");
+    } else if c.not_null {
+        out.push_str(" NOT NULL");
+    }
+    if c.unique {
+        out.push_str(" UNIQUE");
+    }
+    if let Some(d) = &c.default {
+        let _ = write!(out, " DEFAULT {}", format_expr(d));
+    }
+    if let Some((t, col)) = &c.references {
+        let _ = write!(out, " REFERENCES {t}({col})");
+    }
+    if let Some(check) = &c.check {
+        let _ = write!(out, " CHECK ({})", format_expr(check));
+    }
+    out
+}
+
+fn format_create_table(ct: &CreateTable) -> String {
+    let mut parts: Vec<String> = ct.columns.iter().map(format_column_def).collect();
+    for cons in &ct.constraints {
+        parts.push(match cons {
+            TableConstraint::PrimaryKey(cols) => format!("PRIMARY KEY ({})", cols.join(", ")),
+            TableConstraint::Unique(cols) => format!("UNIQUE ({})", cols.join(", ")),
+            TableConstraint::ForeignKey {
+                columns,
+                foreign_table,
+                foreign_columns,
+            } => format!(
+                "FOREIGN KEY ({}) REFERENCES {foreign_table} ({})",
+                columns.join(", "),
+                foreign_columns.join(", ")
+            ),
+            TableConstraint::Check(e) => format!("CHECK ({})", format_expr(e)),
+        });
+    }
+    let exists = if ct.if_not_exists {
+        "IF NOT EXISTS "
+    } else {
+        ""
+    };
+    format!("CREATE TABLE {exists}{} ({})", ct.name, parts.join(", "))
+}
+
+/// Operator precedence used to minimize parentheses. Higher binds tighter.
+fn precedence(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Or => 1,
+        BinaryOp::And => 2,
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::LtEq
+        | BinaryOp::Gt
+        | BinaryOp::GtEq => 3,
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Concat => 4,
+        BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 5,
+    }
+}
+
+/// Render an expression.
+pub fn format_expr(e: &Expr) -> String {
+    render_expr(e, 0)
+}
+
+fn render_expr(e: &Expr, parent_prec: u8) -> String {
+    match e {
+        Expr::Literal(lit) => format_literal(lit),
+        Expr::Column(c) => match &c.table {
+            Some(t) => format!("{t}.{}", c.column),
+            None => c.column.clone(),
+        },
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => {
+                // NOT binds looser than comparisons: its operand renders at
+                // comparison level (AND/OR children get parenthesized), and
+                // NOT itself needs parens inside anything tighter than AND.
+                let text = format!("NOT {}", render_expr(expr, 3));
+                if parent_prec > 2 {
+                    format!("({text})")
+                } else {
+                    text
+                }
+            }
+            UnaryOp::Neg => {
+                let inner = render_expr(expr, 6);
+                if inner.starts_with('-') {
+                    // Avoid "--x", which would lex as a line comment.
+                    format!("-({inner})")
+                } else {
+                    format!("-{inner}")
+                }
+            }
+        },
+        Expr::Binary { left, op, right } => {
+            let prec = precedence(*op);
+            // Render children at this precedence; same-precedence right
+            // children get parenthesized to preserve left associativity.
+            // Comparisons don't chain in the grammar (`a = b = c` is a
+            // syntax error), so both their operands render one level
+            // tighter, parenthesizing nested predicates.
+            let left_prec = if prec == 3 { prec + 1 } else { prec };
+            let l = render_expr(left, left_prec);
+            let r = render_expr(right, prec + 1);
+            let text = format!("{l} {} {r}", op.symbol());
+            if prec < parent_prec {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => {
+            let upper = name.to_uppercase();
+            if *star {
+                format!("{upper}(*)")
+            } else {
+                let rendered: Vec<String> = args.iter().map(|a| render_expr(a, 0)).collect();
+                let d = if *distinct { "DISTINCT " } else { "" };
+                format!("{upper}({d}{})", rendered.join(", "))
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let not = if *negated { " NOT" } else { "" };
+            let text = format!("{} IS{not} NULL", render_expr(expr, 6));
+            predicate_parens(text, parent_prec)
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let not = if *negated { " NOT" } else { "" };
+            let items: Vec<String> = list.iter().map(|i| render_expr(i, 0)).collect();
+            let text = format!("{}{not} IN ({})", render_expr(expr, 6), items.join(", "));
+            predicate_parens(text, parent_prec)
+        }
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
+            let not = if *negated { " NOT" } else { "" };
+            let text = format!(
+                "{}{not} IN ({})",
+                render_expr(expr, 6),
+                format_select(subquery)
+            );
+            predicate_parens(text, parent_prec)
+        }
+        Expr::ScalarSubquery(sub) => format!("({})", format_select(sub)),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let not = if *negated { " NOT" } else { "" };
+            let text = format!(
+                "{}{not} BETWEEN {} AND {}",
+                render_expr(expr, 6),
+                render_expr(low, 6),
+                render_expr(high, 6)
+            );
+            predicate_parens(text, parent_prec)
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let not = if *negated { " NOT" } else { "" };
+            let text = format!(
+                "{}{not} LIKE {}",
+                render_expr(expr, 6),
+                render_expr(pattern, 6)
+            );
+            predicate_parens(text, parent_prec)
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            let mut out = String::from("CASE");
+            for (cond, val) in branches {
+                let _ = write!(
+                    out,
+                    " WHEN {} THEN {}",
+                    render_expr(cond, 0),
+                    render_expr(val, 0)
+                );
+            }
+            if let Some(e) = else_expr {
+                let _ = write!(out, " ELSE {}", render_expr(e, 0));
+            }
+            out.push_str(" END");
+            out
+        }
+        Expr::Cast { expr, ty } => {
+            format!("CAST({} AS {})", render_expr(expr, 0), ty.sql())
+        }
+    }
+}
+
+/// Postfix predicates (IS NULL, IN, BETWEEN, LIKE) sit at comparison
+/// precedence; parenthesize them inside tighter contexts.
+fn predicate_parens(text: String, parent_prec: u8) -> String {
+    if parent_prec > 3 {
+        format!("({text})")
+    } else {
+        text
+    }
+}
+
+fn format_literal(lit: &Literal) -> String {
+    match lit {
+        Literal::Null => "NULL".to_owned(),
+        Literal::Bool(true) => "TRUE".to_owned(),
+        Literal::Bool(false) => "FALSE".to_owned(),
+        Literal::Int(v) => v.to_string(),
+        Literal::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Literal::Str(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    /// parse → format → parse must be a fixpoint (equivalent ASTs).
+    fn roundtrip(sql: &str) -> String {
+        let stmt = parse_statement(sql).unwrap();
+        let text = format_statement(&stmt);
+        let reparsed =
+            parse_statement(&text).unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"));
+        assert_eq!(stmt, reparsed, "round trip changed AST for {sql:?}");
+        text
+    }
+
+    #[test]
+    fn roundtrips_selects() {
+        roundtrip("SELECT 1");
+        roundtrip("SELECT DISTINCT a, b AS total FROM t AS x WHERE a > 1 AND b < 2");
+        roundtrip(
+            "SELECT d.name, COUNT(*) FROM emp AS e JOIN dept AS d ON e.d = d.id \
+             GROUP BY d.name HAVING COUNT(*) > 1 ORDER BY d.name DESC LIMIT 5 OFFSET 2",
+        );
+        roundtrip("SELECT * FROM t WHERE a IN (SELECT a FROM u) OR b NOT LIKE 'x%'");
+        roundtrip("SELECT CASE WHEN x > 0 THEN 1 ELSE 0 END FROM t");
+        roundtrip("SELECT CAST(x AS REAL) FROM t");
+    }
+
+    #[test]
+    fn roundtrips_dml() {
+        roundtrip("INSERT INTO t (a, b) VALUES (1, 'x''y'), (NULL, TRUE)");
+        roundtrip("INSERT INTO t SELECT * FROM u WHERE x = 1");
+        roundtrip("UPDATE t SET a = a + 1 WHERE b IS NOT NULL");
+        roundtrip("DELETE FROM t WHERE a BETWEEN 1 AND 2");
+    }
+
+    #[test]
+    fn roundtrips_ddl_tcl() {
+        roundtrip("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT NOT NULL, CHECK (id > 0))");
+        roundtrip("DROP TABLE IF EXISTS a, b");
+        roundtrip("CREATE UNIQUE INDEX i ON t (a, b)");
+        roundtrip("BEGIN");
+        roundtrip("GRANT SELECT, INSERT ON a, b TO carol");
+        roundtrip("REVOKE ALL PRIVILEGES ON t FROM dave");
+    }
+
+    #[test]
+    fn parenthesization_preserves_precedence() {
+        // (1 + 2) * 3 must not lose its parens.
+        let text = roundtrip("SELECT (1 + 2) * 3");
+        assert!(text.contains("(1 + 2) * 3"), "got {text}");
+        // a OR (b AND c) needs no parens; (a OR b) AND c does.
+        let text = roundtrip("SELECT * FROM t WHERE (a OR b) AND c");
+        assert!(text.contains("(a OR b) AND c"), "got {text}");
+    }
+
+    #[test]
+    fn left_associativity_preserved() {
+        // 10 - 2 - 3 == (10-2)-3; re-render must not become 10 - (2 - 3).
+        let text = roundtrip("SELECT 10 - 2 - 3");
+        assert_eq!(text, "SELECT 10 - 2 - 3");
+        let text = roundtrip("SELECT 10 - (2 - 3)");
+        assert!(text.contains("10 - (2 - 3)"));
+    }
+
+    #[test]
+    fn string_quotes_escaped() {
+        assert_eq!(format_expr(&Expr::string("it's")), "'it''s'");
+    }
+
+    #[test]
+    fn float_literals_keep_decimal_point() {
+        // Otherwise INT/FLOAT literal kinds flip on round trip.
+        assert_eq!(format_literal(&Literal::Float(3.0)), "3.0");
+        assert_eq!(format_literal(&Literal::Int(3)), "3");
+    }
+}

@@ -1,0 +1,364 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream with byte offsets so parse errors can point
+//! at the offending position — the simulated agent surfaces these messages
+//! back into the LLM transcript, mirroring how a real database error would
+//! read.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive at the parser level). Double-quoted identifiers are
+    /// unquoted into this variant with `quoted = true`.
+    Ident {
+        /// The identifier text.
+        text: String,
+        /// Whether it was written as a quoted identifier (`"name"`).
+        quoted: bool,
+    },
+    /// Numeric literal (integer or decimal).
+    Number(String),
+    /// Single-quoted string literal, unescaped.
+    Str(String),
+    /// Punctuation / operator symbol, e.g. `(`, `,`, `<=`, `||`.
+    Symbol(&'static str),
+    /// Positional parameter like `$1` (parsed but unused by the engine).
+    Param(u32),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident { text, quoted: true } => write!(f, "\"{text}\""),
+            Token::Ident { text, .. } => write!(f, "{text}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Symbol(s) => write!(f, "{s}"),
+            Token::Param(n) => write!(f, "${n}"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Lexer error with source offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const SYMBOLS: &[&str] = &[
+    "<>", "!=", "<=", ">=", "||", "::", "(", ")", ",", ";", "+", "-", "*", "/", "%", "<", ">", "=",
+    ".",
+];
+
+/// Tokenize SQL text. Comments (`-- …` and `/* … */`) are skipped.
+pub fn lex(sql: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = sql.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    'outer: while pos < bytes.len() {
+        let b = bytes[pos];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        // Line comment.
+        if b == b'-' && bytes.get(pos + 1) == Some(&b'-') {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        // Block comment.
+        if b == b'/' && bytes.get(pos + 1) == Some(&b'*') {
+            let start = pos;
+            pos += 2;
+            loop {
+                if pos + 1 >= bytes.len() {
+                    return Err(LexError {
+                        offset: start,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                if bytes[pos] == b'*' && bytes[pos + 1] == b'/' {
+                    pos += 2;
+                    break;
+                }
+                pos += 1;
+            }
+            continue;
+        }
+        // String literal.
+        if b == b'\'' {
+            let start = pos;
+            pos += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(pos) {
+                    None => {
+                        return Err(LexError {
+                            offset: start,
+                            message: "unterminated string literal".into(),
+                        })
+                    }
+                    Some(b'\'') if bytes.get(pos + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        pos += 2;
+                    }
+                    Some(b'\'') => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        let rest = &sql[pos..];
+                        let ch = rest.chars().next().expect("in range");
+                        s.push(ch);
+                        pos += ch.len_utf8();
+                    }
+                }
+            }
+            out.push(Spanned {
+                token: Token::Str(s),
+                offset: start,
+            });
+            continue;
+        }
+        // Quoted identifier.
+        if b == b'"' {
+            let start = pos;
+            pos += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(pos) {
+                    None => {
+                        return Err(LexError {
+                            offset: start,
+                            message: "unterminated quoted identifier".into(),
+                        })
+                    }
+                    Some(b'"') if bytes.get(pos + 1) == Some(&b'"') => {
+                        s.push('"');
+                        pos += 2;
+                    }
+                    Some(b'"') => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        let rest = &sql[pos..];
+                        let ch = rest.chars().next().expect("in range");
+                        s.push(ch);
+                        pos += ch.len_utf8();
+                    }
+                }
+            }
+            out.push(Spanned {
+                token: Token::Ident {
+                    text: s,
+                    quoted: true,
+                },
+                offset: start,
+            });
+            continue;
+        }
+        // Number: digits, optional fraction/exponent. A leading '.' followed
+        // by a digit is also a number (".5").
+        if b.is_ascii_digit() || (b == b'.' && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)) {
+            let start = pos;
+            while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'.' {
+                pos += 1;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+            }
+            if pos < bytes.len() && (bytes[pos] == b'e' || bytes[pos] == b'E') {
+                let mut probe = pos + 1;
+                if probe < bytes.len() && (bytes[probe] == b'+' || bytes[probe] == b'-') {
+                    probe += 1;
+                }
+                if probe < bytes.len() && bytes[probe].is_ascii_digit() {
+                    pos = probe;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                }
+            }
+            out.push(Spanned {
+                token: Token::Number(sql[start..pos].to_owned()),
+                offset: start,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = pos;
+            while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+                pos += 1;
+            }
+            out.push(Spanned {
+                token: Token::Ident {
+                    text: sql[start..pos].to_owned(),
+                    quoted: false,
+                },
+                offset: start,
+            });
+            continue;
+        }
+        // Positional parameter.
+        if b == b'$' {
+            let start = pos;
+            pos += 1;
+            let digits_start = pos;
+            while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                pos += 1;
+            }
+            if pos == digits_start {
+                return Err(LexError {
+                    offset: start,
+                    message: "expected digits after '$'".into(),
+                });
+            }
+            let n: u32 = sql[digits_start..pos].parse().map_err(|_| LexError {
+                offset: start,
+                message: "parameter number out of range".into(),
+            })?;
+            out.push(Spanned {
+                token: Token::Param(n),
+                offset: start,
+            });
+            continue;
+        }
+        // Multi/single character symbols, longest first.
+        for sym in SYMBOLS {
+            if sql[pos..].starts_with(sym) {
+                out.push(Spanned {
+                    token: Token::Symbol(sym),
+                    offset: pos,
+                });
+                pos += sym.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            offset: pos,
+            message: format!(
+                "unexpected character '{}'",
+                &sql[pos..].chars().next().unwrap()
+            ),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<Token> {
+        lex(sql).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let toks = kinds("SELECT a, b FROM t WHERE x >= 10;");
+        assert_eq!(
+            toks[0],
+            Token::Ident {
+                text: "SELECT".into(),
+                quoted: false
+            }
+        );
+        assert!(toks.contains(&Token::Symbol(">=")));
+        assert!(toks.contains(&Token::Number("10".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Symbol(";"));
+    }
+
+    #[test]
+    fn string_escapes_doubled_quotes() {
+        let toks = kinds("'it''s'");
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = kinds(r#""Order Details""#);
+        assert_eq!(
+            toks,
+            vec![Token::Ident {
+                text: "Order Details".into(),
+                quoted: true
+            }]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 .5 1e3 1.5e-2"),
+            vec![
+                Token::Number("1".into()),
+                Token::Number("2.5".into()),
+                Token::Number(".5".into()),
+                Token::Number("1e3".into()),
+                Token::Number("1.5e-2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = kinds("SELECT -- line\n 1 /* block */ + 2");
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn neq_both_spellings() {
+        assert_eq!(kinds("a <> b")[1], Token::Symbol("<>"));
+        assert_eq!(kinds("a != b")[1], Token::Symbol("!="));
+    }
+
+    #[test]
+    fn params() {
+        assert_eq!(kinds("$1")[0], Token::Param(1));
+        assert!(lex("$x").is_err());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = lex("SELECT 'abc").unwrap_err();
+        assert_eq!(err.offset, 7);
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'café'"), vec![Token::Str("café".into())]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Property-based tests: generated ASTs must survive `format → parse`
+//! unchanged, and the analyzer must see every referenced table.
+
+use proptest::prelude::*;
+use sqlkit::ast::*;
+use sqlkit::{analyze, format_statement, parse_statement};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a reserved word", |s| {
+        !matches!(
+            s.as_str(),
+            "select"
+                | "from"
+                | "where"
+                | "group"
+                | "having"
+                | "order"
+                | "limit"
+                | "offset"
+                | "join"
+                | "inner"
+                | "left"
+                | "cross"
+                | "on"
+                | "and"
+                | "or"
+                | "not"
+                | "as"
+                | "in"
+                | "is"
+                | "null"
+                | "like"
+                | "between"
+                | "case"
+                | "when"
+                | "then"
+                | "else"
+                | "end"
+                | "cast"
+                | "true"
+                | "false"
+                | "insert"
+                | "update"
+                | "delete"
+                | "set"
+                | "values"
+                | "into"
+                | "create"
+                | "drop"
+                | "alter"
+                | "table"
+                | "index"
+                | "begin"
+                | "commit"
+                | "rollback"
+                | "grant"
+                | "revoke"
+                | "union"
+                | "distinct"
+                | "all"
+                | "by"
+                | "asc"
+                | "desc"
+                | "exists"
+                | "if"
+        )
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Literal::Int),
+        (-1.0e6f64..1.0e6).prop_map(Literal::Float),
+        "[a-zA-Z0-9 '%_]{0,12}".prop_map(Literal::Str),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(Expr::Literal),
+        ident().prop_map(|c| Expr::Column(ColumnRef {
+            table: None,
+            column: c
+        })),
+        (ident(), ident()).prop_map(|(t, c)| Expr::Column(ColumnRef {
+            table: Some(t),
+            column: c
+        })),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), any::<u8>()).prop_map(|(l, r, op)| {
+                let op = match op % 10 {
+                    0 => BinaryOp::Or,
+                    1 => BinaryOp::And,
+                    2 => BinaryOp::Eq,
+                    3 => BinaryOp::NotEq,
+                    4 => BinaryOp::Lt,
+                    5 => BinaryOp::Gt,
+                    6 => BinaryOp::Add,
+                    7 => BinaryOp::Sub,
+                    8 => BinaryOp::Mul,
+                    _ => BinaryOp::Concat,
+                };
+                Expr::binary(l, op, r)
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: n
+            }),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, n)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: n
+                }),
+            (ident(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(name, args)| {
+                Expr::Function {
+                    name,
+                    args,
+                    distinct: false,
+                    star: false,
+                }
+            }),
+            inner.prop_map(|e| Expr::Cast {
+                expr: Box::new(e),
+                ty: TypeName::Integer
+            }),
+        ]
+    })
+}
+
+fn select() -> impl Strategy<Value = Select> {
+    (
+        ident(),
+        prop::collection::vec((expr(), prop::option::of(ident())), 1..4),
+        prop::option::of(expr()),
+        prop::collection::vec(expr(), 0..3),
+        prop::option::of((0u64..1000, 0u64..100)),
+        any::<bool>(),
+    )
+        .prop_map(|(table, items, where_clause, group_by, lim, distinct)| {
+            let mut s = Select::new();
+            s.distinct = distinct;
+            s.items = items
+                .into_iter()
+                .map(|(expr, alias)| SelectItem::Expr { expr, alias })
+                .collect();
+            s.from = Some(TableRef {
+                name: table,
+                alias: None,
+            });
+            s.where_clause = where_clause;
+            s.group_by = group_by;
+            if let Some((l, o)) = lim {
+                s.limit = Some(l);
+                s.offset = Some(o);
+            }
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn select_roundtrips(s in select()) {
+        let stmt = Statement::Select(s);
+        let text = format_statement(&stmt);
+        let reparsed = parse_statement(&text)
+            .unwrap_or_else(|e| panic!("{text:?} failed to reparse: {e}"));
+        prop_assert_eq!(reparsed, stmt);
+    }
+
+    #[test]
+    fn expressions_roundtrip(e in expr()) {
+        let stmt = Statement::Select(Select {
+            items: vec![SelectItem::Expr { expr: e, alias: None }],
+            ..Select::new()
+        });
+        let text = format_statement(&stmt);
+        let reparsed = parse_statement(&text)
+            .unwrap_or_else(|err| panic!("{text:?} failed to reparse: {err}"));
+        prop_assert_eq!(reparsed, stmt);
+    }
+
+    #[test]
+    fn insert_roundtrips(
+        table in ident(),
+        cols in prop::collection::vec(ident(), 0..4),
+        rows in prop::collection::vec(prop::collection::vec(literal(), 1..4), 1..3),
+    ) {
+        // Ragged rows are legal to *parse*; pad to the first row's width for
+        // a well-formed statement.
+        let width = rows[0].len();
+        let rows: Vec<Vec<Expr>> = rows
+            .into_iter()
+            .map(|r| {
+                r.into_iter()
+                    .map(Expr::Literal)
+                    .chain(std::iter::repeat(Expr::int(0)))
+                    .take(width)
+                    .collect()
+            })
+            .collect();
+        let cols = if cols.len() == width { cols } else { Vec::new() };
+        let stmt = Statement::Insert(Insert {
+            table,
+            columns: cols,
+            source: InsertSource::Values(rows),
+        });
+        let text = format_statement(&stmt);
+        let reparsed = parse_statement(&text)
+            .unwrap_or_else(|e| panic!("{text:?} failed to reparse: {e}"));
+        prop_assert_eq!(reparsed, stmt);
+    }
+
+    #[test]
+    fn update_and_delete_roundtrip(
+        table in ident(),
+        col in ident(),
+        value in literal(),
+        pred in prop::option::of(expr()),
+    ) {
+        let upd = Statement::Update(Update {
+            table: table.clone(),
+            assignments: vec![(col, Expr::Literal(value))],
+            where_clause: pred.clone(),
+        });
+        let reparsed = parse_statement(&format_statement(&upd)).expect("update reparses");
+        prop_assert_eq!(reparsed, upd);
+        let del = Statement::Delete(Delete { table, where_clause: pred });
+        let reparsed = parse_statement(&format_statement(&del)).expect("delete reparses");
+        prop_assert_eq!(reparsed, del);
+    }
+
+    #[test]
+    fn analyzer_sees_the_from_table(s in select()) {
+        let name = s.from.as_ref().expect("generated with FROM").name.clone();
+        let profile = analyze(&Statement::Select(s));
+        prop_assert!(profile.reads.contains(&name));
+        prop_assert!(profile.writes.is_empty());
+    }
+
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,60}") {
+        let _ = parse_statement(&text);
+    }
+
+    #[test]
+    fn lexer_never_panics(text in "\\PC{0,60}") {
+        let _ = sqlkit::token::lex(&text);
+    }
+}

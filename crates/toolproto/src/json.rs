@@ -1,0 +1,683 @@
+//! A self-contained JSON value type with a strict parser and compact writer.
+//!
+//! The tool protocol exchanges arguments and results as JSON documents, the
+//! same way MCP does on the wire. Keeping the implementation local (rather
+//! than pulling in `serde_json`) keeps the substrate dependency-free and lets
+//! the proxy layer address sub-documents through [`Json::pointer`] without any
+//! intermediate deserialization.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document.
+///
+/// Numbers are stored as `f64`, mirroring the JSON data model. Object keys
+/// are kept in a [`BTreeMap`] so serialization is deterministic — important
+/// because token accounting in `llmsim` measures serialized payloads and must
+/// be reproducible across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with deterministically ordered keys.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn object<I, K>(pairs: I) -> Json
+    where
+        I: IntoIterator<Item = (K, Json)>,
+        K: Into<String>,
+    {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array from values.
+    pub fn array<I: IntoIterator<Item = Json>>(items: I) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for a number value.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Number(n.into())
+    }
+
+    /// `true` if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Borrow as a bool, if the value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a number, if the value is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an integer if the value is a number with no fractional part.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Number(n) if n.fract() == 0.0 && n.is_finite() => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string slice, if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array slice, if the value is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an object map, if the value is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Look up a key on an object. Returns `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Index into an array. Returns `None` for non-arrays or out of range.
+    pub fn at(&self, idx: usize) -> Option<&Json> {
+        self.as_array().and_then(|a| a.get(idx))
+    }
+
+    /// Resolve an RFC-6901-style JSON pointer (`/a/b/0`).
+    ///
+    /// An empty pointer resolves to `self`. Used by proxy transforms to pluck
+    /// sub-documents out of producer outputs.
+    pub fn pointer(&self, pointer: &str) -> Option<&Json> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        if !pointer.starts_with('/') {
+            return None;
+        }
+        let mut cur = self;
+        for raw in pointer[1..].split('/') {
+            let token = raw.replace("~1", "/").replace("~0", "~");
+            cur = match cur {
+                Json::Object(map) => map.get(&token)?,
+                Json::Array(items) => items.get(token.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// A short name of the value's JSON type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::Number(_) => "number",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        out
+    }
+
+    /// Serialize with two-space indentation, for human-facing output.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_pretty(self, 0, &mut out);
+        out
+    }
+
+    /// Parse JSON text. Strict: rejects trailing garbage, unterminated
+    /// strings, and malformed numbers.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(p.pos, "trailing characters after document"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Number(n)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Self {
+        Json::Number(n as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Number(n as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Error produced by [`Json::parse`], with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn write_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Number(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Json, depth: usize, out: &mut String) {
+    match v {
+        Json::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            indent(depth, out);
+            out.push(']');
+        }
+        Json::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(depth + 1, out);
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(val, depth + 1, out);
+            }
+            out.push('\n');
+            indent(depth, out);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; serialize as null like most tolerant writers.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(
+                self.pos,
+                format!("expected '{}'", b as char),
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(JsonError::new(
+                self.pos,
+                format!("unexpected character '{}'", b as char),
+            )),
+            None => Err(JsonError::new(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(self.pos, format!("expected '{kw}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(JsonError::new(self.pos, "expected digit"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(JsonError::new(self.pos, "expected digit after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(JsonError::new(self.pos, "expected digit in exponent"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| JsonError::new(start, "invalid number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.parse_hex4()?;
+                            // Handle surrogate pairs for non-BMP characters.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(JsonError::new(
+                                            self.pos,
+                                            "invalid low surrogate",
+                                        ));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(c).ok_or_else(|| {
+                                        JsonError::new(self.pos, "invalid code point")
+                                    })?
+                                } else {
+                                    return Err(JsonError::new(self.pos, "lone high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| JsonError::new(self.pos, "invalid code point"))?
+                            };
+                            out.push(ch);
+                            // parse_hex4 advanced pos past the 4 hex digits;
+                            // the trailing `continue` skips the +1 below.
+                            continue;
+                        }
+                        _ => return Err(JsonError::new(self.pos, "invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError::new(self.pos, "invalid UTF-8"))?;
+                    let ch = rest.chars().next().expect("non-empty checked above");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(JsonError::new(self.pos, "truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError::new(self.pos, "invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16)
+            .map_err(|_| JsonError::new(self.pos, "invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(JsonError::new(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(JsonError::new(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> Json {
+        let v = Json::parse(text).expect("parse");
+        let again = Json::parse(&v.to_compact()).expect("reparse");
+        assert_eq!(v, again, "compact round trip changed value");
+        let pretty = Json::parse(&v.to_pretty()).expect("reparse pretty");
+        assert_eq!(v, pretty, "pretty round trip changed value");
+        v
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(roundtrip("null"), Json::Null);
+        assert_eq!(roundtrip("true"), Json::Bool(true));
+        assert_eq!(roundtrip("false"), Json::Bool(false));
+        assert_eq!(roundtrip("42"), Json::Number(42.0));
+        assert_eq!(roundtrip("-3.5"), Json::Number(-3.5));
+        assert_eq!(roundtrip("1e3"), Json::Number(1000.0));
+        assert_eq!(roundtrip("\"hi\""), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures() {
+        let v = roundtrip(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#);
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            v.get("a").and_then(|a| a.at(0)).and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = Json::Str("line\nquote\"back\\slash\ttab\u{1}".into());
+        let text = v.to_compact();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(Json::parse(r#""é""#).unwrap(), Json::Str("é".into()));
+        // Surrogate pair for U+1F600.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "", "nul", "{", "[1,", "\"abc", "{\"a\":}", "1 2", "01x", "--2",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn lone_high_surrogate_rejected() {
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn pointer_resolution() {
+        let v = Json::parse(r#"{"rows": [{"x": 1}, {"x": 2}], "a/b": 3}"#).unwrap();
+        assert_eq!(v.pointer("/rows/1/x").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(v.pointer("/a~1b").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.pointer(""), Some(&v));
+        assert_eq!(v.pointer("/missing"), None);
+        assert_eq!(v.pointer("bad"), None);
+    }
+
+    #[test]
+    fn integers_serialize_without_fraction() {
+        assert_eq!(Json::Number(5.0).to_compact(), "5");
+        assert_eq!(Json::Number(5.5).to_compact(), "5.5");
+        assert_eq!(Json::Number(f64::NAN).to_compact(), "null");
+    }
+
+    #[test]
+    fn object_builder_and_accessors() {
+        let v = Json::object([("k", Json::num(1.0)), ("s", Json::str("v"))]);
+        assert_eq!(v.get("k").and_then(Json::as_i64), Some(1));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("v"));
+        assert_eq!(v.type_name(), "object");
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn deterministic_object_order() {
+        let a = Json::parse(r#"{"b":1,"a":2}"#).unwrap();
+        let b = Json::parse(r#"{"a":2,"b":1}"#).unwrap();
+        assert_eq!(a.to_compact(), b.to_compact());
+    }
+}

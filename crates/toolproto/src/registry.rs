@@ -1,0 +1,223 @@
+//! Tool registries: the session-visible tool surface.
+//!
+//! A [`Registry`] is what an agent "sees": the set of tools it may call.
+//! BridgeScope's action-level modularization (§2.3 of the paper) works by
+//! assembling a *different registry per user* — read-only users simply never
+//! receive the `insert`/`update`/`delete` tools. The registry also renders
+//! the tool prompt that enters the LLM context, so registry contents directly
+//! shape token accounting.
+
+use crate::json::Json;
+use crate::tool::{Args, Risk, Tool, ToolError, ToolOutput, ToolResult};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A named collection of tools. Cheap to clone (tools are `Arc`ed).
+#[derive(Clone, Default)]
+pub struct Registry {
+    tools: BTreeMap<String, Arc<dyn Tool>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a tool. Replaces any existing tool with the same name.
+    pub fn register(&mut self, tool: Arc<dyn Tool>) {
+        self.tools.insert(tool.name().to_owned(), tool);
+    }
+
+    /// Register a concrete tool value.
+    pub fn register_tool<T: Tool + 'static>(&mut self, tool: T) {
+        self.register(Arc::new(tool));
+    }
+
+    /// Remove a tool by name; returns whether it was present.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        self.tools.remove(name).is_some()
+    }
+
+    /// Look up a tool.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn Tool>> {
+        self.tools.get(name)
+    }
+
+    /// Whether a tool with this name is exposed.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tools.contains_key(name)
+    }
+
+    /// Number of exposed tools.
+    pub fn len(&self) -> usize {
+        self.tools.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tools.is_empty()
+    }
+
+    /// Names of all exposed tools, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.tools.keys().map(String::as_str).collect()
+    }
+
+    /// Iterate over tools in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn Tool>> {
+        self.tools.values()
+    }
+
+    /// Merge another registry into this one (other wins on name clashes).
+    pub fn extend(&mut self, other: &Registry) {
+        for tool in other.iter() {
+            self.register(Arc::clone(tool));
+        }
+    }
+
+    /// A copy of this registry without tools whose names are in `blocked`
+    /// and without tools above the `max_risk` threshold. This implements the
+    /// user-side white/black-list filtering of the paper's §2.3.
+    pub fn filtered(&self, blocked: &[String], max_risk: Risk) -> Registry {
+        let mut out = Registry::new();
+        for tool in self.iter() {
+            if tool.risk() <= max_risk && !blocked.iter().any(|b| b == tool.name()) {
+                out.register(Arc::clone(tool));
+            }
+        }
+        out
+    }
+
+    /// Validate arguments against the named tool's signature and invoke it.
+    pub fn call(&self, name: &str, payload: &Json) -> ToolResult {
+        let tool = self
+            .get(name)
+            .ok_or_else(|| ToolError::UnknownTool(name.to_owned()))?;
+        let args: Args = tool.signature().validate(payload)?;
+        tool.invoke(&args)
+    }
+
+    /// Invoke a tool with pre-validated arguments (used by the proxy, which
+    /// assembles argument maps itself after running producers).
+    pub fn call_validated(&self, name: &str, args: &Args) -> ToolResult {
+        let tool = self
+            .get(name)
+            .ok_or_else(|| ToolError::UnknownTool(name.to_owned()))?;
+        tool.invoke(args)
+    }
+
+    /// Render the tool prompt: one block per tool with name, signature, and
+    /// description. This text is injected into the simulated LLM context.
+    pub fn render_prompt(&self) -> String {
+        let mut out = String::new();
+        for tool in self.iter() {
+            out.push_str("- ");
+            out.push_str(tool.name());
+            out.push_str(tool.signature().render().as_str());
+            out.push_str(": ");
+            out.push_str(tool.description());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("tools", &self.names())
+            .finish()
+    }
+}
+
+/// Convenience: build an output for callers that just need a status object.
+pub fn status_output(message: impl Into<String>) -> ToolOutput {
+    ToolOutput::value(Json::object([("status", Json::str(message))]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ArgSpec, ArgType, Signature};
+    use crate::tool::FnTool;
+
+    fn make(name: &str, risk: Risk) -> Arc<dyn Tool> {
+        Arc::new(
+            FnTool::new(
+                name,
+                format!("tool {name}"),
+                Signature::new(vec![ArgSpec::optional(
+                    "x",
+                    ArgType::Integer,
+                    "value",
+                    Json::num(0.0),
+                )]),
+                move |args: &Args| Ok(ToolOutput::value(args["x"].clone())),
+            )
+            .with_risk(risk),
+        )
+    }
+
+    #[test]
+    fn register_lookup_call() {
+        let mut reg = Registry::new();
+        reg.register(make("select", Risk::Safe));
+        assert!(reg.contains("select"));
+        let out = reg
+            .call("select", &Json::object([("x", Json::num(7.0))]))
+            .unwrap();
+        assert_eq!(out.value.as_i64(), Some(7));
+    }
+
+    #[test]
+    fn unknown_tool_error() {
+        let reg = Registry::new();
+        let err = reg.call("nope", &Json::Null).unwrap_err();
+        assert_eq!(err, ToolError::UnknownTool("nope".into()));
+    }
+
+    #[test]
+    fn invalid_args_rejected_before_invoke() {
+        let mut reg = Registry::new();
+        reg.register(make("t", Risk::Safe));
+        let err = reg
+            .call("t", &Json::object([("x", Json::str("not a number"))]))
+            .unwrap_err();
+        assert!(matches!(err, ToolError::InvalidArgs(_)));
+    }
+
+    #[test]
+    fn filtered_by_risk_and_blocklist() {
+        let mut reg = Registry::new();
+        reg.register(make("select", Risk::Safe));
+        reg.register(make("insert", Risk::Mutating));
+        reg.register(make("drop", Risk::Destructive));
+        let ro = reg.filtered(&[], Risk::Safe);
+        assert_eq!(ro.names(), vec!["select"]);
+        let no_drop = reg.filtered(&["drop".to_string()], Risk::Destructive);
+        assert_eq!(no_drop.names(), vec!["insert", "select"]);
+    }
+
+    #[test]
+    fn prompt_lists_all_tools() {
+        let mut reg = Registry::new();
+        reg.register(make("b_tool", Risk::Safe));
+        reg.register(make("a_tool", Risk::Safe));
+        let prompt = reg.render_prompt();
+        let a = prompt.find("a_tool").unwrap();
+        let b = prompt.find("b_tool").unwrap();
+        assert!(a < b, "prompt should be name-ordered for determinism");
+        assert!(prompt.contains("(x?: integer)"));
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = Registry::new();
+        a.register(make("one", Risk::Safe));
+        let mut b = Registry::new();
+        b.register(make("two", Risk::Safe));
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! The [`Tool`] trait and the invocation result/error model.
+
+use crate::json::Json;
+use crate::schema::{ArgError, Signature};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a tool invocation failed.
+///
+/// The distinction matters to the agent simulator: a [`ToolError::Denied`]
+/// teaches the simulated LLM that an operation class is off-limits (it aborts
+/// rather than retries), while an [`ToolError::Execution`] error triggers the
+/// model's retry behaviour — exactly the dynamics the paper's §3.3 measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToolError {
+    /// The arguments did not match the tool signature.
+    InvalidArgs(ArgError),
+    /// The named tool is not registered / not exposed to this session.
+    UnknownTool(String),
+    /// The invocation was rejected by a security gate (privilege or policy).
+    Denied {
+        /// Machine-readable reason code, e.g. `privilege` or `policy`.
+        code: String,
+        /// Human/LLM-facing explanation.
+        message: String,
+    },
+    /// The tool ran and failed (e.g. SQL error, ML input shape mismatch).
+    Execution(String),
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::InvalidArgs(e) => write!(f, "invalid arguments: {e}"),
+            ToolError::UnknownTool(name) => write!(f, "unknown tool '{name}'"),
+            ToolError::Denied { code, message } => write!(f, "denied ({code}): {message}"),
+            ToolError::Execution(message) => write!(f, "execution error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+impl From<ArgError> for ToolError {
+    fn from(e: ArgError) -> Self {
+        ToolError::InvalidArgs(e)
+    }
+}
+
+/// Successful tool output: a JSON document plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolOutput {
+    /// The result document handed back to the caller (agent or proxy).
+    pub value: Json,
+    /// Number of database rows touched/produced, when meaningful. Drives
+    /// data-volume accounting in the harness.
+    pub rows: Option<usize>,
+}
+
+impl ToolOutput {
+    /// Wrap a plain value.
+    pub fn value(value: Json) -> Self {
+        ToolOutput { value, rows: None }
+    }
+
+    /// Wrap a value with a row count.
+    pub fn with_rows(value: Json, rows: usize) -> Self {
+        ToolOutput {
+            value,
+            rows: Some(rows),
+        }
+    }
+}
+
+/// Result alias for tool invocations.
+pub type ToolResult = Result<ToolOutput, ToolError>;
+
+/// Normalized, validated arguments as delivered to a tool body.
+pub type Args = BTreeMap<String, Json>;
+
+/// A callable tool, MCP-style: a name, a description, a typed signature, and
+/// a body. Implementations must be thread-safe — proxy units invoke producer
+/// tools from worker threads.
+pub trait Tool: Send + Sync {
+    /// Unique tool name within a registry (e.g. `select`, `get_schema`).
+    fn name(&self) -> &str;
+
+    /// LLM-facing description of what the tool does and when to use it.
+    fn description(&self) -> &str;
+
+    /// Argument signature.
+    fn signature(&self) -> &Signature;
+
+    /// Execute with already-validated arguments.
+    fn invoke(&self, args: &Args) -> ToolResult;
+
+    /// Logical risk class of the tool, used for user-side policy filtering.
+    fn risk(&self) -> Risk {
+        Risk::Safe
+    }
+}
+
+/// Coarse risk classification used by user-side security policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Risk {
+    /// Read-only; cannot change database state.
+    Safe,
+    /// Mutates rows (INSERT/UPDATE/DELETE) but not structure.
+    Mutating,
+    /// Changes or destroys structure (CREATE/DROP/ALTER).
+    Destructive,
+}
+
+impl fmt::Display for Risk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Risk::Safe => write!(f, "safe"),
+            Risk::Mutating => write!(f, "mutating"),
+            Risk::Destructive => write!(f, "destructive"),
+        }
+    }
+}
+
+/// A tool built from closures; convenient for tests and for the ML tool
+/// servers whose bodies are pure functions.
+pub struct FnTool<F>
+where
+    F: Fn(&Args) -> ToolResult + Send + Sync,
+{
+    name: String,
+    description: String,
+    signature: Signature,
+    risk: Risk,
+    body: F,
+}
+
+impl<F> FnTool<F>
+where
+    F: Fn(&Args) -> ToolResult + Send + Sync,
+{
+    /// Create a closure-backed tool.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        signature: Signature,
+        body: F,
+    ) -> Self {
+        FnTool {
+            name: name.into(),
+            description: description.into(),
+            signature,
+            risk: Risk::Safe,
+            body,
+        }
+    }
+
+    /// Override the risk class.
+    pub fn with_risk(mut self, risk: Risk) -> Self {
+        self.risk = risk;
+        self
+    }
+}
+
+impl<F> Tool for FnTool<F>
+where
+    F: Fn(&Args) -> ToolResult + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn description(&self) -> &str {
+        &self.description
+    }
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+    fn invoke(&self, args: &Args) -> ToolResult {
+        (self.body)(args)
+    }
+    fn risk(&self) -> Risk {
+        self.risk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ArgSpec, ArgType};
+
+    fn echo_tool() -> impl Tool {
+        FnTool::new(
+            "echo",
+            "echoes its input",
+            Signature::new(vec![ArgSpec::required("text", ArgType::String, "payload")]),
+            |args: &Args| Ok(ToolOutput::value(args["text"].clone())),
+        )
+    }
+
+    #[test]
+    fn fn_tool_invokes() {
+        let t = echo_tool();
+        let args = t
+            .signature()
+            .validate(&Json::object([("text", Json::str("hi"))]))
+            .unwrap();
+        let out = t.invoke(&args).unwrap();
+        assert_eq!(out.value.as_str(), Some("hi"));
+        assert_eq!(t.risk(), Risk::Safe);
+    }
+
+    #[test]
+    fn risk_ordering_supports_policy_thresholds() {
+        assert!(Risk::Safe < Risk::Mutating);
+        assert!(Risk::Mutating < Risk::Destructive);
+        assert_eq!(Risk::Destructive.to_string(), "destructive");
+    }
+
+    #[test]
+    fn tool_error_display() {
+        let e = ToolError::Denied {
+            code: "privilege".into(),
+            message: "no SELECT on t".into(),
+        };
+        assert!(e.to_string().contains("privilege"));
+        assert!(ToolError::UnknownTool("x".into())
+            .to_string()
+            .contains("'x'"));
+    }
+}

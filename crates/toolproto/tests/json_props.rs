@@ -1,0 +1,106 @@
+//! Property-based tests of the JSON substrate: parse/serialize round trips,
+//! pointer resolution, and signature validation invariants.
+
+use proptest::prelude::*;
+use toolproto::{ArgSpec, ArgType, Json, Signature};
+
+/// Strategy for arbitrary JSON values of bounded depth.
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite doubles only: JSON has no NaN/Inf.
+        (-1.0e12f64..1.0e12).prop_map(Json::Number),
+        any::<i32>().prop_map(|i| Json::Number(f64::from(i))),
+        "[a-zA-Z0-9 _\\-\"'\\\\/\n\t€émoji😀]{0,24}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::btree_map("[a-z~/]{0,8}", inner, 0..6).prop_map(Json::Object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip_is_identity(v in json_strategy()) {
+        let text = v.to_compact();
+        let parsed = Json::parse(&text).expect("serializer output must parse");
+        prop_assert_eq!(&parsed, &v);
+    }
+
+    #[test]
+    fn pretty_roundtrip_is_identity(v in json_strategy()) {
+        let parsed = Json::parse(&v.to_pretty()).expect("pretty output must parse");
+        prop_assert_eq!(&parsed, &v);
+    }
+
+    #[test]
+    fn serialization_is_deterministic(v in json_strategy()) {
+        prop_assert_eq!(v.to_compact(), v.to_compact());
+    }
+
+    #[test]
+    fn parse_never_panics(text in "\\PC{0,80}") {
+        let _ = Json::parse(&text);
+    }
+
+    #[test]
+    fn array_pointers_resolve(items in prop::collection::vec(json_strategy(), 1..8)) {
+        let v = Json::Array(items.clone());
+        for (i, item) in items.iter().enumerate() {
+            prop_assert_eq!(v.pointer(&format!("/{i}")), Some(item));
+        }
+        prop_assert_eq!(v.pointer(&format!("/{}", items.len())), None);
+    }
+
+    #[test]
+    fn object_pointers_resolve(map in prop::collection::btree_map("[a-z]{1,6}", json_strategy(), 1..6)) {
+        let v = Json::Object(map.clone());
+        for (k, item) in &map {
+            prop_assert_eq!(v.pointer(&format!("/{k}")), Some(item));
+        }
+    }
+
+    #[test]
+    fn validation_fills_every_declared_default(
+        present in any::<bool>(),
+        default in -1000i64..1000,
+        given in -1000i64..1000,
+    ) {
+        let sig = Signature::new(vec![ArgSpec::optional(
+            "k",
+            ArgType::Integer,
+            "value",
+            Json::Number(default as f64),
+        )]);
+        let payload = if present {
+            Json::object([("k", Json::Number(given as f64))])
+        } else {
+            Json::object::<_, String>([])
+        };
+        let args = sig.validate(&payload).expect("valid payload");
+        let expected = if present { given } else { default };
+        prop_assert_eq!(args["k"].as_i64(), Some(expected));
+    }
+
+    #[test]
+    fn type_checks_partition_values(v in json_strategy()) {
+        // Exactly one of the scalar type checks may accept a scalar value
+        // (Integer ⊂ Number is the one allowed overlap).
+        let string_ok = ArgType::String.check(&v);
+        let number_ok = ArgType::Number.check(&v);
+        let bool_ok = ArgType::Bool.check(&v);
+        let object_ok = ArgType::Object.check(&v);
+        let scalar_hits = [string_ok, bool_ok, object_ok, number_ok]
+            .iter()
+            .filter(|b| **b)
+            .count();
+        prop_assert!(scalar_hits <= 1);
+        if ArgType::Integer.check(&v) {
+            prop_assert!(number_ok, "integers are numbers");
+        }
+        prop_assert!(ArgType::Any.check(&v));
+    }
+}

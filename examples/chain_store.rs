@@ -1,0 +1,136 @@
+//! The paper's running example (Figure 3): a Brand-A store manager's daily
+//! workflow — atomically record sales/refunds, then analyze recent trends by
+//! routing query results straight into an ML tool through a proxy unit.
+//!
+//! A simulated agent drives the whole flow end to end, so the output also
+//! shows the interaction trace metrics the paper reports.
+//!
+//! Run with: `cargo run --example chain_store`
+
+use bridgescope::prelude::*;
+use llmsim::{DataSource, PipelineStage, SqlStep, TaskSpec};
+
+fn main() {
+    // The chain store database: brand-A tables the manager owns, a brand-B
+    // table they must not see, and sensitive salaries blocked by policy.
+    let db = Database::new();
+    let mut admin = db.session("admin").expect("admin exists");
+    for sql in [
+        "CREATE TABLE brand_a_sales (id INTEGER PRIMARY KEY, day TEXT, category TEXT, amount REAL)",
+        "CREATE TABLE brand_a_refunds (id INTEGER PRIMARY KEY, day TEXT, amount REAL)",
+        "CREATE TABLE brand_b_sales (id INTEGER PRIMARY KEY, day TEXT, amount REAL)",
+        "CREATE TABLE employee_salaries (id INTEGER PRIMARY KEY, name TEXT, salary REAL)",
+    ] {
+        admin.execute_sql(sql).expect("setup is valid");
+    }
+    // A month of history with a rising women's-wear trend.
+    for d in 1..=30 {
+        admin
+            .execute_sql(&format!(
+                "INSERT INTO brand_a_sales VALUES \
+                 ({d}, '2026-06-{d:02}', 'women''s wear', {amount:.2}), \
+                 ({}, '2026-06-{d:02}', 'menswear', {:.2})",
+                100 + d,
+                80.0 + (d % 5) as f64,
+                amount = 100.0 + 6.0 * d as f64,
+            ))
+            .expect("insert is valid");
+        admin
+            .execute_sql(&format!(
+                "INSERT INTO brand_a_refunds VALUES ({d}, '2026-06-{d:02}', {:.2})",
+                5.0 + (d % 3) as f64
+            ))
+            .expect("insert is valid");
+    }
+
+    // The manager: full access to brand-A tables only; salaries additionally
+    // blacklisted user-side.
+    db.create_user("manager", false).expect("fresh user");
+    db.grant_all("manager", "brand_a_sales")
+        .expect("table exists");
+    db.grant_all("manager", "brand_a_refunds")
+        .expect("table exists");
+    let policy = SecurityPolicy::default().with_blacklist(["employee_salaries"]);
+
+    // The ML ecosystem tool (trend_analyze) joins the surface, exactly as a
+    // third-party MCP server would.
+    let server = BridgeScopeServer::build(db.clone(), "manager", policy, &ml_registry())
+        .expect("manager exists");
+
+    // --- Part 1: the daily update, as a write task driven by the agent ---
+    let agent = ReactAgent::new(LlmProfile::claude4(), server.prompt);
+    let update_task = TaskSpec::write(
+        "daily-update",
+        "Record today's figures: women's wear sales of 305.50 and a refund of 12.00, \
+         stored atomically.",
+        vec![
+            SqlStep::simple(
+                "insert",
+                vec!["brand_a_sales".into()],
+                "INSERT INTO brand_a_sales VALUES (999, '2026-07-01', 'women''s wear', 305.50)",
+            ),
+            SqlStep::simple(
+                "insert",
+                vec!["brand_a_refunds".into()],
+                "INSERT INTO brand_a_refunds VALUES (999, '2026-07-01', 12.00)",
+            ),
+        ],
+    );
+    let trace = agent.run(&server.registry, &update_task, 1);
+    println!("--- daily update ---");
+    println!("outcome:      {:?}", trace.outcome);
+    println!(
+        "transaction:  began={} committed={}",
+        trace.began_transaction, trace.committed
+    );
+    println!("LLM calls:    {}", trace.llm_calls);
+    println!("tokens:       {}\n", trace.total_tokens());
+    assert!(trace.began_transaction && trace.committed);
+
+    // --- Part 2: trend analysis through a proxy unit ---
+    // ⟨p, c, f⟩ = ⟨(select sales, select refunds), trend_analyze, /rows⟩:
+    // the data flows tool→tool; the agent only sees the verdict.
+    let analyze_task = TaskSpec::pipeline(
+        "trend-analysis",
+        "How are women's wear sales trending this month, net of refunds?",
+        vec![PipelineStage {
+            tool: "trend_analyze".into(),
+            data_args: vec![
+                (
+                    "sales".into(),
+                    DataSource::Sql(
+                        "SELECT day, amount FROM brand_a_sales \
+                         WHERE category = 'women''s wear' ORDER BY day"
+                            .into(),
+                    ),
+                ),
+                (
+                    "refunds".into(),
+                    DataSource::Sql("SELECT day, amount FROM brand_a_refunds ORDER BY day".into()),
+                ),
+            ],
+            static_args: vec![("window".into(), Json::num(5.0))],
+        }],
+    );
+    let trace = agent.run(&server.registry, &analyze_task, 2);
+    println!("--- trend analysis (proxy) ---");
+    println!("outcome:   {:?}", trace.outcome);
+    println!("LLM calls: {} (schema + proxy + final)", trace.llm_calls);
+    let answer = trace.answer.expect("completed");
+    println!("verdict:   {answer}");
+    assert_eq!(answer.get("trend").and_then(Json::as_str), Some("rising"));
+
+    // --- Part 3: the boundaries hold ---
+    println!("\n--- security boundaries ---");
+    let brand_b = server.registry.call(
+        "select",
+        &Json::object([("sql", Json::str("SELECT * FROM brand_b_sales"))]),
+    );
+    println!("brand_b_sales (no privilege): {brand_b:?}");
+    let salaries = server.registry.call(
+        "select",
+        &Json::object([("sql", Json::str("SELECT * FROM employee_salaries"))]),
+    );
+    println!("employee_salaries (policy):   {salaries:?}");
+    assert!(brand_b.is_err() && salaries.is_err());
+}

@@ -1,0 +1,145 @@
+//! Multi-datasource BridgeScope (paper §2.6): one consistent tool surface
+//! over several databases, with per-source privileges and a cross-source
+//! proxy that joins data from two databases inside one proxy unit.
+//!
+//! Run with: `cargo run --example multi_source`
+
+use bridgescope::core::{MultiSourceServer, SourceSpec};
+use bridgescope::prelude::*;
+
+fn sales_db() -> Database {
+    let db = Database::new();
+    let mut s = db.session("admin").expect("admin exists");
+    s.execute_sql("CREATE TABLE sales (id INTEGER PRIMARY KEY, rep_id INTEGER, amount REAL)")
+        .expect("setup");
+    s.execute_sql(
+        "INSERT INTO sales VALUES (1, 1, 120.0), (2, 2, 80.0), (3, 1, 300.0), (4, 3, 45.0)",
+    )
+    .expect("setup");
+    db.create_user("ana", false).expect("fresh");
+    db.grant_all("ana", "sales").expect("grant");
+    db
+}
+
+fn hr_db() -> Database {
+    let db = Database::new();
+    let mut s = db.session("admin").expect("admin exists");
+    s.execute_sql("CREATE TABLE reps (rep_id INTEGER PRIMARY KEY, rep_name TEXT, region TEXT)")
+        .expect("setup");
+    s.execute_sql(
+        "INSERT INTO reps VALUES (1, 'Ada', 'west'), (2, 'Bob', 'east'), (3, 'Cy', 'west')",
+    )
+    .expect("setup");
+    db.create_user("ana", false).expect("fresh");
+    db.grant("ana", Action::Select, "reps").expect("grant");
+    db
+}
+
+fn main() {
+    // A consumer tool joining the two sources' outputs — stand-in for any
+    // analytics MCP server.
+    let mut external = Registry::new();
+    external.register_tool(toolproto::FnTool::new(
+        "join_by_first_column",
+        "Hash-join two row sets on their first column and return joined rows.",
+        toolproto::Signature::open(vec![]),
+        |args: &toolproto::Args| {
+            let rows = |k: &str| -> Vec<&[Json]> {
+                args.get(k)
+                    .and_then(Json::as_array)
+                    .map(|a| a.iter().filter_map(Json::as_array).collect())
+                    .unwrap_or_default()
+            };
+            let right = rows("right");
+            let mut joined = Vec::new();
+            for l in rows("left") {
+                for r in &right {
+                    if l.first() == r.first() {
+                        let mut row: Vec<Json> = l.to_vec();
+                        row.extend(r.iter().skip(1).cloned());
+                        joined.push(Json::Array(row));
+                    }
+                }
+            }
+            let n = joined.len();
+            Ok(toolproto::ToolOutput::with_rows(
+                Json::object([("rows", Json::Array(joined))]),
+                n,
+            ))
+        },
+    ));
+
+    let server = MultiSourceServer::build(
+        vec![
+            SourceSpec {
+                name: "sales_db".into(),
+                db: sales_db(),
+                user: "ana".into(),
+                policy: SecurityPolicy::default(),
+            },
+            SourceSpec {
+                name: "hr_db".into(),
+                db: hr_db(),
+                user: "ana".into(),
+                policy: SecurityPolicy::default(),
+            },
+        ],
+        &external,
+    )
+    .expect("sources build");
+    let tools = &server.registry;
+
+    let sources = tools.call("list_sources", &Json::Null).expect("runs");
+    println!("sources:\n{}\n", sources.value.to_pretty());
+
+    // Per-source dispatch with per-source privileges: ana can write on
+    // sales_db but is read-only on hr_db.
+    let ok = tools
+        .call(
+            "insert",
+            &Json::object([
+                ("source", Json::str("sales_db")),
+                ("sql", Json::str("INSERT INTO sales VALUES (5, 2, 60.0)")),
+            ]),
+        )
+        .is_ok();
+    let denied = tools
+        .call(
+            "insert",
+            &Json::object([
+                ("source", Json::str("hr_db")),
+                (
+                    "sql",
+                    Json::str("INSERT INTO reps VALUES (9, 'Eve', 'east')"),
+                ),
+            ]),
+        )
+        .is_err();
+    println!("insert on sales_db: {} / insert on hr_db: {}", ok, denied);
+    assert!(ok && denied);
+
+    // One proxy unit joining per-rep sales (sales_db) with rep names (hr_db)
+    // — the data from both databases flows straight into the join tool.
+    let unit = r#"{
+      "target_tool": "join_by_first_column",
+      "tool_args": {
+        "left": {"tool": "select", "args": {"source": "sales_db",
+                 "sql": "SELECT rep_id, SUM(amount) FROM sales GROUP BY rep_id"},
+                 "transform": "/rows"},
+        "right": {"tool": "select", "args": {"source": "hr_db",
+                  "sql": "SELECT rep_id, rep_name, region FROM reps"},
+                  "transform": "/rows"}
+      }
+    }"#;
+    let out = tools
+        .call("proxy", &Json::parse(unit).expect("valid"))
+        .expect("cross-source proxy runs");
+    println!("\ncross-source join via one proxy unit:");
+    println!("{}", out.value.to_pretty());
+    let joined = out
+        .value
+        .get("rows")
+        .and_then(Json::as_array)
+        .expect("rows");
+    assert_eq!(joined.len(), 3, "three reps have sales");
+}

@@ -1,0 +1,107 @@
+//! An NL2ML-style end-to-end pipeline: extract housing data, normalize it,
+//! train a model, and evaluate predictions — all through one nested proxy
+//! unit, with the bulk data never entering the agent's context.
+//!
+//! Also demonstrates the contrast the paper's Table 2 quantifies: the same
+//! pipeline driven through a PG-MCP-style agent routes the full table
+//! through the LLM and dies of context overflow.
+//!
+//! Run with: `cargo run --release --example nl2ml_pipeline`
+
+use benchkit::housing;
+use bridgescope::prelude::*;
+
+fn main() {
+    // A 20,000-row California-Housing-like table, as in the paper.
+    let rows = 20_000;
+    println!("building house table ({rows} rows)…");
+    let db = housing::build_database(rows, 42);
+    db.create_user("analyst", false).expect("fresh user");
+    db.grant("analyst", Action::Select, "house")
+        .expect("house exists");
+
+    let server = BridgeScopeServer::build(
+        db.clone(),
+        "analyst",
+        SecurityPolicy::default(),
+        &ml_registry(),
+    )
+    .expect("analyst exists");
+    let tools = &server.registry;
+
+    // The level-3 pipeline as one nested proxy unit:
+    //   select(train slice) → normalize → train ┐
+    //   select(eval slice) ──────────────────────┴→ predict
+    let unit = r#"{
+      "target_tool": "predict",
+      "tool_args": {
+        "model": {"unit": {
+          "target_tool": "train_random_forest",
+          "tool_args": {
+            "data": {"unit": {
+              "target_tool": "normalize_zscore",
+              "tool_args": {
+                "data": {"tool": "select", "args": {"sql":
+                  "SELECT median_income, latitude, ocean_proximity, median_house_value FROM house WHERE housing_median_age > 15"},
+                  "transform": "/rows"},
+                "exclude": {"value": 3}
+              }
+            }, "transform": "/rows"},
+            "target": {"value": 3},
+            "n_trees": {"value": 8},
+            "max_depth": {"value": 6}
+          }
+        }, "transform": "identity"},
+        "data": {"unit": {
+          "target_tool": "normalize_zscore",
+          "tool_args": {
+            "data": {"tool": "select", "args": {"sql":
+              "SELECT median_income, latitude, ocean_proximity, median_house_value FROM house WHERE housing_median_age <= 15"},
+              "transform": "/rows"},
+            "exclude": {"value": 3}
+          }
+        }, "transform": "/rows"},
+        "target": {"value": 3}
+      }
+    }"#;
+
+    println!("executing the 3-level proxy unit…");
+    let started = std::time::Instant::now();
+    let out = tools
+        .call("proxy", &Json::parse(unit).expect("valid spec"))
+        .expect("pipeline runs");
+    println!("done in {:.2?}", started.elapsed());
+    println!(
+        "predicted {} held-out rows; RMSE = {:.0}, R² = {:.3}",
+        out.value.get("n_rows").and_then(Json::as_i64).unwrap_or(0),
+        out.value
+            .get("rmse")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN),
+        out.value
+            .get("r2")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN),
+    );
+    let result_tokens = llmsim::tokens::estimate(&out.value.to_compact());
+    println!("tokens entering the agent context from the proxy: {result_tokens}");
+
+    // Contrast: hand the table to an LLM instead, the way PG-MCP must (the
+    // stock server's verbose object-rows), and count what that would cost.
+    let mut session = db.session("analyst").expect("analyst exists");
+    let result = session
+        .execute_sql("SELECT * FROM house")
+        .expect("select runs");
+    let payload = bridgescope::core::bridge::result_to_output_verbose(result)
+        .value
+        .to_compact();
+    let transfer_tokens = llmsim::tokens::estimate(&payload);
+    println!(
+        "\nthe same data routed through an LLM (PG-MCP style): {transfer_tokens} tokens per \
+         transfer, ≥{} for the two transfers a training task needs — {}× the proxy's cost, \
+         and past every current context window.",
+        2 * transfer_tokens,
+        (2 * transfer_tokens) / result_tokens.max(1),
+    );
+    assert!(2 * transfer_tokens > 1_000_000);
+}

@@ -1,0 +1,105 @@
+//! Quickstart: build a database, create a user, assemble their BridgeScope
+//! tool surface, and drive it the way an agent would — context retrieval,
+//! a grounded query, and a transactional write.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bridgescope::prelude::*;
+
+fn main() {
+    // 1. An in-memory database with a couple of tables.
+    let db = Database::new();
+    let mut admin = db.session("admin").expect("admin exists");
+    for sql in [
+        "CREATE TABLE products (id INTEGER PRIMARY KEY, name TEXT NOT NULL, \
+         category TEXT, price REAL CHECK (price >= 0))",
+        "CREATE TABLE orders (id INTEGER PRIMARY KEY, \
+         product_id INTEGER REFERENCES products(id), quantity INTEGER, day TEXT)",
+        "INSERT INTO products VALUES \
+         (1, 'Trail runner', 'women''s footwear', 129.0), \
+         (2, 'City loafer', 'men''s footwear', 99.0), \
+         (3, 'Rain shell', 'outerwear', 189.0)",
+        "INSERT INTO orders VALUES (1, 1, 2, '2026-07-01'), (2, 3, 1, '2026-07-02')",
+    ] {
+        admin.execute_sql(sql).expect("setup SQL is valid");
+    }
+
+    // 2. A store manager: full CRUD on both tables, granted PostgreSQL-style.
+    db.create_user("manager", false).expect("fresh user");
+    db.grant_all("manager", "products").expect("table exists");
+    db.grant_all("manager", "orders").expect("table exists");
+
+    // 3. Their BridgeScope tool surface. The policy blocks the drop tool.
+    let policy = SecurityPolicy::default().with_blocked_tools(["drop"]);
+    let server = BridgeScopeServer::build(db.clone(), "manager", policy, &Registry::new())
+        .expect("manager exists");
+    let tools = &server.registry;
+    println!("Exposed tools: {:?}\n", tools.names());
+
+    // 4. F1 — context retrieval, annotated with the manager's privileges.
+    let schema = tools.call("get_schema", &Json::Null).expect("allowed");
+    println!("get_schema ->\n{}\n", schema.value.to_pretty());
+
+    // 5. F1 — ground a text predicate: "women" matches "women's footwear".
+    let exemplars = tools
+        .call(
+            "get_value",
+            &Json::object([
+                ("table", Json::str("products")),
+                ("column", Json::str("category")),
+                ("key", Json::str("women")),
+                ("k", Json::num(2.0)),
+            ]),
+        )
+        .expect("allowed");
+    println!("get_value(category, \"women\") -> {}\n", exemplars.value);
+
+    // 6. F2 — a verified, privilege-checked query.
+    let rows = tools
+        .call(
+            "select",
+            &Json::object([(
+                "sql",
+                Json::str("SELECT name, price FROM products WHERE category = 'women''s footwear'"),
+            )]),
+        )
+        .expect("allowed");
+    println!("select -> {}\n", rows.value);
+
+    // 7. F3 — a transactional write: order + stock price change, atomically.
+    tools.call("begin", &Json::Null).expect("txn starts");
+    tools
+        .call(
+            "insert",
+            &Json::object([(
+                "sql",
+                Json::str("INSERT INTO orders VALUES (3, 2, 5, '2026-07-03')"),
+            )]),
+        )
+        .expect("allowed");
+    tools
+        .call(
+            "update",
+            &Json::object([(
+                "sql",
+                Json::str("UPDATE products SET price = price * 0.9 WHERE id = 2"),
+            )]),
+        )
+        .expect("allowed");
+    tools.call("commit", &Json::Null).expect("txn commits");
+    println!("committed an atomic order + price change");
+
+    // 8. Security in action: the verification gate rejects what the engine
+    //    would also reject — before the engine sees it.
+    let denied = tools.call(
+        "select",
+        &Json::object([("sql", Json::str("SELECT * FROM no_such_table"))]),
+    );
+    println!("\nselect on unknown table -> {denied:?}");
+    let smuggled = tools.call(
+        "select",
+        &Json::object([("sql", Json::str("DELETE FROM orders"))]),
+    );
+    println!("DELETE smuggled into the select tool -> {smuggled:?}");
+    assert!(denied.is_err() && smuggled.is_err());
+}

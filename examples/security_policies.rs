@@ -1,0 +1,131 @@
+//! Tour of BridgeScope's dual-level security model (paper §2.2–2.3):
+//! database-side privileges decide which SQL tools a user's agent even
+//! *sees*; user-side policies (object white/black lists, tool blocks, risk
+//! caps) narrow that further; and object-level verification catches whatever
+//! slips through — hallucinated objects, prompt-injected statements,
+//! subquery smuggling.
+//!
+//! Run with: `cargo run --example security_policies`
+
+use bridgescope::prelude::*;
+
+fn surface(db: &Database, user: &str, policy: SecurityPolicy) -> Registry {
+    BridgeScopeServer::build(db.clone(), user, policy, &Registry::new())
+        .expect("user exists")
+        .registry
+}
+
+fn main() {
+    let db = Database::new();
+    let mut admin = db.session("admin").expect("admin exists");
+    for sql in [
+        "CREATE TABLE sales (id INTEGER PRIMARY KEY, amount REAL)",
+        "CREATE TABLE customers (id INTEGER PRIMARY KEY, name TEXT, email TEXT)",
+        "CREATE TABLE salaries (id INTEGER PRIMARY KEY, pay REAL)",
+        "INSERT INTO sales VALUES (1, 10.0), (2, 20.0)",
+        "INSERT INTO customers VALUES (1, 'Ada', 'ada@example.com')",
+        "INSERT INTO salaries VALUES (1, 90000.0)",
+    ] {
+        admin.execute_sql(sql).expect("setup is valid");
+    }
+
+    // Three users with PostgreSQL-style grants.
+    db.create_user("analyst", false).expect("fresh");
+    db.grant("analyst", Action::Select, "sales").expect("grant");
+    db.grant("analyst", Action::Select, "customers")
+        .expect("grant");
+    db.create_user("ops", false).expect("fresh");
+    db.grant_all("ops", "sales").expect("grant");
+    db.grant_all("ops", "customers").expect("grant");
+    db.grant_all("ops", "salaries").expect("grant");
+
+    // 1. Action-level modularization: what each agent sees.
+    println!("== tool surfaces ==");
+    let analyst = surface(&db, "analyst", SecurityPolicy::default());
+    println!("analyst (read-only grants):     {:?}", analyst.names());
+    let ops = surface(&db, "ops", SecurityPolicy::default());
+    println!("ops (full grants):              {:?}", ops.names());
+
+    // 2. User-side policy: hide PII and block destructive tools even for a
+    //    fully privileged user.
+    let locked = surface(
+        &db,
+        "ops",
+        SecurityPolicy::default()
+            .with_blacklist(["customers", "salaries"])
+            .with_blocked_tools(["drop", "alter"])
+            .with_max_risk(Risk::Mutating),
+    );
+    println!("ops under a hardened policy:    {:?}", locked.names());
+
+    // 3. Schema outputs reflect the same boundaries.
+    let schema = locked.call("get_schema", &Json::Null).expect("allowed");
+    let visible: Vec<&str> = schema
+        .value
+        .get("tables")
+        .and_then(Json::as_array)
+        .map(|ts| {
+            ts.iter()
+                .filter_map(|t| t.get("name").and_then(Json::as_str))
+                .collect()
+        })
+        .unwrap_or_default();
+    println!("\n== schema visibility under the hardened policy ==");
+    println!("visible objects: {visible:?}");
+    assert_eq!(visible, vec!["sales"]);
+
+    // 4. The verification gate, attack by attack.
+    println!("\n== verification gate ==");
+    let attempts: Vec<(&Registry, &str, &str, &str)> = vec![
+        (
+            &analyst,
+            "select",
+            "SELECT * FROM salaries",
+            "unauthorized object",
+        ),
+        (
+            &analyst,
+            "select",
+            "SELECT * FROM sales WHERE id IN (SELECT id FROM salaries)",
+            "smuggled via subquery",
+        ),
+        (
+            &locked,
+            "select",
+            "SELECT * FROM customers",
+            "policy-hidden object",
+        ),
+        (
+            &locked,
+            "select",
+            "DROP TABLE sales",
+            "injected DROP in select",
+        ),
+        (
+            &locked,
+            "insert",
+            "DELETE FROM sales",
+            "wrong action for tool",
+        ),
+    ];
+    for (reg, tool, stmt, label) in attempts {
+        let verdict = match reg.call(tool, &Json::object([("sql", Json::str(stmt))])) {
+            Err(e) => format!("BLOCKED ({e})"),
+            Ok(_) => "ALLOWED".to_owned(),
+        };
+        println!("{label:<28} {tool:<7} {stmt:<55} -> {verdict}");
+        assert!(verdict.starts_with("BLOCKED"), "{label} must be blocked");
+    }
+
+    // 5. And the legitimate path still works.
+    let ok = locked
+        .call(
+            "update",
+            &Json::object([(
+                "sql",
+                Json::str("UPDATE sales SET amount = amount + 1 WHERE id = 1"),
+            )]),
+        )
+        .expect("authorized update");
+    println!("\nauthorized update -> {}", ok.value);
+}

@@ -1,0 +1,45 @@
+//! # bridgescope — umbrella crate for the BridgeScope reproduction
+//!
+//! Reproduction of *"BridgeScope: A Universal Toolkit for Bridging Large
+//! Language Models and Databases"* (CIDR 2026). This crate re-exports the
+//! workspace's layers and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! Layers, bottom-up:
+//!
+//! * [`toolproto`] — in-process MCP-like tool protocol (JSON, signatures,
+//!   registries);
+//! * [`sqlkit`] — SQL lexer/parser/analyzer/formatter;
+//! * [`minidb`] — in-memory relational engine with ACID transactions and a
+//!   PostgreSQL-style privilege catalog;
+//! * [`llmsim`] — deterministic behavioural simulator of ReAct LLM agents;
+//! * [`core`](bridgescope_core) — **the paper's contribution**: fine-grained
+//!   context/SQL/transaction tools, privilege-aware exposure, object-level
+//!   verification, and the proxy mechanism;
+//! * [`mltools`] — data-processing and ML tool servers (NL2ML's ecosystem);
+//! * [`benchkit`] — the BIRD-Ext and NL2ML benchmarks plus the evaluation
+//!   harness regenerating every table and figure.
+//!
+//! Start with [`prelude`] and the `quickstart` example.
+
+#![warn(missing_docs)]
+
+pub use benchkit;
+pub use bridgescope_core as core;
+pub use llmsim;
+pub use minidb;
+pub use mltools;
+pub use sqlkit;
+pub use toolproto;
+
+/// The types most programs need, in one import.
+pub mod prelude {
+    pub use bridgescope_core::{
+        pg_mcp, pg_mcp_minus, BridgeScopeServer, SecurityPolicy, BRIDGESCOPE_PROMPT,
+    };
+    pub use llmsim::{LlmProfile, ReactAgent, TaskSpec};
+    pub use minidb::{Database, DbError, QueryResult, Session, Value};
+    pub use mltools::ml_registry;
+    pub use sqlkit::{parse_statement, Action};
+    pub use toolproto::{Json, Registry, Risk, Tool, ToolError, ToolOutput};
+}

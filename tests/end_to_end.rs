@@ -1,0 +1,207 @@
+//! Cross-crate integration tests: the full stack — engine, toolkit, agent
+//! simulator, benchmarks — driven through the public umbrella API.
+
+use bridgescope::prelude::*;
+use bridgescope::{benchkit, llmsim};
+use llmsim::{Outcome, SqlStep, TaskSpec};
+
+fn chain_store_db() -> Database {
+    let db = Database::new();
+    let mut admin = db.session("admin").unwrap();
+    for sql in [
+        "CREATE TABLE brand_a_sales (id INTEGER PRIMARY KEY, day TEXT, category TEXT, amount REAL)",
+        "CREATE TABLE brand_a_refunds (id INTEGER PRIMARY KEY, day TEXT, amount REAL)",
+        "CREATE TABLE brand_b_sales (id INTEGER PRIMARY KEY, amount REAL)",
+        "INSERT INTO brand_a_sales VALUES (1, '2026-06-01', 'women''s wear', 120.0)",
+        "INSERT INTO brand_a_refunds VALUES (1, '2026-06-01', 10.0)",
+    ] {
+        admin.execute_sql(sql).unwrap();
+    }
+    db.create_user("manager", false).unwrap();
+    db.grant_all("manager", "brand_a_sales").unwrap();
+    db.grant_all("manager", "brand_a_refunds").unwrap();
+    db
+}
+
+#[test]
+fn full_stack_write_task_is_transactional_and_correct() {
+    let db = chain_store_db();
+    let server = BridgeScopeServer::build(
+        db.clone(),
+        "manager",
+        SecurityPolicy::default(),
+        &Registry::new(),
+    )
+    .unwrap();
+    let agent = ReactAgent::new(LlmProfile::claude4(), server.prompt);
+    let task = TaskSpec::write(
+        "it-write",
+        "Atomically record a sale and its refund.",
+        vec![
+            SqlStep::simple(
+                "insert",
+                vec!["brand_a_sales".into()],
+                "INSERT INTO brand_a_sales VALUES (2, '2026-06-02', 'menswear', 80.0)",
+            ),
+            SqlStep::simple(
+                "insert",
+                vec!["brand_a_refunds".into()],
+                "INSERT INTO brand_a_refunds VALUES (2, '2026-06-02', 8.0)",
+            ),
+        ],
+    );
+    let trace = agent.run(&server.registry, &task, 3);
+    assert_eq!(trace.outcome, Outcome::Completed);
+    assert!(trace.began_transaction && trace.committed);
+    assert_eq!(db.table_rows("brand_a_sales").unwrap(), 2);
+    assert_eq!(db.table_rows("brand_a_refunds").unwrap(), 2);
+}
+
+#[test]
+fn full_stack_unauthorized_task_aborts_without_side_effects() {
+    let db = chain_store_db();
+    let server = BridgeScopeServer::build(
+        db.clone(),
+        "manager",
+        SecurityPolicy::default(),
+        &Registry::new(),
+    )
+    .unwrap();
+    let agent = ReactAgent::new(LlmProfile::claude4(), server.prompt);
+    // brand_b_sales is not granted to the manager.
+    let task = TaskSpec::write(
+        "it-unauth",
+        "Insert into brand B's table.",
+        vec![SqlStep::simple(
+            "insert",
+            vec!["brand_b_sales".into()],
+            "INSERT INTO brand_b_sales VALUES (9, 1.0)",
+        )],
+    );
+    let trace = agent.run(&server.registry, &task, 3);
+    assert!(trace.outcome.is_aborted(), "{:?}", trace.outcome);
+    assert_eq!(db.table_rows("brand_b_sales").unwrap(), 0);
+}
+
+#[test]
+fn proxy_routes_database_rows_into_ml_tools() {
+    let db = chain_store_db();
+    let mut admin = db.session("admin").unwrap();
+    for d in 2..=25 {
+        admin
+            .execute_sql(&format!(
+                "INSERT INTO brand_a_sales VALUES ({d}, '2026-06-{d:02}', 'women''s wear', {:.1})",
+                100.0 + 8.0 * d as f64
+            ))
+            .unwrap();
+    }
+    let server =
+        BridgeScopeServer::build(db, "manager", SecurityPolicy::default(), &ml_registry()).unwrap();
+    let out = server
+        .registry
+        .call(
+            "proxy",
+            &Json::parse(
+                r#"{"target_tool": "trend_analyze", "tool_args": {
+                    "sales": {"tool": "select",
+                              "args": {"sql": "SELECT day, amount FROM brand_a_sales ORDER BY day"},
+                              "transform": "/rows"}}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(
+        out.value.get("trend").and_then(Json::as_str),
+        Some("rising")
+    );
+}
+
+#[test]
+fn baseline_and_bridgescope_share_one_engine_reality() {
+    // Whatever the toolkits expose, the engine's answers must agree.
+    let db = chain_store_db();
+    let bs = BridgeScopeServer::build(
+        db.clone(),
+        "manager",
+        SecurityPolicy::default(),
+        &Registry::new(),
+    )
+    .unwrap();
+    let pg = pg_mcp(db, "manager", &Registry::new()).unwrap();
+    let args = Json::object([("sql", Json::str("SELECT COUNT(*) FROM brand_a_sales"))]);
+    let a = bs.registry.call("select", &args).unwrap();
+    let b = pg.registry.call("execute_sql", &args).unwrap();
+    assert_eq!(a.value.pointer("/rows/0/0").and_then(Json::as_i64), Some(1));
+    // PG-MCP's verbose object-rows carry the same value under the column key.
+    assert_eq!(
+        b.value.pointer("/rows/0/count").and_then(Json::as_i64),
+        Some(1)
+    );
+}
+
+#[test]
+fn bird_ext_smoke_all_toolkits() {
+    use benchkit::{run_bird_cell, BirdCell, Role, TaskClass, Toolkit};
+    let bench = benchkit::generate_bird_ext(11);
+    for toolkit in [Toolkit::BridgeScope, Toolkit::PgMcp, Toolkit::PgMcpMinus] {
+        let out = run_bird_cell(
+            &bench,
+            &BirdCell {
+                toolkit,
+                profile: LlmProfile::gpt4o(),
+                role: Role::Administrator,
+                class: TaskClass::All,
+                limit: Some(8),
+                seed: 4,
+            },
+        );
+        assert_eq!(out.aggregate.runs, 8);
+        assert!(
+            out.aggregate.completion_rate() > 0.5,
+            "{toolkit:?}: {:?}",
+            out.aggregate
+        );
+    }
+}
+
+#[test]
+fn nl2ml_level3_generalizes() {
+    use benchkit::{run_nl2ml, Nl2mlConfig, Toolkit};
+    let out = run_nl2ml(&Nl2mlConfig {
+        toolkit: Toolkit::BridgeScope,
+        profile: LlmProfile {
+            spurious_abort_rate: 0.0,
+            ..LlmProfile::gpt4o()
+        },
+        rows: 2_000,
+        limit: None,
+        seed: 6,
+    });
+    assert_eq!(out.aggregate.completion_rate(), 1.0);
+    // Every level-3 task must report a *finite, sane* held-out R².
+    for trace in &out.traces {
+        if trace.task_id.contains("-l3-") {
+            let r2 = trace
+                .answer
+                .as_ref()
+                .and_then(|a| a.get("r2"))
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            assert!(
+                r2.is_finite() && r2 > 0.0,
+                "{}: held-out R² should be positive, got {r2}",
+                trace.task_id
+            );
+        }
+    }
+}
+
+#[test]
+fn prelude_surfaces_the_working_set() {
+    // Compile-time check that the prelude exposes what the README promises.
+    let _p: fn() -> LlmProfile = LlmProfile::gpt4o;
+    let db = Database::new();
+    let _ = parse_statement("SELECT 1").unwrap();
+    let _ = db.session("admin").unwrap();
+    let _ = SecurityPolicy::default().with_max_risk(Risk::Safe);
+}
