@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: everything runs --offline/--locked so the check is
+# reproducible in a network-isolated environment. Any dependency that would
+# need crates.io must be vendored under shims/ or feature-gated behind the
+# non-default `external-deps` feature (see DESIGN.md, "Offline build policy").
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+# Style and lints first: cheap, and failures are the easiest to fix.
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline --locked -- -D warnings
+
+# Tier-1 verify (ROADMAP.md): release build + umbrella tests.
+run cargo build --release --offline --locked
+run cargo test -q --offline --locked
+
+# Full workspace suite, including the executor fast-path plan-summary and
+# differential tests (crates/minidb/tests/fastpath_differential.rs).
+run cargo test -q --workspace --offline --locked
+
+echo "All checks passed."

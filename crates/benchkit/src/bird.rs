@@ -218,7 +218,7 @@ pub fn build_database(seed: u64) -> Database {
             rng.gen_range(0..60),
             rng.gen_range(0..40),
             rng.gen_range(1..21),
-            [25.0, 18.0, 15.0, 12.0, 10.0, 8.0, 6.0, 4.0, 2.0, 1.0, 0.0][rng.gen_range(0..11)],
+            [25.0, 18.0, 15.0, 12.0, 10.0, 8.0, 6.0, 4.0, 2.0, 1.0, 0.0][rng.gen_range(0..11usize)],
             rng.gen_range(1..21),
             rng.gen_range(40..70),
             if rng.gen_bool(0.9) { "Finished" } else { "DNF" },

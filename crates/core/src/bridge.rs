@@ -6,8 +6,8 @@
 //! transaction the way the paper's Figure 3 shows.
 
 use crate::config::SecurityPolicy;
+use minidb::sync::Mutex;
 use minidb::{Database, DbError, QueryResult, Session, Value};
-use parking_lot::Mutex;
 use sqlkit::ast::Action;
 use std::sync::Arc;
 use toolproto::{Json, ToolError, ToolOutput};

@@ -234,6 +234,9 @@ pub fn get_value_tool(ctx: Arc<BridgeContext>) -> impl Tool {
                 });
             }
             ctx.check_privilege(Action::Select, table)?;
+            // The distinct-scan behind `column_values` runs chunked-parallel
+            // in the engine for large tables, so repeated grounding calls on
+            // big columns stay cheap.
             let values = ctx
                 .db
                 .column_values(table, column)
@@ -248,21 +251,19 @@ pub fn get_value_tool(ctx: Arc<BridgeContext>) -> impl Tool {
             if texts.is_empty() {
                 let sample: Vec<Json> = values.iter().take(k).map(value_to_json).collect();
                 let mut fields: Vec<(String, Json)> = vec![("values".into(), Json::array(sample))];
-                let numerics: Vec<f64> = values.iter().filter_map(|v| v.as_f64()).collect();
-                if !numerics.is_empty() {
+                // One pass over the distinct values for the range stats.
+                let (mut min, mut max, mut any) = (f64::INFINITY, f64::NEG_INFINITY, false);
+                for n in values.iter().filter_map(|v| v.as_f64()) {
+                    min = min.min(n);
+                    max = max.max(n);
+                    any = true;
+                }
+                if any {
                     fields.push((
                         "stats".into(),
                         Json::object([
-                            (
-                                "min",
-                                Json::num(numerics.iter().cloned().fold(f64::INFINITY, f64::min)),
-                            ),
-                            (
-                                "max",
-                                Json::num(
-                                    numerics.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-                                ),
-                            ),
+                            ("min", Json::num(min)),
+                            ("max", Json::num(max)),
                             ("distinct", Json::num(values.len() as f64)),
                         ]),
                     ));

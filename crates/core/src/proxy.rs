@@ -5,7 +5,7 @@
 //! act as a producer for a higher-level unit — and the proxy executes the
 //! hierarchy bottom-up, forwarding data *directly between tools* so bulk
 //! results never enter the LLM context. Sibling producers run in parallel
-//! (crossbeam scoped threads), reproducing the paper's §2.5 efficiency claim.
+//! (std scoped threads), reproducing the paper's §2.5 efficiency claim.
 //!
 //! ## Wire format of the `proxy` tool
 //!
@@ -233,10 +233,10 @@ pub fn execute_unit(
             .map(|p| run_producer(registry, p, depth))
             .collect()
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .iter()
-                .map(|p| scope.spawn(move |_| run_producer(registry, p, depth)))
+                .map(|p| scope.spawn(move || run_producer(registry, p, depth)))
                 .collect();
             handles
                 .into_iter()
@@ -247,7 +247,6 @@ pub fn execute_unit(
                 })
                 .collect()
         })
-        .map_err(|_| ToolError::Execution("producer scope panicked".into()))?
     };
     let mut outputs = Vec::with_capacity(results.len());
     for r in results {

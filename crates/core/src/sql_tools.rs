@@ -94,7 +94,10 @@ fn verified_execute(ctx: &BridgeContext, expected: Action, sql: &str) -> ToolRes
             ephemeral.execute(&stmt).map_err(db_error_to_tool)?
         }
     } else {
-        ctx.session.lock().execute(&stmt).map_err(db_error_to_tool)?
+        ctx.session
+            .lock()
+            .execute(&stmt)
+            .map_err(db_error_to_tool)?
     };
     Ok(result_to_output(result))
 }

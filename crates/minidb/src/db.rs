@@ -9,11 +9,12 @@
 
 use crate::error::{DbError, DbResult};
 use crate::exec::{self, DbState, QueryResult};
+use crate::plan::{ExecOptions, PlanSummary};
 use crate::privilege::PrivilegeCatalog;
 use crate::schema::TableSchema;
+use crate::sync::RwLock;
 use crate::txn::{self, TxnStatus, UndoOp};
 use crate::value::Value;
-use parking_lot::RwLock;
 use sqlkit::ast::{Action, Statement};
 use sqlkit::parse_statement;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -151,16 +152,58 @@ impl Database {
             .data
             .get(table)
             .ok_or_else(|| DbError::UnknownTable(table.to_owned()))?;
-        let mut values: Vec<Value> = Vec::new();
-        let mut seen = std::collections::BTreeSet::new();
-        for (_, row) in data.iter() {
-            let v = &row[pos];
-            if !v.is_null() && seen.insert(crate::value::Key(vec![v.clone()])) {
-                values.push(v.clone());
+        let opts = ExecOptions::default();
+        let workers = opts.workers_for(data.len());
+        if workers < 2 {
+            let mut values: Vec<Value> = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            for (_, row) in data.iter() {
+                let v = &row[pos];
+                if !v.is_null() && seen.insert(crate::value::Key(vec![v.clone()])) {
+                    values.push(v.clone());
+                }
+            }
+            values.sort_by(|a, b| a.total_cmp(b));
+            return Ok(values);
+        }
+        // Chunked distinct-scan: per-worker sets over contiguous row-order
+        // chunks, merged in chunk order so the first occurrence of each
+        // total-order-equal group (e.g. Int(1) vs Float(1.0)) wins, exactly
+        // as in the sequential loop. A BTreeSet<Key> already iterates in
+        // total order, so the merged set *is* the sorted result.
+        let refs: Vec<&Value> = data.iter().map(|(_, row)| &row[pos]).collect();
+        let chunk = refs.len().div_ceil(workers);
+        let sets: Vec<std::collections::BTreeSet<crate::value::Key>> = std::thread::scope(|s| {
+            let handles: Vec<_> = refs
+                .chunks(chunk.max(1))
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut set = std::collections::BTreeSet::new();
+                        for v in part {
+                            if !v.is_null() {
+                                set.insert(crate::value::Key(vec![(*v).clone()]));
+                            }
+                        }
+                        set
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("column scan worker panicked"))
+                .collect()
+        });
+        let mut merged = std::collections::BTreeSet::new();
+        for set in sets {
+            // `insert` keeps the existing (earlier-chunk) representative.
+            for key in set {
+                merged.insert(key);
             }
         }
-        values.sort_by(|a, b| a.total_cmp(b));
-        Ok(values)
+        Ok(merged
+            .into_iter()
+            .map(|k| k.0.into_iter().next().expect("single-column key"))
+            .collect())
     }
 
     /// Run a read-only closure over the raw state (test/bench support).
@@ -326,6 +369,40 @@ impl Session {
                 }
             }
         }
+    }
+
+    /// Parse and run a SELECT under explicit [`ExecOptions`], returning the
+    /// result together with the [`PlanSummary`] of every access path taken.
+    /// Runs the same privilege checks as [`Session::execute`]; only SELECT
+    /// statements are accepted (writes trace through
+    /// [`exec::execute_with_options`] at the engine layer).
+    pub fn query_with_options(
+        &self,
+        sql: &str,
+        opts: &ExecOptions,
+    ) -> DbResult<(QueryResult, PlanSummary)> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(sel) = &stmt else {
+            return Err(DbError::Execution(
+                "query_with_options accepts only SELECT statements".into(),
+            ));
+        };
+        if self.status == TxnStatus::Aborted {
+            return Err(DbError::TransactionState(
+                "current transaction is aborted, commands ignored until ROLLBACK".into(),
+            ));
+        }
+        let profile = sqlkit::analyze(&stmt);
+        let inner = self.db.inner.read();
+        for (action, object) in profile.required_privileges() {
+            inner.privileges.check(&self.user, action, &object)?;
+        }
+        exec::execute_select_traced(&inner.state, sel, opts)
+    }
+
+    /// [`Session::query_with_options`] with the default (fast-path) options.
+    pub fn query_traced(&self, sql: &str) -> DbResult<(QueryResult, PlanSummary)> {
+        self.query_with_options(sql, &ExecOptions::default())
     }
 
     /// BEGIN an explicit transaction.

@@ -1,17 +1,23 @@
 //! Statement execution: SELECT pipeline, DML with constraint enforcement,
 //! and DDL.
 //!
-//! The executor is deliberately simple — nested-loop joins, hash-free
-//! grouping over ordered keys — but semantically complete for the dialect:
-//! three-valued predicates, LEFT JOIN null extension, aggregates with
-//! DISTINCT, uncorrelated subqueries (resolved to constants up front),
-//! primary-key/unique/foreign-key/CHECK enforcement, and undo logging for
-//! transactional rollback.
+//! The executor is semantically complete for the dialect — three-valued
+//! predicates, LEFT JOIN null extension, aggregates with DISTINCT,
+//! uncorrelated subqueries (resolved to constants up front), primary-key/
+//! unique/foreign-key/CHECK enforcement, and undo logging for transactional
+//! rollback — and carries a *fast path* selected by [`ExecOptions`]:
+//! secondary-index probes for equality predicates, grace-hash joins for
+//! equi-joins, and chunked parallel scans/aggregation over scoped threads.
+//! Which path actually ran is recorded in a [`PlanSummary`] so tests and
+//! tools can assert on the choice. The fast path must produce rows
+//! identical (content *and* order) to the sequential path; see
+//! `crate::plan` for the invariants.
 
 use crate::error::{DbError, DbResult};
 use crate::expr::{self, eval, Scope, ScopeCol};
+use crate::plan::{self, ExecOptions, JoinPath, PlanSummary, ScanPath};
 use crate::schema::{Catalog, Column, ForeignKey, IndexDef, TableSchema};
-use crate::storage::{RowId, TableData};
+use crate::storage::{canonical_key, HashedKey, RowId, TableData};
 use crate::txn::UndoOp;
 use crate::value::{Key, Row, Value};
 use sqlkit::ast::{
@@ -19,6 +25,8 @@ use sqlkit::ast::{
     OrderDir, Select, SelectItem, Statement, TableConstraint, Update,
 };
 use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
 
 /// Mutable database state: catalog + per-table storage.
 #[derive(Debug, Clone, Default)]
@@ -62,11 +70,35 @@ pub fn execute(
     stmt: &Statement,
     undo: &mut Vec<UndoOp>,
 ) -> DbResult<QueryResult> {
+    execute_with_options(state, stmt, undo, &ExecOptions::default()).map(|(r, _)| r)
+}
+
+/// Execute a statement under explicit [`ExecOptions`], returning the result
+/// together with the [`PlanSummary`] of every table access and join the
+/// statement (including its subqueries and view expansions) performed.
+pub fn execute_with_options(
+    state: &mut DbState,
+    stmt: &Statement,
+    undo: &mut Vec<UndoOp>,
+    opts: &ExecOptions,
+) -> DbResult<(QueryResult, PlanSummary)> {
+    let mut summary = PlanSummary::default();
+    let result = execute_inner(state, stmt, undo, opts, &mut summary)?;
+    Ok((result, summary))
+}
+
+fn execute_inner(
+    state: &mut DbState,
+    stmt: &Statement,
+    undo: &mut Vec<UndoOp>,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<QueryResult> {
     match stmt {
-        Statement::Select(sel) => execute_select(state, sel),
-        Statement::Insert(ins) => execute_insert(state, ins, undo),
-        Statement::Update(up) => execute_update(state, up, undo),
-        Statement::Delete(del) => execute_delete(state, del, undo),
+        Statement::Select(sel) => execute_select_opts(state, sel, opts, summary),
+        Statement::Insert(ins) => execute_insert(state, ins, undo, opts, summary),
+        Statement::Update(up) => execute_update(state, up, undo, opts, summary),
+        Statement::Delete(del) => execute_delete(state, del, undo, opts, summary),
         Statement::CreateTable(ct) => execute_create_table(state, ct, undo),
         Statement::DropTable(dt) => {
             let mut total = 0;
@@ -173,6 +205,9 @@ fn explain_select(
     match &sel.from {
         None => lines.push(format!("{pad}Result (no table)")),
         Some(from) => {
+            // Accumulate the combined scope as joins stack up so the join
+            // algorithm prediction matches what execution will choose.
+            let mut scope_cols = scope_cols_of(state, from.binding(), &from.name)?;
             if state.catalog.view(&from.name).is_some() {
                 lines.push(format!("{pad}View Expand on {}", from.name));
             } else {
@@ -188,10 +223,17 @@ fn explain_select(
                 ));
             }
             for join in &sel.joins {
-                let kind = match join.kind {
-                    JoinKind::Inner => "Nested Loop Join",
-                    JoinKind::Left => "Nested Loop Left Join",
-                    JoinKind::Cross => "Nested Loop Cross Join",
+                let right_cols = scope_cols_of(state, join.table.binding(), &join.table.name)?;
+                let hash = join.kind != JoinKind::Cross
+                    && join.on.as_ref().is_some_and(|on| {
+                        plan::analyze_equi_join(&scope_cols, &right_cols, on).is_some()
+                    });
+                let kind = match (join.kind, hash) {
+                    (JoinKind::Inner, true) => "Hash Join",
+                    (JoinKind::Inner, false) => "Nested Loop Join",
+                    (JoinKind::Left, true) => "Hash Left Join",
+                    (JoinKind::Left, false) => "Nested Loop Left Join",
+                    (JoinKind::Cross, _) => "Nested Loop Cross Join",
                 };
                 if state.catalog.view(&join.table.name).is_some() {
                     lines.push(format!("{pad}  {kind} with view {}", join.table.name));
@@ -202,10 +244,32 @@ fn explain_select(
                         scan_line(state, schema, join.table.binding(), None)
                     ));
                 }
+                scope_cols.extend(right_cols);
             }
         }
     }
     Ok(())
+}
+
+/// Scope columns a FROM item (table or view) contributes.
+fn scope_cols_of(state: &DbState, binding: &str, name: &str) -> DbResult<Vec<ScopeCol>> {
+    let names: Vec<String> = match state.catalog.view(name) {
+        Some(view) => view.columns.clone(),
+        None => state
+            .catalog
+            .table(name)?
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect(),
+    };
+    Ok(names
+        .into_iter()
+        .map(|n| ScopeCol {
+            binding: Some(binding.to_owned()),
+            name: n,
+        })
+        .collect())
 }
 
 fn access_path(
@@ -234,10 +298,12 @@ fn scan_line(
     predicate: Option<&Expr>,
 ) -> String {
     let rows = state.data.get(&schema.name).map_or(0, TableData::len);
-    match access_path(state, schema, binding, predicate).as_str() {
-        "index scan" => format!("Index Scan on {} (~{rows} rows)", schema.name),
-        _ => format!("Seq Scan on {} ({rows} rows)", schema.name),
+    if let (Some(pred), Some(data)) = (predicate, state.data.get(&schema.name)) {
+        if let Some((index, _)) = index_candidates(schema, data, binding, pred) {
+            return format!("Index Scan on {} using {index} (~{rows} rows)", schema.name);
+        }
     }
+    format!("Seq Scan on {} ({rows} rows)", schema.name)
 }
 
 // ---------------------------------------------------------------------------
@@ -245,15 +311,21 @@ fn scan_line(
 // ---------------------------------------------------------------------------
 
 /// Replace uncorrelated subqueries in an expression with constants by
-/// executing them eagerly.
-fn resolve_expr(state: &DbState, e: &Expr) -> DbResult<Expr> {
+/// executing them eagerly (under the caller's options, recording their
+/// accesses in the caller's summary).
+fn resolve_expr(
+    state: &DbState,
+    e: &Expr,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<Expr> {
     Ok(match e {
         Expr::InSubquery {
             expr,
             subquery,
             negated,
         } => {
-            let result = execute_select(state, subquery)?;
+            let result = execute_select_opts(state, subquery, opts, summary)?;
             let rows = match result {
                 QueryResult::Rows { rows, .. } => rows,
                 _ => unreachable!("select returns rows"),
@@ -269,13 +341,13 @@ fn resolve_expr(state: &DbState, e: &Expr) -> DbResult<Expr> {
                 })
                 .collect::<DbResult<Vec<_>>>()?;
             Expr::InList {
-                expr: Box::new(resolve_expr(state, expr)?),
+                expr: Box::new(resolve_expr(state, expr, opts, summary)?),
                 list,
                 negated: *negated,
             }
         }
         Expr::ScalarSubquery(sub) => {
-            let result = execute_select(state, sub)?;
+            let result = execute_select_opts(state, sub, opts, summary)?;
             let value = match result {
                 QueryResult::Rows { rows, .. } => match rows.into_iter().next() {
                     Some(mut row) if !row.is_empty() => row.swap_remove(0),
@@ -288,12 +360,12 @@ fn resolve_expr(state: &DbState, e: &Expr) -> DbResult<Expr> {
         Expr::Literal(_) | Expr::Column(_) => e.clone(),
         Expr::Unary { op, expr } => Expr::Unary {
             op: *op,
-            expr: Box::new(resolve_expr(state, expr)?),
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
         },
         Expr::Binary { left, op, right } => Expr::Binary {
-            left: Box::new(resolve_expr(state, left)?),
+            left: Box::new(resolve_expr(state, left, opts, summary)?),
             op: *op,
-            right: Box::new(resolve_expr(state, right)?),
+            right: Box::new(resolve_expr(state, right, opts, summary)?),
         },
         Expr::Function {
             name,
@@ -304,13 +376,13 @@ fn resolve_expr(state: &DbState, e: &Expr) -> DbResult<Expr> {
             name: name.clone(),
             args: args
                 .iter()
-                .map(|a| resolve_expr(state, a))
+                .map(|a| resolve_expr(state, a, opts, summary))
                 .collect::<DbResult<_>>()?,
             distinct: *distinct,
             star: *star,
         },
         Expr::IsNull { expr, negated } => Expr::IsNull {
-            expr: Box::new(resolve_expr(state, expr)?),
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
             negated: *negated,
         },
         Expr::InList {
@@ -318,10 +390,10 @@ fn resolve_expr(state: &DbState, e: &Expr) -> DbResult<Expr> {
             list,
             negated,
         } => Expr::InList {
-            expr: Box::new(resolve_expr(state, expr)?),
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
             list: list
                 .iter()
-                .map(|i| resolve_expr(state, i))
+                .map(|i| resolve_expr(state, i, opts, summary))
                 .collect::<DbResult<_>>()?,
             negated: *negated,
         },
@@ -331,9 +403,9 @@ fn resolve_expr(state: &DbState, e: &Expr) -> DbResult<Expr> {
             high,
             negated,
         } => Expr::Between {
-            expr: Box::new(resolve_expr(state, expr)?),
-            low: Box::new(resolve_expr(state, low)?),
-            high: Box::new(resolve_expr(state, high)?),
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
+            low: Box::new(resolve_expr(state, low, opts, summary)?),
+            high: Box::new(resolve_expr(state, high, opts, summary)?),
             negated: *negated,
         },
         Expr::Like {
@@ -341,8 +413,8 @@ fn resolve_expr(state: &DbState, e: &Expr) -> DbResult<Expr> {
             pattern,
             negated,
         } => Expr::Like {
-            expr: Box::new(resolve_expr(state, expr)?),
-            pattern: Box::new(resolve_expr(state, pattern)?),
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
+            pattern: Box::new(resolve_expr(state, pattern, opts, summary)?),
             negated: *negated,
         },
         Expr::Case {
@@ -351,15 +423,20 @@ fn resolve_expr(state: &DbState, e: &Expr) -> DbResult<Expr> {
         } => Expr::Case {
             branches: branches
                 .iter()
-                .map(|(c, v)| Ok((resolve_expr(state, c)?, resolve_expr(state, v)?)))
+                .map(|(c, v)| {
+                    Ok((
+                        resolve_expr(state, c, opts, summary)?,
+                        resolve_expr(state, v, opts, summary)?,
+                    ))
+                })
                 .collect::<DbResult<_>>()?,
             else_expr: match else_expr {
-                Some(e) => Some(Box::new(resolve_expr(state, e)?)),
+                Some(e) => Some(Box::new(resolve_expr(state, e, opts, summary)?)),
                 None => None,
             },
         },
         Expr::Cast { expr, ty } => Expr::Cast {
-            expr: Box::new(resolve_expr(state, expr)?),
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
             ty: *ty,
         },
     })
@@ -376,9 +453,14 @@ fn value_to_literal(v: Value) -> sqlkit::ast::Literal {
     }
 }
 
-fn resolve_opt(state: &DbState, e: &Option<Expr>) -> DbResult<Option<Expr>> {
+fn resolve_opt(
+    state: &DbState,
+    e: &Option<Expr>,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<Option<Expr>> {
     match e {
-        Some(e) => Ok(Some(resolve_expr(state, e)?)),
+        Some(e) => Ok(Some(resolve_expr(state, e, opts, summary)?)),
         None => Ok(None),
     }
 }
@@ -389,41 +471,56 @@ fn resolve_opt(state: &DbState, e: &Option<Expr>) -> DbResult<Option<Expr>> {
 
 /// Execute a SELECT against a read-only state snapshot.
 pub fn execute_select(state: &DbState, sel: &Select) -> DbResult<QueryResult> {
+    let mut summary = PlanSummary::default();
+    execute_select_opts(state, sel, &ExecOptions::default(), &mut summary)
+}
+
+/// Execute a SELECT under explicit options, returning the plan summary of
+/// every table access and join performed (including subqueries and views).
+pub fn execute_select_traced(
+    state: &DbState,
+    sel: &Select,
+    opts: &ExecOptions,
+) -> DbResult<(QueryResult, PlanSummary)> {
+    let mut summary = PlanSummary::default();
+    let result = execute_select_opts(state, sel, opts, &mut summary)?;
+    Ok((result, summary))
+}
+
+fn execute_select_opts(
+    state: &DbState,
+    sel: &Select,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<QueryResult> {
     // Resolve subqueries everywhere first.
     let mut sel = sel.clone();
-    sel.where_clause = resolve_opt(state, &sel.where_clause)?;
-    sel.having = resolve_opt(state, &sel.having)?;
+    sel.where_clause = resolve_opt(state, &sel.where_clause, opts, summary)?;
+    sel.having = resolve_opt(state, &sel.having, opts, summary)?;
     for item in &mut sel.items {
         if let SelectItem::Expr { expr, .. } = item {
-            *expr = resolve_expr(state, expr)?;
+            *expr = resolve_expr(state, expr, opts, summary)?;
         }
     }
     for g in &mut sel.group_by {
-        *g = resolve_expr(state, g)?;
+        *g = resolve_expr(state, g, opts, summary)?;
     }
     for o in &mut sel.order_by {
-        o.expr = resolve_expr(state, &o.expr)?;
+        o.expr = resolve_expr(state, &o.expr, opts, summary)?;
     }
     for j in &mut sel.joins {
-        j.on = resolve_opt(state, &j.on)?;
+        j.on = resolve_opt(state, &j.on, opts, summary)?;
     }
 
-    // Build the base row set (FROM + JOINs).
-    let (scope_cols, mut rows) = build_from(state, &sel)?;
+    // Build the base row set (FROM + JOINs). `prefiltered` means the scan
+    // already applied the full WHERE clause (parallel filtered scan).
+    let (scope_cols, mut rows, prefiltered) = build_from(state, &sel, opts, summary)?;
 
     // WHERE.
-    if let Some(pred) = &sel.where_clause {
-        let mut kept = Vec::with_capacity(rows.len());
-        for row in rows {
-            let scope = Scope {
-                columns: &scope_cols,
-                values: &row,
-            };
-            if expr::truth(&eval(pred, &scope)?) == Some(true) {
-                kept.push(row);
-            }
+    if !prefiltered {
+        if let Some(pred) = &sel.where_clause {
+            rows = filter_rows(rows, &scope_cols, pred, opts)?;
         }
-        rows = kept;
     }
 
     let has_aggregate = !sel.group_by.is_empty()
@@ -450,18 +547,7 @@ pub fn execute_select(state: &DbState, sel: &Select) -> DbResult<QueryResult> {
         if sel.group_by.is_empty() {
             groups.insert(Key(vec![]), rows);
         } else {
-            for row in rows {
-                let scope = Scope {
-                    columns: &scope_cols,
-                    values: &row,
-                };
-                let key = Key(sel
-                    .group_by
-                    .iter()
-                    .map(|g| eval(g, &scope))
-                    .collect::<DbResult<Vec<_>>>()?);
-                groups.entry(key).or_default().push(row);
-            }
+            groups = group_rows(rows, &scope_cols, &sel.group_by, opts)?;
         }
         for (_, group_rows) in groups {
             // An empty global group still yields one row of aggregates
@@ -667,11 +753,18 @@ fn derive_name(e: &Expr) -> String {
     }
 }
 
-/// Build the FROM/JOIN row set and its scope columns.
-fn build_from(state: &DbState, sel: &Select) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
+/// Build the FROM/JOIN row set and its scope columns. The returned flag
+/// reports whether the base scan already applied the full WHERE clause
+/// (parallel filtered scan), letting the caller skip re-filtering.
+fn build_from(
+    state: &DbState,
+    sel: &Select,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<(Vec<ScopeCol>, Vec<Row>, bool)> {
     let Some(from) = &sel.from else {
         // SELECT without FROM: one empty row.
-        return Ok((Vec::new(), vec![Vec::new()]));
+        return Ok((Vec::new(), vec![Vec::new()], false));
     };
     // Single-table queries push the WHERE clause down to the scan so point
     // predicates use indexes; joined queries filter after the join.
@@ -680,31 +773,58 @@ fn build_from(state: &DbState, sel: &Select) -> DbResult<(Vec<ScopeCol>, Vec<Row
     } else {
         None
     };
-    let (mut cols, mut rows) = scan_table_filtered(state, from.binding(), &from.name, pushdown)?;
+    let (mut cols, mut rows, prefiltered) =
+        scan_table_filtered(state, from.binding(), &from.name, pushdown, opts, summary)?;
     for join in &sel.joins {
-        let (right_cols, right_rows) = scan_table(state, join.table.binding(), &join.table.name)?;
-        (cols, rows) = join_rows(cols, rows, right_cols, right_rows, join)?;
+        let (right_cols, right_rows, _) = scan_table_filtered(
+            state,
+            join.table.binding(),
+            &join.table.name,
+            None,
+            opts,
+            summary,
+        )?;
+        (cols, rows) = join_rows(
+            cols,
+            rows,
+            right_cols,
+            right_rows,
+            join,
+            join.table.binding(),
+            opts,
+            summary,
+        )?;
     }
-    Ok((cols, rows))
+    Ok((cols, rows, prefiltered))
 }
 
-fn scan_table(state: &DbState, binding: &str, table: &str) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
-    scan_table_filtered(state, binding, table, None)
-}
-
-/// Scan a table, using an index to prune rows when the (optional) predicate
-/// pins all columns of some index to constants. The caller still applies the
-/// full predicate afterwards — the index is only a sound pre-filter.
+/// Scan a table. Access path, in preference order:
+///
+/// 1. **Index probe** — the predicate pins every column of some index to
+///    non-NULL constants; the probe is a sound *pre-filter* (the caller
+///    still applies the full predicate), so the flag returns `false`.
+/// 2. **Parallel scan** — large tables with a predicate are filtered in
+///    row-partition chunks across scoped threads, each worker evaluating
+///    the *full* predicate; chunks concatenate in row order, so the output
+///    equals the sequential scan and the flag returns `true`.
+/// 3. **Sequential scan** — everything else.
+///
+/// Views expand to their defining query (definer semantics: privilege
+/// checks happened at the session layer against the view object) under the
+/// same options, recording their own accesses.
 fn scan_table_filtered(
     state: &DbState,
     binding: &str,
     table: &str,
     predicate: Option<&Expr>,
-) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
-    // Views expand to their defining query (definer semantics: privilege
-    // checks happened at the session layer against the view object).
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<(Vec<ScopeCol>, Vec<Row>, bool)> {
     if let Some(view) = state.catalog.view(table) {
-        let result = execute_select(state, &view.query.clone())?;
+        summary.scans.push(ScanPath::ViewExpand {
+            view: table.to_owned(),
+        });
+        let result = execute_select_opts(state, &view.query.clone(), opts, summary)?;
         let rows = match result {
             QueryResult::Rows { rows, .. } => rows,
             _ => unreachable!("select returns rows"),
@@ -717,7 +837,7 @@ fn scan_table_filtered(
                 name: c.clone(),
             })
             .collect();
-        return Ok((cols, rows));
+        return Ok((cols, rows, false));
     }
     let schema = state.catalog.table(table)?;
     let data = state
@@ -732,17 +852,210 @@ fn scan_table_filtered(
             name: c.name.clone(),
         })
         .collect();
-    if let Some(pred) = predicate {
-        if let Some(rids) = index_candidates(schema, data, binding, pred) {
-            let rows = rids
-                .into_iter()
-                .filter_map(|rid| data.get(rid).cloned())
-                .collect();
-            return Ok((cols, rows));
+    if opts.use_indexes {
+        if let Some(pred) = predicate {
+            if let Some((index, rids)) = index_candidates(schema, data, binding, pred) {
+                summary.scans.push(ScanPath::IndexProbe {
+                    table: table.to_owned(),
+                    index,
+                    candidates: rids.len(),
+                });
+                let rows = rids
+                    .into_iter()
+                    .filter_map(|rid| data.get(rid).cloned())
+                    .collect();
+                return Ok((cols, rows, false));
+            }
         }
     }
+    let total = data.len();
+    if let Some(pred) = predicate {
+        let workers = opts.workers_for(total);
+        if workers >= 2 {
+            let rows = parallel_filter_scan(data, &cols, pred, workers)?;
+            summary.scans.push(ScanPath::ParallelSeq {
+                table: table.to_owned(),
+                rows: total,
+                workers,
+            });
+            return Ok((cols, rows, true));
+        }
+    }
+    summary.scans.push(ScanPath::Seq {
+        table: table.to_owned(),
+        rows: total,
+    });
     let rows = data.iter().map(|(_, r)| r.clone()).collect();
-    Ok((cols, rows))
+    Ok((cols, rows, false))
+}
+
+/// Filter a table's live rows with the full predicate across scoped worker
+/// threads. Workers take contiguous chunks of the row-id-ordered scan, so
+/// concatenating their outputs in chunk order reproduces the sequential
+/// scan exactly; the first error in row order wins, as it would serially.
+fn parallel_filter_scan(
+    data: &TableData,
+    cols: &[ScopeCol],
+    pred: &Expr,
+    workers: usize,
+) -> DbResult<Vec<Row>> {
+    let refs: Vec<&Row> = data.iter().map(|(_, r)| r).collect();
+    let chunk = refs.len().div_ceil(workers).max(1);
+    let chunk_results: Vec<DbResult<Vec<Row>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = refs
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    let mut kept = Vec::new();
+                    for row in part {
+                        let scope = Scope {
+                            columns: cols,
+                            values: row,
+                        };
+                        if expr::truth(&eval(pred, &scope)?) == Some(true) {
+                            kept.push((*row).clone());
+                        }
+                    }
+                    Ok(kept)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::new();
+    for part in chunk_results {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
+/// Split owned rows into up to `workers` contiguous chunks.
+fn split_chunks(mut rows: Vec<Row>, workers: usize) -> Vec<Vec<Row>> {
+    let chunk = rows.len().div_ceil(workers).max(1);
+    let mut parts = Vec::with_capacity(workers);
+    while rows.len() > chunk {
+        let tail = rows.split_off(chunk);
+        parts.push(std::mem::replace(&mut rows, tail));
+    }
+    parts.push(rows);
+    parts
+}
+
+/// Filter already-materialized rows (post-join WHERE), in parallel when
+/// large. Order and error behavior match the sequential loop.
+fn filter_rows(
+    rows: Vec<Row>,
+    cols: &[ScopeCol],
+    pred: &Expr,
+    opts: &ExecOptions,
+) -> DbResult<Vec<Row>> {
+    let workers = opts.workers_for(rows.len());
+    if workers < 2 {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let scope = Scope {
+                columns: cols,
+                values: &row,
+            };
+            if expr::truth(&eval(pred, &scope)?) == Some(true) {
+                kept.push(row);
+            }
+        }
+        return Ok(kept);
+    }
+    let parts = split_chunks(rows, workers);
+    let chunk_results: Vec<DbResult<Vec<Row>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                s.spawn(move || {
+                    let mut kept = Vec::with_capacity(part.len());
+                    for row in part {
+                        let scope = Scope {
+                            columns: cols,
+                            values: &row,
+                        };
+                        if expr::truth(&eval(pred, &scope)?) == Some(true) {
+                            kept.push(row);
+                        }
+                    }
+                    Ok(kept)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("filter worker panicked"))
+            .collect()
+    });
+    let mut kept = Vec::new();
+    for part in chunk_results {
+        kept.extend(part?);
+    }
+    Ok(kept)
+}
+
+/// Group rows by GROUP BY key expressions, in parallel when large: each
+/// worker groups one contiguous chunk, and the per-chunk maps merge in
+/// chunk order so rows within a group keep scan order (float aggregate
+/// accumulation order — and thus exact results — match the sequential
+/// path).
+fn group_rows(
+    rows: Vec<Row>,
+    cols: &[ScopeCol],
+    group_by: &[Expr],
+    opts: &ExecOptions,
+) -> DbResult<BTreeMap<Key, Vec<Row>>> {
+    let group_one = |groups: &mut BTreeMap<Key, Vec<Row>>, row: Row| -> DbResult<()> {
+        let scope = Scope {
+            columns: cols,
+            values: &row,
+        };
+        let key = Key(group_by
+            .iter()
+            .map(|g| eval(g, &scope))
+            .collect::<DbResult<Vec<_>>>()?);
+        groups.entry(key).or_default().push(row);
+        Ok(())
+    };
+    let workers = opts.workers_for(rows.len());
+    if workers < 2 {
+        let mut groups = BTreeMap::new();
+        for row in rows {
+            group_one(&mut groups, row)?;
+        }
+        return Ok(groups);
+    }
+    let parts = split_chunks(rows, workers);
+    let group_one = &group_one;
+    let chunk_maps: Vec<DbResult<BTreeMap<Key, Vec<Row>>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                s.spawn(move || {
+                    let mut groups = BTreeMap::new();
+                    for row in part {
+                        group_one(&mut groups, row)?;
+                    }
+                    Ok(groups)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("group worker panicked"))
+            .collect()
+    });
+    let mut groups: BTreeMap<Key, Vec<Row>> = BTreeMap::new();
+    for map in chunk_maps {
+        for (key, part_rows) in map? {
+            groups.entry(key).or_default().extend(part_rows);
+        }
+    }
+    Ok(groups)
 }
 
 /// Candidate `(rid, row)` pairs for a DML statement: index-pruned when the
@@ -752,82 +1065,82 @@ fn dml_candidates(
     data: &TableData,
     table: &str,
     predicate: Option<&Expr>,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
 ) -> Vec<(RowId, Row)> {
-    if let Some(pred) = predicate {
-        if let Some(rids) = index_candidates(schema, data, table, pred) {
-            return rids
-                .into_iter()
-                .filter_map(|rid| data.get(rid).map(|r| (rid, r.clone())))
-                .collect();
+    if opts.use_indexes {
+        if let Some(pred) = predicate {
+            if let Some((index, rids)) = index_candidates(schema, data, table, pred) {
+                summary.scans.push(ScanPath::IndexProbe {
+                    table: table.to_owned(),
+                    index,
+                    candidates: rids.len(),
+                });
+                return rids
+                    .into_iter()
+                    .filter_map(|rid| data.get(rid).map(|r| (rid, r.clone())))
+                    .collect();
+            }
         }
     }
+    summary.scans.push(ScanPath::Seq {
+        table: table.to_owned(),
+        rows: data.len(),
+    });
     data.iter().map(|(rid, r)| (rid, r.clone())).collect()
 }
 
 /// If the predicate's top-level AND conjuncts pin every column of some index
-/// to non-NULL constants, return the matching row ids.
+/// to non-NULL constants, return the chosen index's name and the matching
+/// row ids. Index preference lives in [`plan::choose_index`].
 fn index_candidates(
     schema: &TableSchema,
     data: &TableData,
     binding: &str,
     predicate: &Expr,
-) -> Option<Vec<RowId>> {
-    use sqlkit::ast::BinaryOp;
-    // Collect `col = literal` bindings from the AND chain.
-    let mut pinned: BTreeMap<usize, Value> = BTreeMap::new();
-    let mut stack = vec![predicate];
-    while let Some(e) = stack.pop() {
-        if let Expr::Binary { left, op, right } = e {
-            match op {
-                BinaryOp::And => {
-                    stack.push(left);
-                    stack.push(right);
-                }
-                BinaryOp::Eq => {
-                    let pair = match (&**left, &**right) {
-                        (Expr::Column(c), Expr::Literal(l))
-                        | (Expr::Literal(l), Expr::Column(c)) => Some((c, l)),
-                        _ => None,
-                    };
-                    if let Some((c, l)) = pair {
-                        let table_matches = c
-                            .table
-                            .as_deref()
-                            .is_none_or(|t| t == binding || t == schema.name);
-                        if table_matches {
-                            if let Some(pos) = schema.column_index(&c.column) {
-                                let value = crate::expr::literal_value(l);
-                                if !value.is_null() {
-                                    pinned.entry(pos).or_insert(value);
-                                }
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
+) -> Option<(String, Vec<RowId>)> {
+    let pinned = plan::equality_bindings(schema, binding, predicate);
     if pinned.is_empty() {
         return None;
     }
-    // First index fully covered by the pinned columns wins.
-    for idx in data.indexes.values() {
-        if !idx.columns.is_empty() && idx.columns.iter().all(|c| pinned.contains_key(c)) {
-            let key = Key(idx.columns.iter().map(|c| pinned[c].clone()).collect());
-            return Some(idx.lookup(&key));
-        }
-    }
-    None
+    let (name, idx, key) = plan::choose_index(data, &pinned)?;
+    Some((name.to_owned(), idx.lookup(&key)))
 }
 
+/// Join accumulated left rows with a new right table, picking a grace-hash
+/// join when the ON condition yields equi-keys (and options allow), else
+/// the nested loop.
+#[allow(clippy::too_many_arguments)]
 fn join_rows(
     left_cols: Vec<ScopeCol>,
     left_rows: Vec<Row>,
     right_cols: Vec<ScopeCol>,
     right_rows: Vec<Row>,
     join: &Join,
+    right_binding: &str,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
 ) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
+    if opts.hash_join && join.kind != JoinKind::Cross {
+        if let Some(on) = &join.on {
+            if let Some(equi) = plan::analyze_equi_join(&left_cols, &right_cols, on) {
+                // Grace-style partition count: scale with the build side,
+                // bounded so tiny tables stay in one partition.
+                let partitions = (right_rows.len() / 4096).clamp(1, 16);
+                summary.joins.push(JoinPath::HashJoin {
+                    table: right_binding.to_owned(),
+                    build_rows: right_rows.len(),
+                    partitions,
+                });
+                return hash_join_rows(
+                    left_cols, left_rows, right_cols, right_rows, join, &equi, opts, partitions,
+                );
+            }
+        }
+    }
+    summary.joins.push(JoinPath::NestedLoop {
+        table: right_binding.to_owned(),
+    });
     let mut cols = left_cols;
     let right_width = right_cols.len();
     cols.extend(right_cols);
@@ -857,6 +1170,121 @@ fn join_rows(
             let mut combined = l.clone();
             combined.extend(std::iter::repeat_n(Value::Null, right_width));
             out.push(combined);
+        }
+    }
+    Ok((cols, out))
+}
+
+/// Extract a canonicalized join key from a row. `None` (no possible match)
+/// when any key value is NULL or NaN: the corresponding `a = b` conjunct
+/// can never evaluate to TRUE, so the nested loop would reject every pair
+/// too. `-0.0` collapses to `0.0` so key equality (total order) agrees
+/// with SQL equality wherever the latter says "equal".
+fn join_key(row: &Row, positions: &[usize]) -> Option<HashedKey> {
+    let mut vals = Vec::with_capacity(positions.len());
+    for &p in positions {
+        match &row[p] {
+            Value::Null => return None,
+            Value::Float(f) if f.is_nan() => return None,
+            v => vals.push(v.clone()),
+        }
+    }
+    Some(HashedKey(canonical_key(Key(vals))))
+}
+
+/// Grace-hash join: partition the build (right) side by key hash, then
+/// probe from the left — in parallel chunks when large. For every
+/// key-matching candidate pair the *full* ON condition is re-evaluated
+/// exactly as the nested loop would, so key hashing is purely a sound
+/// pre-filter and the output (content and order: left order outer, right
+/// insertion order inner, LEFT null-extension included) is identical to
+/// the nested loop's.
+#[allow(clippy::too_many_arguments)]
+fn hash_join_rows(
+    left_cols: Vec<ScopeCol>,
+    left_rows: Vec<Row>,
+    right_cols: Vec<ScopeCol>,
+    right_rows: Vec<Row>,
+    join: &Join,
+    equi: &plan::EquiJoin,
+    opts: &ExecOptions,
+    partitions: usize,
+) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
+    let on = join.on.as_ref().expect("equi join requires ON");
+    let mut cols = left_cols;
+    let right_width = right_cols.len();
+    cols.extend(right_cols);
+
+    // Build phase: right row indices bucketed by key, partitioned by hash.
+    // Indices append in scan order, preserving the nested loop's inner
+    // iteration order.
+    let hasher = RandomState::new();
+    let mut parts: Vec<HashMap<HashedKey, Vec<usize>>> = vec![HashMap::new(); partitions];
+    for (i, r) in right_rows.iter().enumerate() {
+        if let Some(key) = join_key(r, &equi.right_keys) {
+            let slot = (hasher.hash_one(&key) as usize) % partitions;
+            parts[slot].entry(key).or_default().push(i);
+        }
+    }
+
+    // Probe phase.
+    let probe_one = |l: &Row| -> DbResult<Vec<Row>> {
+        let mut out = Vec::new();
+        let mut matched = false;
+        if let Some(key) = join_key(l, &equi.left_keys) {
+            let slot = (hasher.hash_one(&key) as usize) % partitions;
+            if let Some(cands) = parts[slot].get(&key) {
+                for &ri in cands {
+                    let mut combined = l.clone();
+                    combined.extend(right_rows[ri].iter().cloned());
+                    let scope = Scope {
+                        columns: &cols,
+                        values: &combined,
+                    };
+                    if expr::truth(&eval(on, &scope)?) == Some(true) {
+                        matched = true;
+                        out.push(combined);
+                    }
+                }
+            }
+        }
+        if join.kind == JoinKind::Left && !matched {
+            let mut combined = l.clone();
+            combined.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(combined);
+        }
+        Ok(out)
+    };
+
+    let workers = opts.workers_for(left_rows.len());
+    let mut out = Vec::new();
+    if workers < 2 {
+        for l in &left_rows {
+            out.extend(probe_one(l)?);
+        }
+    } else {
+        let chunk = left_rows.len().div_ceil(workers).max(1);
+        let probe_one = &probe_one;
+        let chunk_results: Vec<DbResult<Vec<Row>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = left_rows
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut kept = Vec::new();
+                        for l in part {
+                            kept.extend(probe_one(l)?);
+                        }
+                        Ok(kept)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("probe worker panicked"))
+                .collect()
+        });
+        for part in chunk_results {
+            out.extend(part?);
         }
     }
     Ok((cols, out))
@@ -1121,19 +1549,29 @@ fn foreign_key_target_exists(state: &DbState, fk: &ForeignKey, key: &[Value]) ->
         .get(&fk.foreign_table)
         .ok_or_else(|| DbError::UnknownTable(fk.foreign_table.clone()))?;
     let positions = target_schema.resolve_columns(&fk.foreign_columns)?;
-    // Try an index whose leading columns match exactly.
-    for idx in target_data.indexes.values() {
-        if idx.columns == positions {
-            return Ok(!idx.lookup(&Key(key.to_vec())).is_empty());
-        }
-    }
-    // Fallback scan.
-    Ok(target_data.iter().any(|(_, row)| {
+    Ok(rows_match_key(target_data, &positions, key))
+}
+
+/// Whether any live row matches `key` (SQL equality) at `positions`. Uses
+/// an exactly-matching index as a pre-filter when one exists, re-verifying
+/// candidates with `sql_eq` so the answer is identical to the scan.
+fn rows_match_key(data: &TableData, positions: &[usize], key: &[Value]) -> bool {
+    let sql_matches = |row: &Row| {
         positions
             .iter()
             .zip(key)
             .all(|(&p, k)| row[p].sql_eq(k) == Some(true))
-    }))
+    };
+    for idx in data.indexes.values() {
+        if idx.columns == positions {
+            return idx
+                .lookup(&Key(key.to_vec()))
+                .into_iter()
+                .filter_map(|rid| data.get(rid))
+                .any(sql_matches);
+        }
+    }
+    data.iter().any(|(_, row)| sql_matches(row))
 }
 
 /// RESTRICT check: error if any row in another table references `key_vals`
@@ -1156,13 +1594,7 @@ fn check_inbound_references(state: &DbState, table: &str, old_row: &Row) -> DbRe
                 .get(&other.name)
                 .ok_or_else(|| DbError::UnknownTable(other.name.clone()))?;
             let local_pos = other.resolve_columns(&fk.columns)?;
-            let referenced = other_data.iter().any(|(_, row)| {
-                local_pos
-                    .iter()
-                    .zip(&key)
-                    .all(|(&p, k)| row[p].sql_eq(k) == Some(true))
-            });
-            if referenced {
+            if rows_match_key(other_data, &local_pos, &key) {
                 return Err(DbError::ConstraintViolation(format!(
                     "row in \"{table}\" is still referenced by \"{}\"",
                     other.name
@@ -1181,6 +1613,8 @@ fn execute_insert(
     state: &mut DbState,
     ins: &Insert,
     undo: &mut Vec<UndoOp>,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
 ) -> DbResult<QueryResult> {
     reject_view_dml(state, &ins.table)?;
     let schema = state.catalog.table(&ins.table)?.clone();
@@ -1201,14 +1635,14 @@ fn execute_insert(
             for row_exprs in rows {
                 let mut resolved = Vec::with_capacity(row_exprs.len());
                 for e in row_exprs {
-                    let e = resolve_expr(state, e)?;
+                    let e = resolve_expr(state, e, opts, summary)?;
                     resolved.push(eval(&e, &scope)?);
                 }
                 out.push(resolved);
             }
             out
         }
-        InsertSource::Select(sel) => match execute_select(state, sel)? {
+        InsertSource::Select(sel) => match execute_select_opts(state, sel, opts, summary)? {
             QueryResult::Rows { rows, .. } => rows,
             _ => unreachable!(),
         },
@@ -1252,6 +1686,8 @@ fn execute_update(
     state: &mut DbState,
     up: &Update,
     undo: &mut Vec<UndoOp>,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
 ) -> DbResult<QueryResult> {
     reject_view_dml(state, &up.table)?;
     let schema = state.catalog.table(&up.table)?.clone();
@@ -1270,10 +1706,10 @@ fn execute_update(
             let pos = schema
                 .column_index(name)
                 .ok_or_else(|| DbError::UnknownColumn(format!("{}.{name}", up.table)))?;
-            Ok((pos, resolve_expr(state, e)?))
+            Ok((pos, resolve_expr(state, e, opts, summary)?))
         })
         .collect::<DbResult<_>>()?;
-    let predicate = resolve_opt(state, &up.where_clause)?;
+    let predicate = resolve_opt(state, &up.where_clause, opts, summary)?;
 
     // Phase 1: compute new rows (index-pruned when the predicate allows).
     let data = state
@@ -1281,7 +1717,7 @@ fn execute_update(
         .get(&up.table)
         .ok_or_else(|| DbError::UnknownTable(up.table.clone()))?;
     let mut changes: Vec<(RowId, Row, Row)> = Vec::new();
-    for (rid, row) in dml_candidates(&schema, data, &up.table, predicate.as_ref()) {
+    for (rid, row) in dml_candidates(&schema, data, &up.table, predicate.as_ref(), opts, summary) {
         let scope = Scope {
             columns: &scope_cols,
             values: &row,
@@ -1352,6 +1788,8 @@ fn execute_delete(
     state: &mut DbState,
     del: &Delete,
     undo: &mut Vec<UndoOp>,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
 ) -> DbResult<QueryResult> {
     reject_view_dml(state, &del.table)?;
     let schema = state.catalog.table(&del.table)?.clone();
@@ -1363,13 +1801,13 @@ fn execute_delete(
             name: c.name.clone(),
         })
         .collect();
-    let predicate = resolve_opt(state, &del.where_clause)?;
+    let predicate = resolve_opt(state, &del.where_clause, opts, summary)?;
     let data = state
         .data
         .get(&del.table)
         .ok_or_else(|| DbError::UnknownTable(del.table.clone()))?;
     let mut victims: Vec<(RowId, Row)> = Vec::new();
-    for (rid, row) in dml_candidates(&schema, data, &del.table, predicate.as_ref()) {
+    for (rid, row) in dml_candidates(&schema, data, &del.table, predicate.as_ref(), opts, summary) {
         let scope = Scope {
             columns: &scope_cols,
             values: &row,
@@ -1406,6 +1844,42 @@ fn execute_delete(
 // ---------------------------------------------------------------------------
 // DDL
 // ---------------------------------------------------------------------------
+
+/// (Re)build the automatic indexes a table schema implies: unique ordered
+/// indexes backing the primary key (`__pk`), single-column UNIQUEs
+/// (`__unique_{col}`), and table UNIQUEs (`__uniques_{i}`), plus non-unique
+/// *hash* indexes over each foreign key's local columns (`__fk_{i}`) so FK
+/// validation and FK-keyed equality predicates probe instead of scanning.
+/// Shared by CREATE TABLE and the ALTER TABLE DROP COLUMN rebuild so the
+/// two can never drift.
+fn build_auto_indexes(schema: &TableSchema, data: &mut TableData) -> DbResult<()> {
+    if !schema.primary_key.is_empty() {
+        let positions = schema.resolve_columns(&schema.primary_key)?;
+        data.build_index("__pk", positions, true)
+            .map_err(DbError::ConstraintViolation)?;
+    }
+    for col in schema.columns.iter().filter(|c| c.unique) {
+        let pos = schema.column_index(&col.name).expect("own column");
+        data.build_index(&format!("__unique_{}", col.name), vec![pos], true)
+            .map_err(DbError::ConstraintViolation)?;
+    }
+    for (i, cols) in schema.uniques.iter().enumerate() {
+        let positions = schema.resolve_columns(cols)?;
+        data.build_index(&format!("__uniques_{i}"), positions, true)
+            .map_err(DbError::ConstraintViolation)?;
+    }
+    for (i, fk) in schema.foreign_keys.iter().enumerate() {
+        let positions = schema.resolve_columns(&fk.columns)?;
+        data.build_index_kind(
+            &format!("__fk_{i}"),
+            positions,
+            false,
+            crate::storage::IndexKind::Hash,
+        )
+        .map_err(DbError::ConstraintViolation)?;
+    }
+    Ok(())
+}
 
 fn execute_create_table(
     state: &mut DbState,
@@ -1518,23 +1992,10 @@ fn execute_create_table(
         target.resolve_columns(&fk.foreign_columns)?;
         schema.resolve_columns(&fk.columns)?;
     }
-    // Materialize storage + automatic unique indexes.
+    // Materialize storage + automatic indexes (unique constraints + FK
+    // probe accelerators).
     let mut data = TableData::new();
-    if !primary_key.is_empty() {
-        let positions = schema.resolve_columns(&primary_key)?;
-        data.build_index("__pk", positions, true)
-            .map_err(DbError::ConstraintViolation)?;
-    }
-    for col in schema.columns.iter().filter(|c| c.unique) {
-        let pos = schema.column_index(&col.name).expect("own column");
-        data.build_index(&format!("__unique_{}", col.name), vec![pos], true)
-            .map_err(DbError::ConstraintViolation)?;
-    }
-    for (i, cols) in uniques.iter().enumerate() {
-        let positions = schema.resolve_columns(cols)?;
-        data.build_index(&format!("__uniques_{i}"), positions, true)
-            .map_err(DbError::ConstraintViolation)?;
-    }
+    build_auto_indexes(&schema, &mut data)?;
     state.catalog.add_table(schema)?;
     state.data.insert(ct.name.clone(), data);
     undo.push(UndoOp::CreateTable {
@@ -1654,13 +2115,14 @@ fn execute_create_index(
         .data
         .get_mut(&ci.table)
         .ok_or_else(|| DbError::UnknownTable(ci.table.clone()))?;
-    data.build_index(&ci.name, positions, ci.unique)
-        .map_err(DbError::ConstraintViolation)?;
-    state.catalog.table_mut(&ci.table)?.indexes.push(IndexDef {
+    let def = IndexDef {
         name: ci.name.clone(),
         columns: ci.columns.clone(),
         unique: ci.unique,
-    });
+    };
+    data.build_index_kind(&ci.name, positions, ci.unique, def.kind())
+        .map_err(DbError::ConstraintViolation)?;
+    state.catalog.table_mut(&ci.table)?.indexes.push(def);
     undo.push(UndoOp::CreateIndex {
         table: ci.table.clone(),
         name: ci.name.clone(),
@@ -1753,16 +2215,11 @@ fn execute_alter(
                 r.remove(pos);
                 rebuilt.insert(r);
             }
-            if !schema.primary_key.is_empty() {
-                let positions = schema.resolve_columns(&schema.primary_key)?;
-                rebuilt
-                    .build_index("__pk", positions, true)
-                    .map_err(DbError::ConstraintViolation)?;
-            }
+            build_auto_indexes(&schema, &mut rebuilt)?;
             for idx in &schema.indexes {
                 let positions = schema.resolve_columns(&idx.columns)?;
                 rebuilt
-                    .build_index(&idx.name, positions, idx.unique)
+                    .build_index_kind(&idx.name, positions, idx.unique, idx.kind())
                     .map_err(DbError::ConstraintViolation)?;
             }
             *data = rebuilt;

@@ -186,6 +186,50 @@ pub fn eval(expr: &Expr, scope: &Scope<'_>) -> DbResult<Value> {
     }
 }
 
+/// Split an expression into its top-level AND conjuncts. A non-AND
+/// expression is its own single conjunct. Used by predicate analysis to
+/// find index-probe and equi-join opportunities.
+pub fn conjuncts(e: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    let mut stack = vec![e];
+    while let Some(e) = stack.pop() {
+        match e {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                stack.push(right);
+                stack.push(left);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Resolve a column reference against a column list without erroring:
+/// `None` when the name is unknown *or ambiguous*. Planning uses this to
+/// decide whether a fast path applies; an ambiguous reference simply falls
+/// back to the evaluating path, which reports the proper error.
+pub fn try_resolve(columns: &[ScopeCol], col: &ColumnRef) -> Option<usize> {
+    match &col.table {
+        Some(t) => columns
+            .iter()
+            .position(|c| c.binding.as_deref() == Some(t.as_str()) && c.name == col.column),
+        None => {
+            let mut hits = columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.name == col.column);
+            match (hits.next(), hits.next()) {
+                (Some((i, _)), None) => Some(i),
+                _ => None,
+            }
+        }
+    }
+}
+
 /// SQL truthiness: NULL is unknown.
 pub fn truth(v: &Value) -> Option<bool> {
     match v {

@@ -28,15 +28,18 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod plan;
 pub mod privilege;
 pub mod schema;
 pub mod storage;
+pub mod sync;
 pub mod txn;
 pub mod value;
 
 pub use db::{Database, Session};
 pub use error::{DbError, DbResult};
 pub use exec::QueryResult;
+pub use plan::{ExecOptions, PlanSummary};
 pub use privilege::{PrivilegeCatalog, UserPrivileges};
 pub use schema::{Catalog, Column, ForeignKey, TableSchema};
 pub use txn::TxnStatus;

@@ -1,40 +1,163 @@
-//! Row storage and ordered secondary indexes.
+//! Row storage and secondary indexes (ordered and hash).
 //!
 //! Rows live in a slotted vector with tombstones so a `RowId` stays stable
 //! for the lifetime of the row — the transaction undo log addresses rows by
-//! id. Indexes are ordered maps from key tuples to row-id sets, giving the
-//! executor point and range lookups.
+//! id. Indexes come in two physical shapes behind one interface: ordered
+//! maps (B-tree) used for uniqueness enforcement, and hash maps used by the
+//! executor's fast path for equality probes and hash joins. Both map a key
+//! tuple to the set of row ids carrying that key and are maintained by every
+//! `insert`/`update`/`delete`/`restore`, which is what makes them
+//! transactionally consistent: the undo log replays through those same
+//! operations on rollback.
 
 use crate::value::{Key, Row, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 
 /// Stable identifier of a row within one table.
 pub type RowId = usize;
 
-/// Index payload: an ordered map from key tuple to the set of rows with
-/// that key.
-#[derive(Debug, Clone, Default)]
+/// Physical representation of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// B-tree keyed by [`Key`]'s total order. Used for constraint indexes.
+    Ordered,
+    /// Hash table keyed by a hash consistent with [`Key`]'s total order.
+    /// Used for equality probes; O(1) point lookups.
+    Hash,
+}
+
+/// Key wrapper whose equality and hash follow `Key`'s *total order* rather
+/// than the derived `PartialEq`. This matters for cross-type numerics: the
+/// ordered index finds `Float(1.0)` entries when probed with `Int(1)`
+/// (because `total_cmp` treats them as equal), so the hash index must
+/// collide and equate them too — numeric values hash through their `f64`
+/// image with `-0.0` and NaN canonicalised.
+#[derive(Debug, Clone)]
+pub struct HashedKey(pub Key);
+
+impl PartialEq for HashedKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HashedKey {}
+
+impl Hash for HashedKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 .0 {
+            hash_value(v, state);
+        }
+    }
+}
+
+fn hash_value<H: Hasher>(v: &Value, state: &mut H) {
+    match v {
+        Value::Null => state.write_u8(0),
+        Value::Bool(b) => {
+            state.write_u8(1);
+            state.write_u8(u8::from(*b));
+        }
+        // One numeric tag for Int and Float: total_cmp compares them through
+        // f64, so equal-by-order values must produce equal hashes.
+        Value::Int(i) => {
+            state.write_u8(2);
+            state.write_u64(canonical_f64_bits(*i as f64));
+        }
+        Value::Float(f) => {
+            state.write_u8(2);
+            state.write_u64(canonical_f64_bits(*f));
+        }
+        Value::Text(s) => {
+            state.write_u8(3);
+            state.write(s.as_bytes());
+            state.write_u8(0xff);
+        }
+    }
+}
+
+fn canonical_f64_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else if f == 0.0 {
+        0u64 // collapse -0.0 and +0.0
+    } else {
+        f.to_bits()
+    }
+}
+
+/// Canonicalize a key for index storage and probes. SQL equality
+/// (`sql_cmp`, via `partial_cmp`) says `-0.0 = 0`, but the total order
+/// backing index keys says `-0.0 < 0.0` — left as-is, a stored `-0.0` row
+/// would be invisible to an index probe for `0`, and index prefilters must
+/// never *under*-include. Collapsing `-0.0` to `0.0` at every IndexData
+/// entry point closes the gap for both index kinds. The hash-join operator
+/// canonicalizes its build/probe keys the same way.
+pub fn canonical_key(mut key: Key) -> Key {
+    for v in &mut key.0 {
+        if let Value::Float(f) = v {
+            if *f == 0.0 {
+                *f = 0.0;
+            }
+        }
+    }
+    key
+}
+
+#[derive(Debug, Clone)]
+enum Entries {
+    Ordered(BTreeMap<Key, BTreeSet<RowId>>),
+    Hash(HashMap<HashedKey, BTreeSet<RowId>>),
+}
+
+/// Index payload: a map from key tuple to the set of rows with that key,
+/// physically ordered or hashed (see [`IndexKind`]).
+#[derive(Debug, Clone)]
 pub struct IndexData {
     /// Positions (into the table schema) of the indexed columns.
     pub columns: Vec<usize>,
     /// Whether duplicate keys are rejected.
     pub unique: bool,
-    entries: BTreeMap<Key, BTreeSet<RowId>>,
+    entries: Entries,
+}
+
+impl Default for IndexData {
+    fn default() -> Self {
+        IndexData::new(Vec::new(), false)
+    }
 }
 
 impl IndexData {
-    /// New empty index over the given column positions.
+    /// New empty ordered index over the given column positions.
     pub fn new(columns: Vec<usize>, unique: bool) -> Self {
+        IndexData::with_kind(columns, unique, IndexKind::Ordered)
+    }
+
+    /// New empty index with an explicit physical representation.
+    pub fn with_kind(columns: Vec<usize>, unique: bool, kind: IndexKind) -> Self {
+        let entries = match kind {
+            IndexKind::Ordered => Entries::Ordered(BTreeMap::new()),
+            IndexKind::Hash => Entries::Hash(HashMap::new()),
+        };
         IndexData {
             columns,
             unique,
-            entries: BTreeMap::new(),
+            entries,
         }
     }
 
-    /// Extract this index's key from a row.
+    /// This index's physical representation.
+    pub fn kind(&self) -> IndexKind {
+        match &self.entries {
+            Entries::Ordered(_) => IndexKind::Ordered,
+            Entries::Hash(_) => IndexKind::Hash,
+        }
+    }
+
+    /// Extract this index's key from a row, canonicalized.
     pub fn key_of(&self, row: &Row) -> Key {
-        Key(self.columns.iter().map(|&i| row[i].clone()).collect())
+        canonical_key(Key(self.columns.iter().map(|&i| row[i].clone()).collect()))
     }
 
     /// Whether inserting `key` would violate uniqueness. NULL-containing
@@ -43,7 +166,12 @@ impl IndexData {
         if !self.unique || key.0.iter().any(Value::is_null) {
             return false;
         }
-        match self.entries.get(key) {
+        let key = canonical_key(key.clone());
+        let set = match &self.entries {
+            Entries::Ordered(map) => map.get(&key),
+            Entries::Hash(map) => map.get(&HashedKey(key)),
+        };
+        match set {
             None => false,
             Some(set) => set.iter().any(|&rid| Some(rid) != ignore),
         }
@@ -51,30 +179,72 @@ impl IndexData {
 
     /// Add a row under its key.
     pub fn insert(&mut self, key: Key, rid: RowId) {
-        self.entries.entry(key).or_default().insert(rid);
+        let key = canonical_key(key);
+        match &mut self.entries {
+            Entries::Ordered(map) => {
+                map.entry(key).or_default().insert(rid);
+            }
+            Entries::Hash(map) => {
+                map.entry(HashedKey(key)).or_default().insert(rid);
+            }
+        }
     }
 
     /// Remove a row from its key.
     pub fn remove(&mut self, key: &Key, rid: RowId) {
-        if let Some(set) = self.entries.get_mut(key) {
-            set.remove(&rid);
-            if set.is_empty() {
-                self.entries.remove(key);
+        let key = canonical_key(key.clone());
+        match &mut self.entries {
+            Entries::Ordered(map) => {
+                if let Some(set) = map.get_mut(&key) {
+                    set.remove(&rid);
+                    if set.is_empty() {
+                        map.remove(&key);
+                    }
+                }
+            }
+            Entries::Hash(map) => {
+                let hashed = HashedKey(key);
+                if let Some(set) = map.get_mut(&hashed) {
+                    set.remove(&rid);
+                    if set.is_empty() {
+                        map.remove(&hashed);
+                    }
+                }
             }
         }
     }
 
     /// Row ids exactly matching a key.
     pub fn lookup(&self, key: &Key) -> Vec<RowId> {
-        self.entries
-            .get(key)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+        let key = canonical_key(key.clone());
+        let set = match &self.entries {
+            Entries::Ordered(map) => map.get(&key),
+            Entries::Hash(map) => map.get(&HashedKey(key)),
+        };
+        set.map(|s| s.iter().copied().collect()).unwrap_or_default()
     }
 
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
-        self.entries.len()
+        match &self.entries {
+            Entries::Ordered(map) => map.len(),
+            Entries::Hash(map) => map.len(),
+        }
+    }
+
+    /// All `(key, row ids)` pairs, for consistency checking. Hash indexes
+    /// yield them in arbitrary order.
+    fn entry_pairs(&self) -> Vec<(Key, Vec<RowId>)> {
+        match &self.entries {
+            Entries::Ordered(map) => map
+                .iter()
+                .map(|(k, s)| (k.clone(), s.iter().copied().collect()))
+                .collect(),
+            Entries::Hash(map) => map
+                .iter()
+                .map(|(k, s)| (k.0.clone(), s.iter().copied().collect()))
+                .collect(),
+        }
     }
 }
 
@@ -196,7 +366,18 @@ impl TableData {
         columns: Vec<usize>,
         unique: bool,
     ) -> Result<(), String> {
-        let mut idx = IndexData::new(columns, unique);
+        self.build_index_kind(name, columns, unique, IndexKind::Ordered)
+    }
+
+    /// [`TableData::build_index`] with an explicit physical representation.
+    pub fn build_index_kind(
+        &mut self,
+        name: &str,
+        columns: Vec<usize>,
+        unique: bool,
+        kind: IndexKind,
+    ) -> Result<(), String> {
+        let mut idx = IndexData::with_kind(columns, unique, kind);
         for (rid, row) in self.iter() {
             let key = idx.key_of(row);
             if idx.would_conflict(&key, None) {
@@ -208,6 +389,34 @@ impl TableData {
             idx.insert(key, rid);
         }
         self.indexes.insert(name.to_owned(), idx);
+        Ok(())
+    }
+
+    /// Verify that every index agrees exactly with the live rows: each live
+    /// row appears under precisely its key and nothing else is indexed.
+    /// Returns a description of the first divergence found. Used by the
+    /// rollback machinery (debug builds) and the differential tests.
+    pub fn verify_index_consistency(&self) -> Result<(), String> {
+        for (name, idx) in &self.indexes {
+            let mut expected: BTreeMap<Key, BTreeSet<RowId>> = BTreeMap::new();
+            for (rid, row) in self.iter() {
+                expected.entry(idx.key_of(row)).or_default().insert(rid);
+            }
+            let mut actual: BTreeMap<Key, BTreeSet<RowId>> = BTreeMap::new();
+            for (key, rids) in idx.entry_pairs() {
+                // Fold through the *ordered* key comparison so hash and
+                // ordered indexes are checked against the same equivalence.
+                actual.entry(key).or_default().extend(rids);
+            }
+            if expected != actual {
+                return Err(format!(
+                    "index \"{name}\" diverged from live rows: \
+                     {} expected keys vs {} indexed keys",
+                    expected.len(),
+                    actual.len()
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -302,5 +511,57 @@ mod tests {
         t.insert(row(1, "b"));
         assert!(t.build_index("u", vec![0], true).is_err());
         assert!(t.build_index("nu", vec![0], false).is_ok());
+    }
+
+    #[test]
+    fn hash_index_maintenance_matches_ordered() {
+        let mut t = TableData::new();
+        t.build_index_kind("h", vec![0], false, IndexKind::Hash)
+            .unwrap();
+        t.build_index_kind("o", vec![0], false, IndexKind::Ordered)
+            .unwrap();
+        let a = t.insert(row(1, "a"));
+        let b = t.insert(row(1, "b"));
+        t.insert(row(2, "c"));
+        let probe = Key(vec![Value::Int(1)]);
+        let mut h = t.indexes["h"].lookup(&probe);
+        let mut o = t.indexes["o"].lookup(&probe);
+        h.sort_unstable();
+        o.sort_unstable();
+        assert_eq!(h, o);
+        assert_eq!(h, vec![a, b]);
+        t.update(a, row(2, "a"));
+        t.delete(b);
+        assert_eq!(t.indexes["h"].lookup(&probe), Vec::<RowId>::new());
+        assert_eq!(t.indexes["h"].lookup(&Key(vec![Value::Int(2)])).len(), 2);
+        t.verify_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn hash_index_probes_across_numeric_types() {
+        // total_cmp treats Int(1) and Float(1.0) as equal, so the ordered
+        // index finds float rows from an int probe; the hash index must too.
+        let mut t = TableData::new();
+        t.build_index_kind("h", vec![0], false, IndexKind::Hash)
+            .unwrap();
+        let a = t.insert(vec![Value::Float(1.0), Value::Text("x".into())]);
+        assert_eq!(t.indexes["h"].lookup(&Key(vec![Value::Int(1)])), vec![a]);
+        let b = t.insert(vec![Value::Float(-0.0), Value::Text("z".into())]);
+        assert_eq!(t.indexes["h"].lookup(&Key(vec![Value::Int(0)])), vec![b]);
+    }
+
+    #[test]
+    fn consistency_check_catches_divergence() {
+        let mut t = TableData::new();
+        t.build_index_kind("h", vec![0], false, IndexKind::Hash)
+            .unwrap();
+        t.insert(row(1, "a"));
+        t.verify_index_consistency().unwrap();
+        // Sabotage the index directly: the checker must notice.
+        t.indexes
+            .get_mut("h")
+            .unwrap()
+            .insert(Key(vec![Value::Int(99)]), 7);
+        assert!(t.verify_index_consistency().is_err());
     }
 }

@@ -140,6 +140,15 @@ pub fn rollback(state: &mut DbState, log: Vec<UndoOp>) {
             }
         }
     }
+    // Indexes are maintained inside TableData's insert/restore/delete/update,
+    // so undo replay keeps them in sync by construction. Cheap insurance in
+    // debug builds: fail loudly if that invariant ever breaks.
+    #[cfg(debug_assertions)]
+    for (table, data) in state.data.iter() {
+        if let Err(e) = data.verify_index_consistency() {
+            panic!("index out of sync after rollback of table {table}: {e}");
+        }
+    }
 }
 
 /// Session transaction status.

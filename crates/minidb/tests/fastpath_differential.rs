@@ -1,0 +1,324 @@
+//! Differential tests for the executor fast path.
+//!
+//! Every query runs twice: once with [`ExecOptions::default`] (indexes, hash
+//! joins, parallel scans) and once with [`ExecOptions::sequential`] (the
+//! reference: full scans + nested loops). Results must be identical —
+//! including row order, which the fast path preserves by construction.
+//! Workloads are randomized with a seeded LCG so failures reproduce exactly.
+
+use minidb::{Database, ExecOptions, QueryResult, Session};
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Options that force the parallel path even on small test tables.
+fn eager_parallel() -> ExecOptions {
+    ExecOptions {
+        parallel_threshold: 16,
+        max_threads: 4,
+        ..ExecOptions::default()
+    }
+}
+
+/// Run `sql` under both option sets and assert identical results, returning
+/// the fast-path result and plan summary.
+fn differential(
+    session: &Session,
+    sql: &str,
+    fast: &ExecOptions,
+) -> (QueryResult, minidb::PlanSummary) {
+    let (fast_result, summary) = session
+        .query_with_options(sql, fast)
+        .unwrap_or_else(|e| panic!("fast path failed for {sql}: {e}"));
+    let (seq_result, _) = session
+        .query_with_options(sql, &ExecOptions::sequential())
+        .unwrap_or_else(|e| panic!("sequential path failed for {sql}: {e}"));
+    assert_eq!(
+        fast_result, seq_result,
+        "fast path diverged from sequential reference for: {sql}"
+    );
+    (fast_result, summary)
+}
+
+fn assert_indexes_consistent(db: &Database) {
+    db.with_state(|state| {
+        for (table, data) in state.data.iter() {
+            if let Err(e) = data.verify_index_consistency() {
+                panic!("index inconsistency in table {table}: {e}");
+            }
+        }
+    });
+}
+
+fn seed_shop(db: &Database) -> Session {
+    let mut s = db.session("admin").unwrap();
+    for sql in [
+        "CREATE TABLE groups (gid INTEGER PRIMARY KEY, label TEXT NOT NULL)",
+        "CREATE TABLE items (id INTEGER PRIMARY KEY, grp INTEGER, price REAL, tag TEXT, \
+         FOREIGN KEY (grp) REFERENCES groups (gid))",
+        "CREATE INDEX idx_items_grp ON items (grp)",
+        "CREATE INDEX idx_items_tag ON items (tag)",
+    ] {
+        s.execute_sql(sql).unwrap();
+    }
+    for gid in 0..8 {
+        s.execute_sql(&format!("INSERT INTO groups VALUES ({gid}, 'g{gid}')"))
+            .unwrap();
+    }
+    s
+}
+
+fn insert_items(s: &mut Session, rng: &mut Lcg, start_id: &mut i64, n: usize) {
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = *start_id;
+        *start_id += 1;
+        let grp = rng.below(8);
+        let price = rng.below(10_000) as f64 / 100.0;
+        let tag = format!("'tag{}'", rng.below(5));
+        rows.push(format!("({id}, {grp}, {price}, {tag})"));
+    }
+    s.execute_sql(&format!("INSERT INTO items VALUES {}", rows.join(", ")))
+        .unwrap();
+}
+
+/// The query suite exercised after every mutation batch: index-probe
+/// selects, a hash join, grouped aggregates, and a plain filter scan.
+fn query_suite(rng: &mut Lcg) -> Vec<String> {
+    let g = rng.below(8);
+    let t = rng.below(5);
+    vec![
+        format!("SELECT * FROM items WHERE grp = {g}"),
+        format!("SELECT id, price FROM items WHERE tag = 'tag{t}' AND price > 20.0"),
+        "SELECT i.id, g.label FROM items AS i JOIN groups AS g ON i.grp = g.gid".into(),
+        "SELECT g.label, COUNT(*), SUM(i.price) FROM items AS i \
+         JOIN groups AS g ON i.grp = g.gid GROUP BY g.label"
+            .into(),
+        "SELECT grp, COUNT(*) FROM items WHERE price > 50.0 GROUP BY grp".into(),
+        "SELECT * FROM items WHERE price > 99.0 ORDER BY price, id LIMIT 7".into(),
+    ]
+}
+
+#[test]
+fn equality_select_uses_index_probe() {
+    let db = Database::new();
+    let mut s = seed_shop(&db);
+    let mut rng = Lcg(7);
+    let mut next_id = 0;
+    insert_items(&mut s, &mut rng, &mut next_id, 64);
+
+    let (result, summary) = differential(
+        &s,
+        "SELECT id, price FROM items WHERE grp = 3",
+        &ExecOptions::default(),
+    );
+    assert!(
+        summary.used_index_probe("items"),
+        "equality predicate on indexed column must use an index probe, got:\n{}",
+        summary.render().join("\n")
+    );
+    assert!(result.row_count() > 0, "workload should hit group 3");
+
+    // A predicate on an unindexed column stays a scan.
+    let (_, summary) = differential(
+        &s,
+        "SELECT id FROM items WHERE price = 1.0",
+        &ExecOptions::default(),
+    );
+    assert!(!summary.used_index_probe("items"));
+}
+
+#[test]
+fn equi_join_uses_hash_join() {
+    let db = Database::new();
+    let mut s = seed_shop(&db);
+    let mut rng = Lcg(11);
+    let mut next_id = 0;
+    insert_items(&mut s, &mut rng, &mut next_id, 128);
+
+    let (result, summary) = differential(
+        &s,
+        "SELECT i.id, g.label FROM items AS i JOIN groups AS g ON i.grp = g.gid",
+        &ExecOptions::default(),
+    );
+    assert!(
+        summary.used_hash_join(),
+        "equi-join must use the hash join, got:\n{}",
+        summary.render().join("\n")
+    );
+    assert_eq!(result.row_count(), 128);
+
+    // Non-equi joins must stay nested-loop.
+    let (_, summary) = differential(
+        &s,
+        "SELECT i.id FROM items AS i JOIN groups AS g ON i.grp < g.gid",
+        &ExecOptions::default(),
+    );
+    assert!(!summary.used_hash_join());
+}
+
+#[test]
+fn left_join_null_extension_matches() {
+    let db = Database::new();
+    let mut s = seed_shop(&db);
+    // Items without a group match (grp NULL) must null-extend identically.
+    s.execute_sql("INSERT INTO items VALUES (1, 2, 10.0, 'a'), (2, NULL, 5.0, 'b')")
+        .unwrap();
+    let (result, summary) = differential(
+        &s,
+        "SELECT i.id, g.label FROM items AS i LEFT JOIN groups AS g ON i.grp = g.gid",
+        &ExecOptions::default(),
+    );
+    assert!(summary.used_hash_join());
+    assert_eq!(result.row_count(), 2);
+}
+
+#[test]
+fn parallel_scan_matches_sequential() {
+    let db = Database::new();
+    let mut s = seed_shop(&db);
+    let mut rng = Lcg(23);
+    let mut next_id = 0;
+    for _ in 0..4 {
+        insert_items(&mut s, &mut rng, &mut next_id, 100);
+    }
+
+    let opts = eager_parallel();
+    let (result, summary) = differential(&s, "SELECT id, tag FROM items WHERE price > 25.0", &opts);
+    assert!(
+        summary.used_parallel_scan(),
+        "400-row filter scan above the forced threshold must parallelize, got:\n{}",
+        summary.render().join("\n")
+    );
+    assert!(result.row_count() > 0);
+
+    // Grouped aggregation over the parallel scan path. (A scan with no
+    // predicate is a plain clone — the parallel work happens in the
+    // filter/group stages, so the plan records ParallelSeq only when the
+    // scan itself evaluates a predicate.)
+    let (_, summary) = differential(
+        &s,
+        "SELECT grp, COUNT(*), SUM(price) FROM items WHERE price >= 0.0 GROUP BY grp",
+        &opts,
+    );
+    assert!(summary.used_parallel_scan());
+}
+
+#[test]
+fn randomized_workload_differential() {
+    let db = Database::new();
+    let mut s = seed_shop(&db);
+    let mut rng = Lcg(0xB51DC0);
+    let mut next_id = 0;
+    insert_items(&mut s, &mut rng, &mut next_id, 80);
+
+    let fast = ExecOptions::default();
+    let eager = eager_parallel();
+    for round in 0..12 {
+        // Mutation batch: inserts, point updates, point deletes.
+        insert_items(&mut s, &mut rng, &mut next_id, 10);
+        for _ in 0..6 {
+            let id = rng.below(next_id as u64);
+            match rng.below(3) {
+                0 => {
+                    let g = rng.below(8);
+                    s.execute_sql(&format!("UPDATE items SET grp = {g} WHERE id = {id}"))
+                        .unwrap();
+                }
+                1 => {
+                    let p = rng.below(10_000) as f64 / 100.0;
+                    s.execute_sql(&format!("UPDATE items SET price = {p} WHERE id = {id}"))
+                        .unwrap();
+                }
+                _ => {
+                    s.execute_sql(&format!("DELETE FROM items WHERE id = {id}"))
+                        .unwrap();
+                }
+            }
+        }
+        assert_indexes_consistent(&db);
+        for sql in query_suite(&mut rng) {
+            differential(&s, &sql, &fast);
+            differential(&s, &sql, &eager);
+        }
+        // Every few rounds, run a batch inside a transaction and roll it
+        // back: indexes and query results must return to the prior state.
+        if round % 3 == 2 {
+            let before: Vec<(QueryResult, _)> = query_suite(&mut Lcg(round))
+                .iter()
+                .map(|sql| s.query_with_options(sql, &fast).unwrap())
+                .collect();
+            s.execute_sql("BEGIN").unwrap();
+            insert_items(&mut s, &mut rng, &mut next_id, 15);
+            s.execute_sql("UPDATE items SET tag = 'rolled' WHERE grp = 1")
+                .unwrap();
+            s.execute_sql("DELETE FROM items WHERE grp = 2").unwrap();
+            s.execute_sql("ROLLBACK").unwrap();
+            assert_indexes_consistent(&db);
+            let after: Vec<(QueryResult, _)> = query_suite(&mut Lcg(round))
+                .iter()
+                .map(|sql| s.query_with_options(sql, &fast).unwrap())
+                .collect();
+            for ((b, _), (a, _)) in before.iter().zip(after.iter()) {
+                assert_eq!(b, a, "rollback did not restore query results");
+            }
+        }
+    }
+}
+
+#[test]
+fn column_values_distinct_scan_is_stable() {
+    // `column_values` (the get_value substrate) parallelizes its distinct
+    // scan past the threshold; the output contract — distinct non-null
+    // values in total order — must not change.
+    let db = Database::new();
+    let mut s = seed_shop(&db);
+    let mut rng = Lcg(99);
+    let mut next_id = 0;
+    for _ in 0..50 {
+        insert_items(&mut s, &mut rng, &mut next_id, 100);
+    }
+    let tags = db.column_values("items", "tag").unwrap();
+    let expect: Vec<minidb::Value> = (0..5)
+        .map(|i| minidb::Value::Text(format!("tag{i}")))
+        .collect();
+    assert_eq!(tags, expect);
+    let groups = db.column_values("items", "grp").unwrap();
+    assert_eq!(groups.len(), 8);
+    assert!(groups.windows(2).all(|w| w[0].total_cmp(&w[1]).is_lt()));
+}
+
+#[test]
+fn traced_queries_respect_privileges() {
+    let db = Database::new();
+    let mut admin = seed_shop(&db);
+    let mut rng = Lcg(5);
+    let mut next_id = 0;
+    insert_items(&mut admin, &mut rng, &mut next_id, 8);
+
+    db.create_user("intern", false).unwrap();
+    let intern = db.session("intern").unwrap();
+    assert!(
+        intern.query_traced("SELECT * FROM items").is_err(),
+        "traced queries must run the same privilege checks as execute()"
+    );
+    admin
+        .execute_sql("GRANT SELECT ON items TO intern")
+        .unwrap();
+    let (result, _) = intern.query_traced("SELECT * FROM items").unwrap();
+    assert_eq!(result.row_count(), 8);
+}

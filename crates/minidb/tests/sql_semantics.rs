@@ -664,6 +664,13 @@ fn explain_reports_scan_choices_without_executing() {
     assert!(plan.contains("Limit"), "{plan}");
     assert!(plan.contains("Sort"), "{plan}");
     assert!(plan.contains("GroupAggregate"), "{plan}");
+    // An equi-join plans as a hash join; a non-equi join falls back to the
+    // nested loop.
+    assert!(plan.contains("Hash Join"), "{plan}");
+    let plan = plan_text(
+        "EXPLAIN SELECT * FROM sales AS x JOIN stores AS s ON x.store_id < s.id",
+        &mut s,
+    );
     assert!(plan.contains("Nested Loop Join"), "{plan}");
     // EXPLAIN on DML never executes.
     let before = db.table_rows("sales").unwrap();

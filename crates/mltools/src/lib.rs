@@ -22,6 +22,7 @@ pub mod dataset;
 pub mod forest;
 pub mod linreg;
 pub mod metrics;
+pub mod sync;
 pub mod tools;
 pub mod transform;
 pub mod trend;

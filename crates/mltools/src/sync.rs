@@ -1,0 +1,23 @@
+//! Non-poisoning mutex wrapper over [`std::sync::Mutex`].
+//!
+//! Replaces the former `parking_lot` dependency so the crate builds
+//! `--offline`: acquisition recovers the inner state from a poisoned lock,
+//! matching `parking_lot`'s behavior of never poisoning.
+
+use std::sync::MutexGuard;
+
+/// Mutual-exclusion lock with `parking_lot`-style acquisition.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new lock.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -10,9 +10,9 @@ use crate::dataset::{rows_of, Dataset, EncodingSpec, TextCol};
 use crate::forest::{self, Forest, ForestParams, TreeNode};
 use crate::linreg::{self, LinearModel};
 use crate::metrics;
+use crate::sync::Mutex;
 use crate::transform::{normalize_rows, train_test_split, NormKind};
 use crate::trend;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use toolproto::{ArgSpec, ArgType, Args, FnTool, Json, Registry, Signature, ToolError, ToolOutput};

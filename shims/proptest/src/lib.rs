@@ -1,0 +1,919 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace must build and test with `--offline`, so the real proptest
+//! cannot be fetched from crates.io. This shim keeps the property-test files
+//! source-compatible — `proptest!`, `prop_oneof!`, `prop_assert*!`,
+//! `Strategy` combinators (`prop_map`, `prop_filter`, `prop_recursive`),
+//! `any::<T>()`, range strategies, regex-string strategies, and the
+//! `prop::collection` / `prop::option` modules — while replacing the engine
+//! with plain deterministic random sampling:
+//!
+//! * Every test function gets its own RNG seeded from the test's module path
+//!   and name, so failures reproduce exactly across runs and machines.
+//! * There is **no shrinking**: a failing case reports the assertion message
+//!   from the raw sampled input. (Shrinking is a debugging convenience, not
+//!   part of the correctness contract the tests encode.)
+//! * The default case count is 64; `ProptestConfig::with_cases(n)` overrides
+//!   it per block exactly like upstream.
+//!
+//! The regex-string strategy supports the subset of patterns the workspace
+//! uses: character classes with ranges and escapes, `{m,n}` repetition, and
+//! the `\PC` (printable char) category.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 generator used to drive all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary integer.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// Seed from a test name (FNV-1a hash), so each property test draws an
+    /// independent but fully reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and boxed strategies
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree or shrinking: a strategy
+/// is simply a pure sampling function over a deterministic RNG.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every sampled value through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values for which `f` returns `true`. `whence` describes the
+    /// restriction for diagnostics (used in the panic message if sampling
+    /// cannot satisfy the filter).
+    fn prop_filter<R, F>(self, whence: R, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `recurse`
+    /// maps a strategy for depth-`d` values to one for depth-`d+1` values.
+    /// `depth` bounds the nesting; `_size`/`_branch` are accepted for API
+    /// compatibility (the collection strategies already bound fan-out).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // Mix leaves back in at every level so samples terminate and
+            // shallow values remain common.
+            current = strategy::union(vec![leaf.clone(), recurse(current).boxed()]);
+        }
+        current
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Combinator types and helpers backing the `Strategy` methods.
+pub mod strategy {
+    use super::*;
+
+    /// Uniformly choose among `arms` each sample (backs `prop_oneof!`).
+    pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+            let pick = rng.below(arms.len() as u64) as usize;
+            arms[pick].sample(rng)
+        }))
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "arbitrary value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, roughly log-uniform magnitudes around zero.
+        let mag = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.below(61) as i32 - 30;
+        mag * 2f64.powi(exp)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for ArbitraryStrategy<T> {
+    fn clone(&self) -> Self {
+        ArbitraryStrategy(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, tuples, strings
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        regex_sampler::sample(self, rng)
+    }
+}
+
+/// Sampler for the regex subset used by string strategies.
+mod regex_sampler {
+    use super::TestRng;
+
+    /// One pattern element: a set of candidate chars plus a repetition range.
+    struct Element {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Printable pool backing `\PC`: ASCII printables plus a few multibyte
+    /// characters so UTF-8 handling gets exercised.
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+        pool.extend(['é', '€', '中', 'Ω', '😀']);
+        pool
+    }
+
+    fn parse(pattern: &str) -> Vec<Element> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut elements = Vec::new();
+        let mut pos = 0;
+        while pos < chars.len() {
+            let set = match chars[pos] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, pos + 1, pattern);
+                    pos = next;
+                    set
+                }
+                '\\' => {
+                    let (set, next) = parse_escape(&chars, pos + 1, pattern);
+                    pos = next;
+                    set
+                }
+                c => {
+                    pos += 1;
+                    vec![c]
+                }
+            };
+            let (min, max, next) = parse_repetition(&chars, pos);
+            pos = next;
+            elements.push(Element {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        elements
+    }
+
+    /// Parse a `[...]` class body starting just after `[`. Returns the char
+    /// set and the index just past the closing `]`.
+    fn parse_class(chars: &[char], mut pos: usize, pattern: &str) -> (Vec<char>, usize) {
+        // Collect members with an "escaped" flag so a literal `-` produced
+        // by `\-` is never treated as a range operator.
+        let mut members: Vec<(char, bool)> = Vec::new();
+        loop {
+            match chars.get(pos) {
+                None => panic!("unterminated character class in pattern {pattern:?}"),
+                Some(']') => {
+                    pos += 1;
+                    break;
+                }
+                Some('\\') => {
+                    let c = *chars
+                        .get(pos + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    members.push((unescape(c), true));
+                    pos += 2;
+                }
+                Some(&c) => {
+                    members.push((c, false));
+                    pos += 1;
+                }
+            }
+        }
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < members.len() {
+            let (c, _) = members[i];
+            // A bare `-` between two members denotes a range.
+            if i + 2 < members.len() && members[i + 1] == ('-', false) {
+                let (hi, _) = members[i + 2];
+                assert!(c <= hi, "inverted range {c}-{hi} in pattern {pattern:?}");
+                for code in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(code) {
+                        set.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        (set, pos)
+    }
+
+    /// Parse an escape starting just after `\`. Returns the char set and the
+    /// index just past the escape.
+    fn parse_escape(chars: &[char], pos: usize, pattern: &str) -> (Vec<char>, usize) {
+        match chars.get(pos) {
+            None => panic!("dangling escape in pattern {pattern:?}"),
+            // `\PC` / `\pC`: Unicode category; the workspace only uses `C`
+            // complements, which we model as "printable characters".
+            Some('P' | 'p') => {
+                assert!(
+                    chars.get(pos + 1).is_some(),
+                    "dangling \\P category in pattern {pattern:?}"
+                );
+                (printable_pool(), pos + 2)
+            }
+            Some('d') => ((b'0'..=b'9').map(char::from).collect(), pos + 1),
+            Some('w') => {
+                let mut set: Vec<char> = (b'a'..=b'z').map(char::from).collect();
+                set.extend((b'A'..=b'Z').map(char::from));
+                set.extend((b'0'..=b'9').map(char::from));
+                set.push('_');
+                (set, pos + 1)
+            }
+            Some(&c) => (vec![unescape(c)], pos + 1),
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Parse an optional repetition suffix at `pos`.
+    fn parse_repetition(chars: &[char], pos: usize) -> (usize, usize, usize) {
+        match chars.get(pos) {
+            Some('{') => {
+                let close = (pos + 1..chars.len())
+                    .find(|&i| chars[i] == '}')
+                    .expect("unterminated repetition");
+                let body: String = chars[pos + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                };
+                (min, max, close + 1)
+            }
+            Some('?') => (0, 1, pos + 1),
+            Some('*') => (0, 8, pos + 1),
+            Some('+') => (1, 8, pos + 1),
+            _ => (1, 1, pos),
+        }
+    }
+
+    /// Sample one string matching `pattern`.
+    pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for element in parse(pattern) {
+            let span = (element.max - element.min) as u64 + 1;
+            let len = element.min + rng.below(span) as usize;
+            assert!(
+                !element.chars.is_empty() || len == 0,
+                "empty character class with non-zero repetition in {pattern:?}"
+            );
+            for _ in 0..len {
+                out.push(element.chars[rng.below(element.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection and option strategies
+// ---------------------------------------------------------------------------
+
+/// Strategies over collections (`prop::collection::*`).
+pub mod collection {
+    use super::*;
+
+    /// Inclusive-min, exclusive-max size bound for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.min < self.max_exclusive, "empty size range");
+            self.min + rng.below((self.max_exclusive - self.min) as u64) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample_len(rng);
+            let mut map = std::collections::BTreeMap::new();
+            // Duplicate keys overwrite; bound the attempts so tight key
+            // domains cannot loop forever.
+            for _ in 0..target.saturating_mul(4) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.keys.sample(rng), self.values.sample(rng));
+            }
+            map
+        }
+    }
+
+    /// `prop::collection::btree_map(keys, values, size)`.
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+}
+
+/// Strategies over `Option` (`prop::option::*`).
+pub mod option {
+    use super::*;
+
+    /// Strategy yielding `None` about a quarter of the time.
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+
+    /// `prop::option::of(inner)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` etc. resolve as upstream.
+pub mod prop {
+    pub use super::collection;
+    pub use super::option;
+}
+
+// ---------------------------------------------------------------------------
+// Config and macros
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration (only `cases` is meaningful in this shim).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` runs
+/// `body` against freshly sampled `arg`s for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for _ in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    // Upstream proptest runs bodies as `Result<(), TestCaseError>`
+                    // closures so they may `return Ok(())` early; mirror that.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(message) = outcome {
+                        panic!("property case failed: {message}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniformly choose among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert within a property body (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality within a property body (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality within a property body (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// The usual `use proptest::prelude::*;` imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_ident_pattern() {
+        let mut rng = TestRng::from_name("regex_ident");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn regex_class_with_escapes() {
+        let mut rng = TestRng::from_name("regex_escapes");
+        // Mirrors the hairiest pattern in the workspace: escaped dash,
+        // quote, backslash, plus literal newline/tab and multibyte chars.
+        let pattern = "[a-zA-Z0-9 _\\-\"'\\\\/\n\t€émoji😀]{0,24}";
+        let allowed: Vec<char> = {
+            let mut v: Vec<char> = ('a'..='z').collect();
+            v.extend('A'..='Z');
+            v.extend('0'..='9');
+            v.extend([
+                ' ', '_', '-', '"', '\'', '\\', '/', '\n', '\t', '€', 'é', 'm', 'o', 'j', 'i', '😀',
+            ]);
+            v
+        };
+        for _ in 0..200 {
+            let s = Strategy::sample(&pattern, &mut rng);
+            assert!(s.chars().count() <= 24);
+            for c in s.chars() {
+                assert!(allowed.contains(&c), "unexpected char {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn printable_category_sampling() {
+        let mut rng = TestRng::from_name("printable");
+        for _ in 0..100 {
+            let s = Strategy::sample(&"\\PC{0,80}", &mut rng);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::from_name("recursive");
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = Strategy::sample(&strat, &mut rng);
+            assert!(depth(&t) <= 4, "depth bound violated: {t:?}");
+            saw_node |= matches!(t, Tree::Node(_));
+        }
+        assert!(saw_node, "recursion never produced a composite value");
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::from_name("x");
+            (0..16).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::from_name("x");
+            (0..16).map(|_| rng.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut rng = TestRng::from_name("y");
+            (0..16).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_roundtrip(v in prop::collection::vec(0i64..100, 0..10), flag in any::<bool>()) {
+            prop_assert!(v.len() < 10);
+            if flag {
+                prop_assert_eq!(v.clone(), v);
+            }
+        }
+    }
+}
