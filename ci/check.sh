@@ -24,4 +24,19 @@ run cargo test -q --offline --locked
 # differential tests (crates/minidb/tests/fastpath_differential.rs).
 run cargo test -q --workspace --offline --locked
 
+# Observability layer: the obs kernel builds and tests standalone, and the
+# end-to-end example must produce a non-empty, parseable JSONL trace
+# (task → llm:call → tool:{name} → sql:execute span chain + metrics line).
+run cargo build --offline --locked -p obs
+run cargo test -q --offline --locked -p obs
+trace_file=target/obs-trace.jsonl
+rm -f "$trace_file"
+run cargo run -q --offline --locked --example observability "$trace_file"
+test -s "$trace_file" || { echo "FAIL: $trace_file is empty or missing"; exit 1; }
+head -n 1 "$trace_file" | grep -q '^{.*"type":"span".*}$' \
+  || { echo "FAIL: first JSONL line is not a span record"; exit 1; }
+grep -q '"type":"metrics"' "$trace_file" \
+  || { echo "FAIL: JSONL trace has no metrics record"; exit 1; }
+echo "==> JSONL trace OK ($(wc -l < "$trace_file") lines)"
+
 echo "All checks passed."

@@ -9,6 +9,7 @@ use bridgescope_core::{pg_mcp, pg_mcp_minus, BridgeScopeServer, SecurityPolicy};
 use llmsim::{Aggregate, LlmProfile, ReactAgent, TaskTrace};
 use minidb::Database;
 use mltools::ml_registry;
+use obs::Obs;
 use toolproto::Registry;
 
 /// Which toolkit the agent is equipped with.
@@ -84,19 +85,42 @@ pub fn build_toolkit_with_policy(
     external: &Registry,
     policy: SecurityPolicy,
 ) -> (Registry, String) {
+    build_toolkit_observed(toolkit, db, user, external, policy, Obs::disabled())
+}
+
+/// [`build_toolkit_with_policy`] recording into `obs`. BridgeScope threads
+/// the handle through every layer; the baselines at least get the
+/// registry-level call observer, so per-tool counts and latencies stay
+/// comparable across toolkits.
+pub fn build_toolkit_observed(
+    toolkit: Toolkit,
+    db: &Database,
+    user: &str,
+    external: &Registry,
+    policy: SecurityPolicy,
+    obs: Obs,
+) -> (Registry, String) {
     match toolkit {
         Toolkit::BridgeScope => {
-            let server =
-                BridgeScopeServer::build(db.clone(), user, policy, external).expect("user exists");
+            let server = BridgeScopeServer::build_observed(db.clone(), user, policy, external, obs)
+                .expect("user exists");
             (server.registry, server.prompt.to_owned())
         }
         Toolkit::PgMcp => {
             let server = pg_mcp(db.clone(), user, external).expect("user exists");
-            (server.registry, server.prompt.to_owned())
+            let mut registry = server.registry;
+            if let Some(observer) = obs.registry_observer() {
+                registry.set_observer(observer);
+            }
+            (registry, server.prompt.to_owned())
         }
         Toolkit::PgMcpMinus => {
             let server = pg_mcp_minus(db.clone(), user, external).expect("user exists");
-            (server.registry, server.prompt.to_owned())
+            let mut registry = server.registry;
+            if let Some(observer) = obs.registry_observer() {
+                registry.set_observer(observer);
+            }
+            (registry, server.prompt.to_owned())
         }
     }
 }
@@ -208,13 +232,27 @@ pub struct Nl2mlConfig {
 
 /// Run the NL2ML benchmark under one configuration.
 pub fn run_nl2ml(cfg: &Nl2mlConfig) -> CellOutcome {
+    run_nl2ml_observed(cfg, &Obs::disabled())
+}
+
+/// [`run_nl2ml`] recording the whole run into `obs`: task/LLM-call spans
+/// from the agent, tool/SQL/proxy spans from the toolkit, and the `llm.*` /
+/// `tool.*` / `proxy.*` counters a summary or JSONL export reads from.
+pub fn run_nl2ml_observed(cfg: &Nl2mlConfig, obs: &Obs) -> CellOutcome {
     let db = crate::housing::build_database(cfg.rows, cfg.seed);
     db.create_user("analyst", false).expect("fresh db");
     db.grant("analyst", sqlkit::Action::Select, "house")
         .expect("house exists");
     let external = ml_registry();
-    let (registry, prompt) = build_toolkit(cfg.toolkit, &db, "analyst", &external);
-    let agent = ReactAgent::new(cfg.profile.clone(), prompt);
+    let (registry, prompt) = build_toolkit_observed(
+        cfg.toolkit,
+        &db,
+        "analyst",
+        &external,
+        SecurityPolicy::default(),
+        obs.clone(),
+    );
+    let agent = ReactAgent::new(cfg.profile.clone(), prompt).with_obs(obs.clone());
     let mut aggregate = Aggregate::default();
     let mut traces = Vec::new();
     for task in nl2ml::tasks()
@@ -412,6 +450,45 @@ mod tests {
             seed: 2,
         });
         assert!(s.aggregate.avg_llm_calls() > bs.aggregate.avg_llm_calls());
+    }
+
+    #[test]
+    fn observed_nl2ml_run_links_task_to_proxy_spans() {
+        let obs = Obs::in_memory();
+        let out = run_nl2ml_observed(
+            &Nl2mlConfig {
+                toolkit: Toolkit::BridgeScope,
+                profile: strict(LlmProfile::gpt4o()),
+                rows: 50,
+                limit: Some(2),
+                seed: 2,
+            },
+            &obs,
+        );
+        assert_eq!(out.aggregate.completion_rate(), 1.0);
+        let snap = obs.snapshot();
+        obs::validate_tree(&snap.spans).unwrap();
+        assert_eq!(
+            snap.metrics.counter("llm.calls"),
+            out.aggregate.llm_calls as u64
+        );
+        // The proxy moved the table without it transiting the LLM.
+        assert!(snap.metrics.counter("proxy.units") >= 2);
+        assert!(snap.metrics.counter("proxy.rows_moved") > 0);
+        // Full chain present: task → llm:call → tool:proxy → proxy:unit.
+        let by_id = |id: u64| snap.spans.iter().find(|sp| sp.id == id).unwrap();
+        let unit = snap
+            .spans
+            .iter()
+            .find(|sp| sp.name == "proxy:unit")
+            .expect("proxy unit span");
+        let tool = by_id(unit.parent.expect("unit has parent"));
+        assert_eq!(tool.name, "tool:proxy");
+        let llm = by_id(tool.parent.expect("tool has parent"));
+        assert_eq!(llm.name, "llm:call");
+        let task = by_id(llm.parent.expect("llm call has parent"));
+        assert_eq!(task.name, "task");
+        assert!(task.parent.is_none());
     }
 
     #[test]

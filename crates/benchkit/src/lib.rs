@@ -30,7 +30,8 @@ pub mod roles;
 
 pub use bird::{generate as generate_bird_ext, BirdExt, BirdTask};
 pub use harness::{
-    run_bird_cell, run_nl2ml, BirdCell, CellOutcome, Nl2mlConfig, TaskClass, Toolkit,
+    build_toolkit_observed, run_bird_cell, run_nl2ml, run_nl2ml_observed, BirdCell, CellOutcome,
+    Nl2mlConfig, TaskClass, Toolkit,
 };
 pub use report::{fig5, privilege_experiment, table2, Fig5Report, PrivilegeReport, Table2Report};
 pub use roles::Role;

@@ -8,9 +8,10 @@
 use crate::config::SecurityPolicy;
 use minidb::sync::Mutex;
 use minidb::{Database, DbError, QueryResult, Session, Value};
+use obs::Obs;
 use sqlkit::ast::Action;
 use std::sync::Arc;
-use toolproto::{Json, ToolError, ToolOutput};
+use toolproto::{DenialContext, Json, ToolError, ToolOutput};
 
 /// Shared state of one BridgeScope (or baseline) server instance.
 pub struct BridgeContext {
@@ -22,18 +23,48 @@ pub struct BridgeContext {
     pub policy: SecurityPolicy,
     /// The shared session carrying transaction state across tool calls.
     pub session: Mutex<Session>,
+    /// Observability handle; disabled by default, shared by all tools of
+    /// this server so denials, SQL execution, and proxy data movement land
+    /// in one trace.
+    pub obs: Obs,
 }
 
 impl BridgeContext {
-    /// Open a context (and its session) for `user`.
+    /// Open a context (and its session) for `user`, without observability.
     pub fn new(db: Database, user: &str, policy: SecurityPolicy) -> Result<Arc<Self>, DbError> {
+        BridgeContext::with_obs(db, user, policy, Obs::disabled())
+    }
+
+    /// Open a context that records into `obs`.
+    pub fn with_obs(
+        db: Database,
+        user: &str,
+        policy: SecurityPolicy,
+        obs: Obs,
+    ) -> Result<Arc<Self>, DbError> {
         let session = db.session(user)?;
         Ok(Arc::new(BridgeContext {
             db,
             user: user.to_owned(),
             policy,
             session: Mutex::new(session),
+            obs,
         }))
+    }
+
+    /// Record a denial: bump the per-gate counter and emit an (instant)
+    /// span carrying the structured denial context under whatever span is
+    /// currently open (typically the enclosing `tool:*` or `sql:execute`).
+    fn record_denial(&self, gate: &str, context: &DenialContext) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.incr(&format!("denials.{gate}"), 1);
+        let mut span = self.obs.span(&format!("denial:{gate}"));
+        span.attr("user", self.user.as_str());
+        for (key, value) in context.fields() {
+            span.attr(key, value);
+        }
     }
 
     /// Database-side privilege check, as a tool error.
@@ -45,13 +76,18 @@ impl BridgeContext {
         if privs.superuser || privs.has(action, object) {
             Ok(())
         } else {
-            Err(ToolError::Denied {
-                code: "privilege".into(),
-                message: format!(
+            let context = DenialContext::default()
+                .with_action(action.to_string())
+                .with_object(object);
+            self.record_denial("privilege", &context);
+            Err(ToolError::denied_with(
+                "privilege",
+                format!(
                     "user \"{}\" lacks the {action} privilege on \"{object}\"",
                     self.user
                 ),
-            })
+                context,
+            ))
         }
     }
 
@@ -60,25 +96,44 @@ impl BridgeContext {
         if self.policy.object_allowed(object) {
             Ok(())
         } else {
-            Err(ToolError::Denied {
-                code: "policy".into(),
-                message: format!("object \"{object}\" is restricted by the user's security policy"),
-            })
+            let context = DenialContext::default().with_object(object);
+            self.record_denial("policy", &context);
+            Err(ToolError::denied_with(
+                "policy",
+                format!("object \"{object}\" is restricted by the user's security policy"),
+                context,
+            ))
         }
+    }
+
+    /// Like [`check_policy_object`](Self::check_policy_object), but records
+    /// the restricted column (`table.column`) as the denied object. Used by
+    /// tools that gate on the column blacklist.
+    pub fn deny_column(&self, table: &str, column: &str, message: String) -> ToolError {
+        let context = DenialContext::default().with_object(format!("{table}.{column}"));
+        self.record_denial("policy", &context);
+        ToolError::denied_with("policy", message, context)
     }
 }
 
 /// Map an engine error onto the tool error model: privilege denials become
 /// [`ToolError::Denied`] (the agent aborts), everything else an execution
-/// error (the agent may retry).
+/// error (the agent may retry). Engine privilege errors carry the acted-on
+/// object and action, which are preserved in the denial context.
 pub fn db_error_to_tool(e: DbError) -> ToolError {
-    if e.is_privilege() {
-        ToolError::Denied {
-            code: "privilege".into(),
-            message: e.to_string(),
+    match e {
+        DbError::PrivilegeDenied {
+            ref action,
+            ref object,
+            ..
+        } => {
+            let context = DenialContext::default()
+                .with_action(action.to_string())
+                .with_object(object.clone());
+            ToolError::denied_with("privilege", e.to_string(), context)
         }
-    } else {
-        ToolError::Execution(e.to_string())
+        e if e.is_privilege() => ToolError::denied("privilege", e.to_string()),
+        e => ToolError::Execution(e.to_string()),
     }
 }
 
@@ -189,6 +244,52 @@ mod tests {
         let ctx = BridgeContext::new(db, "admin", policy).unwrap();
         let err = ctx.check_policy_object("t").unwrap_err();
         assert!(matches!(err, ToolError::Denied { ref code, .. } if code == "policy"));
+    }
+
+    #[test]
+    fn denials_carry_context_and_are_counted() {
+        let db = demo_db();
+        db.create_user("reader", false).unwrap();
+        db.grant("reader", Action::Select, "t").unwrap();
+        let policy = SecurityPolicy::default().with_blacklist(["hidden"]);
+        let ctx = BridgeContext::with_obs(db, "reader", policy, Obs::in_memory()).unwrap();
+
+        let err = ctx.check_privilege(Action::Insert, "t").unwrap_err();
+        let dctx = err.denial_context().unwrap();
+        assert_eq!(dctx.object.as_deref(), Some("t"));
+        assert_eq!(dctx.action.as_deref(), Some("INSERT"));
+
+        let err = ctx.check_policy_object("hidden").unwrap_err();
+        assert_eq!(
+            err.denial_context().unwrap().object.as_deref(),
+            Some("hidden")
+        );
+
+        let snap = ctx.obs.snapshot();
+        assert_eq!(snap.metrics.counter("denials.privilege"), 1);
+        assert_eq!(snap.metrics.counter("denials.policy"), 1);
+        let denial = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "denial:privilege")
+            .unwrap();
+        assert_eq!(
+            denial.attr("object"),
+            Some(&obs::AttrValue::Str("t".into()))
+        );
+    }
+
+    #[test]
+    fn engine_denial_preserves_object_in_context() {
+        let denied = DbError::PrivilegeDenied {
+            user: "u".into(),
+            action: Action::Drop,
+            object: "t".into(),
+        };
+        let err = db_error_to_tool(denied);
+        let dctx = err.denial_context().unwrap();
+        assert_eq!(dctx.object.as_deref(), Some("t"));
+        assert_eq!(dctx.action.as_deref(), Some("DROP"));
     }
 
     #[test]

@@ -190,10 +190,13 @@ pub fn get_object_tool(ctx: Arc<BridgeContext>) -> impl Tool {
                 .privileges_of(&ctx.user)
                 .map_err(|e| ToolError::Execution(e.to_string()))?;
             if !privs.superuser && privs.actions_on(name).is_empty() {
-                return Err(ToolError::Denied {
-                    code: "privilege".into(),
-                    message: format!("no privileges on object \"{name}\""),
-                });
+                return Err(ToolError::denied_with(
+                    "privilege",
+                    format!("no privileges on object \"{name}\""),
+                    toolproto::DenialContext::default()
+                        .with_object(name)
+                        .with_tool("get_object_detail"),
+                ));
             }
             if let Some((_, columns)) = ctx.db.views().into_iter().find(|(v, _)| v == name) {
                 return Ok(ToolOutput::value(view_json(&ctx, name, &columns)?));
@@ -226,12 +229,13 @@ pub fn get_value_tool(ctx: Arc<BridgeContext>) -> impl Tool {
             let k = args["k"].as_i64().unwrap_or(ctx.policy.exemplar_k as i64) as usize;
             ctx.check_policy_object(table)?;
             if !ctx.policy.column_allowed(table, column) {
-                return Err(ToolError::Denied {
-                    code: "policy".into(),
-                    message: format!(
+                return Err(ctx.deny_column(
+                    table,
+                    column,
+                    format!(
                         "column \"{table}.{column}\" is restricted by the user's security policy"
                     ),
-                });
+                ));
             }
             ctx.check_privilege(Action::Select, table)?;
             // The distinct-scan behind `column_values` runs chunked-parallel

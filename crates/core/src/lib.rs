@@ -39,6 +39,7 @@ pub use baseline::{pg_mcp, pg_mcp_minus, BaselineServer};
 pub use bridge::BridgeContext;
 pub use config::SecurityPolicy;
 pub use multi::{MultiSourceServer, SourceSpec};
+pub use obs::{Obs, ObsConfig, ObsSnapshot};
 pub use prompt::{BRIDGESCOPE_PROMPT, GENERIC_DB_PROMPT};
-pub use proxy::{execute_unit, ProxyUnit, Transform};
+pub use proxy::{execute_unit, execute_unit_observed, ProxyUnit, Transform};
 pub use server::BridgeScopeServer;

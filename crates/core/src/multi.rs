@@ -135,13 +135,16 @@ impl MultiSourceServer {
                             ))
                         })?;
                         if !registry.contains(&tool_name) {
-                            return Err(ToolError::Denied {
-                                code: "privilege".into(),
-                                message: format!(
+                            return Err(ToolError::denied_with(
+                                "privilege",
+                                format!(
                                     "tool '{tool_name}' is not available on source '{source}' \
                                      for this user"
                                 ),
-                            });
+                                toolproto::DenialContext::default()
+                                    .with_tool(tool_name.clone())
+                                    .with_object(source),
+                            ));
                         }
                         let mut forwarded = args.clone();
                         forwarded.remove("source");

@@ -25,6 +25,7 @@
 //! starting with `/` is applied as an RFC-6901 JSON pointer (e.g. `"/rows"`
 //! unwraps a query result to its row array).
 
+use obs::{Obs, SpanGuard};
 use std::sync::Arc;
 use toolproto::{Args, FnTool, Json, Registry, Risk, Signature, Tool, ToolError, ToolOutput};
 
@@ -189,12 +190,60 @@ fn producer_depth(p: &Producer) -> usize {
     }
 }
 
+/// Rows represented by one producer output, for proxy data-volume
+/// accounting: a bare array counts its elements, a query result counts its
+/// `rows` array, anything else counts 0 (scalars move, but are not rows).
+fn json_row_count(value: &Json) -> usize {
+    if let Some(items) = value.as_array() {
+        return items.len();
+    }
+    value
+        .get("rows")
+        .and_then(Json::as_array)
+        .map(<[Json]>::len)
+        .unwrap_or(0)
+}
+
 /// Execute a proxy unit bottom-up against a registry. Sibling producers run
 /// in parallel threads.
 pub fn execute_unit(
     registry: &Registry,
     unit: &ProxyUnit,
     depth: usize,
+) -> Result<Json, ToolError> {
+    execute_unit_observed(registry, unit, depth, &Obs::disabled())
+}
+
+/// [`execute_unit`] recording into `obs`: each unit becomes a `proxy:unit`
+/// span (consumer, depth, producer count, rows/bytes moved tool→tool), and
+/// the `proxy.units` / `proxy.rows_moved` / `proxy.bytes_moved` counters
+/// quantify the data that never transits the LLM. Producer spans opened on
+/// worker threads are re-parented under this unit's span.
+pub fn execute_unit_observed(
+    registry: &Registry,
+    unit: &ProxyUnit,
+    depth: usize,
+    obs: &Obs,
+) -> Result<Json, ToolError> {
+    let mut span = obs.span("proxy:unit");
+    if span.enabled() {
+        span.attr("target_tool", unit.target_tool.as_str());
+        span.attr("depth", depth);
+        obs.incr("proxy.units", 1);
+    }
+    let result = unit_body(registry, unit, depth, obs, &mut span);
+    if let Err(e) = &result {
+        span.fail(e.to_string());
+    }
+    result
+}
+
+fn unit_body(
+    registry: &Registry,
+    unit: &ProxyUnit,
+    depth: usize,
+    obs: &Obs,
+    span: &mut SpanGuard,
 ) -> Result<Json, ToolError> {
     if depth > MAX_PROXY_DEPTH {
         return Err(ToolError::Execution(format!(
@@ -227,16 +276,27 @@ pub fn execute_unit(
         };
         slots.push((name.clone(), slot));
     }
-    // Run all producers, in parallel when there are several.
+    if span.enabled() {
+        span.attr("producers", jobs.len() as u64);
+    }
+    // Run all producers, in parallel when there are several. Worker threads
+    // have no thread-local parent span, so they adopt this unit's span id to
+    // keep the exported tree connected across threads.
+    let parent = span.id();
     let results: Vec<Result<Json, ToolError>> = if jobs.len() <= 1 {
         jobs.iter()
-            .map(|p| run_producer(registry, p, depth))
+            .map(|p| run_producer(registry, p, depth, obs))
             .collect()
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .iter()
-                .map(|p| scope.spawn(move || run_producer(registry, p, depth)))
+                .map(|p| {
+                    scope.spawn(move || {
+                        let _scope = obs::adopt(parent);
+                        run_producer(registry, p, depth, obs)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -252,6 +312,16 @@ pub fn execute_unit(
     for r in results {
         outputs.push(r?);
     }
+    // Account for the data moving tool→tool without transiting the LLM —
+    // the paper's F4 claim, here as a measured number.
+    if span.enabled() {
+        let bytes: usize = outputs.iter().map(|o| o.to_compact().len()).sum();
+        let rows: usize = outputs.iter().map(json_row_count).sum();
+        span.attr("bytes_in", bytes as u64);
+        span.attr("rows_in", rows as u64);
+        obs.incr("proxy.bytes_moved", bytes as u64);
+        obs.incr("proxy.rows_moved", rows as u64);
+    }
     // Assemble the consumer's arguments.
     let mut arg_pairs: Vec<(String, Json)> = Vec::with_capacity(slots.len());
     for (name, slot) in slots {
@@ -264,13 +334,21 @@ pub fn execute_unit(
     }
     // Invoke the consumer; its output propagates upward.
     let out = registry.call(&unit.target_tool, &Json::object(arg_pairs))?;
+    if span.enabled() {
+        span.attr("rows_out", json_row_count(&out.value) as u64);
+    }
     Ok(out.value)
 }
 
-fn run_producer(registry: &Registry, p: &Producer, depth: usize) -> Result<Json, ToolError> {
+fn run_producer(
+    registry: &Registry,
+    p: &Producer,
+    depth: usize,
+    obs: &Obs,
+) -> Result<Json, ToolError> {
     let raw = match &p.source {
         Source::Tool { name, args } => registry.call(name, args)?.value,
-        Source::Unit(unit) => execute_unit(registry, unit, depth + 1)?,
+        Source::Unit(unit) => execute_unit_observed(registry, unit, depth + 1, obs)?,
     };
     p.transform.apply(raw)
 }
@@ -280,6 +358,12 @@ fn run_producer(registry: &Registry, p: &Producer, depth: usize) -> Result<Json,
 /// any domain-specific MCP tools) — but not the proxy itself; nesting is
 /// expressed with `unit`, not recursive proxy calls.
 pub fn proxy_tool(surface: Registry) -> impl Tool {
+    proxy_tool_observed(surface, Obs::disabled())
+}
+
+/// [`proxy_tool`] with an observability handle: every executed unit is
+/// recorded as a `proxy:unit` span with rows/bytes-moved accounting.
+pub fn proxy_tool_observed(surface: Registry, obs: Obs) -> impl Tool {
     let surface = Arc::new(surface);
     FnTool::new(
         "proxy",
@@ -291,7 +375,7 @@ pub fn proxy_tool(surface: Registry) -> impl Tool {
         move |args: &Args| {
             let spec = Json::Object(args.clone());
             let unit = ProxyUnit::parse(&spec)?;
-            let value = execute_unit(&surface, &unit, 1)?;
+            let value = execute_unit_observed(&surface, &unit, 1, &obs)?;
             Ok(ToolOutput::value(value))
         },
     )
@@ -501,6 +585,50 @@ mod tests {
             &Json::parse(r#"{"target_tool": "sum", "tool_args": {"x": {"bogus": 1}}}"#).unwrap()
         )
         .is_err());
+    }
+
+    #[test]
+    fn observed_unit_records_span_tree_and_data_volume() {
+        let reg = test_registry();
+        let obs = Obs::in_memory();
+        // pair_sum(a = sum(numbers(3)), b = sum(numbers(4))) — nested units
+        // run as parallel sibling producers on worker threads.
+        let spec = Json::parse(
+            r#"{"target_tool": "pair_sum", "tool_args": {
+                "a": {"unit": {"target_tool": "sum", "tool_args": {
+                      "data": {"tool": "numbers", "args": {"n": 3}, "transform": "/rows"}}}},
+                "b": {"unit": {"target_tool": "sum", "tool_args": {
+                      "data": {"tool": "numbers", "args": {"n": 4}, "transform": "/rows"}}}}
+            }}"#,
+        )
+        .unwrap();
+        let unit = ProxyUnit::parse(&spec).unwrap();
+        let out = execute_unit_observed(&reg, &unit, 1, &obs).unwrap();
+        assert_eq!(out.get("total").and_then(Json::as_f64), Some(9.0));
+
+        let snap = obs.snapshot();
+        obs::validate_tree(&snap.spans).unwrap();
+        assert_eq!(snap.metrics.counter("proxy.units"), 3);
+        // Inner units each feed /rows arrays (3 and 4 rows); the outer unit
+        // moves two scalar objects (0 rows, but nonzero bytes).
+        assert_eq!(snap.metrics.counter("proxy.rows_moved"), 7);
+        assert!(snap.metrics.counter("proxy.bytes_moved") > 0);
+        let units: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|sp| sp.name == "proxy:unit")
+            .collect();
+        assert_eq!(units.len(), 3);
+        let root = units
+            .iter()
+            .find(|sp| sp.attr("target_tool") == Some(&obs::AttrValue::from("pair_sum")))
+            .expect("root unit span");
+        assert!(root.parent.is_none());
+        // Both inner unit spans, opened on worker threads, adopted the root
+        // unit span as parent.
+        for inner in units.iter().filter(|sp| sp.id != root.id) {
+            assert_eq!(inner.parent, Some(root.id));
+        }
     }
 
     #[test]

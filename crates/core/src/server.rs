@@ -9,10 +9,11 @@
 use crate::bridge::BridgeContext;
 use crate::config::SecurityPolicy;
 use crate::context_tools::{get_object_tool, get_schema_tool, get_value_tool};
-use crate::proxy::proxy_tool;
+use crate::proxy::proxy_tool_observed;
 use crate::sql_tools::{action_risk, action_tool};
 use crate::txn_tools::{begin_tool, commit_tool, rollback_tool};
 use minidb::{Database, DbError};
+use obs::{Obs, ObsConfig, ObsSnapshot};
 use sqlkit::ast::Action;
 use std::sync::Arc;
 use toolproto::Registry;
@@ -26,19 +27,51 @@ pub struct BridgeScopeServer {
     pub prompt: &'static str,
     /// The shared context (for tests and advanced wiring).
     pub context: Arc<BridgeContext>,
+    /// The observability handle recording this surface (disabled by
+    /// default; see [`BridgeScopeServer::build_with_config`]).
+    pub obs: Obs,
 }
 
 impl BridgeScopeServer {
     /// Build the tool surface for `user` under `policy`. Tools in
     /// `external` (e.g. ML/MCP tools) become available to proxy units and
-    /// are re-exported in the final registry.
+    /// are re-exported in the final registry. Observability is off; use
+    /// [`BridgeScopeServer::build_with_config`] to record traces.
     pub fn build(
         db: Database,
         user: &str,
         policy: SecurityPolicy,
         external: &Registry,
     ) -> Result<BridgeScopeServer, DbError> {
-        let ctx = BridgeContext::new(db.clone(), user, policy)?;
+        Self::build_with_config(db, user, policy, external, &ObsConfig::Off)
+    }
+
+    /// [`BridgeScopeServer::build`] with an observability configuration:
+    /// `Off` makes every recording call a no-op, `InMemory` collects spans
+    /// and metrics for [`BridgeScopeServer::snapshot`], and `Jsonl` also
+    /// arms [`Obs::flush`] to export the trace as JSON Lines.
+    pub fn build_with_config(
+        db: Database,
+        user: &str,
+        policy: SecurityPolicy,
+        external: &Registry,
+        config: &ObsConfig,
+    ) -> Result<BridgeScopeServer, DbError> {
+        Self::build_observed(db, user, policy, external, Obs::from_config(config))
+    }
+
+    /// [`BridgeScopeServer::build`] recording into an existing `obs` handle,
+    /// so several servers (or a server plus an agent harness) can share one
+    /// trace. Attaches a registry-level call observer and the observed proxy
+    /// when the handle is enabled.
+    pub fn build_observed(
+        db: Database,
+        user: &str,
+        policy: SecurityPolicy,
+        external: &Registry,
+        obs: Obs,
+    ) -> Result<BridgeScopeServer, DbError> {
+        let ctx = BridgeContext::with_obs(db.clone(), user, policy, obs.clone())?;
         let mut registry = Registry::new();
 
         // F1 — context retrieval (always exposed; outputs are filtered).
@@ -81,15 +114,31 @@ impl BridgeScopeServer {
         // External (MCP-ecosystem) tools join the surface.
         registry.extend(external);
 
+        // Every tool invocation through the registry becomes a `tool:{name}`
+        // span with per-tool counters and latency histograms. Attached
+        // before the proxy snapshot so producer-side calls are traced too
+        // (they inflate `tool.calls` past what the LLM issued — use the
+        // harness-level `llm.tool_calls` counter for that figure).
+        if let Some(observer) = obs.registry_observer() {
+            registry.set_observer(observer);
+        }
+
         // F4 — the proxy operates over a snapshot of everything above.
         let surface = registry.clone();
-        registry.register_tool(proxy_tool(surface));
+        registry.register_tool(proxy_tool_observed(surface, obs.clone()));
 
         Ok(BridgeScopeServer {
             registry,
             prompt: crate::prompt::BRIDGESCOPE_PROMPT,
             context: ctx,
+            obs,
         })
+    }
+
+    /// Snapshot the spans and metrics recorded so far (empty when
+    /// observability is off).
+    pub fn snapshot(&self) -> ObsSnapshot {
+        self.obs.snapshot()
     }
 }
 
@@ -190,6 +239,67 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.value.get("count").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn observed_build_records_tool_spans_and_plan_attributes() {
+        let db = demo_db();
+        let obs = Obs::in_memory();
+        let server = BridgeScopeServer::build_observed(
+            db,
+            "reader",
+            SecurityPolicy::default(),
+            &Registry::new(),
+            obs.clone(),
+        )
+        .unwrap();
+        server
+            .registry
+            .call(
+                "select",
+                &Json::object([("sql", Json::str("SELECT * FROM sales"))]),
+            )
+            .unwrap();
+        let snap = server.snapshot();
+        obs::validate_tree(&snap.spans).unwrap();
+        assert_eq!(snap.metrics.counter("tool.calls"), 1);
+        assert_eq!(snap.metrics.counter("tool.calls.select"), 1);
+        assert_eq!(snap.metrics.counter("sql.statements.select"), 1);
+        let tool = snap
+            .spans
+            .iter()
+            .find(|sp| sp.name == "tool:select")
+            .expect("tool span");
+        let sql = snap
+            .spans
+            .iter()
+            .find(|sp| sp.name == "sql:execute")
+            .expect("sql span");
+        assert_eq!(sql.parent, Some(tool.id), "sql span nests under tool span");
+        assert!(
+            sql.attr("plan.seq_scans").is_some(),
+            "executor plan attributes attached: {:?}",
+            sql.attrs
+        );
+    }
+
+    #[test]
+    fn default_build_keeps_observability_off() {
+        let db = demo_db();
+        let server =
+            BridgeScopeServer::build(db, "reader", SecurityPolicy::default(), &Registry::new())
+                .unwrap();
+        assert!(!server.obs.is_enabled());
+        server
+            .registry
+            .call(
+                "select",
+                &Json::object([("sql", Json::str("SELECT * FROM sales"))]),
+            )
+            .unwrap();
+        let snap = server.snapshot();
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.metrics.counter("tool.calls"), 0);
     }
 
     #[test]

@@ -13,10 +13,14 @@
 //!    with the transaction tools.
 
 use crate::bridge::{db_error_to_tool, result_to_output, BridgeContext};
+use obs::SpanGuard;
 use sqlkit::ast::Action;
 use sqlkit::parse_statement;
 use std::sync::Arc;
 use toolproto::{ArgSpec, ArgType, Args, FnTool, Risk, Signature, Tool, ToolError, ToolResult};
+
+/// Maximum characters of SQL text kept in span attributes and contexts.
+const SQL_ATTR_MAX: usize = 200;
 
 /// Risk class of an action's tool.
 pub fn action_risk(action: Action) -> Risk {
@@ -28,8 +32,43 @@ pub fn action_risk(action: Action) -> Risk {
     }
 }
 
-/// The verification-and-execution body shared by all action tools.
+/// The verification-and-execution body shared by all action tools: open a
+/// `sql:execute` span around the whole verify-then-run path, attach the
+/// statement, outcome, and executor plan attributes, and enrich any denial
+/// with the originating SQL.
 fn verified_execute(ctx: &BridgeContext, expected: Action, sql: &str) -> ToolResult {
+    let mut span = ctx.obs.span("sql:execute");
+    if span.enabled() {
+        span.attr("action", expected.keyword());
+        span.attr("sql", sqlkit::truncate_sql(sql, SQL_ATTR_MAX));
+    }
+    let result = verify_and_run(ctx, expected, sql, &mut span);
+    if ctx.obs.is_enabled() {
+        match &result {
+            Ok(out) => {
+                if let Some(rows) = out.rows {
+                    span.attr("rows", rows);
+                }
+                ctx.obs.incr("sql.statements", 1);
+                ctx.obs
+                    .incr(&format!("sql.statements.{}", expected.keyword()), 1);
+            }
+            Err(e) => {
+                span.fail(e.to_string());
+                ctx.obs.incr("sql.errors", 1);
+            }
+        }
+        ctx.obs.observe_ns("sql.latency", span.elapsed_ns());
+    }
+    result.map_err(|e| e.with_denial_sql(sqlkit::truncate_sql(sql, SQL_ATTR_MAX)))
+}
+
+fn verify_and_run(
+    ctx: &BridgeContext,
+    expected: Action,
+    sql: &str,
+    span: &mut SpanGuard,
+) -> ToolResult {
     let stmt = parse_statement(sql).map_err(|e| ToolError::Execution(e.to_string()))?;
     let action = stmt.action();
     if action != expected {
@@ -66,13 +105,14 @@ fn verified_execute(ctx: &BridgeContext, expected: Action, sql: &str) -> ToolRes
         let usage = sqlkit::column_usage(&stmt);
         for (table, column) in &ctx.policy.column_blacklist {
             if usage.may_touch(table, column) {
-                return Err(ToolError::Denied {
-                    code: "policy".into(),
-                    message: format!(
+                return Err(ctx.deny_column(
+                    table,
+                    column,
+                    format!(
                         "statement may access column \"{table}.{column}\", which is restricted \
                          by the user's security policy (avoid wildcards; list columns explicitly)"
                     ),
-                });
+                ));
             }
         }
     }
@@ -87,11 +127,25 @@ fn verified_execute(ctx: &BridgeContext, expected: Action, sql: &str) -> ToolRes
             guard.execute(&stmt).map_err(db_error_to_tool)?
         } else {
             drop(guard);
-            let mut ephemeral = ctx
+            let ephemeral = ctx
                 .db
                 .session(&ctx.user)
                 .map_err(|e| ToolError::Execution(e.to_string()))?;
-            ephemeral.execute(&stmt).map_err(db_error_to_tool)?
+            if span.enabled() {
+                // Traced execution: same fast path, but the executor also
+                // reports which access paths and join algorithms it used;
+                // those become attributes of this statement's span.
+                let (result, plan) = ephemeral
+                    .query_with_options(sql, &minidb::ExecOptions::default())
+                    .map_err(db_error_to_tool)?;
+                for (key, count) in plan.attr_counts() {
+                    span.attr(key, count);
+                }
+                result
+            } else {
+                let mut ephemeral = ephemeral;
+                ephemeral.execute(&stmt).map_err(db_error_to_tool)?
+            }
         }
     } else {
         ctx.session

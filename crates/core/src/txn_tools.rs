@@ -5,8 +5,28 @@
 //! explicit tools is what makes agents actually use it (Figure 5c).
 
 use crate::bridge::{db_error_to_tool, result_to_output, BridgeContext};
+use minidb::{DbError, QueryResult};
 use std::sync::Arc;
-use toolproto::{Args, FnTool, Risk, Signature, Tool};
+use toolproto::{Args, FnTool, Risk, Signature, Tool, ToolResult};
+
+/// Run one transaction-control operation under a `txn:{verb}` span, counting
+/// outcomes per verb (`txn.{verb}.ok` / `txn.{verb}.error`).
+fn run_txn_op(
+    ctx: &BridgeContext,
+    verb: &str,
+    op: impl FnOnce(&BridgeContext) -> Result<QueryResult, DbError>,
+) -> ToolResult {
+    let mut span = ctx.obs.span(&format!("txn:{verb}"));
+    let result = op(ctx).map_err(db_error_to_tool);
+    if ctx.obs.is_enabled() {
+        let outcome = if result.is_ok() { "ok" } else { "error" };
+        ctx.obs.incr(&format!("txn.{verb}.{outcome}"), 1);
+        if let Err(e) = &result {
+            span.fail(e.to_string());
+        }
+    }
+    result.map(result_to_output)
+}
 
 /// Build the `begin` tool.
 pub fn begin_tool(ctx: Arc<BridgeContext>) -> impl Tool {
@@ -14,10 +34,7 @@ pub fn begin_tool(ctx: Arc<BridgeContext>) -> impl Tool {
         "begin",
         "Begin a transaction. Call before any statement that modifies the database.",
         Signature::new(vec![]),
-        move |_: &Args| {
-            let result = ctx.session.lock().begin().map_err(db_error_to_tool)?;
-            Ok(result_to_output(result))
-        },
+        move |_: &Args| run_txn_op(&ctx, "begin", |ctx| ctx.session.lock().begin()),
     )
     .with_risk(Risk::Mutating)
 }
@@ -28,10 +45,7 @@ pub fn commit_tool(ctx: Arc<BridgeContext>) -> impl Tool {
         "commit",
         "Commit the current transaction.",
         Signature::new(vec![]),
-        move |_: &Args| {
-            let result = ctx.session.lock().commit().map_err(db_error_to_tool)?;
-            Ok(result_to_output(result))
-        },
+        move |_: &Args| run_txn_op(&ctx, "commit", |ctx| ctx.session.lock().commit()),
     )
     .with_risk(Risk::Mutating)
 }
@@ -42,10 +56,7 @@ pub fn rollback_tool(ctx: Arc<BridgeContext>) -> impl Tool {
         "rollback",
         "Roll back the current transaction, discarding its changes.",
         Signature::new(vec![]),
-        move |_: &Args| {
-            let result = ctx.session.lock().rollback().map_err(db_error_to_tool)?;
-            Ok(result_to_output(result))
-        },
+        move |_: &Args| run_txn_op(&ctx, "rollback", |ctx| ctx.session.lock().rollback()),
     )
     .with_risk(Risk::Mutating)
 }
@@ -104,5 +115,35 @@ mod tests {
         let (_db, reg) = setup();
         assert!(reg.call("commit", &Json::Null).is_err());
         assert!(reg.call("rollback", &Json::Null).is_err());
+    }
+
+    #[test]
+    fn txn_outcomes_are_counted_when_observed() {
+        let db = Database::new();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+            .unwrap();
+        let obs = obs::Obs::in_memory();
+        let ctx =
+            BridgeContext::with_obs(db, "admin", SecurityPolicy::default(), obs.clone()).unwrap();
+        let mut reg = Registry::new();
+        reg.register_tool(begin_tool(Arc::clone(&ctx)));
+        reg.register_tool(commit_tool(Arc::clone(&ctx)));
+        reg.register_tool(rollback_tool(ctx));
+
+        reg.call("commit", &Json::Null).unwrap_err();
+        reg.call("begin", &Json::Null).unwrap();
+        reg.call("commit", &Json::Null).unwrap();
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.metrics.counter("txn.begin.ok"), 1);
+        assert_eq!(snap.metrics.counter("txn.commit.ok"), 1);
+        assert_eq!(snap.metrics.counter("txn.commit.error"), 1);
+        let failed = snap
+            .spans
+            .iter()
+            .find(|sp| sp.name == "txn:commit" && sp.error.is_some())
+            .expect("failed commit span");
+        assert!(failed.error.as_deref().unwrap().contains("transaction"));
     }
 }

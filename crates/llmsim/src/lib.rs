@@ -32,4 +32,4 @@ pub use message::{Message, Role, Transcript};
 pub use profile::LlmProfile;
 pub use react::ReactAgent;
 pub use task::{DataSource, PipelineStage, SqlStep, TaskKind, TaskSpec, ValueLookup};
-pub use trace::{Aggregate, Outcome, TaskTrace};
+pub use trace::{Aggregate, EventKind, Outcome, TaskTrace, TraceEvent};

@@ -14,7 +14,8 @@ use crate::message::{Role, Transcript};
 use crate::profile::LlmProfile;
 use crate::task::{DataSource, SqlStep, TaskKind, TaskSpec};
 use crate::tokens::ContextWindow;
-use crate::trace::{Outcome, TaskTrace, TraceEvent};
+use crate::trace::{EventKind, Outcome, TaskTrace, TraceEvent};
+use obs::Obs;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
@@ -24,6 +25,7 @@ use toolproto::{Json, Registry, ToolError};
 pub struct ReactAgent {
     profile: LlmProfile,
     system_prompt: String,
+    obs: Obs,
 }
 
 impl ReactAgent {
@@ -33,7 +35,16 @@ impl ReactAgent {
         ReactAgent {
             profile,
             system_prompt: system_prompt.into(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Record runs into `obs`: each run becomes a `task` root span, each
+    /// reasoning+action step an `llm:call` span, with `llm.*` counters
+    /// (calls, tool calls, rows via context, tokens) on the side.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The agent's profile.
@@ -44,6 +55,10 @@ impl ReactAgent {
     /// Run one task against a tool registry. `seed` makes the run
     /// reproducible; benchmarks derive it from the task id.
     pub fn run(&self, registry: &Registry, task: &TaskSpec, seed: u64) -> TaskTrace {
+        let mut task_span = self.obs.span("task");
+        if task_span.enabled() {
+            task_span.attr("task", task.id.as_str());
+        }
         let mut runner = Runner {
             profile: &self.profile,
             registry,
@@ -53,6 +68,7 @@ impl ReactAgent {
             window: ContextWindow::new(self.profile.context_window),
             trace: TaskTrace::new(task.id.clone()),
             surface: Surface::inspect(registry),
+            obs: self.obs.clone(),
         };
         runner.transcript.push(
             Role::System,
@@ -71,6 +87,14 @@ impl ReactAgent {
             _ => runner.run_sql_task(),
         };
         runner.trace.outcome = outcome;
+        if task_span.enabled() {
+            task_span.attr("llm_calls", runner.trace.llm_calls as u64);
+            task_span.attr("tool_calls", runner.trace.tool_calls as u64);
+            task_span.attr("outcome", format!("{:?}", runner.trace.outcome));
+            if let Outcome::Failed(reason) = &runner.trace.outcome {
+                task_span.fail(reason.clone());
+            }
+        }
         runner.trace
     }
 }
@@ -183,6 +207,7 @@ struct Runner<'a> {
     window: ContextWindow,
     trace: TaskTrace,
     surface: Surface,
+    obs: Obs,
 }
 
 impl<'a> Runner<'a> {
@@ -205,18 +230,26 @@ impl<'a> Runner<'a> {
         out
     }
 
-    /// Bill one LLM call that emits `reasoning` and `action` (a rendered
-    /// tool call or final answer). Returns `false` on context overflow.
-    fn llm_call(&mut self, reasoning: &str, action: &str) -> bool {
+    /// Bill one LLM call that emits `reasoning` and an action described by
+    /// `kind` (a tool call or final answer). Returns `false` on context
+    /// overflow.
+    fn llm_call(&mut self, reasoning: &str, kind: EventKind) -> bool {
         // Prompt: the whole transcript so far.
-        self.trace.prompt_tokens += self.transcript.total_tokens();
+        let prompt = self.transcript.total_tokens();
+        self.trace.prompt_tokens += prompt;
+        let action = kind.to_string();
         let content = format!("{}\n{action}", self.reason_text(reasoning));
         let tokens = self.transcript.push(Role::Assistant, content);
         self.trace.completion_tokens += tokens;
         self.trace.llm_calls += 1;
+        if self.obs.is_enabled() {
+            self.obs.incr("llm.calls", 1);
+            self.obs.incr("llm.prompt_tokens", prompt as u64);
+            self.obs.incr("llm.completion_tokens", tokens as u64);
+        }
         self.trace.events.push(TraceEvent {
             call: self.trace.llm_calls,
-            what: action.chars().take(100).collect(),
+            kind,
             tokens,
         });
         self.window.push(tokens)
@@ -226,17 +259,25 @@ impl<'a> Runner<'a> {
     /// result plus `false` if the transcript overflowed.
     fn invoke(&mut self, tool: &str, args: &Json) -> (Result<Json, ToolError>, bool) {
         self.trace.tool_calls += 1;
+        if self.obs.is_enabled() {
+            self.obs.incr("llm.tool_calls", 1);
+        }
         match self.registry.call(tool, args) {
             Ok(out) => {
                 if let Some(rows) = out.rows {
                     self.trace.rows_via_llm += rows;
+                    if self.obs.is_enabled() {
+                        self.obs.incr("llm.rows_via_context", rows as u64);
+                    }
                 }
                 let rendered = out.value.to_compact();
                 let tokens = self.transcript.push(Role::Tool, rendered);
                 let ok = self.window.push(tokens);
                 self.trace.events.push(TraceEvent {
                     call: self.trace.llm_calls,
-                    what: format!("result:{tool}"),
+                    kind: EventKind::ToolResult {
+                        tool: tool.to_owned(),
+                    },
                     tokens,
                 });
                 (Ok(out.value), ok)
@@ -246,6 +287,14 @@ impl<'a> Runner<'a> {
                     .transcript
                     .push(Role::Tool, format!("{{\"error\": \"{e}\"}}"));
                 let ok = self.window.push(tokens);
+                self.trace.events.push(TraceEvent {
+                    call: self.trace.llm_calls,
+                    kind: EventKind::Error {
+                        tool: tool.to_owned(),
+                        message: e.to_string(),
+                    },
+                    tokens,
+                });
                 (Err(e), ok)
             }
         }
@@ -254,11 +303,21 @@ impl<'a> Runner<'a> {
     /// One LLM call that invokes a tool: bill the call, run the tool, append
     /// the result. The `Option` is `None` on context overflow.
     fn step(&mut self, reasoning: &str, tool: &str, args: Json) -> Option<Result<Json, ToolError>> {
-        let action = format!("call {tool}({})", args.to_compact());
-        if !self.llm_call(reasoning, &action) {
+        let mut span = self.obs.span("llm:call");
+        let kind = EventKind::ToolCall {
+            tool: tool.to_owned(),
+            args: args.to_compact(),
+        };
+        if span.enabled() {
+            span.attr("tool", tool);
+        }
+        if !self.llm_call(reasoning, kind) {
             return None;
         }
         let (result, ok) = self.invoke(tool, &args);
+        if span.enabled() {
+            span.attr("ok", result.is_ok());
+        }
         if !ok {
             return None;
         }
@@ -267,7 +326,16 @@ impl<'a> Runner<'a> {
 
     /// Final LLM call ending the run.
     fn finalize(&mut self, reasoning: &str, answer: &str) -> bool {
-        self.llm_call(reasoning, &format!("final: {answer}"))
+        let mut span = self.obs.span("llm:call");
+        if span.enabled() {
+            span.attr("final", true);
+        }
+        self.llm_call(
+            reasoning,
+            EventKind::Final {
+                answer: answer.to_owned(),
+            },
+        )
     }
 
     // ------------------------------------------------------------------
@@ -1056,6 +1124,51 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_matches_trace_counters_and_nests_spans() {
+        let reg = fake_registry(true, false);
+        let obs = obs::Obs::in_memory();
+        let agent = ReactAgent::new(strict_profile(), "agent").with_obs(obs.clone());
+        let trace = agent.run(&reg, &read_task(), 7);
+        assert_eq!(trace.outcome, Outcome::Completed);
+
+        let snap = obs.snapshot();
+        obs::validate_tree(&snap.spans).unwrap();
+        // The metrics registry and the independently-maintained TaskTrace
+        // must agree call for call.
+        assert_eq!(snap.metrics.counter("llm.calls"), trace.llm_calls as u64);
+        assert_eq!(
+            snap.metrics.counter("llm.tool_calls"),
+            trace.tool_calls as u64
+        );
+        assert_eq!(
+            snap.metrics.counter("llm.rows_via_context"),
+            trace.rows_via_llm as u64
+        );
+        assert_eq!(
+            snap.metrics.counter("llm.prompt_tokens"),
+            trace.prompt_tokens as u64
+        );
+        assert_eq!(
+            snap.metrics.counter("llm.completion_tokens"),
+            trace.completion_tokens as u64
+        );
+        // One root task span; every llm:call nests under it.
+        let task = snap
+            .spans
+            .iter()
+            .find(|sp| sp.name == "task")
+            .expect("task span");
+        assert!(task.parent.is_none());
+        let calls: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|sp| sp.name == "llm:call")
+            .collect();
+        assert_eq!(calls.len(), trace.llm_calls);
+        assert!(calls.iter().all(|sp| sp.parent == Some(task.id)));
+    }
+
+    #[test]
     fn write_task_uses_transaction_with_explicit_tools() {
         let reg = fake_registry(true, false);
         let agent = ReactAgent::new(strict_profile(), "agent");
@@ -1131,12 +1244,7 @@ mod tests {
             "execute_sql",
             "run sql",
             Signature::new(vec![ArgSpec::required("sql", ArgType::String, "sql")]),
-            |_: &toolproto::Args| {
-                Err(ToolError::Denied {
-                    code: "privilege".into(),
-                    message: "permission denied".into(),
-                })
-            },
+            |_: &toolproto::Args| Err(ToolError::denied("privilege", "permission denied")),
         ));
         let mut profile = strict_profile();
         profile.retry_on_denial = 0.0;
@@ -1336,7 +1444,7 @@ mod tests {
         assert!(trace
             .events
             .iter()
-            .any(|e| e.what.contains("SELECT COUNT(*) FROM sales")));
+            .any(|e| e.kind.to_string().contains("SELECT COUNT(*) FROM sales")));
     }
 
     #[test]
@@ -1363,7 +1471,7 @@ mod tests {
         assert!(trace
             .events
             .iter()
-            .any(|e| e.what.contains("information_schema")));
+            .any(|e| e.kind.to_string().contains("information_schema")));
         // catalog probe + table probe + sql + final = 4 calls (no wrong
         // guesses with hallucination disabled).
         assert_eq!(trace.llm_calls, 4, "{}", trace.render());

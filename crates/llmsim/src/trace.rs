@@ -33,13 +33,66 @@ impl Outcome {
     }
 }
 
+/// What one logged step of a run was, with its payload. The [`Display`]
+/// rendering reproduces the legacy free-text format (`call tool({args})`,
+/// `result:tool`, `final: answer`), so step logs read as before while code
+/// can match on the variant instead of parsing strings.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A free-form LLM action that is neither a tool call nor the final
+    /// answer (not emitted by the simulator; available to external trace
+    /// builders).
+    LlmCall {
+        /// The rendered action text.
+        action: String,
+    },
+    /// An LLM call that invoked a tool.
+    ToolCall {
+        /// The tool invoked.
+        tool: String,
+        /// The compact-JSON rendering of the arguments.
+        args: String,
+    },
+    /// A successful tool result appended to the transcript.
+    ToolResult {
+        /// The tool that produced the result.
+        tool: String,
+    },
+    /// A tool invocation that returned an error.
+    Error {
+        /// The tool that failed.
+        tool: String,
+        /// The error message the agent saw.
+        message: String,
+    },
+    /// The final LLM call ending the run.
+    Final {
+        /// The final answer text.
+        answer: String,
+    },
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventKind::LlmCall { action } => write!(f, "{action}"),
+            EventKind::ToolCall { tool, args } => write!(f, "call {tool}({args})"),
+            EventKind::ToolResult { tool } => write!(f, "result:{tool}"),
+            EventKind::Error { tool, message } => write!(f, "error:{tool}: {message}"),
+            EventKind::Final { answer } => write!(f, "final: {answer}"),
+        }
+    }
+}
+
 /// One logged step of a run (for debugging and the example binaries).
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
     /// LLM call ordinal the event belongs to.
     pub call: usize,
-    /// Short description, e.g. `tool:get_schema` or `final`.
-    pub what: String,
+    /// What happened, with its payload.
+    pub kind: EventKind,
     /// Tokens this event appended to the transcript.
     pub tokens: usize,
 }
@@ -110,10 +163,12 @@ impl TaskTrace {
             self.outcome
         );
         for event in &self.events {
+            // Clip to the width the old free-text log used.
+            let what: String = event.kind.to_string().chars().take(100).collect();
             let _ = writeln!(
                 out,
                 "  call {:>2} | {:<62} | +{} tok",
-                event.call, event.what, event.tokens
+                event.call, what, event.tokens
             );
         }
         out
@@ -254,6 +309,47 @@ mod tests {
         let agg = Aggregate::default();
         assert_eq!(agg.avg_llm_calls(), 0.0);
         assert_eq!(agg.txn_initiation_rate(), 0.0);
+    }
+
+    #[test]
+    fn event_kind_display_matches_legacy_format() {
+        let cases = [
+            (
+                EventKind::ToolCall {
+                    tool: "select".into(),
+                    args: r#"{"sql":"SELECT 1"}"#.into(),
+                },
+                r#"call select({"sql":"SELECT 1"})"#,
+            ),
+            (
+                EventKind::ToolResult {
+                    tool: "get_schema".into(),
+                },
+                "result:get_schema",
+            ),
+            (
+                EventKind::Final {
+                    answer: "42".into(),
+                },
+                "final: 42",
+            ),
+            (
+                EventKind::Error {
+                    tool: "insert".into(),
+                    message: "permission denied".into(),
+                },
+                "error:insert: permission denied",
+            ),
+            (
+                EventKind::LlmCall {
+                    action: "thinking".into(),
+                },
+                "thinking",
+            ),
+        ];
+        for (kind, expected) in cases {
+            assert_eq!(kind.to_string(), expected);
+        }
     }
 
     #[test]

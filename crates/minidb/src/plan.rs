@@ -171,6 +171,55 @@ impl PlanSummary {
             .any(|j| matches!(j, JoinPath::HashJoin { .. }))
     }
 
+    /// The plan condensed to stable `(key, count)` pairs — the shape span
+    /// attributes want, so executor decisions (index probes vs parallel
+    /// scans vs hash joins) appear in the same trace tree as the tool call
+    /// that caused them. Keys are always present, in a fixed order, so
+    /// trace consumers can rely on them.
+    pub fn attr_counts(&self) -> Vec<(&'static str, u64)> {
+        let mut seq = 0u64;
+        let mut parallel = 0u64;
+        let mut probes = 0u64;
+        let mut views = 0u64;
+        let mut rows_scanned = 0u64;
+        for scan in &self.scans {
+            match scan {
+                ScanPath::Seq { rows, .. } => {
+                    seq += 1;
+                    rows_scanned += *rows as u64;
+                }
+                ScanPath::ParallelSeq { rows, .. } => {
+                    parallel += 1;
+                    rows_scanned += *rows as u64;
+                }
+                ScanPath::IndexProbe { candidates, .. } => {
+                    probes += 1;
+                    rows_scanned += *candidates as u64;
+                }
+                ScanPath::ViewExpand { .. } => views += 1,
+            }
+        }
+        let nested = self
+            .joins
+            .iter()
+            .filter(|j| matches!(j, JoinPath::NestedLoop { .. }))
+            .count() as u64;
+        let hash = self
+            .joins
+            .iter()
+            .filter(|j| matches!(j, JoinPath::HashJoin { .. }))
+            .count() as u64;
+        vec![
+            ("plan.seq_scans", seq),
+            ("plan.parallel_scans", parallel),
+            ("plan.index_probes", probes),
+            ("plan.view_expands", views),
+            ("plan.nested_loop_joins", nested),
+            ("plan.hash_joins", hash),
+            ("plan.rows_scanned", rows_scanned),
+        ]
+    }
+
     /// Human-readable plan lines (EXPLAIN-style).
     pub fn render(&self) -> Vec<String> {
         let mut lines = Vec::new();
@@ -342,6 +391,47 @@ mod tests {
     use super::*;
     use sqlkit::ast::Statement;
     use sqlkit::parse_statement;
+
+    #[test]
+    fn attr_counts_cover_every_path_kind() {
+        let plan = PlanSummary {
+            scans: vec![
+                ScanPath::Seq {
+                    table: "a".into(),
+                    rows: 10,
+                },
+                ScanPath::ParallelSeq {
+                    table: "b".into(),
+                    rows: 100,
+                    workers: 4,
+                },
+                ScanPath::IndexProbe {
+                    table: "c".into(),
+                    index: "c_idx".into(),
+                    candidates: 3,
+                },
+                ScanPath::ViewExpand { view: "v".into() },
+            ],
+            joins: vec![
+                JoinPath::NestedLoop { table: "b".into() },
+                JoinPath::HashJoin {
+                    table: "c".into(),
+                    build_rows: 3,
+                    partitions: 2,
+                },
+            ],
+        };
+        let counts: std::collections::BTreeMap<_, _> = plan.attr_counts().into_iter().collect();
+        assert_eq!(counts["plan.seq_scans"], 1);
+        assert_eq!(counts["plan.parallel_scans"], 1);
+        assert_eq!(counts["plan.index_probes"], 1);
+        assert_eq!(counts["plan.view_expands"], 1);
+        assert_eq!(counts["plan.nested_loop_joins"], 1);
+        assert_eq!(counts["plan.hash_joins"], 1);
+        assert_eq!(counts["plan.rows_scanned"], 113);
+        // Keys are stable even on an empty plan.
+        assert_eq!(PlanSummary::default().attr_counts().len(), 7);
+    }
 
     fn where_of(sql: &str) -> Expr {
         match parse_statement(sql).unwrap() {

@@ -302,10 +302,14 @@ pub fn ml_registry() -> Registry {
             let ratio = args["test_ratio"].as_f64().unwrap_or(0.2);
             let seed = args["seed"].as_i64().unwrap_or(42) as u64;
             let (train, test) = train_test_split(rows, ratio, seed).map_err(exec_err)?;
-            Ok(ToolOutput::value(Json::object([
-                ("train", Json::object([("rows", Json::Array(train))])),
-                ("test", Json::object([("rows", Json::Array(test))])),
-            ])))
+            let n = train.len() + test.len();
+            Ok(ToolOutput::with_rows(
+                Json::object([
+                    ("train", Json::object([("rows", Json::Array(train))])),
+                    ("test", Json::object([("rows", Json::Array(test))])),
+                ]),
+                n,
+            ))
         },
     ));
 
@@ -347,7 +351,9 @@ pub fn ml_registry() -> Registry {
             if args.get("return_model").and_then(Json::as_bool) == Some(true) {
                 fields.push(("model".into(), serialized));
             }
-            Ok(ToolOutput::value(Json::object(fields)))
+            // A model summary, not data: explicitly zero bulk rows back
+            // through the caller's context.
+            Ok(ToolOutput::with_rows(Json::object(fields), 0))
         },
     ));
 
@@ -408,7 +414,9 @@ pub fn ml_registry() -> Registry {
             if args.get("return_model").and_then(Json::as_bool) == Some(true) {
                 fields.push(("model".into(), serialized));
             }
-            Ok(ToolOutput::value(Json::object(fields)))
+            // A model summary, not data: explicitly zero bulk rows back
+            // through the caller's context.
+            Ok(ToolOutput::with_rows(Json::object(fields), 0))
         },
     ));
 
@@ -497,7 +505,11 @@ pub fn ml_registry() -> Registry {
                 fields.push(("rmse".into(), Json::num(metrics::rmse(&truth, &preds))));
                 fields.push(("r2".into(), Json::num(metrics::r2(&truth, &preds))));
             }
-            Ok(ToolOutput::value(Json::object(fields)))
+            // Only the preview rows transit the caller's context.
+            Ok(ToolOutput::with_rows(
+                Json::object(fields),
+                preds.len().min(20),
+            ))
         },
     ));
 
@@ -524,11 +536,15 @@ pub fn ml_registry() -> Registry {
             };
             let window = args["window"].as_i64().unwrap_or(5).max(1) as usize;
             let (verdict, slope) = trend::analyze(&sales, refunds.as_deref(), window);
-            Ok(ToolOutput::value(Json::object([
-                ("trend", Json::str(verdict.label())),
-                ("slope", Json::num(slope)),
-                ("n_points", Json::num(sales.len() as f64)),
-            ])))
+            // A verdict, not data: zero bulk rows back through context.
+            Ok(ToolOutput::with_rows(
+                Json::object([
+                    ("trend", Json::str(verdict.label())),
+                    ("slope", Json::num(slope)),
+                    ("n_points", Json::num(sales.len() as f64)),
+                ]),
+                0,
+            ))
         },
     ));
 

@@ -1,0 +1,298 @@
+//! Structured observability kernel for the BridgeScope reproduction.
+//!
+//! Everything that happens between the simulated agent and the database —
+//! tool dispatch, privilege checks, SQL execution, transaction control,
+//! proxy data movement, executor plan choices — is invisible unless it is
+//! recorded somewhere. This crate is that somewhere: a std-only (offline
+//! build policy; the sole dependency is `toolproto` for its JSON type)
+//! kernel of
+//!
+//! * hierarchical [spans](span::SpanRecord) with ids, parents, attributes,
+//!   and monotonic nanosecond timings,
+//! * a [`MetricsRegistry`](metrics::MetricsRegistry) of named counters and
+//!   fixed-bucket latency histograms,
+//! * a [`Recorder`](recorder::Recorder) trait with a sharded in-memory sink,
+//! * a [JSONL exporter](export) (one event per line, `toolproto::Json`
+//!   syntax) with a matching parser, and
+//! * a [summary table renderer](summary) for human-readable per-run reports.
+//!
+//! The entry point is [`Obs`]: a cheap clonable handle that is either
+//! enabled (shared sink + metrics) or disabled. Disabled handles make every
+//! call a no-op on an `Option` check, so instrumented code paths cost
+//! effectively nothing when observability is off.
+//!
+//! ```
+//! let obs = obs::Obs::in_memory();
+//! {
+//!     let mut task = obs.span("task");
+//!     task.attr("id", "t1");
+//!     let llm = obs.span("llm:call");
+//!     drop(llm);
+//!     obs.incr("llm.calls", 1);
+//! }
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.spans.len(), 2);
+//! assert_eq!(snap.spans[1].parent, Some(snap.spans[0].id));
+//! assert_eq!(snap.metrics.counter("llm.calls"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod observer;
+pub mod recorder;
+pub mod span;
+pub mod summary;
+
+pub use export::{parse_jsonl, to_jsonl};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use observer::RegistryObserver;
+pub use recorder::{Recorder, ShardedSink};
+pub use span::{
+    adopt, current_parent, validate_tree, AttrValue, ParentScope, SpanGuard, SpanRecord,
+};
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How a server or harness should record observability data.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ObsConfig {
+    /// Record nothing; instrumentation is a no-op.
+    #[default]
+    Off,
+    /// Record spans and metrics in memory; read them via [`Obs::snapshot`].
+    InMemory,
+    /// Record in memory and write a JSONL trace to this path on
+    /// [`Obs::flush`].
+    Jsonl(PathBuf),
+}
+
+pub(crate) struct ObsInner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    metrics: MetricsRegistry,
+    sink: ShardedSink,
+    jsonl_path: Option<PathBuf>,
+}
+
+impl ObsInner {
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn record(&self, span: SpanRecord) {
+        use recorder::Recorder as _;
+        self.sink.record(span);
+    }
+}
+
+/// Everything an enabled [`Obs`] handle has collected so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSnapshot {
+    /// Finished spans sorted by `(start_ns, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Counter and histogram values.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Handle to one observability domain: a shared span sink, id generator,
+/// monotonic epoch, and metrics registry. Clones share state; a disabled
+/// handle (the default) records nothing.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// A handle that records nothing; every operation is a no-op.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    fn enabled_with(jsonl_path: Option<PathBuf>) -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                metrics: MetricsRegistry::new(),
+                sink: ShardedSink::new(),
+                jsonl_path,
+            })),
+        }
+    }
+
+    /// An enabled handle recording into memory only.
+    pub fn in_memory() -> Self {
+        Obs::enabled_with(None)
+    }
+
+    /// An enabled handle that additionally writes a JSONL trace to `path`
+    /// when [`Obs::flush`] is called.
+    pub fn jsonl(path: impl Into<PathBuf>) -> Self {
+        Obs::enabled_with(Some(path.into()))
+    }
+
+    /// Build a handle from a configuration value.
+    pub fn from_config(config: &ObsConfig) -> Self {
+        match config {
+            ObsConfig::Off => Obs::disabled(),
+            ObsConfig::InMemory => Obs::in_memory(),
+            ObsConfig::Jsonl(path) => Obs::jsonl(path.clone()),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span named `name`. It becomes a child of the innermost span
+    /// currently open on this thread and is recorded when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard::disabled(),
+            Some(inner) => SpanGuard::open(Arc::clone(inner), name),
+        }
+    }
+
+    /// Add `by` to the counter `name` (no-op when disabled).
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.incr(name, by);
+        }
+    }
+
+    /// Record a latency observation in the histogram `name`.
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.observe_ns(name, ns);
+        }
+    }
+
+    /// Nanoseconds since this handle was created (0 when disabled).
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map(|i| i.now_ns()).unwrap_or(0)
+    }
+
+    /// A point-in-time copy of all spans and metrics (empty when disabled).
+    pub fn snapshot(&self) -> ObsSnapshot {
+        match &self.inner {
+            None => ObsSnapshot {
+                spans: Vec::new(),
+                metrics: MetricsSnapshot::default(),
+            },
+            Some(inner) => ObsSnapshot {
+                spans: inner.sink.snapshot(),
+                metrics: inner.metrics.snapshot(),
+            },
+        }
+    }
+
+    /// Serialize the current snapshot as JSONL (empty string when disabled).
+    pub fn export_jsonl(&self) -> String {
+        if self.is_enabled() {
+            export::to_jsonl(&self.snapshot())
+        } else {
+            String::new()
+        }
+    }
+
+    /// The JSONL output path configured for this handle, if any.
+    pub fn jsonl_path(&self) -> Option<&Path> {
+        self.inner.as_ref().and_then(|i| i.jsonl_path.as_deref())
+    }
+
+    /// Write the JSONL trace to the configured path, returning the path
+    /// written. `Ok(None)` when disabled or no path was configured.
+    pub fn flush(&self) -> std::io::Result<Option<PathBuf>> {
+        let Some(path) = self.jsonl_path().map(Path::to_path_buf) else {
+            return Ok(None);
+        };
+        std::fs::write(&path, self.export_jsonl())?;
+        Ok(Some(path))
+    }
+
+    /// An observer suitable for `toolproto::Registry::set_observer`, or
+    /// `None` when disabled (so disabled servers attach no observer at all).
+    pub fn registry_observer(&self) -> Option<Arc<RegistryObserver>> {
+        if self.is_enabled() {
+            Some(Arc::new(RegistryObserver::new(self.clone())))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .field("jsonl_path", &self.jsonl_path())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        let mut span = obs.span("x");
+        span.attr("k", 1i64);
+        span.fail("nope");
+        assert!(!span.enabled());
+        assert_eq!(span.id(), None);
+        drop(span);
+        obs.incr("c", 1);
+        obs.observe_ns("h", 10);
+        let snap = obs.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.metrics.counters.is_empty());
+        assert_eq!(obs.export_jsonl(), "");
+        assert!(obs.flush().unwrap().is_none());
+        assert!(obs.registry_observer().is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::in_memory();
+        let clone = obs.clone();
+        drop(clone.span("a"));
+        obs.incr("n", 2);
+        let snap = clone.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.metrics.counter("n"), 2);
+    }
+
+    #[test]
+    fn from_config_matches_variants() {
+        assert!(!Obs::from_config(&ObsConfig::Off).is_enabled());
+        assert!(Obs::from_config(&ObsConfig::InMemory).is_enabled());
+        let obs = Obs::from_config(&ObsConfig::Jsonl(PathBuf::from("/tmp/t.jsonl")));
+        assert_eq!(obs.jsonl_path(), Some(Path::new("/tmp/t.jsonl")));
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_parents_nest() {
+        let obs = Obs::in_memory();
+        {
+            let _root = obs.span("root");
+            let _mid = obs.span("mid");
+            drop(obs.span("leaf"));
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        validate_tree(&snap.spans).unwrap();
+    }
+}

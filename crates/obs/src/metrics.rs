@@ -1,0 +1,259 @@
+//! Named counters and fixed-bucket latency histograms.
+//!
+//! The registry is concurrency-safe: metric handles are `Arc`ed atomics
+//! behind an `RwLock`ed name map, so the hot path (bumping an existing
+//! metric) takes only a read lock plus an atomic add.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Upper bounds (inclusive, nanoseconds) of the latency histogram buckets.
+/// A final open-ended bucket catches everything above the last bound, for
+/// [`BUCKET_COUNT`] buckets total: 1µs … 1s, then overflow.
+pub const LATENCY_BOUNDS_NS: [u64; 13] = [
+    1_000,
+    5_000,
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+];
+
+/// Number of histogram buckets (`LATENCY_BOUNDS_NS` plus the overflow bucket).
+pub const BUCKET_COUNT: usize = LATENCY_BOUNDS_NS.len() + 1;
+
+/// A fixed-bucket latency histogram with atomic counters.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation in nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        let idx = LATENCY_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(BUCKET_COUNT - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// An immutable copy of the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values in nanoseconds.
+    pub sum_ns: u64,
+    /// Per-bucket counts, aligned with [`LATENCY_BOUNDS_NS`] plus one
+    /// overflow bucket at the end.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// containing that rank; the overflow bucket reports the last bound.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return LATENCY_BOUNDS_NS
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(LATENCY_BOUNDS_NS[LATENCY_BOUNDS_NS.len() - 1]);
+            }
+        }
+        LATENCY_BOUNDS_NS[LATENCY_BOUNDS_NS.len() - 1]
+    }
+}
+
+/// A concurrent registry of named counters and latency histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().expect("metrics lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("metrics lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().expect("metrics lock").get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("metrics lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Add `by` to the counter `name`.
+    pub fn incr(&self, name: &str, by: u64) {
+        self.counter(name).fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Record one latency observation in the histogram `name`.
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        self.histogram(name).observe_ns(ns);
+    }
+
+    /// Current value of the counter `name` (0 if never bumped).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name`, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.incr("a", 1);
+        m.incr("a", 2);
+        m.incr("b", 5);
+        assert_eq!(m.counter_value("a"), 3);
+        assert_eq!(m.snapshot().counter("b"), 5);
+        assert_eq!(m.snapshot().counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::default();
+        h.observe_ns(500); // <= 1µs bucket
+        h.observe_ns(1_000); // boundary: still 1µs bucket
+        h.observe_ns(7_000_000); // 10ms bucket
+        h.observe_ns(10_000_000_000); // overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum_ns, 500 + 1_000 + 7_000_000 + 10_000_000_000);
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[BUCKET_COUNT - 1], 1);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 4);
+        assert_eq!(snap.mean_ns(), snap.sum_ns / 4);
+    }
+
+    #[test]
+    fn quantiles_use_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.observe_ns(2_000); // 5µs bucket
+        }
+        h.observe_ns(400_000_000); // 500ms bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_ns(0.5), 5_000);
+        assert_eq!(snap.quantile_ns(1.0), 500_000_000);
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.quantile_ns(0.5), 0);
+        assert_eq!(empty.mean_ns(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let m = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        m.incr("hits", 1);
+                        m.observe_ns("lat", 2_000);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter_value("hits"), 8000);
+        assert_eq!(m.snapshot().histograms["lat"].count, 8000);
+    }
+}

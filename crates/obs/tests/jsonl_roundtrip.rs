@@ -1,0 +1,117 @@
+//! JSONL round-trip: export a recorded snapshot, re-parse it with the same
+//! JSON kit, rebuild the span tree, and compare against the in-memory sink.
+
+use obs::{parse_jsonl, to_jsonl, validate_tree, AttrValue, Obs};
+
+fn record_a_run(obs: &Obs) {
+    let mut task = obs.span("task");
+    task.attr("task", "t1");
+    {
+        let mut llm = obs.span("llm:call");
+        llm.attr("tool", "select");
+        {
+            let mut tool = obs.span("tool:select");
+            tool.attr("arg_bytes", 42u64);
+            tool.attr("ok", true);
+            {
+                let mut sql = obs.span("sql:execute");
+                sql.attr("action", "SELECT");
+                sql.attr("plan.seq_scans", 1u64);
+                sql.fail("simulated failure");
+            }
+        }
+    }
+    obs.incr("tool.calls", 3);
+    obs.incr("tool.calls.select", 2);
+    obs.observe_ns("tool.latency.select", 1_500);
+    obs.observe_ns("tool.latency.select", 900_000);
+}
+
+#[test]
+fn export_and_reparse_reproduces_the_snapshot_exactly() {
+    let obs = Obs::in_memory();
+    record_a_run(&obs);
+    let original = obs.snapshot();
+    validate_tree(&original.spans).unwrap();
+
+    let jsonl = to_jsonl(&original);
+    assert!(!jsonl.trim().is_empty());
+    // One line per span plus one metrics line, each a standalone JSON object.
+    assert_eq!(jsonl.trim().lines().count(), original.spans.len() + 1);
+    for line in jsonl.trim().lines() {
+        toolproto::Json::parse(line).expect("each line parses standalone");
+    }
+
+    let rebuilt = parse_jsonl(&jsonl).expect("exported trace re-parses");
+    validate_tree(&rebuilt.spans).unwrap();
+    assert_eq!(rebuilt.spans.len(), original.spans.len());
+    for (a, b) in original.spans.iter().zip(rebuilt.spans.iter()) {
+        assert_eq!(a, b, "span {} round-trips", a.name);
+    }
+    assert_eq!(
+        rebuilt.metrics.counter("tool.calls"),
+        original.metrics.counter("tool.calls")
+    );
+    assert_eq!(
+        rebuilt.metrics.counter("tool.calls.select"),
+        original.metrics.counter("tool.calls.select")
+    );
+    // Histograms round-trip bucket for bucket.
+    let find = |snap: &obs::MetricsSnapshot| {
+        snap.histograms
+            .get("tool.latency.select")
+            .cloned()
+            .expect("histogram present")
+    };
+    assert_eq!(find(&original.metrics), find(&rebuilt.metrics));
+}
+
+#[test]
+fn error_and_attr_payloads_survive_the_trip() {
+    let obs = Obs::in_memory();
+    record_a_run(&obs);
+    let rebuilt = parse_jsonl(&to_jsonl(&obs.snapshot())).unwrap();
+
+    let sql = rebuilt
+        .spans
+        .iter()
+        .find(|sp| sp.name == "sql:execute")
+        .unwrap();
+    assert_eq!(sql.error.as_deref(), Some("simulated failure"));
+    assert_eq!(sql.attr("action"), Some(&AttrValue::Str("SELECT".into())));
+    assert_eq!(sql.attr("plan.seq_scans"), Some(&AttrValue::Int(1)));
+    let tool = rebuilt
+        .spans
+        .iter()
+        .find(|sp| sp.name == "tool:select")
+        .unwrap();
+    assert_eq!(tool.attr("ok"), Some(&AttrValue::Bool(true)));
+}
+
+#[test]
+fn flush_writes_a_parseable_file() {
+    let path = std::env::temp_dir().join(format!("obs-roundtrip-{}.jsonl", std::process::id()));
+    let obs = Obs::jsonl(&path);
+    record_a_run(&obs);
+    let written = obs.flush().expect("flush succeeds").expect("path armed");
+    assert_eq!(written, path);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let rebuilt = parse_jsonl(&text).expect("file re-parses");
+    validate_tree(&rebuilt.spans).unwrap();
+    assert_eq!(rebuilt.spans.len(), obs.snapshot().spans.len());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn parser_skips_blank_and_unknown_lines_but_rejects_garbage() {
+    let obs = Obs::in_memory();
+    record_a_run(&obs);
+    let mut jsonl = to_jsonl(&obs.snapshot());
+    jsonl.push_str("\n\n{\"type\":\"future-extension\",\"x\":1}\n");
+    let rebuilt = parse_jsonl(&jsonl).expect("unknown record types are skipped");
+    assert_eq!(rebuilt.spans.len(), obs.snapshot().spans.len());
+
+    let err = parse_jsonl("this is not json\n").unwrap_err();
+    assert!(err.contains("line 1"), "error names the line: {err}");
+}

@@ -1,0 +1,148 @@
+//! Span-tree integrity: nesting, cross-thread adoption, and the invariants
+//! `validate_tree` enforces (unique ids, existing parents, interval
+//! containment, acyclicity).
+
+use obs::{validate_tree, Obs, SpanRecord};
+
+#[test]
+fn same_thread_nesting_builds_a_tree() {
+    let obs = Obs::in_memory();
+    {
+        let root = obs.span("task");
+        let root_id = root.id().unwrap();
+        {
+            let child = obs.span("llm:call");
+            assert_ne!(child.id().unwrap(), root_id);
+            {
+                let grandchild = obs.span("tool:select");
+                drop(grandchild);
+            }
+        }
+    }
+    let snap = obs.snapshot();
+    validate_tree(&snap.spans).unwrap();
+    assert_eq!(snap.spans.len(), 3);
+
+    let by_name = |name: &str| snap.spans.iter().find(|sp| sp.name == name).unwrap();
+    let task = by_name("task");
+    let llm = by_name("llm:call");
+    let tool = by_name("tool:select");
+    assert_eq!(task.parent, None);
+    assert_eq!(llm.parent, Some(task.id));
+    assert_eq!(tool.parent, Some(llm.id));
+    // Interval containment holds at every level.
+    assert!(task.start_ns <= llm.start_ns && llm.end_ns <= task.end_ns);
+    assert!(llm.start_ns <= tool.start_ns && tool.end_ns <= llm.end_ns);
+}
+
+#[test]
+fn sibling_spans_share_a_parent() {
+    let obs = Obs::in_memory();
+    {
+        let root = obs.span("task");
+        for name in ["a", "b", "c"] {
+            drop(obs.span(name));
+        }
+        drop(root);
+    }
+    let snap = obs.snapshot();
+    validate_tree(&snap.spans).unwrap();
+    let root_id = snap.spans.iter().find(|sp| sp.name == "task").unwrap().id;
+    for name in ["a", "b", "c"] {
+        let sp = snap.spans.iter().find(|sp| sp.name == name).unwrap();
+        assert_eq!(sp.parent, Some(root_id), "sibling {name}");
+    }
+}
+
+#[test]
+fn adoption_parents_worker_thread_spans() {
+    let obs = Obs::in_memory();
+    {
+        let root = obs.span("proxy:unit");
+        let parent = root.id();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    let _scope = obs::adopt(parent);
+                    let mut sp = obs.span("producer");
+                    sp.attr("index", i as u64);
+                });
+            }
+        });
+        drop(root);
+    }
+    let snap = obs.snapshot();
+    validate_tree(&snap.spans).unwrap();
+    let root_id = snap
+        .spans
+        .iter()
+        .find(|sp| sp.name == "proxy:unit")
+        .unwrap()
+        .id;
+    let producers: Vec<&SpanRecord> = snap
+        .spans
+        .iter()
+        .filter(|sp| sp.name == "producer")
+        .collect();
+    assert_eq!(producers.len(), 4);
+    assert!(producers.iter().all(|sp| sp.parent == Some(root_id)));
+}
+
+#[test]
+fn unadopted_thread_spans_become_roots() {
+    let obs = Obs::in_memory();
+    {
+        let _root = obs.span("task");
+        let worker_obs = obs.clone();
+        std::thread::spawn(move || {
+            drop(worker_obs.span("orphan"));
+        })
+        .join()
+        .unwrap();
+    }
+    let snap = obs.snapshot();
+    validate_tree(&snap.spans).unwrap();
+    let orphan = snap.spans.iter().find(|sp| sp.name == "orphan").unwrap();
+    assert_eq!(orphan.parent, None, "no adoption → new root, not a child");
+}
+
+#[test]
+fn validate_tree_rejects_broken_shapes() {
+    let span = |id: u64, parent: Option<u64>, start: u64, end: u64| SpanRecord {
+        id,
+        parent,
+        name: format!("s{id}"),
+        start_ns: start,
+        end_ns: end,
+        error: None,
+        attrs: Vec::new(),
+    };
+    // Duplicate ids.
+    assert!(validate_tree(&[span(1, None, 0, 10), span(1, None, 0, 5)]).is_err());
+    // Parent that does not exist.
+    assert!(validate_tree(&[span(1, Some(99), 0, 10)]).is_err());
+    // Child interval escaping its parent.
+    assert!(validate_tree(&[span(1, None, 0, 10), span(2, Some(1), 5, 20)]).is_err());
+    // A cycle.
+    assert!(validate_tree(&[span(1, Some(2), 0, 10), span(2, Some(1), 0, 10)]).is_err());
+    // And a well-formed pair passes.
+    validate_tree(&[span(1, None, 0, 10), span(2, Some(1), 2, 8)]).unwrap();
+}
+
+#[test]
+fn disabled_handle_records_nothing_and_costs_no_ids() {
+    let obs = Obs::disabled();
+    {
+        let mut sp = obs.span("task");
+        assert!(!sp.enabled());
+        assert_eq!(sp.id(), None);
+        sp.attr("ignored", 1u64);
+        sp.fail("ignored");
+    }
+    obs.incr("counter", 5);
+    obs.observe_ns("latency", 100);
+    let snap = obs.snapshot();
+    assert!(snap.spans.is_empty());
+    assert_eq!(snap.metrics.counter("counter"), 0);
+}

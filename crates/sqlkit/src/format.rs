@@ -423,6 +423,36 @@ fn predicate_parens(text: String, parent_prec: u8) -> String {
     }
 }
 
+/// Condense SQL text for trace attributes and error contexts: collapse all
+/// whitespace runs to single spaces, then truncate to at most `max`
+/// characters (appending `…` when something was cut). Character-based, so
+/// it never splits a multi-byte sequence.
+pub fn truncate_sql(sql: &str, max: usize) -> String {
+    let mut out = String::with_capacity(sql.len().min(max + 4));
+    let mut pending_space = false;
+    let mut count = 0usize;
+    for word in sql.split_whitespace() {
+        if pending_space {
+            if count + 1 > max {
+                out.push('…');
+                return out;
+            }
+            out.push(' ');
+            count += 1;
+        }
+        for ch in word.chars() {
+            if count + 1 > max {
+                out.push('…');
+                return out;
+            }
+            out.push(ch);
+            count += 1;
+        }
+        pending_space = true;
+    }
+    out
+}
+
 fn format_literal(lit: &Literal) -> String {
     match lit {
         Literal::Null => "NULL".to_owned(),
@@ -444,6 +474,19 @@ fn format_literal(lit: &Literal) -> String {
 mod tests {
     use super::*;
     use crate::parser::parse_statement;
+
+    #[test]
+    fn truncate_sql_collapses_and_caps() {
+        assert_eq!(truncate_sql("SELECT 1", 100), "SELECT 1");
+        assert_eq!(
+            truncate_sql("SELECT *\n  FROM   t\n WHERE x = 1", 100),
+            "SELECT * FROM t WHERE x = 1"
+        );
+        assert_eq!(truncate_sql("SELECT abcdef", 9), "SELECT ab…");
+        assert_eq!(truncate_sql("SELECT", 6), "SELECT");
+        assert_eq!(truncate_sql("SELECT x", 6), "SELECT…");
+        assert_eq!(truncate_sql("", 10), "");
+    }
 
     /// parse → format → parse must be a fixpoint (equivalent ASTs).
     fn roundtrip(sql: &str) -> String {

@@ -28,5 +28,5 @@ pub mod token;
 
 pub use analyze::{analyze, column_usage, AccessProfile, ColumnUsage};
 pub use ast::{Action, Expr, Literal, Select, Statement};
-pub use format::{format_expr, format_select, format_statement};
+pub use format::{format_expr, format_select, format_statement, truncate_sql};
 pub use parser::{parse_statement, parse_statements, ParseError};

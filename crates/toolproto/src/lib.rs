@@ -24,6 +24,6 @@ pub mod schema;
 pub mod tool;
 
 pub use json::{Json, JsonError};
-pub use registry::Registry;
+pub use registry::{CallObserver, Registry};
 pub use schema::{ArgError, ArgSpec, ArgType, Signature};
-pub use tool::{Args, FnTool, Risk, Tool, ToolError, ToolOutput, ToolResult};
+pub use tool::{Args, DenialContext, FnTool, Risk, Tool, ToolError, ToolOutput, ToolResult};

@@ -12,10 +12,30 @@ use crate::tool::{Args, Risk, Tool, ToolError, ToolOutput, ToolResult};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// A named collection of tools. Cheap to clone (tools are `Arc`ed).
+/// Hook invoked around every dispatched tool call, used by the `obs` crate
+/// to wrap invocations in spans and bump per-tool metrics without making
+/// `toolproto` depend on the observability kernel.
+///
+/// `begin` runs before tool lookup/validation (so unknown-tool and bad-args
+/// failures are observed too) and returns an opaque token that is handed
+/// back to `end` together with the result. Byte sizes are the compact-JSON
+/// lengths of the argument payload and the output value (0 on error); they
+/// are only computed when an observer is attached.
+pub trait CallObserver: Send + Sync {
+    /// A call named `tool` is starting with `arg_bytes` of argument JSON.
+    fn begin(&self, tool: &str, arg_bytes: usize) -> u64;
+
+    /// The call identified by `token` finished with `result`; `out_bytes`
+    /// is the compact-JSON size of the output value (0 on error).
+    fn end(&self, token: u64, tool: &str, result: &ToolResult, out_bytes: usize);
+}
+
+/// A named collection of tools. Cheap to clone (tools are `Arc`ed); clones
+/// share the attached [`CallObserver`], if any.
 #[derive(Clone, Default)]
 pub struct Registry {
     tools: BTreeMap<String, Arc<dyn Tool>>,
+    observer: Option<Arc<dyn CallObserver>>,
 }
 
 impl Registry {
@@ -78,7 +98,8 @@ impl Registry {
 
     /// A copy of this registry without tools whose names are in `blocked`
     /// and without tools above the `max_risk` threshold. This implements the
-    /// user-side white/black-list filtering of the paper's §2.3.
+    /// user-side white/black-list filtering of the paper's §2.3. The
+    /// attached observer (if any) carries over to the filtered copy.
     pub fn filtered(&self, blocked: &[String], max_risk: Risk) -> Registry {
         let mut out = Registry::new();
         for tool in self.iter() {
@@ -86,11 +107,26 @@ impl Registry {
                 out.register(Arc::clone(tool));
             }
         }
+        out.observer = self.observer.clone();
         out
     }
 
-    /// Validate arguments against the named tool's signature and invoke it.
-    pub fn call(&self, name: &str, payload: &Json) -> ToolResult {
+    /// Attach an observer notified around every `call`/`call_validated`.
+    pub fn set_observer(&mut self, observer: Arc<dyn CallObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detach the observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&Arc<dyn CallObserver>> {
+        self.observer.as_ref()
+    }
+
+    fn dispatch(&self, name: &str, payload: &Json) -> ToolResult {
         let tool = self
             .get(name)
             .ok_or_else(|| ToolError::UnknownTool(name.to_owned()))?;
@@ -98,13 +134,45 @@ impl Registry {
         tool.invoke(&args)
     }
 
+    fn observed<F>(&self, name: &str, arg_bytes: impl FnOnce() -> usize, run: F) -> ToolResult
+    where
+        F: FnOnce() -> ToolResult,
+    {
+        let Some(observer) = &self.observer else {
+            return run();
+        };
+        let token = observer.begin(name, arg_bytes());
+        let result = run();
+        let out_bytes = result
+            .as_ref()
+            .map(|out| out.value.to_compact().len())
+            .unwrap_or(0);
+        observer.end(token, name, &result, out_bytes);
+        result
+    }
+
+    /// Validate arguments against the named tool's signature and invoke it.
+    pub fn call(&self, name: &str, payload: &Json) -> ToolResult {
+        self.observed(
+            name,
+            || payload.to_compact().len(),
+            || self.dispatch(name, payload),
+        )
+    }
+
     /// Invoke a tool with pre-validated arguments (used by the proxy, which
     /// assembles argument maps itself after running producers).
     pub fn call_validated(&self, name: &str, args: &Args) -> ToolResult {
-        let tool = self
-            .get(name)
-            .ok_or_else(|| ToolError::UnknownTool(name.to_owned()))?;
-        tool.invoke(args)
+        self.observed(
+            name,
+            || Json::Object(args.clone()).to_compact().len(),
+            || {
+                let tool = self
+                    .get(name)
+                    .ok_or_else(|| ToolError::UnknownTool(name.to_owned()))?;
+                tool.invoke(args)
+            },
+        )
     }
 
     /// Render the tool prompt: one block per tool with name, signature, and
@@ -127,6 +195,7 @@ impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
             .field("tools", &self.names())
+            .field("observed", &self.observer.is_some())
             .finish()
     }
 }
@@ -209,6 +278,60 @@ mod tests {
         let b = prompt.find("b_tool").unwrap();
         assert!(a < b, "prompt should be name-ordered for determinism");
         assert!(prompt.contains("(x?: integer)"));
+    }
+
+    #[test]
+    fn observer_sees_success_error_and_unknown_calls() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        struct Counting {
+            next: AtomicU64,
+            begun: AtomicU64,
+            ok: AtomicU64,
+            err: AtomicU64,
+            arg_bytes: AtomicU64,
+            out_bytes: AtomicU64,
+        }
+        impl CallObserver for Counting {
+            fn begin(&self, _tool: &str, arg_bytes: usize) -> u64 {
+                self.begun.fetch_add(1, Ordering::Relaxed);
+                self.arg_bytes
+                    .fetch_add(arg_bytes as u64, Ordering::Relaxed);
+                self.next.fetch_add(1, Ordering::Relaxed)
+            }
+            fn end(&self, _token: u64, _tool: &str, result: &ToolResult, out_bytes: usize) {
+                self.out_bytes
+                    .fetch_add(out_bytes as u64, Ordering::Relaxed);
+                match result {
+                    Ok(_) => self.ok.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => self.err.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+        }
+
+        let counting = Arc::new(Counting::default());
+        let mut reg = Registry::new();
+        reg.register(make("select", Risk::Safe));
+        reg.set_observer(Arc::clone(&counting) as Arc<dyn CallObserver>);
+        assert!(reg.observer().is_some());
+
+        let payload = Json::object([("x", Json::num(7.0))]);
+        reg.call("select", &payload).unwrap();
+        reg.call("nope", &Json::Null).unwrap_err();
+        let args = Args::from([("x".to_string(), Json::num(1.0))]);
+        reg.call_validated("select", &args).unwrap();
+
+        assert_eq!(counting.begun.load(Ordering::Relaxed), 3);
+        assert_eq!(counting.ok.load(Ordering::Relaxed), 2);
+        assert_eq!(counting.err.load(Ordering::Relaxed), 1);
+        assert!(counting.arg_bytes.load(Ordering::Relaxed) >= payload.to_compact().len() as u64);
+        assert!(counting.out_bytes.load(Ordering::Relaxed) > 0);
+
+        // The observer survives filtering and is dropped on clear.
+        assert!(reg.filtered(&[], Risk::Safe).observer().is_some());
+        reg.clear_observer();
+        assert!(reg.observer().is_none());
     }
 
     #[test]

@@ -23,9 +23,133 @@ pub enum ToolError {
         code: String,
         /// Human/LLM-facing explanation.
         message: String,
+        /// Structured origin of the denial, for traces and audit logs.
+        /// Boxed to keep the error variant (and thus every `ToolResult`)
+        /// small on the happy path.
+        context: Box<DenialContext>,
     },
     /// The tool ran and failed (e.g. SQL error, ML input shape mismatch).
     Execution(String),
+}
+
+/// Structured origin of a [`ToolError::Denied`]: which object, action, SQL
+/// statement, and tool triggered the gate. Error *messages* already carry
+/// this informally for the LLM; the context field keeps it machine-readable
+/// so observability layers can attribute denials without string parsing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DenialContext {
+    /// Database object (table/view, possibly `table.column`) that was gated.
+    pub object: Option<String>,
+    /// SQL action keyword that was attempted (e.g. `SELECT`, `DROP`).
+    pub action: Option<String>,
+    /// The originating SQL statement, possibly truncated.
+    pub sql: Option<String>,
+    /// The tool whose invocation hit the gate.
+    pub tool: Option<String>,
+}
+
+impl DenialContext {
+    /// Whether no field is populated.
+    pub fn is_empty(&self) -> bool {
+        self.object.is_none() && self.action.is_none() && self.sql.is_none() && self.tool.is_none()
+    }
+
+    /// Set the gated object.
+    pub fn with_object(mut self, object: impl Into<String>) -> Self {
+        self.object = Some(object.into());
+        self
+    }
+
+    /// Set the attempted action keyword.
+    pub fn with_action(mut self, action: impl Into<String>) -> Self {
+        self.action = Some(action.into());
+        self
+    }
+
+    /// Set the originating SQL statement.
+    pub fn with_sql(mut self, sql: impl Into<String>) -> Self {
+        self.sql = Some(sql.into());
+        self
+    }
+
+    /// Set the tool name.
+    pub fn with_tool(mut self, tool: impl Into<String>) -> Self {
+        self.tool = Some(tool.into());
+        self
+    }
+
+    /// Populated fields as `(key, value)` pairs, for span attributes.
+    pub fn fields(&self) -> Vec<(&'static str, &str)> {
+        let mut out = Vec::new();
+        if let Some(v) = &self.object {
+            out.push(("object", v.as_str()));
+        }
+        if let Some(v) = &self.action {
+            out.push(("action", v.as_str()));
+        }
+        if let Some(v) = &self.sql {
+            out.push(("sql", v.as_str()));
+        }
+        if let Some(v) = &self.tool {
+            out.push(("tool", v.as_str()));
+        }
+        out
+    }
+}
+
+impl ToolError {
+    /// A denial with an empty context.
+    pub fn denied(code: impl Into<String>, message: impl Into<String>) -> Self {
+        ToolError::Denied {
+            code: code.into(),
+            message: message.into(),
+            context: Box::default(),
+        }
+    }
+
+    /// A denial with an explicit context.
+    pub fn denied_with(
+        code: impl Into<String>,
+        message: impl Into<String>,
+        context: DenialContext,
+    ) -> Self {
+        ToolError::Denied {
+            code: code.into(),
+            message: message.into(),
+            context: Box::new(context),
+        }
+    }
+
+    /// The denial context, when this is a [`ToolError::Denied`].
+    pub fn denial_context(&self) -> Option<&DenialContext> {
+        match self {
+            ToolError::Denied { context, .. } => Some(context.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// For denials whose context lacks the originating SQL, fill it in;
+    /// other error kinds pass through unchanged. Outer layers (which hold
+    /// the statement text) use this to enrich denials raised deeper down.
+    pub fn with_denial_sql(self, sql: impl Into<String>) -> Self {
+        match self {
+            ToolError::Denied {
+                code,
+                message,
+                mut context,
+            } => {
+                if context.sql.is_none() {
+                    context.sql = Some(sql.into());
+                }
+                ToolError::Denied {
+                    code,
+                    message,
+                    context,
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for ToolError {
@@ -33,7 +157,7 @@ impl fmt::Display for ToolError {
         match self {
             ToolError::InvalidArgs(e) => write!(f, "invalid arguments: {e}"),
             ToolError::UnknownTool(name) => write!(f, "unknown tool '{name}'"),
-            ToolError::Denied { code, message } => write!(f, "denied ({code}): {message}"),
+            ToolError::Denied { code, message, .. } => write!(f, "denied ({code}): {message}"),
             ToolError::Execution(message) => write!(f, "execution error: {message}"),
         }
     }
@@ -217,13 +341,37 @@ mod tests {
 
     #[test]
     fn tool_error_display() {
-        let e = ToolError::Denied {
-            code: "privilege".into(),
-            message: "no SELECT on t".into(),
-        };
+        let e = ToolError::denied("privilege", "no SELECT on t");
         assert!(e.to_string().contains("privilege"));
         assert!(ToolError::UnknownTool("x".into())
             .to_string()
             .contains("'x'"));
+    }
+
+    #[test]
+    fn denial_context_enrichment() {
+        let ctx = DenialContext::default()
+            .with_object("sales")
+            .with_action("SELECT");
+        assert!(!ctx.is_empty());
+        assert_eq!(
+            ctx.fields(),
+            vec![("object", "sales"), ("action", "SELECT")]
+        );
+
+        let err = ToolError::denied_with("privilege", "no", ctx).with_denial_sql("SELECT 1");
+        let got = err.denial_context().unwrap();
+        assert_eq!(got.sql.as_deref(), Some("SELECT 1"));
+        // Already-populated SQL is preserved, and non-denials pass through.
+        let err = err.with_denial_sql("SELECT 2");
+        assert_eq!(
+            err.denial_context().unwrap().sql.as_deref(),
+            Some("SELECT 1")
+        );
+        assert_eq!(
+            ToolError::Execution("x".into()).with_denial_sql("SELECT 1"),
+            ToolError::Execution("x".into())
+        );
+        assert!(ToolError::Execution("x".into()).denial_context().is_none());
     }
 }

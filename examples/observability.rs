@@ -1,0 +1,140 @@
+//! Observability: run agent tasks with tracing on, print the per-run metrics
+//! summary, and (optionally) export the full span tree as JSON Lines.
+//!
+//! Every layer reports into one `Obs` handle: the agent opens `task` and
+//! `llm:call` spans, the registry wraps each tool invocation in a
+//! `tool:{name}` span, the SQL layer attaches executor plan attributes to
+//! `sql:execute` spans, denials become `denial:{gate}` events, and proxy
+//! units account for the rows and bytes that never transit the LLM.
+//!
+//! Run with: `cargo run --example observability` — or pass a path to also
+//! write the trace as JSONL: `cargo run --example observability trace.jsonl`
+
+use bridgescope::prelude::*;
+use llmsim::SqlStep;
+
+fn setup_database() -> Database {
+    let db = Database::new();
+    let mut admin = db.session("admin").expect("admin exists");
+    for sql in [
+        "CREATE TABLE sales (id INTEGER PRIMARY KEY, region TEXT, amount REAL)",
+        "CREATE INDEX idx_sales_region ON sales (region)",
+        "CREATE TABLE salaries (id INTEGER PRIMARY KEY, who TEXT, pay REAL)",
+        "INSERT INTO salaries VALUES (1, 'cfo', 1.0)",
+    ] {
+        admin.execute_sql(sql).expect("setup SQL is valid");
+    }
+    for i in 0..200 {
+        let region = ["north", "south", "east", "west"][i % 4];
+        admin
+            .execute_sql(&format!(
+                "INSERT INTO sales VALUES ({i}, '{region}', {}.0)",
+                10 + i % 50
+            ))
+            .expect("insert");
+    }
+    // The analyst can read and write sales, but salaries are off-limits —
+    // the denied probe below shows up in the denial counters.
+    db.create_user("analyst", false).expect("fresh user");
+    db.grant_all("analyst", "sales").expect("table exists");
+    db
+}
+
+fn main() {
+    let jsonl_path = std::env::args().nth(1);
+    let obs = match &jsonl_path {
+        Some(path) => Obs::jsonl(path),
+        None => Obs::in_memory(),
+    };
+
+    let db = setup_database();
+    let server = BridgeScopeServer::build_observed(
+        db,
+        "analyst",
+        SecurityPolicy::default(),
+        &ml_registry(),
+        obs.clone(),
+    )
+    .expect("analyst exists");
+
+    // A deterministic agent drives three tasks end to end: an indexed read,
+    // a transactional write, and a pipeline whose bulk rows move through a
+    // proxy unit instead of the LLM context.
+    let profile = LlmProfile {
+        schema_hallucination_rate: 0.0,
+        predicate_error_rate: 0.0,
+        privilege_awareness: 1.0,
+        spurious_abort_rate: 0.0,
+        sql_accuracy: 1.0,
+        txn_awareness_explicit: 1.0,
+        ..LlmProfile::gpt4o()
+    };
+    let agent = ReactAgent::new(profile, server.prompt).with_obs(obs.clone());
+
+    let tasks = [
+        TaskSpec::read(
+            "indexed-read",
+            "Total sales for the north region?",
+            SqlStep::simple(
+                "select",
+                vec!["sales".into()],
+                "SELECT COUNT(*) FROM sales WHERE region = 'north'",
+            ),
+        ),
+        TaskSpec::write(
+            "txn-write",
+            "Record one more sale in the east region.",
+            vec![SqlStep::simple(
+                "insert",
+                vec!["sales".into()],
+                "INSERT INTO sales VALUES (900, 'east', 42.0)",
+            )],
+        ),
+    ];
+    for task in &tasks {
+        let trace = agent.run(&server.registry, task, 7);
+        println!("{}", trace.render());
+    }
+
+    // A denied probe: salaries were never granted, so the privilege gate
+    // rejects the statement before the engine sees it.
+    let denied = server.registry.call(
+        "select",
+        &Json::object([("sql", Json::str("SELECT pay FROM salaries"))]),
+    );
+    println!(
+        "probe on salaries -> {}\n",
+        denied.expect_err("analyst holds no privilege on salaries")
+    );
+
+    // F4 — all 200 sales rows move tool→tool through a proxy unit into the
+    // trend analyzer; only the scalar verdict returns to the caller. The
+    // `proxy.rows_moved` / `proxy.bytes_moved` counters below measure it.
+    let out = server
+        .registry
+        .call(
+            "proxy",
+            &Json::parse(
+                r#"{"target_tool": "trend_analyze", "tool_args": {
+                    "sales": {"tool": "select",
+                              "args": {"sql": "SELECT id, amount FROM sales ORDER BY id"},
+                              "transform": "/rows"}}}"#,
+            )
+            .expect("valid proxy spec"),
+        )
+        .expect("proxy runs");
+    println!("proxy(trend_analyze) -> {}\n", out.value);
+
+    // The per-run summary the paper-style reports read from.
+    let snapshot = server.snapshot();
+    println!("{}", obs::summary::render(&snapshot));
+
+    match obs.flush() {
+        Ok(Some(path)) => println!("trace written to {}", path.display()),
+        Ok(None) => println!("(no JSONL path given; pass one to export the trace)"),
+        Err(e) => {
+            eprintln!("failed to write trace: {e}");
+            std::process::exit(1);
+        }
+    }
+}

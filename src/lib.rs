@@ -12,6 +12,8 @@
 //! * [`sqlkit`] — SQL lexer/parser/analyzer/formatter;
 //! * [`minidb`] — in-memory relational engine with ACID transactions and a
 //!   PostgreSQL-style privilege catalog;
+//! * [`obs`] — std-only observability kernel (hierarchical spans, metrics
+//!   registry, JSONL trace export) threaded through every layer above it;
 //! * [`llmsim`] — deterministic behavioural simulator of ReAct LLM agents;
 //! * [`core`](bridgescope_core) — **the paper's contribution**: fine-grained
 //!   context/SQL/transaction tools, privilege-aware exposure, object-level
@@ -29,6 +31,7 @@ pub use bridgescope_core as core;
 pub use llmsim;
 pub use minidb;
 pub use mltools;
+pub use obs;
 pub use sqlkit;
 pub use toolproto;
 
@@ -40,6 +43,7 @@ pub mod prelude {
     pub use llmsim::{LlmProfile, ReactAgent, TaskSpec};
     pub use minidb::{Database, DbError, QueryResult, Session, Value};
     pub use mltools::ml_registry;
+    pub use obs::{Obs, ObsConfig, ObsSnapshot};
     pub use sqlkit::{parse_statement, Action};
     pub use toolproto::{Json, Registry, Risk, Tool, ToolError, ToolOutput};
 }
