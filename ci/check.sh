@@ -39,4 +39,23 @@ grep -q '"type":"metrics"' "$trace_file" \
   || { echo "FAIL: JSONL trace has no metrics record"; exit 1; }
 echo "==> JSONL trace OK ($(wc -l < "$trace_file") lines)"
 
+# Wire layer: crate builds and tests standalone, then the offline loopback
+# smoke test — examples/serve --selftest binds an ephemeral port and drives
+# a scripted session against it (schema fetch, a select, a denied write, a
+# proxy call) and validates the emitted JSONL trace, printing one
+# `selftest:` marker per step and exiting non-zero on any deviation.
+run cargo build --offline --locked -p wire
+run cargo test -q --offline --locked -p wire
+wire_trace=target/wire-trace.jsonl
+rm -f "$wire_trace"
+selftest_out=$(cargo run -q --offline --locked --example serve -- --selftest "$wire_trace")
+echo "$selftest_out"
+for marker in "schema ok" "select ok" "denied ok" "proxy ok" "trace ok" "all ok"; do
+  echo "$selftest_out" | grep -q "selftest: $marker" \
+    || { echo "FAIL: wire selftest missing marker '$marker'"; exit 1; }
+done
+grep -q '"name":"wire:session"' "$wire_trace" \
+  || { echo "FAIL: wire trace has no wire:session span"; exit 1; }
+echo "==> wire loopback smoke OK"
+
 echo "All checks passed."

@@ -16,7 +16,10 @@
 //!   transaction-initiation metrics;
 //! * [`eval`] — result-set and database-state correctness checks;
 //! * [`report`] — one orchestrator per published figure/table, with text
-//!   renderings (Figure 5, Figure 6, Table 1, Table 2).
+//!   renderings (Figure 5, Figure 6, Table 1, Table 2);
+//! * [`loadgen`] — a load generator for the wire serving layer: N
+//!   concurrent sessions × M calls with a throughput + latency-histogram
+//!   report.
 
 #![warn(missing_docs)]
 
@@ -24,6 +27,7 @@ pub mod bird;
 pub mod eval;
 pub mod harness;
 pub mod housing;
+pub mod loadgen;
 pub mod nl2ml;
 pub mod report;
 pub mod roles;
@@ -33,5 +37,6 @@ pub use harness::{
     build_toolkit_observed, run_bird_cell, run_nl2ml, run_nl2ml_observed, BirdCell, CellOutcome,
     Nl2mlConfig, TaskClass, Toolkit,
 };
+pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use report::{fig5, privilege_experiment, table2, Fig5Report, PrivilegeReport, Table2Report};
 pub use roles::Role;

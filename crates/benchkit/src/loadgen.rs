@@ -1,0 +1,333 @@
+//! Wire load generator: N concurrent sessions × M calls against a
+//! [`wire::WireServer`], with a throughput + latency-histogram report.
+//!
+//! The paper positions BridgeScope as a drop-in service in front of the
+//! database; this module is the measuring stick for that claim. It drives
+//! a loopback (or remote) server the way a fleet of agents would — every
+//! session connects, authenticates as its own database user, then issues
+//! tool calls back to back — and aggregates wall-clock throughput plus the
+//! same bucketed latency histogram the obs layer uses everywhere else, so
+//! serving-layer numbers are directly comparable to in-process ones.
+
+use obs::metrics::{Histogram, HistogramSnapshot, LATENCY_BOUNDS_NS};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use toolproto::Json;
+use wire::{Client, ErrorCode, WireError};
+
+/// One load-generation run: `sessions` concurrent connections, each
+/// authenticating as a user drawn round-robin from `users`, each issuing
+/// `calls_per_session` invocations of `tool` with `arguments`.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent sessions (one thread + one TCP connection each).
+    pub sessions: usize,
+    /// Tool calls issued per session, back to back.
+    pub calls_per_session: usize,
+    /// Database users, assigned to sessions round-robin. Mixing privileged
+    /// and unprivileged users in one run doubles as a leakage probe: each
+    /// session's surface is built server-side for *its* user.
+    pub users: Vec<String>,
+    /// Tool to invoke.
+    pub tool: String,
+    /// Arguments for every call.
+    pub arguments: Json,
+}
+
+impl LoadConfig {
+    /// A single-user run hammering `select` with one SQL statement.
+    pub fn select(
+        sessions: usize,
+        calls_per_session: usize,
+        user: impl Into<String>,
+        sql: impl Into<String>,
+    ) -> LoadConfig {
+        LoadConfig {
+            sessions,
+            calls_per_session,
+            users: vec![user.into()],
+            tool: "select".into(),
+            arguments: Json::object([("sql", Json::str(sql.into()))]),
+        }
+    }
+}
+
+/// Aggregated outcome of one [`run_load`] call.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Sessions that were launched.
+    pub sessions: usize,
+    /// Sessions that failed to connect or initialize (their calls are not
+    /// attempted).
+    pub sessions_failed: u64,
+    /// Calls issued across all sessions.
+    pub calls_attempted: u64,
+    /// Calls that returned a successful [`toolproto::ToolOutput`].
+    pub calls_ok: u64,
+    /// Calls rejected with `server_busy` (backpressure shed them).
+    pub rejected_busy: u64,
+    /// Calls that reached the tool but failed (denial, validation, …).
+    pub tool_errors: u64,
+    /// Calls lost to transport/protocol failures.
+    pub transport_errors: u64,
+    /// Wall-clock duration of the whole run in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Per-call round-trip latency distribution (successful calls only).
+    pub latency: HistogramSnapshot,
+}
+
+impl LoadReport {
+    /// Successful calls per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.calls_ok as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Human-readable report: headline numbers plus an ASCII latency
+    /// histogram (one bar per non-empty bucket).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "wire load: {} sessions × {} calls = {} attempted\n",
+            self.sessions,
+            if self.sessions == 0 {
+                0
+            } else {
+                self.calls_attempted as usize / self.sessions.max(1)
+            },
+            self.calls_attempted,
+        ));
+        out.push_str(&format!(
+            "  ok {}, busy {}, tool-err {}, transport-err {}, failed-sessions {}\n",
+            self.calls_ok,
+            self.rejected_busy,
+            self.tool_errors,
+            self.transport_errors,
+            self.sessions_failed,
+        ));
+        out.push_str(&format!(
+            "  elapsed {}, throughput {:.1} calls/s\n",
+            fmt_ns(self.elapsed_ns),
+            self.throughput(),
+        ));
+        out.push_str(&format!(
+            "  latency: mean {}  p50 {}  p90 {}  p99 {}\n",
+            fmt_ns(self.latency.mean_ns()),
+            fmt_ns(self.latency.quantile_ns(0.50)),
+            fmt_ns(self.latency.quantile_ns(0.90)),
+            fmt_ns(self.latency.quantile_ns(0.99)),
+        ));
+        let peak = self.latency.buckets.iter().copied().max().unwrap_or(0);
+        for (idx, &count) in self.latency.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let label = match LATENCY_BOUNDS_NS.get(idx) {
+                Some(&bound) => format!("<= {}", fmt_ns(bound)),
+                None => format!(
+                    "> {}",
+                    fmt_ns(LATENCY_BOUNDS_NS[LATENCY_BOUNDS_NS.len() - 1])
+                ),
+            };
+            let bar = "#".repeat(((count * 40).div_ceil(peak.max(1))) as usize);
+            out.push_str(&format!("  {label:>10} | {bar} {count}\n"));
+        }
+        out
+    }
+}
+
+/// Render nanoseconds at a human scale.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Run one load configuration against a wire server at `addr`.
+///
+/// Every session runs on its own thread with its own connection; the
+/// report aggregates all of them. Panics only on internal bookkeeping
+/// bugs — all remote failures are counted, not propagated.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    assert!(!cfg.users.is_empty(), "LoadConfig.users must not be empty");
+    let latency = Arc::new(Histogram::default());
+    let sessions_failed = AtomicU64::new(0);
+    let calls_attempted = AtomicU64::new(0);
+    let calls_ok = AtomicU64::new(0);
+    let rejected_busy = AtomicU64::new(0);
+    let tool_errors = AtomicU64::new(0);
+    let transport_errors = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..cfg.sessions {
+            let user = cfg.users[i % cfg.users.len()].clone();
+            let latency = Arc::clone(&latency);
+            let sessions_failed = &sessions_failed;
+            let calls_attempted = &calls_attempted;
+            let calls_ok = &calls_ok;
+            let rejected_busy = &rejected_busy;
+            let tool_errors = &tool_errors;
+            let transport_errors = &transport_errors;
+            let cfg = &*cfg;
+            scope.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        sessions_failed.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                if client.initialize(&user).is_err() {
+                    sessions_failed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                for _ in 0..cfg.calls_per_session {
+                    calls_attempted.fetch_add(1, Ordering::Relaxed);
+                    let t0 = Instant::now();
+                    match client.call(&cfg.tool, &cfg.arguments) {
+                        Ok(Ok(_)) => {
+                            latency.observe_ns(t0.elapsed().as_nanos() as u64);
+                            calls_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Err(_)) => {
+                            tool_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(WireError::Rpc(rpc)) if rpc.code == ErrorCode::ServerBusy => {
+                            rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            transport_errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                let _ = client.shutdown();
+            });
+        }
+    });
+    LoadReport {
+        sessions: cfg.sessions,
+        sessions_failed: sessions_failed.into_inner(),
+        calls_attempted: calls_attempted.into_inner(),
+        calls_ok: calls_ok.into_inner(),
+        rejected_busy: rejected_busy.into_inner(),
+        tool_errors: tool_errors.into_inner(),
+        transport_errors: transport_errors.into_inner(),
+        elapsed_ns: started.elapsed().as_nanos() as u64,
+        latency: latency.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::Database;
+    use obs::Obs;
+    use std::sync::Mutex;
+    use toolproto::ToolError;
+    use wire::{Tenancy, WireConfig, WireServer};
+
+    fn demo_db() -> Database {
+        let db = Database::new();
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("CREATE TABLE sales (id INTEGER PRIMARY KEY, amount REAL)")
+            .unwrap();
+        for i in 0..8 {
+            s.execute_sql(&format!("INSERT INTO sales VALUES ({i}, {i}.5)"))
+                .unwrap();
+        }
+        db.create_user("reader", false).unwrap();
+        db.grant("reader", sqlkit::Action::Select, "sales").unwrap();
+        db
+    }
+
+    #[test]
+    fn thirty_two_sessions_sustained_with_histogram() {
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            Tenancy::new(demo_db()),
+            WireConfig::default(),
+            Obs::in_memory(),
+        )
+        .unwrap();
+        let cfg = LoadConfig::select(32, 4, "admin", "SELECT * FROM sales");
+        let report = run_load(server.local_addr(), &cfg);
+        server.shutdown();
+
+        assert_eq!(report.sessions_failed, 0);
+        assert_eq!(report.calls_attempted, 128);
+        assert_eq!(report.calls_ok, 128, "report: {}", report.render());
+        assert_eq!(report.rejected_busy, 0, "queue depth covers 32 sessions");
+        assert_eq!(report.latency.count, 128);
+        assert!(report.throughput() > 0.0);
+        let text = report.render();
+        assert!(text.contains("throughput"), "{text}");
+        assert!(text.contains('#'), "histogram bars missing: {text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn mixed_user_load_has_zero_privilege_leakage() {
+        // 32 concurrent sessions alternating admin/reader. Every reader
+        // session must see a read-only surface — no `insert` in tools/list,
+        // and calling it anyway is UnknownTool — while admin sessions mutate
+        // freely. A single leaked surface fails the run.
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            Tenancy::new(demo_db()),
+            WireConfig::default(),
+            Obs::in_memory(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let failures = Mutex::new(Vec::<String>::new());
+        std::thread::scope(|scope| {
+            for i in 0..32 {
+                let failures = &failures;
+                scope.spawn(move || {
+                    let fail = |msg: String| failures.lock().unwrap().push(msg);
+                    let user = if i % 2 == 0 { "admin" } else { "reader" };
+                    let mut c = Client::connect(addr).unwrap();
+                    c.initialize(user).unwrap();
+                    let names: Vec<String> = c
+                        .tools_list()
+                        .unwrap()
+                        .into_iter()
+                        .map(|t| t.name)
+                        .collect();
+                    let insert_sql = format!("INSERT INTO sales VALUES ({}, 1.0)", 100 + i);
+                    let args = Json::object([("sql", Json::str(insert_sql))]);
+                    if user == "reader" {
+                        if names.iter().any(|n| n == "insert") {
+                            fail(format!("session {i}: reader lists insert"));
+                        }
+                        match c.call("insert", &args) {
+                            Ok(Err(ToolError::UnknownTool(_))) => {}
+                            other => fail(format!("session {i}: reader insert -> {other:?}")),
+                        }
+                    } else {
+                        if !names.iter().any(|n| n == "insert") {
+                            fail(format!("session {i}: admin missing insert"));
+                        }
+                        if let Err(e) = c.call("insert", &args).unwrap() {
+                            fail(format!("session {i}: admin insert denied: {e}"));
+                        }
+                    }
+                });
+            }
+        });
+        server.shutdown();
+        let failures = failures.into_inner().unwrap();
+        assert!(failures.is_empty(), "leakage: {failures:?}");
+    }
+}

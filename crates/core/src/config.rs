@@ -136,6 +136,41 @@ impl SecurityPolicy {
     pub fn tool_allowed(&self, name: &str, risk: Risk) -> bool {
         risk <= self.max_risk && !self.tool_blacklist.contains(name)
     }
+
+    /// The pointwise-strictest combination of this policy and `requested`:
+    /// blacklists union, whitelists intersect, and the risk cap, schema
+    /// threshold, and exemplar `k` each take the smaller value. The wire
+    /// layer uses this during `initialize` negotiation so a remote client
+    /// can only *tighten* the server's base policy, never loosen it.
+    pub fn restricted_by(&self, requested: &SecurityPolicy) -> SecurityPolicy {
+        let object_whitelist = match (&self.object_whitelist, &requested.object_whitelist) {
+            (None, None) => None,
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (Some(a), Some(b)) => Some(a.intersection(b).cloned().collect()),
+        };
+        SecurityPolicy {
+            object_whitelist,
+            object_blacklist: self
+                .object_blacklist
+                .union(&requested.object_blacklist)
+                .cloned()
+                .collect(),
+            column_blacklist: self
+                .column_blacklist
+                .union(&requested.column_blacklist)
+                .cloned()
+                .collect(),
+            tool_blacklist: self
+                .tool_blacklist
+                .union(&requested.tool_blacklist)
+                .cloned()
+                .collect(),
+            max_risk: self.max_risk.min(requested.max_risk),
+            schema_threshold: self.schema_threshold.min(requested.schema_threshold),
+            exemplar_k: self.exemplar_k.min(requested.exemplar_k),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +192,31 @@ mod tests {
         assert!(p.object_allowed("a"));
         assert!(!p.object_allowed("b"));
         assert!(!p.object_allowed("c"), "not whitelisted");
+    }
+
+    #[test]
+    fn restricted_by_only_tightens() {
+        let base = SecurityPolicy::default()
+            .with_blacklist(["audit_log"])
+            .with_max_risk(Risk::Mutating);
+        let requested = SecurityPolicy::default()
+            .with_whitelist(["sales", "audit_log"])
+            .with_blocked_tools(["delete"])
+            .with_max_risk(Risk::Destructive);
+        let merged = base.restricted_by(&requested);
+        assert!(!merged.object_allowed("audit_log"), "base blacklist holds");
+        assert!(merged.object_allowed("sales"));
+        assert!(!merged.object_allowed("other"), "requested whitelist holds");
+        assert!(!merged.tool_allowed("delete", Risk::Mutating));
+        assert_eq!(merged.max_risk, Risk::Mutating, "risk cannot be raised");
+
+        // Whitelists intersect when both sides set one.
+        let a = SecurityPolicy::default().with_whitelist(["x", "y"]);
+        let b = SecurityPolicy::default().with_whitelist(["y", "z"]);
+        let both = a.restricted_by(&b);
+        assert!(both.object_allowed("y"));
+        assert!(!both.object_allowed("x"));
+        assert!(!both.object_allowed("z"));
     }
 
     #[test]

@@ -169,11 +169,13 @@ impl Json {
     }
 
     /// Parse JSON text. Strict: rejects trailing garbage, unterminated
-    /// strings, and malformed numbers.
+    /// strings, malformed numbers, and nesting deeper than [`MAX_DEPTH`]
+    /// (so hostile wire frames produce a parse error, not a stack overflow).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.parse_value()?;
@@ -354,12 +356,30 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting depth [`Json::parse`] accepts. Each `[` or `{`
+/// costs one stack frame in the recursive-descent parser; the cap keeps the
+/// worst-case frame count bounded on untrusted input (wire frames) while
+/// leaving far more headroom than any tool payload legitimately uses.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(JsonError::new(
+                self.pos,
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -536,10 +556,12 @@ impl<'a> Parser<'a> {
 
     fn parse_array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -550,6 +572,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(JsonError::new(self.pos, "expected ',' or ']'")),
@@ -559,10 +582,12 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(map));
         }
         loop {
@@ -578,6 +603,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(map));
                 }
                 _ => return Err(JsonError::new(self.pos, "expected ',' or '}'")),
@@ -672,6 +698,25 @@ mod tests {
         assert_eq!(v.get("s").and_then(Json::as_str), Some("v"));
         assert_eq!(v.type_name(), "object");
         assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn nesting_below_the_cap_parses() {
+        let text = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&text).is_ok());
+        let objs = "{\"k\":".repeat(MAX_DEPTH);
+        let text = format!("{objs}0{}", "}".repeat(MAX_DEPTH));
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn nesting_past_the_cap_is_a_parse_error_not_a_crash() {
+        // Far past the cap: without the limit this would overflow the stack.
+        for open in ["[", "{\"k\":"] {
+            let text = open.repeat(100_000);
+            let err = Json::parse(&text).expect_err("deep nesting rejected");
+            assert!(err.message.contains("nesting"), "got: {err}");
+        }
     }
 
     #[test]

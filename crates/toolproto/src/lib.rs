@@ -23,7 +23,7 @@ pub mod registry;
 pub mod schema;
 pub mod tool;
 
-pub use json::{Json, JsonError};
+pub use json::{Json, JsonError, MAX_DEPTH};
 pub use registry::{CallObserver, Registry};
 pub use schema::{ArgError, ArgSpec, ArgType, Signature};
 pub use tool::{Args, DenialContext, FnTool, Risk, Tool, ToolError, ToolOutput, ToolResult};

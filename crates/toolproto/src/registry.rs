@@ -32,8 +32,16 @@ pub trait CallObserver: Send + Sync {
 
 /// A named collection of tools. Cheap to clone (tools are `Arc`ed); clones
 /// share the attached [`CallObserver`], if any.
+///
+/// Enumeration order ([`Registry::iter`], [`Registry::names`],
+/// [`Registry::render_prompt`]) is **stable insertion order**: tools appear
+/// exactly in the order they were registered, and re-registering a name
+/// keeps its original position. Servers rely on this to make `tools/list`
+/// responses and rendered prompts byte-stable across runs.
 #[derive(Clone, Default)]
 pub struct Registry {
+    /// Registration order; parallel key list for `tools`.
+    order: Vec<String>,
     tools: BTreeMap<String, Arc<dyn Tool>>,
     observer: Option<Arc<dyn CallObserver>>,
 }
@@ -44,9 +52,13 @@ impl Registry {
         Registry::default()
     }
 
-    /// Register a tool. Replaces any existing tool with the same name.
+    /// Register a tool. Replaces any existing tool with the same name
+    /// (keeping its original position in enumeration order).
     pub fn register(&mut self, tool: Arc<dyn Tool>) {
-        self.tools.insert(tool.name().to_owned(), tool);
+        let name = tool.name().to_owned();
+        if self.tools.insert(name.clone(), tool).is_none() {
+            self.order.push(name);
+        }
     }
 
     /// Register a concrete tool value.
@@ -56,7 +68,12 @@ impl Registry {
 
     /// Remove a tool by name; returns whether it was present.
     pub fn unregister(&mut self, name: &str) -> bool {
-        self.tools.remove(name).is_some()
+        if self.tools.remove(name).is_some() {
+            self.order.retain(|n| n != name);
+            true
+        } else {
+            false
+        }
     }
 
     /// Look up a tool.
@@ -79,14 +96,16 @@ impl Registry {
         self.tools.is_empty()
     }
 
-    /// Names of all exposed tools, sorted.
+    /// Names of all exposed tools, in registration order.
     pub fn names(&self) -> Vec<&str> {
-        self.tools.keys().map(String::as_str).collect()
+        self.order.iter().map(String::as_str).collect()
     }
 
-    /// Iterate over tools in name order.
+    /// Iterate over tools in registration order.
     pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn Tool>> {
-        self.tools.values()
+        self.order
+            .iter()
+            .map(|name| self.tools.get(name).expect("order tracks tools"))
     }
 
     /// Merge another registry into this one (other wins on name clashes).
@@ -265,7 +284,7 @@ mod tests {
         let ro = reg.filtered(&[], Risk::Safe);
         assert_eq!(ro.names(), vec!["select"]);
         let no_drop = reg.filtered(&["drop".to_string()], Risk::Destructive);
-        assert_eq!(no_drop.names(), vec!["insert", "select"]);
+        assert_eq!(no_drop.names(), vec!["select", "insert"]);
     }
 
     #[test]
@@ -276,8 +295,43 @@ mod tests {
         let prompt = reg.render_prompt();
         let a = prompt.find("a_tool").unwrap();
         let b = prompt.find("b_tool").unwrap();
-        assert!(a < b, "prompt should be name-ordered for determinism");
+        assert!(b < a, "prompt follows registration order");
         assert!(prompt.contains("(x?: integer)"));
+    }
+
+    #[test]
+    fn enumeration_is_stable_insertion_order() {
+        // Regression test for the wire layer: `tools/list` responses and
+        // rendered prompts must be byte-stable across identically built
+        // registries, and follow registration order (not name order).
+        let build = || {
+            let mut reg = Registry::new();
+            reg.register(make("zeta", Risk::Safe));
+            reg.register(make("alpha", Risk::Safe));
+            reg.register(make("mid", Risk::Mutating));
+            reg
+        };
+        let mut reg = build();
+        assert_eq!(reg.names(), vec!["zeta", "alpha", "mid"]);
+        assert_eq!(reg.render_prompt(), build().render_prompt());
+
+        // Replacement keeps the original slot; unregister frees it.
+        reg.register(make("alpha", Risk::Mutating));
+        assert_eq!(reg.names(), vec!["zeta", "alpha", "mid"]);
+        assert_eq!(reg.get("alpha").unwrap().risk(), Risk::Mutating);
+        assert!(reg.unregister("zeta"));
+        reg.register(make("zeta", Risk::Safe));
+        assert_eq!(reg.names(), vec!["alpha", "mid", "zeta"]);
+
+        // Filtering and merging preserve relative order.
+        let unblocked = reg.filtered(&["mid".to_string()], Risk::Destructive);
+        assert_eq!(unblocked.names(), vec!["alpha", "zeta"]);
+        let mut merged = Registry::new();
+        merged.register(make("first", Risk::Safe));
+        merged.extend(&reg);
+        assert_eq!(merged.names(), vec!["first", "alpha", "mid", "zeta"]);
+        let iterated: Vec<&str> = merged.iter().map(|t| t.name()).collect();
+        assert_eq!(iterated, merged.names());
     }
 
     #[test]

@@ -65,6 +65,40 @@ impl fmt::Display for ArgType {
     }
 }
 
+impl ArgType {
+    /// Parse the rendered form back into a type (inverse of `Display`).
+    /// Wire clients use this to rebuild signatures from `tools/list`
+    /// responses so locally mirrored tools validate exactly like the
+    /// server-side originals. Returns `None` for unrecognized text.
+    pub fn parse(text: &str) -> Option<ArgType> {
+        match text {
+            "any" => Some(ArgType::Any),
+            "string" => Some(ArgType::String),
+            "number" => Some(ArgType::Number),
+            "integer" => Some(ArgType::Integer),
+            "boolean" => Some(ArgType::Bool),
+            "object" => Some(ArgType::Object),
+            _ => {
+                if let Some(inner) = text
+                    .strip_prefix("array<")
+                    .and_then(|t| t.strip_suffix('>'))
+                {
+                    return ArgType::parse(inner).map(|t| ArgType::Array(Box::new(t)));
+                }
+                if let Some(body) = text.strip_prefix("enum[").and_then(|t| t.strip_suffix(']')) {
+                    let options: Vec<String> = if body.is_empty() {
+                        Vec::new()
+                    } else {
+                        body.split('|').map(str::to_owned).collect()
+                    };
+                    return Some(ArgType::Enum(options));
+                }
+                None
+            }
+        }
+    }
+}
+
 /// One named argument in a tool signature.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArgSpec {
@@ -316,5 +350,24 @@ mod tests {
     #[test]
     fn renders_signature() {
         assert_eq!(sig().render(), "(sql: string, limit?: integer)");
+    }
+
+    #[test]
+    fn arg_type_parse_inverts_display() {
+        let types = [
+            ArgType::Any,
+            ArgType::String,
+            ArgType::Number,
+            ArgType::Integer,
+            ArgType::Bool,
+            ArgType::Object,
+            ArgType::Array(Box::new(ArgType::Array(Box::new(ArgType::Integer)))),
+            ArgType::Enum(vec!["read".into(), "write".into()]),
+        ];
+        for ty in types {
+            assert_eq!(ArgType::parse(&ty.to_string()), Some(ty));
+        }
+        assert_eq!(ArgType::parse("array<"), None);
+        assert_eq!(ArgType::parse("gibberish"), None);
     }
 }

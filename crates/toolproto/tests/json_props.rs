@@ -1,8 +1,10 @@
 //! Property-based tests of the JSON substrate: parse/serialize round trips,
-//! pointer resolution, and signature validation invariants.
+//! pointer resolution, signature validation invariants, and hardening
+//! against untrusted wire input (deep nesting, escape edge cases, huge
+//! numbers, truncated frames).
 
 use proptest::prelude::*;
-use toolproto::{ArgSpec, ArgType, Json, Signature};
+use toolproto::{ArgSpec, ArgType, Json, Signature, MAX_DEPTH};
 
 /// Strategy for arbitrary JSON values of bounded depth.
 fn json_strategy() -> impl Strategy<Value = Json> {
@@ -83,6 +85,62 @@ proptest! {
         let args = sig.validate(&payload).expect("valid payload");
         let expected = if present { given } else { default };
         prop_assert_eq!(args["k"].as_i64(), Some(expected));
+    }
+
+    #[test]
+    fn nesting_depth_gates_parsing(extra in 0usize..600, arrays in any::<bool>()) {
+        // At or below MAX_DEPTH a nest parses; any depth above it is a
+        // clean parse error (never a stack overflow / panic).
+        let depth = MAX_DEPTH + extra;
+        let (open, close) = if arrays { ("[", "]") } else { ("{\"k\":", "}") };
+        let text = format!("{}0{}", open.repeat(depth), close.repeat(depth));
+        let parsed = Json::parse(&text);
+        if extra == 0 {
+            prop_assert!(parsed.is_ok());
+        } else {
+            let err = parsed.expect_err("past the cap");
+            prop_assert!(err.message.contains("nesting"));
+        }
+    }
+
+    #[test]
+    fn truncated_documents_error_instead_of_hanging(v in json_strategy(), cut in 0usize..64) {
+        // Chop a valid document anywhere: the parser must terminate with
+        // Ok (if the prefix happens to be valid, e.g. a shorter number) or
+        // a JsonError — never panic or loop.
+        let text = v.to_compact();
+        if !text.is_empty() {
+            let at = cut % text.len();
+            let mut end = at;
+            while !text.is_char_boundary(end) { end += 1; }
+            let _ = Json::parse(&text[..end]);
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip(cp in 0u32..=0x10FFFF) {
+        let Some(ch) = char::from_u32(cp) else { return Ok(()); };
+        // Encode as \uXXXX (with surrogate pair above the BMP) and parse.
+        let mut escaped = String::from("\"");
+        let mut units = [0u16; 2];
+        for unit in ch.encode_utf16(&mut units) {
+            escaped.push_str(&format!("\\u{:04x}", unit));
+        }
+        escaped.push('"');
+        let parsed = Json::parse(&escaped).expect("valid escape sequence");
+        prop_assert_eq!(parsed, Json::Str(ch.to_string()));
+    }
+
+    #[test]
+    fn huge_and_tiny_numbers_parse_without_panic(mantissa in -1.0e18f64..1.0e18, exp in -400i32..400) {
+        let text = format!("{mantissa}e{exp}");
+        // Overflowing exponents saturate to ±inf in f64's parser; the JSON
+        // layer must still produce *a* value or error, never panic, and
+        // whatever it produces must re-serialize to parseable JSON.
+        if let Ok(v) = Json::parse(&text) {
+            let again = v.to_compact();
+            prop_assert!(Json::parse(&again).is_ok(), "reserialized {again:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Newline-delimited framing over arbitrary byte streams.
+//!
+//! One frame is one JSON document followed by `\n` (an optional `\r` before
+//! the newline is tolerated, so `telnet`-style clients work). Compact JSON
+//! never contains a raw newline — control characters are escaped — so the
+//! framing needs no length prefix and stays trivially debuggable.
+//!
+//! [`FrameReader`] enforces the two limits the threat model for untrusted
+//! peers requires: a maximum frame size (memory bound) and a per-frame
+//! deadline (liveness bound). Deadlines work by setting a short read timeout
+//! on the underlying stream and counting ticks here, which also lets a
+//! server poll its shutdown flag between ticks.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Default maximum frame size (1 MiB): far above any legitimate tool
+/// payload, far below anything that could exhaust server memory per peer.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Why reading a frame failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the stream between frames (clean EOF).
+    Closed,
+    /// The stream ended in the middle of a frame.
+    TruncatedEof,
+    /// More than the configured limit arrived without a newline.
+    TooLarge {
+        /// The configured frame-size limit in bytes.
+        limit: usize,
+    },
+    /// The per-frame deadline elapsed before a full frame arrived.
+    Timeout {
+        /// The deadline that was exceeded.
+        deadline: Duration,
+    },
+    /// The frame was not valid UTF-8.
+    InvalidUtf8,
+    /// Any other I/O failure, stringified.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TruncatedEof => write!(f, "stream ended mid-frame"),
+            FrameError::TooLarge { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit")
+            }
+            FrameError::Timeout { deadline } => {
+                write!(f, "no complete frame within {}ms", deadline.as_millis())
+            }
+            FrameError::InvalidUtf8 => write!(f, "frame is not valid UTF-8"),
+            FrameError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Buffered reader that yields newline-delimited frames with size and
+/// deadline limits. Bytes past a frame boundary are kept for the next call,
+/// so pipelined frames are handled correctly.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a stream; frames longer than `max_frame` bytes are rejected.
+    pub fn new(inner: R, max_frame: usize) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// Bytes buffered toward an incomplete frame. Lets callers distinguish
+    /// an idle peer (nothing buffered at timeout) from a slow-loris one.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Read one frame.
+    ///
+    /// `deadline` bounds the wall-clock wait for a complete frame; it only
+    /// has effect when the underlying stream returns `WouldBlock`/`TimedOut`
+    /// periodically (i.e. a socket with a short read timeout) — a fully
+    /// blocking stream (stdio) simply blocks until data or EOF. When `stop`
+    /// is set the reader returns [`FrameError::Closed`] at the next tick,
+    /// which is how server connections notice graceful shutdown.
+    pub fn read_frame(
+        &mut self,
+        deadline: Option<Duration>,
+        stop: Option<&AtomicBool>,
+    ) -> Result<String, FrameError> {
+        let start = Instant::now();
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                if pos > self.max_frame {
+                    self.buf.drain(..=pos);
+                    return Err(FrameError::TooLarge {
+                        limit: self.max_frame,
+                    });
+                }
+                let mut frame: Vec<u8> = self.buf.drain(..=pos).collect();
+                frame.pop();
+                if frame.last() == Some(&b'\r') {
+                    frame.pop();
+                }
+                return String::from_utf8(frame).map_err(|_| FrameError::InvalidUtf8);
+            }
+            if self.buf.len() > self.max_frame {
+                return Err(FrameError::TooLarge {
+                    limit: self.max_frame,
+                });
+            }
+            if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                return Err(FrameError::Closed);
+            }
+            if let Some(deadline) = deadline {
+                if start.elapsed() >= deadline {
+                    return Err(FrameError::Timeout { deadline });
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        FrameError::Closed
+                    } else {
+                        FrameError::TruncatedEof
+                    });
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    // A tick: loop back to re-check stop flag and deadline.
+                }
+                Err(e) => return Err(FrameError::Io(e.to_string())),
+            }
+        }
+    }
+}
+
+/// Write one frame: the text, a newline, and a flush. `text` must not
+/// contain a raw newline (compact JSON never does). The payload and the
+/// delimiter go out in a single write — two small writes on a TCP stream
+/// interact with Nagle + delayed ACK and cost tens of milliseconds per
+/// frame.
+pub fn write_frame<W: Write>(writer: &mut W, text: &str) -> io::Result<()> {
+    debug_assert!(!text.contains('\n'), "frames are single-line");
+    let mut buf = Vec::with_capacity(text.len() + 1);
+    buf.extend_from_slice(text.as_bytes());
+    buf.push(b'\n');
+    writer.write_all(&buf)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn reader(data: &str, max: usize) -> FrameReader<Cursor<Vec<u8>>> {
+        FrameReader::new(Cursor::new(data.as_bytes().to_vec()), max)
+    }
+
+    #[test]
+    fn splits_pipelined_frames() {
+        let mut r = reader("{\"a\":1}\n{\"b\":2}\r\n", 64);
+        assert_eq!(r.read_frame(None, None).unwrap(), "{\"a\":1}");
+        assert_eq!(r.read_frame(None, None).unwrap(), "{\"b\":2}");
+        assert_eq!(r.read_frame(None, None), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn oversize_frame_rejected_with_bounded_memory() {
+        let long = "x".repeat(100);
+        let mut r = reader(&format!("{long}\n"), 10);
+        assert_eq!(
+            r.read_frame(None, None),
+            Err(FrameError::TooLarge { limit: 10 })
+        );
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncation() {
+        let mut r = reader("{\"unterminated\"", 64);
+        assert_eq!(r.read_frame(None, None), Err(FrameError::TruncatedEof));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut r = FrameReader::new(Cursor::new(vec![0xff, 0xfe, b'\n']), 64);
+        assert_eq!(r.read_frame(None, None), Err(FrameError::InvalidUtf8));
+    }
+
+    #[test]
+    fn stop_flag_reads_as_closed() {
+        struct Pending;
+        impl Read for Pending {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::from(io::ErrorKind::WouldBlock))
+            }
+        }
+        let stop = AtomicBool::new(true);
+        let mut r = FrameReader::new(Pending, 64);
+        assert_eq!(r.read_frame(None, Some(&stop)), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn deadline_fires_on_slow_stream() {
+        struct Slow;
+        impl Read for Slow {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                std::thread::sleep(Duration::from_millis(5));
+                Err(io::Error::from(io::ErrorKind::TimedOut))
+            }
+        }
+        let mut r = FrameReader::new(Slow, 64);
+        let err = r
+            .read_frame(Some(Duration::from_millis(20)), None)
+            .unwrap_err();
+        assert!(matches!(err, FrameError::Timeout { .. }));
+    }
+
+    #[test]
+    fn write_frame_appends_newline() {
+        let mut out = Vec::new();
+        write_frame(&mut out, "{\"x\":1}").unwrap();
+        assert_eq!(out, b"{\"x\":1}\n");
+    }
+}

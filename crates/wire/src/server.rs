@@ -1,0 +1,754 @@
+//! The concurrent wire server: sessions, the bounded worker pool, and
+//! graceful shutdown.
+//!
+//! Every accepted connection gets a dedicated reader thread and — after a
+//! successful `initialize` — its own session: a per-user
+//! [`BridgeScopeServer`] surface built over the shared [`minidb::Database`].
+//! Privilege-gated tool visibility is therefore enforced *server-side per
+//! session*: a read-only user's session never lists `insert`, no matter
+//! what the client sends.
+//!
+//! Tool execution is decoupled from socket I/O by a fixed pool of worker
+//! threads fed through a bounded queue. When the queue is full the server
+//! answers `server_busy` immediately instead of accepting unbounded work —
+//! backpressure is a protocol feature, not an accident of TCP buffers.
+
+use crate::frame::{write_frame, FrameError, FrameReader};
+use crate::rpc::{
+    parse_request, response_err, response_ok, risk_from_str, risk_to_str, tool_error_to_rpc,
+    tool_output_to_json, ErrorCode, Request, RpcError, PROTOCOL,
+};
+use bridgescope_core::{BridgeScopeServer, SecurityPolicy};
+use minidb::Database;
+use obs::Obs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+use toolproto::{Json, Registry, ToolResult};
+
+/// Tunable limits for a [`WireServer`]. Defaults are production-shaped but
+/// small; tests shrink them to provoke each failure mode deterministically.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Worker threads executing tool calls.
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue yields `server_busy`.
+    pub queue_depth: usize,
+    /// Maximum accepted frame size in bytes.
+    pub max_frame_bytes: usize,
+    /// Per-frame read deadline (also the idle timeout between requests).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// How long a connection waits for a queued tool call to finish.
+    pub call_timeout: Duration,
+    /// Requests a session may issue after `initialize` (`tools/list` and
+    /// `tools/call` count; `ping`/`shutdown` do not). `None` = unlimited.
+    pub max_requests_per_session: Option<u64>,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_frame_bytes: crate::frame::DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            call_timeout: Duration::from_secs(30),
+            max_requests_per_session: None,
+        }
+    }
+}
+
+/// What the server serves: one shared database, a shared external-tool
+/// registry, and the operator's base security policy. `initialize` builds a
+/// per-user surface from these; a client-requested policy can only tighten
+/// the base one (see [`SecurityPolicy::restricted_by`]).
+pub struct Tenancy {
+    db: Database,
+    external: Registry,
+    base_policy: SecurityPolicy,
+}
+
+impl Tenancy {
+    /// Serve `db` with a permissive base policy and no external tools.
+    pub fn new(db: Database) -> Self {
+        Tenancy {
+            db,
+            external: Registry::new(),
+            base_policy: SecurityPolicy::permissive(),
+        }
+    }
+
+    /// Builder: external (ML/MCP) tools exposed to every session.
+    pub fn with_external(mut self, external: Registry) -> Self {
+        self.external = external;
+        self
+    }
+
+    /// Builder: the operator-side base policy every session inherits.
+    pub fn with_base_policy(mut self, policy: SecurityPolicy) -> Self {
+        self.base_policy = policy;
+        self
+    }
+
+    /// Build the tool surface for one authenticated session.
+    fn surface(
+        &self,
+        user: &str,
+        requested: &SecurityPolicy,
+        obs: Obs,
+    ) -> Result<BridgeScopeServer, RpcError> {
+        let effective = self.base_policy.restricted_by(requested);
+        BridgeScopeServer::build_observed(self.db.clone(), user, effective, &self.external, obs)
+            .map_err(|e| RpcError::new(ErrorCode::AuthFailed, format!("cannot open session: {e}")))
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed worker pool over a bounded queue. `submit` never blocks: a full
+/// queue is reported to the caller, which turns it into `server_busy`.
+struct Pool {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    fn new(workers: usize, queue_depth: usize) -> Pool {
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("wire-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while dequeuing, not while
+                        // running the job.
+                        let job = rx.lock().expect("worker queue poisoned").recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn wire worker")
+            })
+            .collect();
+        Pool {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+        }
+    }
+
+    fn submit(&self, job: Job) -> Result<(), ErrorCode> {
+        let guard = self.tx.lock().expect("pool sender poisoned");
+        match guard.as_ref() {
+            Some(tx) => match tx.try_send(job) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => Err(ErrorCode::ServerBusy),
+                Err(TrySendError::Disconnected(_)) => Err(ErrorCode::ShuttingDown),
+            },
+            None => Err(ErrorCode::ShuttingDown),
+        }
+    }
+
+    /// Close the queue and join workers; queued jobs drain first.
+    fn shutdown(&self) {
+        self.tx.lock().expect("pool sender poisoned").take();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker list poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One authenticated session: the per-user tool surface plus the
+/// `wire:session` span that parents everything the session does.
+struct Session {
+    registry: Arc<Registry>,
+    span: obs::SpanGuard,
+    used: u64,
+}
+
+/// Runs tool calls for a session: TCP connections enqueue onto the shared
+/// pool; the stdio transport executes inline.
+trait CallExecutor {
+    fn execute(
+        &self,
+        registry: Arc<Registry>,
+        tool: String,
+        payload: Json,
+        parent: Option<u64>,
+        obs: &Obs,
+    ) -> Result<ToolResult, RpcError>;
+}
+
+/// Wrap one registry call in a `wire:call` span parented to the session.
+fn traced_call(
+    registry: &Registry,
+    tool: &str,
+    payload: &Json,
+    parent: Option<u64>,
+    obs: &Obs,
+) -> ToolResult {
+    let _scope = obs::adopt(parent);
+    let mut span = obs.span("wire:call");
+    span.attr("tool", tool);
+    let started = obs.now_ns();
+    let result = registry.call(tool, payload);
+    obs.observe_ns("wire.call.latency", obs.now_ns().saturating_sub(started));
+    if let Err(e) = &result {
+        span.fail(e.to_string());
+    }
+    result
+}
+
+struct PooledExecutor {
+    pool: Arc<Pool>,
+    call_timeout: Duration,
+}
+
+impl CallExecutor for PooledExecutor {
+    fn execute(
+        &self,
+        registry: Arc<Registry>,
+        tool: String,
+        payload: Json,
+        parent: Option<u64>,
+        obs: &Obs,
+    ) -> Result<ToolResult, RpcError> {
+        let (done_tx, done_rx) = mpsc::sync_channel::<ToolResult>(1);
+        let obs_job = obs.clone();
+        let job: Job = Box::new(move || {
+            let result = traced_call(&registry, &tool, &payload, parent, &obs_job);
+            let _ = done_tx.send(result);
+        });
+        self.pool.submit(job).map_err(|code| {
+            obs.incr("wire.rejected.busy", 1);
+            RpcError::new(code, "worker queue is full; retry later")
+        })?;
+        match done_rx.recv_timeout(self.call_timeout) {
+            Ok(result) => Ok(result),
+            Err(RecvTimeoutError::Timeout) => {
+                obs.incr("wire.rejected.timeout", 1);
+                Err(RpcError::new(
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "tool call exceeded the {}ms deadline",
+                        self.call_timeout.as_millis()
+                    ),
+                ))
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(RpcError::new(
+                ErrorCode::ShuttingDown,
+                "server stopped before the call finished",
+            )),
+        }
+    }
+}
+
+struct InlineExecutor;
+
+impl CallExecutor for InlineExecutor {
+    fn execute(
+        &self,
+        registry: Arc<Registry>,
+        tool: String,
+        payload: Json,
+        parent: Option<u64>,
+        obs: &Obs,
+    ) -> Result<ToolResult, RpcError> {
+        Ok(traced_call(&registry, &tool, &payload, parent, obs))
+    }
+}
+
+/// Per-connection protocol state machine, shared by TCP and stdio.
+struct SessionCtx<'a> {
+    tenancy: &'a Tenancy,
+    config: &'a WireConfig,
+    obs: &'a Obs,
+    session: Option<Session>,
+}
+
+/// Outcome of dispatching one request: the response frame, and whether the
+/// connection should close afterwards.
+struct Dispatch {
+    frame: String,
+    close: bool,
+}
+
+impl<'a> SessionCtx<'a> {
+    fn new(tenancy: &'a Tenancy, config: &'a WireConfig, obs: &'a Obs) -> Self {
+        SessionCtx {
+            tenancy,
+            config,
+            obs,
+            session: None,
+        }
+    }
+
+    fn dispatch(&mut self, req: &Request, exec: &dyn CallExecutor) -> Dispatch {
+        self.obs.incr("wire.requests", 1);
+        self.obs.incr(
+            &format!("wire.requests.{}", req.method.replace('/', "_")),
+            1,
+        );
+        let close = req.method == "shutdown";
+        let outcome = match req.method.as_str() {
+            "ping" => Ok(Json::str("pong")),
+            "initialize" => self.initialize(&req.params),
+            "shutdown" => Ok(Json::object([("status", Json::str("bye"))])),
+            "tools/list" => self.charged(|ctx| ctx.tools_list()),
+            "tools/call" => self.charged(|ctx| ctx.tools_call(&req.params, exec)),
+            other => Err(RpcError::new(
+                ErrorCode::MethodNotFound,
+                format!("unknown method '{other}'"),
+            )),
+        };
+        let frame = match outcome {
+            Ok(result) => response_ok(&req.id, result),
+            Err(err) => {
+                self.obs
+                    .incr(&format!("wire.errors.{}", err.code.name()), 1);
+                response_err(&req.id, &err)
+            }
+        };
+        Dispatch { frame, close }
+    }
+
+    /// Run a session-scoped method, enforcing initialization and the
+    /// per-session request budget.
+    fn charged(
+        &mut self,
+        body: impl FnOnce(&mut Self) -> Result<Json, RpcError>,
+    ) -> Result<Json, RpcError> {
+        let Some(session) = self.session.as_mut() else {
+            return Err(RpcError::new(
+                ErrorCode::NotInitialized,
+                "call 'initialize' first",
+            ));
+        };
+        if let Some(cap) = self.config.max_requests_per_session {
+            if session.used >= cap {
+                return Err(RpcError::new(
+                    ErrorCode::SessionLimit,
+                    format!("session exhausted its budget of {cap} requests"),
+                ));
+            }
+        }
+        session.used += 1;
+        body(self)
+    }
+
+    fn initialize(&mut self, params: &Json) -> Result<Json, RpcError> {
+        if self.session.is_some() {
+            return Err(RpcError::new(
+                ErrorCode::InvalidRequest,
+                "session already initialized",
+            ));
+        }
+        let user = params
+            .get("user")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                RpcError::new(ErrorCode::InvalidParams, "initialize needs a string 'user'")
+            })?
+            .to_owned();
+        if let Some(proto) = params.get("protocol").and_then(Json::as_str) {
+            if proto != PROTOCOL {
+                return Err(RpcError::new(
+                    ErrorCode::InvalidParams,
+                    format!("unsupported protocol '{proto}' (server speaks {PROTOCOL})"),
+                ));
+            }
+        }
+        let requested = decode_requested_policy(params)?;
+        let server = self.tenancy.surface(&user, &requested, self.obs.clone())?;
+        let mut span = self.obs.span("wire:session");
+        span.attr("user", user.as_str());
+        self.obs.incr("wire.sessions", 1);
+        let tools = Json::array(server.registry.names().into_iter().map(Json::str));
+        let prompt = server.prompt;
+        self.session = Some(Session {
+            registry: Arc::new(server.registry),
+            span,
+            used: 0,
+        });
+        Ok(Json::object([
+            ("protocol", Json::str(PROTOCOL)),
+            ("user", Json::str(user)),
+            ("tools", tools),
+            ("prompt", Json::str(prompt)),
+        ]))
+    }
+
+    fn tools_list(&mut self) -> Result<Json, RpcError> {
+        let session = self.session.as_ref().expect("charged() checked");
+        let tools = session
+            .registry
+            .iter()
+            .map(|tool| {
+                let sig = tool.signature();
+                let args = Json::array(sig.args.iter().map(|a| {
+                    let mut pairs = vec![
+                        ("name", Json::str(a.name.clone())),
+                        ("type", Json::str(a.ty.to_string())),
+                        ("description", Json::str(a.description.clone())),
+                        ("required", Json::Bool(a.required)),
+                    ];
+                    if let Some(default) = &a.default {
+                        pairs.push(("default", default.clone()));
+                    }
+                    Json::object(pairs)
+                }));
+                Json::object([
+                    ("name", Json::str(tool.name())),
+                    ("description", Json::str(tool.description())),
+                    (
+                        "signature",
+                        Json::object([
+                            ("args", args),
+                            ("allow_extra", Json::Bool(sig.allow_extra)),
+                        ]),
+                    ),
+                    ("risk", Json::str(risk_to_str(tool.risk()))),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Ok(Json::object([("tools", Json::array(tools))]))
+    }
+
+    fn tools_call(&mut self, params: &Json, exec: &dyn CallExecutor) -> Result<Json, RpcError> {
+        let session = self.session.as_ref().expect("charged() checked");
+        let name = params
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                RpcError::new(ErrorCode::InvalidParams, "tools/call needs a string 'name'")
+            })?
+            .to_owned();
+        let payload = params.get("arguments").cloned().unwrap_or(Json::Null);
+        let result = exec.execute(
+            Arc::clone(&session.registry),
+            name,
+            payload,
+            session.span.id(),
+            self.obs,
+        )?;
+        match result {
+            Ok(output) => Ok(tool_output_to_json(&output)),
+            Err(tool_err) => Err(tool_error_to_rpc(&tool_err)),
+        }
+    }
+}
+
+/// Decode the optional `policy` member of `initialize` params into a
+/// requested [`SecurityPolicy`]. Unspecified dials are left maximally
+/// permissive so [`SecurityPolicy::restricted_by`] treats them as "no
+/// request" rather than an accidental tightening.
+fn decode_requested_policy(params: &Json) -> Result<SecurityPolicy, RpcError> {
+    let mut policy = SecurityPolicy {
+        schema_threshold: usize::MAX,
+        exemplar_k: usize::MAX,
+        ..SecurityPolicy::permissive()
+    };
+    let Some(spec) = params.get("policy") else {
+        return Ok(policy);
+    };
+    let spec = spec
+        .as_object()
+        .ok_or_else(|| RpcError::new(ErrorCode::InvalidParams, "'policy' must be an object"))?;
+    let strings = |value: &Json, what: &str| -> Result<Vec<String>, RpcError> {
+        value
+            .as_array()
+            .and_then(|items| {
+                items
+                    .iter()
+                    .map(|v| v.as_str().map(str::to_owned))
+                    .collect::<Option<Vec<_>>>()
+            })
+            .ok_or_else(|| {
+                RpcError::new(
+                    ErrorCode::InvalidParams,
+                    format!("'policy.{what}' must be an array of strings"),
+                )
+            })
+    };
+    for (key, value) in spec {
+        match key.as_str() {
+            "blocked_tools" => {
+                policy = policy.with_blocked_tools(strings(value, "blocked_tools")?);
+            }
+            "object_blacklist" => {
+                policy = policy.with_blacklist(strings(value, "object_blacklist")?);
+            }
+            "object_whitelist" => {
+                policy = policy.with_whitelist(strings(value, "object_whitelist")?);
+            }
+            "max_risk" => {
+                let risk = value.as_str().and_then(risk_from_str).ok_or_else(|| {
+                    RpcError::new(
+                        ErrorCode::InvalidParams,
+                        "'policy.max_risk' must be one of safe|mutating|destructive",
+                    )
+                })?;
+                policy = policy.with_max_risk(risk);
+            }
+            other => {
+                return Err(RpcError::new(
+                    ErrorCode::InvalidParams,
+                    format!("unknown policy field '{other}'"),
+                ));
+            }
+        }
+    }
+    Ok(policy)
+}
+
+/// Socket read-timeout tick: how often a blocked read re-checks the stop
+/// flag and the frame deadline.
+const SOCKET_TICK: Duration = Duration::from_millis(50);
+/// Accept-loop poll interval while no connection is pending.
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+/// A running TCP wire server. Dropping it without calling
+/// [`WireServer::shutdown`] aborts ungracefully (threads are detached).
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    pool: Arc<Pool>,
+    obs: Obs,
+}
+
+impl WireServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        tenancy: Tenancy,
+        config: WireConfig,
+        obs: Obs,
+    ) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(Pool::new(config.workers, config.queue_depth));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let pool = Arc::clone(&pool);
+            let obs = obs.clone();
+            let tenancy = Arc::new(tenancy);
+            let config = Arc::new(config);
+            thread::Builder::new()
+                .name("wire-accept".into())
+                .spawn(move || {
+                    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                obs.incr("wire.connections", 1);
+                                let stop = Arc::clone(&stop);
+                                let pool = Arc::clone(&pool);
+                                let obs = obs.clone();
+                                let tenancy = Arc::clone(&tenancy);
+                                let config = Arc::clone(&config);
+                                let handle = thread::Builder::new()
+                                    .name("wire-conn".into())
+                                    .spawn(move || {
+                                        handle_conn(stream, &tenancy, &config, &pool, &obs, &stop);
+                                    })
+                                    .expect("spawn wire connection");
+                                conns.push(handle);
+                                conns.retain(|h| !h.is_finished());
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                thread::sleep(ACCEPT_TICK);
+                            }
+                            Err(_) => thread::sleep(ACCEPT_TICK),
+                        }
+                    }
+                    // Drain: connection threads observe the stop flag at
+                    // their next socket tick and run down.
+                    for h in conns {
+                        let _ = h.join();
+                    }
+                })
+                .expect("spawn wire accept loop")
+        };
+        Ok(WireServer {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            pool,
+            obs,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The observability handle every session records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Stop accepting, let live connections notice the stop flag, finish
+    /// in-flight tool calls, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.pool.shutdown();
+    }
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    tenancy: &Tenancy,
+    config: &WireConfig,
+    pool: &Arc<Pool>,
+    obs: &Obs,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TICK));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    // Responses are single small frames on a request/response protocol;
+    // Nagle buys nothing here and costs a delayed-ACK round trip.
+    let _ = stream.set_nodelay(true);
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(read_half, config.max_frame_bytes);
+    let mut writer = stream;
+    let mut ctx = SessionCtx::new(tenancy, config, obs);
+    let exec = PooledExecutor {
+        pool: Arc::clone(pool),
+        call_timeout: config.call_timeout,
+    };
+    loop {
+        let frame = match reader.read_frame(Some(config.read_timeout), Some(stop)) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) | Err(FrameError::TruncatedEof) | Err(FrameError::Io(_)) => {
+                break;
+            }
+            Err(FrameError::TooLarge { limit }) => {
+                obs.incr("wire.rejected.oversize", 1);
+                let err = RpcError::new(
+                    ErrorCode::FrameTooLarge,
+                    format!("frame exceeds the {limit}-byte limit"),
+                );
+                let _ = write_frame(&mut writer, &response_err(&Json::Null, &err));
+                break;
+            }
+            Err(FrameError::Timeout { deadline }) => {
+                // An idle peer just gets disconnected; a peer that dribbled
+                // a partial frame gets told why.
+                if reader.pending_bytes() > 0 {
+                    obs.incr("wire.rejected.timeout", 1);
+                    let err = RpcError::new(
+                        ErrorCode::DeadlineExceeded,
+                        format!("no complete frame within {}ms", deadline.as_millis()),
+                    );
+                    let _ = write_frame(&mut writer, &response_err(&Json::Null, &err));
+                }
+                break;
+            }
+            Err(FrameError::InvalidUtf8) => {
+                let err = RpcError::new(ErrorCode::ParseError, "frame is not valid UTF-8");
+                let _ = write_frame(&mut writer, &response_err(&Json::Null, &err));
+                break;
+            }
+        };
+        if stop.load(Ordering::Relaxed) {
+            let err = RpcError::new(ErrorCode::ShuttingDown, "server is draining");
+            let _ = write_frame(&mut writer, &response_err(&Json::Null, &err));
+            break;
+        }
+        let dispatch = match parse_request(&frame) {
+            Ok(req) => ctx.dispatch(&req, &exec),
+            Err(err) => Dispatch {
+                frame: response_err(&Json::Null, &err),
+                close: false,
+            },
+        };
+        if write_frame(&mut writer, &dispatch.frame).is_err() || dispatch.close {
+            break;
+        }
+    }
+    // Dropping `ctx` closes the session's `wire:session` span, if any.
+}
+
+/// Serve exactly one session over arbitrary byte streams — the stdio
+/// transport. Calls execute inline (no pool): stdio has a single client,
+/// so concurrency buys nothing. Returns when the peer sends `shutdown` or
+/// closes its end.
+pub fn serve_stream<R: Read, W: Write>(
+    tenancy: &Tenancy,
+    config: &WireConfig,
+    obs: &Obs,
+    input: R,
+    mut output: W,
+) -> std::io::Result<()> {
+    let mut reader = FrameReader::new(input, config.max_frame_bytes);
+    let mut ctx = SessionCtx::new(tenancy, config, obs);
+    loop {
+        let frame = match reader.read_frame(None, None) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) | Err(FrameError::TruncatedEof) => break,
+            Err(FrameError::TooLarge { limit }) => {
+                let err = RpcError::new(
+                    ErrorCode::FrameTooLarge,
+                    format!("frame exceeds the {limit}-byte limit"),
+                );
+                write_frame(&mut output, &response_err(&Json::Null, &err))?;
+                break;
+            }
+            Err(FrameError::InvalidUtf8) => {
+                let err = RpcError::new(ErrorCode::ParseError, "frame is not valid UTF-8");
+                write_frame(&mut output, &response_err(&Json::Null, &err))?;
+                break;
+            }
+            Err(FrameError::Timeout { .. }) => break,
+            Err(FrameError::Io(e)) => {
+                return Err(std::io::Error::other(e));
+            }
+        };
+        let dispatch = match parse_request(&frame) {
+            Ok(req) => ctx.dispatch(&req, &InlineExecutor),
+            Err(err) => Dispatch {
+                frame: response_err(&Json::Null, &err),
+                close: false,
+            },
+        };
+        write_frame(&mut output, &dispatch.frame)?;
+        if dispatch.close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serve one session on this process's stdin/stdout (the MCP-style stdio
+/// transport: the parent process owns the pipes).
+pub fn serve_stdio(tenancy: &Tenancy, config: &WireConfig, obs: &Obs) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_stream(tenancy, config, obs, stdin.lock(), stdout.lock())
+}

@@ -1,0 +1,267 @@
+//! Serve a demo BridgeScope database over the wire, MCP-style.
+//!
+//! Four modes:
+//!
+//! * `cargo run --example serve` — bind a TCP listener (default
+//!   `127.0.0.1:0`, i.e. an ephemeral port), print the address, and serve
+//!   until the process is killed. Pass `--addr HOST:PORT` to pick a port
+//!   and `--trace FILE` to export the JSONL trace on shutdown.
+//! * `cargo run --example serve -- --stdio` — serve exactly one session on
+//!   stdin/stdout (the MCP stdio transport; the parent process owns the
+//!   pipes).
+//! * `cargo run --example serve -- --selftest [TRACE_FILE]` — bind an
+//!   ephemeral port, drive a scripted client session against it (schema
+//!   fetch, a select, one denied write, one proxy call), validate the
+//!   emitted JSONL trace, and exit non-zero on any mismatch. This is the
+//!   offline CI smoke test.
+//! * `cargo run --example serve -- --load [SESSIONS] [CALLS]` — bind an
+//!   ephemeral port and hammer it with the benchkit load generator,
+//!   printing the throughput + latency-histogram report.
+
+use bridgescope::prelude::*;
+use toolproto::ToolError;
+
+/// The demo database: a `sales` table anyone privileged can read, an
+/// `audit_log` the selftest policy fences off, and a read-only `reader`
+/// user to demonstrate per-session privilege gating.
+fn demo_db() -> Database {
+    let db = Database::new();
+    let mut admin = db.session("admin").expect("admin exists");
+    for sql in [
+        "CREATE TABLE sales (id INTEGER PRIMARY KEY, region TEXT, amount REAL)",
+        "CREATE TABLE audit_log (id INTEGER PRIMARY KEY, note TEXT)",
+        "INSERT INTO audit_log VALUES (1, 'seed')",
+    ] {
+        admin.execute_sql(sql).expect("setup SQL is valid");
+    }
+    for i in 0..200 {
+        let region = ["north", "south", "east", "west"][i % 4];
+        admin
+            .execute_sql(&format!(
+                "INSERT INTO sales VALUES ({i}, '{region}', {}.0)",
+                10 + i % 50
+            ))
+            .expect("insert");
+    }
+    db.create_user("reader", false).expect("fresh user");
+    db.grant("reader", sqlkit::Action::Select, "sales")
+        .expect("sales exists");
+    db
+}
+
+fn tenancy() -> Tenancy {
+    Tenancy::new(demo_db()).with_external(ml_registry())
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--stdio") => run_stdio(),
+        Some("--selftest") => run_selftest(args.get(1).cloned()),
+        Some("--load") => {
+            let sessions = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+            let calls = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+            run_loadgen(sessions, calls);
+        }
+        _ => run_tcp(&args),
+    }
+}
+
+/// Plain TCP serving until killed.
+fn run_tcp(args: &[String]) {
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut trace: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| fail("--addr needs a value"))
+            }
+            "--trace" => {
+                trace = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| fail("--trace needs a value")),
+                )
+            }
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+    }
+    let obs = match &trace {
+        Some(path) => Obs::jsonl(path),
+        None => Obs::in_memory(),
+    };
+    let server = WireServer::bind(&addr, tenancy(), WireConfig::default(), obs)
+        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    println!("listening on {}", server.local_addr());
+    println!(
+        "users: admin (full), reader (select on sales); protocol {}",
+        wire::PROTOCOL
+    );
+    // Serve until the process is killed; the accept loop owns the socket.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// One session on stdin/stdout.
+fn run_stdio() {
+    let tenancy = tenancy();
+    let config = WireConfig::default();
+    let obs = Obs::in_memory();
+    if let Err(e) = wire::serve_stdio(&tenancy, &config, &obs) {
+        fail(&format!("stdio transport failed: {e}"));
+    }
+}
+
+/// The scripted loopback session CI runs: every step prints a `selftest:`
+/// marker the gate greps for, and any deviation exits non-zero.
+fn run_selftest(trace_path: Option<String>) {
+    let obs = match &trace_path {
+        Some(path) => Obs::jsonl(path),
+        None => Obs::in_memory(),
+    };
+    let server = WireServer::bind("127.0.0.1:0", tenancy(), WireConfig::default(), obs.clone())
+        .unwrap_or_else(|e| fail(&format!("cannot bind: {e}")));
+    println!("listening on {}", server.local_addr());
+
+    let mut client = wire::Client::connect(server.local_addr())
+        .unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    // The session tightens the operator policy: audit_log is off-limits
+    // even for admin, so the scripted write below is *denied*, not absent.
+    client
+        .initialize_with(
+            "admin",
+            &Json::object([("object_blacklist", Json::array([Json::str("audit_log")]))]),
+        )
+        .unwrap_or_else(|e| fail(&format!("initialize: {e}")));
+
+    // 1. Schema fetch.
+    let schema = match client.call("get_schema", &Json::Null) {
+        Ok(Ok(out)) => out,
+        other => fail(&format!("get_schema: {other:?}")),
+    };
+    let tables = schema
+        .value
+        .get("tables")
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
+    // The session policy fences off audit_log, so the schema shows only
+    // sales — the wire layer preserves policy-scoped visibility too.
+    if tables != 1 {
+        fail(&format!(
+            "get_schema listed {tables} tables, want 1 (sales)"
+        ));
+    }
+    println!("selftest: schema ok ({tables} table visible, audit_log fenced)");
+
+    // 2. A select.
+    let out = match client.call(
+        "select",
+        &Json::object([("sql", Json::str("SELECT region, amount FROM sales"))]),
+    ) {
+        Ok(Ok(out)) => out,
+        other => fail(&format!("select: {other:?}")),
+    };
+    if out.rows != Some(200) {
+        fail(&format!("select returned {:?} rows, want 200", out.rows));
+    }
+    println!("selftest: select ok (200 rows)");
+
+    // 3. A denied write: the requested policy blacklists audit_log, so the
+    // denial context names the object and the gate.
+    match client.call(
+        "insert",
+        &Json::object([(
+            "sql",
+            Json::str("INSERT INTO audit_log VALUES (2, 'probe')"),
+        )]),
+    ) {
+        Ok(Err(ToolError::Denied { code, context, .. }))
+            if code == "policy" && context.object.as_deref() == Some("audit_log") =>
+        {
+            println!("selftest: denied ok (policy on audit_log)");
+        }
+        other => fail(&format!("denied write: {other:?}")),
+    }
+
+    // 4. A proxy call: all 200 sales rows move tool→tool into the trend
+    // analyzer without transiting the client.
+    let spec = Json::parse(
+        r#"{"target_tool": "trend_analyze", "tool_args": {
+            "sales": {"tool": "select",
+                      "args": {"sql": "SELECT id, amount FROM sales ORDER BY id"},
+                      "transform": "/rows"}}}"#,
+    )
+    .expect("valid proxy spec");
+    match client.call("proxy", &spec) {
+        Ok(Ok(out)) => println!("selftest: proxy ok ({})", out.value.to_compact()),
+        other => fail(&format!("proxy: {other:?}")),
+    }
+
+    client
+        .shutdown()
+        .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+    server.shutdown();
+
+    // 5. The JSONL trace must exist, parse, and contain the wire layer.
+    match obs.flush() {
+        Ok(Some(path)) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("read trace: {e}")));
+            let parsed = obs::parse_jsonl(&text)
+                .unwrap_or_else(|e| fail(&format!("trace does not parse: {e}")));
+            obs::validate_tree(&parsed.spans)
+                .unwrap_or_else(|e| fail(&format!("trace span tree invalid: {e}")));
+            for needed in ["wire:session", "wire:call", "tool:select", "proxy:unit"] {
+                if !parsed.spans.iter().any(|s| s.name == needed) {
+                    fail(&format!("trace is missing a {needed} span"));
+                }
+            }
+            println!(
+                "selftest: trace ok ({} spans, {})",
+                parsed.spans.len(),
+                path.display()
+            );
+        }
+        Ok(None) => println!("selftest: trace skipped (no path given)"),
+        Err(e) => fail(&format!("trace flush: {e}")),
+    }
+    println!("selftest: all ok");
+}
+
+/// Loopback load generation with the benchkit report.
+fn run_loadgen(sessions: usize, calls: usize) {
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        tenancy(),
+        WireConfig::default(),
+        Obs::in_memory(),
+    )
+    .unwrap_or_else(|e| fail(&format!("cannot bind: {e}")));
+    println!("listening on {}", server.local_addr());
+    let cfg = benchkit::LoadConfig::select(
+        sessions,
+        calls,
+        "admin",
+        "SELECT region, amount FROM sales WHERE id < 50",
+    );
+    let report = benchkit::run_load(server.local_addr(), &cfg);
+    server.shutdown();
+    print!("{}", report.render());
+    if report.calls_ok != (sessions * calls) as u64 {
+        fail(&format!(
+            "only {}/{} calls succeeded",
+            report.calls_ok,
+            sessions * calls
+        ));
+    }
+}

@@ -20,7 +20,10 @@
 //!   verification, and the proxy mechanism;
 //! * [`mltools`] — data-processing and ML tool servers (NL2ML's ecosystem);
 //! * [`benchkit`] — the BIRD-Ext and NL2ML benchmarks plus the evaluation
-//!   harness regenerating every table and figure.
+//!   harness regenerating every table and figure;
+//! * [`wire`] — concurrent MCP-style JSON-RPC serving layer exposing a
+//!   per-user tool surface over TCP and stdio, with a blocking client and
+//!   a mirror registry for remote agents.
 //!
 //! Start with [`prelude`] and the `quickstart` example.
 
@@ -34,6 +37,7 @@ pub use mltools;
 pub use obs;
 pub use sqlkit;
 pub use toolproto;
+pub use wire;
 
 /// The types most programs need, in one import.
 pub mod prelude {
@@ -46,4 +50,5 @@ pub mod prelude {
     pub use obs::{Obs, ObsConfig, ObsSnapshot};
     pub use sqlkit::{parse_statement, Action};
     pub use toolproto::{Json, Registry, Risk, Tool, ToolError, ToolOutput};
+    pub use wire::{Client, Tenancy, WireConfig, WireServer};
 }

@@ -1,0 +1,236 @@
+//! Differential test for the wire layer: one benchkit BIRD task driven
+//! through the in-process registry and through a loopback `wire::Client`
+//! must be indistinguishable — identical tool results and trace events,
+//! identical denial outcomes (with [`toolproto::DenialContext`]), and an
+//! equivalent span tree modulo the extra `wire:*` layer.
+
+use benchkit::harness::{build_toolkit_observed, task_seed, Toolkit};
+use benchkit::roles::install_roles;
+use benchkit::Role;
+use bridgescope_core::SecurityPolicy;
+use llmsim::{LlmProfile, ReactAgent};
+use obs::{Obs, SpanRecord};
+use std::sync::{Arc, Mutex};
+use toolproto::{Json, Registry};
+use wire::{mirror_registry, Client, Tenancy, WireConfig, WireServer};
+
+fn strict(profile: LlmProfile) -> LlmProfile {
+    LlmProfile {
+        schema_hallucination_rate: 0.0,
+        predicate_error_rate: 0.0,
+        privilege_awareness: 1.0,
+        spurious_abort_rate: 0.0,
+        sql_accuracy: 1.0,
+        ..profile
+    }
+}
+
+/// Render the subtree rooted at `id` as `name(child,child,…)`, children in
+/// snapshot (start) order — a structural fingerprint that ignores ids and
+/// timing.
+fn shape(spans: &[SpanRecord], id: u64) -> String {
+    let me = spans.iter().find(|s| s.id == id).expect("span exists");
+    let kids: Vec<String> = spans
+        .iter()
+        .filter(|s| s.parent == Some(id))
+        .map(|s| shape(spans, s.id))
+        .collect();
+    if kids.is_empty() {
+        me.name.clone()
+    } else {
+        format!("{}({})", me.name, kids.join(","))
+    }
+}
+
+/// The structural fingerprints of every `tool:*` span, in execution order.
+fn tool_forest(spans: &[SpanRecord]) -> Vec<String> {
+    spans
+        .iter()
+        .filter(|s| s.name.starts_with("tool:"))
+        .map(|s| shape(spans, s.id))
+        .collect()
+}
+
+#[test]
+fn bird_task_runs_identically_through_the_wire() {
+    let bench = benchkit::generate_bird_ext(3);
+    let task = bench
+        .tasks
+        .iter()
+        .find(|t| !t.is_write())
+        .expect("bench has read tasks");
+    let task_tables: Vec<String> = bench
+        .template
+        .table_names()
+        .into_iter()
+        .filter(|t| t != "employee_salaries")
+        .collect();
+    let user = Role::Administrator.user();
+    let seed = task_seed(1, &task.spec.id);
+
+    // In-process ground truth: agent + toolkit share one obs handle.
+    let obs_local = Obs::in_memory();
+    let db_local = bench.template.fork();
+    install_roles(&db_local, &task_tables);
+    let (registry, prompt_local) = build_toolkit_observed(
+        Toolkit::BridgeScope,
+        &db_local,
+        user,
+        &Registry::new(),
+        SecurityPolicy::default(),
+        obs_local.clone(),
+    );
+    let agent = ReactAgent::new(strict(LlmProfile::gpt4o()), prompt_local.clone())
+        .with_obs(obs_local.clone());
+    let local_trace = agent.run(&registry, &task.spec, seed);
+    assert!(
+        local_trace.outcome.is_completed(),
+        "strict profile + gold SQL"
+    );
+
+    // Wire run: identical database fork served behind a loopback server;
+    // the agent drives a mirror registry built from `tools/list`.
+    let obs_remote = Obs::in_memory();
+    let db_remote = bench.template.fork();
+    install_roles(&db_remote, &task_tables);
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        Tenancy::new(db_remote).with_base_policy(SecurityPolicy::default()),
+        WireConfig::default(),
+        obs_remote.clone(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let init = client.initialize(user).unwrap();
+    let prompt_remote = init
+        .get("prompt")
+        .and_then(Json::as_str)
+        .expect("initialize returns the prompt")
+        .to_owned();
+    assert_eq!(
+        prompt_remote, prompt_local,
+        "deterministic registry order keeps the wire prompt byte-identical"
+    );
+    let mirror = mirror_registry(Arc::new(Mutex::new(client))).unwrap();
+    assert_eq!(
+        mirror.render_prompt(),
+        registry.render_prompt(),
+        "the mirrored tool surface renders byte-identically"
+    );
+    let agent = ReactAgent::new(strict(LlmProfile::gpt4o()), prompt_remote);
+    let wire_trace = agent.run(&mirror, &task.spec, seed);
+    server.shutdown();
+
+    // Identical run, step by step: every event (tool call arguments, tool
+    // results, errors, the final answer) and every aggregate metric. Token
+    // counts derive from rendered tool outputs, so equality here means the
+    // ToolResults were byte-identical.
+    assert_eq!(wire_trace.outcome, local_trace.outcome);
+    assert_eq!(wire_trace.answer, local_trace.answer);
+    assert_eq!(wire_trace.llm_calls, local_trace.llm_calls);
+    assert_eq!(wire_trace.tool_calls, local_trace.tool_calls);
+    assert_eq!(wire_trace.prompt_tokens, local_trace.prompt_tokens);
+    assert_eq!(wire_trace.completion_tokens, local_trace.completion_tokens);
+    assert_eq!(wire_trace.rows_via_llm, local_trace.rows_via_llm);
+    let local_events: Vec<_> = local_trace
+        .events
+        .iter()
+        .map(|e| (e.call, e.kind.clone(), e.tokens))
+        .collect();
+    let wire_events: Vec<_> = wire_trace
+        .events
+        .iter()
+        .map(|e| (e.call, e.kind.clone(), e.tokens))
+        .collect();
+    assert_eq!(wire_events, local_events);
+
+    // Span-tree equivalence modulo the wire layer: the forest under the
+    // tool spans is identical, and on the wire side every tool span is
+    // wrapped by exactly wire:call → wire:session.
+    let local_snap = obs_local.snapshot();
+    let remote_snap = obs_remote.snapshot();
+    obs::validate_tree(&local_snap.spans).unwrap();
+    obs::validate_tree(&remote_snap.spans).unwrap();
+    let local_forest = tool_forest(&local_snap.spans);
+    let remote_forest = tool_forest(&remote_snap.spans);
+    assert!(!local_forest.is_empty(), "task must have executed tools");
+    assert_eq!(remote_forest, local_forest);
+    for tool_span in remote_snap
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("tool:"))
+    {
+        let call = remote_snap
+            .spans
+            .iter()
+            .find(|s| Some(s.id) == tool_span.parent)
+            .expect("tool span has a parent");
+        assert_eq!(call.name, "wire:call");
+        let session = remote_snap
+            .spans
+            .iter()
+            .find(|s| Some(s.id) == call.parent)
+            .expect("wire:call has a parent");
+        assert_eq!(session.name, "wire:session");
+        assert!(session.parent.is_none(), "sessions are roots");
+    }
+    // Metrics cover the hop: one wire:call per tool invocation, with a
+    // latency observation each.
+    assert_eq!(
+        remote_snap.metrics.counter("wire.requests.tools_call") as usize,
+        wire_trace.tool_calls
+    );
+}
+
+#[test]
+fn denial_outcomes_identical_through_the_wire() {
+    let bench = benchkit::generate_bird_ext(2);
+    let task_tables: Vec<String> = bench
+        .template
+        .table_names()
+        .into_iter()
+        .filter(|t| t != "employee_salaries")
+        .collect();
+    let user = Role::Administrator.user();
+    // The administrator role is never granted employee_salaries, so this
+    // probe trips the privilege gate with a full denial context.
+    let probe = Json::object([("sql", Json::str("SELECT * FROM employee_salaries"))]);
+
+    let db_local = bench.template.fork();
+    install_roles(&db_local, &task_tables);
+    let (registry, _) = build_toolkit_observed(
+        Toolkit::BridgeScope,
+        &db_local,
+        user,
+        &Registry::new(),
+        SecurityPolicy::default(),
+        Obs::disabled(),
+    );
+    let local_err = registry.call("select", &probe).unwrap_err();
+
+    let db_remote = bench.template.fork();
+    install_roles(&db_remote, &task_tables);
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        Tenancy::new(db_remote).with_base_policy(SecurityPolicy::default()),
+        WireConfig::default(),
+        Obs::in_memory(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.initialize(user).unwrap();
+    let mirror = mirror_registry(Arc::new(Mutex::new(client))).unwrap();
+    let wire_err = mirror.call("select", &probe).unwrap_err();
+    server.shutdown();
+
+    assert_eq!(
+        wire_err, local_err,
+        "denials (code, message, DenialContext) must survive the wire"
+    );
+    match wire_err {
+        toolproto::ToolError::Denied { context, .. } => {
+            assert_eq!(context.object.as_deref(), Some("employee_salaries"));
+        }
+        other => panic!("expected a privilege denial, got {other:?}"),
+    }
+}
