@@ -58,4 +58,24 @@ grep -q '"name":"wire:session"' "$wire_trace" \
   || { echo "FAIL: wire trace has no wire:session span"; exit 1; }
 echo "==> wire loopback smoke OK"
 
+# Durability layer: commit work to a WAL-backed database, kill the engine
+# in-process (no checkpoint, one transaction left uncommitted), reopen, and
+# require zero lost commits plus a recovery:replay span in the trace. The
+# torn-tail proptest and the benchkit crash differential already ran in the
+# workspace suite above; this exercises the same path as a runnable binary.
+recovery_trace=target/recovery-trace.jsonl
+rm -f "$recovery_trace"
+recovery_out=$(cargo run -q --offline --locked --example serve -- --selftest-recovery "$recovery_trace")
+echo "$recovery_out"
+for marker in "committed workload ok" "engine killed" "recovery ok" \
+              "zero lost commits" "uncommitted txn discarded ok" "trace ok" "recovery all ok"; do
+  echo "$recovery_out" | grep -q "$marker" \
+    || { echo "FAIL: recovery selftest missing marker '$marker'"; exit 1; }
+done
+grep -q '"name":"recovery:replay"' "$recovery_trace" \
+  || { echo "FAIL: recovery trace has no recovery:replay span"; exit 1; }
+grep -q '"name":"wal:append"' "$recovery_trace" \
+  || { echo "FAIL: recovery trace has no wal:append span"; exit 1; }
+echo "==> crash-recovery smoke OK"
+
 echo "All checks passed."

@@ -66,8 +66,17 @@ const REGIONS: [&str; 3] = ["west", "east", "north"];
 
 /// Build the multi-domain database.
 pub fn build_database(seed: u64) -> Database {
-    let mut rng = SmallRng::seed_from_u64(seed);
     let db = Database::new();
+    build_database_on(&db, seed);
+    db
+}
+
+/// Populate an existing (empty) database with the multi-domain content.
+/// Splitting this from [`build_database`] lets the crash-recovery harness
+/// seed a *durable* database with the exact same content a volatile
+/// reference gets.
+pub fn build_database_on(db: &Database, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut s = db.session("admin").expect("admin exists");
     // Real BIRD databases carry wide tables (the schools domain has dozens
     // of columns); width matters because schema dumps dominate per-call
@@ -281,8 +290,6 @@ pub fn build_database(seed: u64) -> Database {
         ));
     }
     batch_insert(&mut s, "employee_salaries", &rows);
-
-    db
 }
 
 fn batch_insert(session: &mut minidb::Session, table: &str, rows: &[String]) {

@@ -19,11 +19,15 @@
 //!   renderings (Figure 5, Figure 6, Table 1, Table 2);
 //! * [`loadgen`] — a load generator for the wire serving layer: N
 //!   concurrent sessions × M calls with a throughput + latency-histogram
-//!   report.
+//!   report;
+//! * [`crashlab`] — crash-recovery differential harness: replays BIRD-Ext
+//!   write-task gold SQL against a durable engine, kills it at injected
+//!   points, and asserts WAL recovery matches a volatile reference.
 
 #![warn(missing_docs)]
 
 pub mod bird;
+pub mod crashlab;
 pub mod eval;
 pub mod harness;
 pub mod housing;
@@ -33,6 +37,7 @@ pub mod report;
 pub mod roles;
 
 pub use bird::{generate as generate_bird_ext, BirdExt, BirdTask};
+pub use crashlab::{run as run_crashlab, CrashLabConfig, CrashLabReport, CrashPoint};
 pub use harness::{
     build_toolkit_observed, run_bird_cell, run_nl2ml, run_nl2ml_observed, BirdCell, CellOutcome,
     Nl2mlConfig, TaskClass, Toolkit,

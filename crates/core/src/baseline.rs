@@ -9,9 +9,11 @@
 //! * **PG-MCP-S** — PG-MCP over a row-sampled database (§3.4); the sampling
 //!   itself is done by the benchmark harness, the toolkit is identical.
 
-use crate::bridge::{db_error_to_tool, result_to_output_verbose, value_to_json, BridgeContext};
+use crate::bridge::{
+    db_error_to_tool, result_to_output_verbose, value_to_json, BridgeContext, DatabaseHandle,
+};
 use crate::config::SecurityPolicy;
-use minidb::{Database, DbError};
+use minidb::DbError;
 use std::sync::Arc;
 use toolproto::{
     ArgSpec, ArgType, Args, FnTool, Json, Registry, Risk, Signature, Tool, ToolError, ToolOutput,
@@ -131,7 +133,11 @@ pub struct BaselineServer {
 }
 
 /// Build the PG-MCP baseline (get_schema + execute_sql).
-pub fn pg_mcp(db: Database, user: &str, external: &Registry) -> Result<BaselineServer, DbError> {
+pub fn pg_mcp(
+    db: impl Into<DatabaseHandle>,
+    user: &str,
+    external: &Registry,
+) -> Result<BaselineServer, DbError> {
     let ctx = BridgeContext::new(db, user, SecurityPolicy::permissive())?;
     let mut registry = Registry::new();
     registry.register_tool(pg_get_schema(Arc::clone(&ctx)));
@@ -145,7 +151,7 @@ pub fn pg_mcp(db: Database, user: &str, external: &Registry) -> Result<BaselineS
 
 /// Build the PG-MCP⁻ variant (execute_sql only).
 pub fn pg_mcp_minus(
-    db: Database,
+    db: impl Into<DatabaseHandle>,
     user: &str,
     external: &Registry,
 ) -> Result<BaselineServer, DbError> {
@@ -162,6 +168,7 @@ pub fn pg_mcp_minus(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minidb::Database;
 
     fn demo() -> Database {
         let db = Database::new();

@@ -13,6 +13,39 @@ use sqlkit::ast::Action;
 use std::sync::Arc;
 use toolproto::{DenialContext, Json, ToolError, ToolOutput};
 
+/// One conversion point for everything that builds a tool surface over a
+/// database. `Database` is Arc-backed, so all of `Database`, `&Database`,
+/// and an existing handle convert cheaply — call sites pass whichever they
+/// have instead of sprinkling `.clone()` everywhere, and future engine
+/// parameters land here instead of at N construction sites.
+#[derive(Clone)]
+pub struct DatabaseHandle(Database);
+
+impl DatabaseHandle {
+    /// Unwrap into the underlying database.
+    pub fn into_database(self) -> Database {
+        self.0
+    }
+}
+
+impl From<Database> for DatabaseHandle {
+    fn from(db: Database) -> Self {
+        DatabaseHandle(db)
+    }
+}
+
+impl From<&Database> for DatabaseHandle {
+    fn from(db: &Database) -> Self {
+        DatabaseHandle(db.clone())
+    }
+}
+
+impl From<&DatabaseHandle> for DatabaseHandle {
+    fn from(h: &DatabaseHandle) -> Self {
+        h.clone()
+    }
+}
+
 /// Shared state of one BridgeScope (or baseline) server instance.
 pub struct BridgeContext {
     /// The database.
@@ -31,17 +64,22 @@ pub struct BridgeContext {
 
 impl BridgeContext {
     /// Open a context (and its session) for `user`, without observability.
-    pub fn new(db: Database, user: &str, policy: SecurityPolicy) -> Result<Arc<Self>, DbError> {
+    pub fn new(
+        db: impl Into<DatabaseHandle>,
+        user: &str,
+        policy: SecurityPolicy,
+    ) -> Result<Arc<Self>, DbError> {
         BridgeContext::with_obs(db, user, policy, Obs::disabled())
     }
 
     /// Open a context that records into `obs`.
     pub fn with_obs(
-        db: Database,
+        db: impl Into<DatabaseHandle>,
         user: &str,
         policy: SecurityPolicy,
         obs: Obs,
     ) -> Result<Arc<Self>, DbError> {
+        let db = db.into().into_database();
         let session = db.session(user)?;
         Ok(Arc::new(BridgeContext {
             db,

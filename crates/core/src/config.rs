@@ -9,6 +9,10 @@
 use std::collections::BTreeSet;
 use toolproto::Risk;
 
+// Deployment configuration rides next to the security policy: operators who
+// configure what the LLM may see also configure where committed state lives.
+pub use minidb::{DurabilityConfig, FsyncPolicy};
+
 /// A user-side security policy applied by every BridgeScope tool.
 #[derive(Debug, Clone)]
 pub struct SecurityPolicy {

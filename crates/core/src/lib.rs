@@ -36,8 +36,8 @@ pub mod sql_tools;
 pub mod txn_tools;
 
 pub use baseline::{pg_mcp, pg_mcp_minus, BaselineServer};
-pub use bridge::BridgeContext;
-pub use config::SecurityPolicy;
+pub use bridge::{BridgeContext, DatabaseHandle};
+pub use config::{DurabilityConfig, FsyncPolicy, SecurityPolicy};
 pub use multi::{MultiSourceServer, SourceSpec};
 pub use obs::{Obs, ObsConfig, ObsSnapshot};
 pub use prompt::{BRIDGESCOPE_PROMPT, GENERIC_DB_PROMPT};

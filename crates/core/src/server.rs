@@ -6,13 +6,13 @@
 //! on at least one object *and* the user-side policy allows the tool. A
 //! read-only user's agent simply never sees `insert`.
 
-use crate::bridge::BridgeContext;
+use crate::bridge::{BridgeContext, DatabaseHandle};
 use crate::config::SecurityPolicy;
 use crate::context_tools::{get_object_tool, get_schema_tool, get_value_tool};
 use crate::proxy::proxy_tool_observed;
 use crate::sql_tools::{action_risk, action_tool};
 use crate::txn_tools::{begin_tool, commit_tool, rollback_tool};
-use minidb::{Database, DbError};
+use minidb::DbError;
 use obs::{Obs, ObsConfig, ObsSnapshot};
 use sqlkit::ast::Action;
 use std::sync::Arc;
@@ -38,7 +38,7 @@ impl BridgeScopeServer {
     /// are re-exported in the final registry. Observability is off; use
     /// [`BridgeScopeServer::build_with_config`] to record traces.
     pub fn build(
-        db: Database,
+        db: impl Into<DatabaseHandle>,
         user: &str,
         policy: SecurityPolicy,
         external: &Registry,
@@ -51,7 +51,7 @@ impl BridgeScopeServer {
     /// and metrics for [`BridgeScopeServer::snapshot`], and `Jsonl` also
     /// arms [`Obs::flush`] to export the trace as JSON Lines.
     pub fn build_with_config(
-        db: Database,
+        db: impl Into<DatabaseHandle>,
         user: &str,
         policy: SecurityPolicy,
         external: &Registry,
@@ -65,13 +65,14 @@ impl BridgeScopeServer {
     /// trace. Attaches a registry-level call observer and the observed proxy
     /// when the handle is enabled.
     pub fn build_observed(
-        db: Database,
+        db: impl Into<DatabaseHandle>,
         user: &str,
         policy: SecurityPolicy,
         external: &Registry,
         obs: Obs,
     ) -> Result<BridgeScopeServer, DbError> {
-        let ctx = BridgeContext::with_obs(db.clone(), user, policy, obs.clone())?;
+        let db = db.into().into_database();
+        let ctx = BridgeContext::with_obs(&db, user, policy, obs.clone())?;
         let mut registry = Registry::new();
 
         // F1 — context retrieval (always exposed; outputs are filtered).
@@ -145,6 +146,7 @@ impl BridgeScopeServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minidb::Database;
     use toolproto::Json;
 
     fn demo_db() -> Database {

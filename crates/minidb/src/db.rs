@@ -12,9 +12,13 @@ use crate::exec::{self, DbState, QueryResult};
 use crate::plan::{ExecOptions, PlanSummary};
 use crate::privilege::PrivilegeCatalog;
 use crate::schema::TableSchema;
+use crate::storage::{
+    self, DurabilityConfig, DurableEngine, RecoveryReport, StorageEngine, VolatileEngine, WalRecord,
+};
 use crate::sync::RwLock;
-use crate::txn::{self, TxnStatus, UndoOp};
+use crate::txn::{self, CommitPipeline, TxnStatus, UndoOp};
 use crate::value::Value;
+use obs::Obs;
 use sqlkit::ast::{Action, Statement};
 use sqlkit::parse_statement;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,6 +29,9 @@ struct Inner {
     privileges: PrivilegeCatalog,
     /// Session id currently holding the explicit-transaction slot.
     txn_owner: Option<u64>,
+    /// The durability seam. Volatile by default; every committed
+    /// transaction's redo records pass through it.
+    engine: Box<dyn StorageEngine>,
 }
 
 /// A shared in-memory database.
@@ -41,20 +48,108 @@ impl Default for Database {
 }
 
 impl Database {
-    /// New empty database with a single superuser `admin`.
+    /// New empty database with a single superuser `admin`, backed by the
+    /// volatile (in-memory-only) engine.
     pub fn new() -> Self {
-        let mut privileges = PrivilegeCatalog::new();
-        privileges
-            .create_user("admin", true)
-            .expect("fresh catalog");
+        let (state, privileges) = storage::baseline();
+        Self::from_parts(state, privileges, Box::new(VolatileEngine))
+    }
+
+    fn from_parts(
+        state: DbState,
+        privileges: PrivilegeCatalog,
+        engine: Box<dyn StorageEngine>,
+    ) -> Self {
         Database {
             inner: Arc::new(RwLock::new(Inner {
-                state: DbState::default(),
+                state,
                 privileges,
                 txn_owner: None,
+                engine,
             })),
             next_session: Arc::new(AtomicU64::new(1)),
         }
+    }
+
+    /// Open (or create) a durable database in `config.dir`: load the newest
+    /// snapshot, replay the WAL tail (dropping a torn final frame), and
+    /// return the recovered database plus a [`RecoveryReport`].
+    pub fn open(config: &DurabilityConfig) -> DbResult<(Database, RecoveryReport)> {
+        Self::open_observed(config, Obs::disabled())
+    }
+
+    /// [`Database::open`] with observability: recovery emits a
+    /// `recovery:replay` span and the engine reports `wal.*` counters and
+    /// commit/fsync latency histograms through `obs`.
+    pub fn open_observed(
+        config: &DurabilityConfig,
+        obs: Obs,
+    ) -> DbResult<(Database, RecoveryReport)> {
+        let (engine, state, privileges, report) = DurableEngine::open(config, obs)?;
+        Ok((
+            Self::from_parts(state, privileges, Box::new(engine)),
+            report,
+        ))
+    }
+
+    /// Engine label: `"volatile"` or `"wal"`.
+    pub fn engine_name(&self) -> &'static str {
+        self.inner.read().engine.name()
+    }
+
+    /// Whether commits survive a process restart.
+    pub fn is_durable(&self) -> bool {
+        self.inner.read().engine.is_durable()
+    }
+
+    /// Force durability of everything committed so far (fsync the WAL).
+    pub fn flush_wal(&self) -> DbResult<()> {
+        self.inner.write().engine.flush()
+    }
+
+    /// Compact the full committed state into a snapshot and truncate the
+    /// WAL. No-op on the volatile engine.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        let mut guard = self.inner.write();
+        let Inner {
+            engine,
+            state,
+            privileges,
+            ..
+        } = &mut *guard;
+        engine.checkpoint(state, privileges)
+    }
+
+    /// Deterministic digest of everything durability must preserve: schemas,
+    /// rows (with their ids — replay reproduces id allocation exactly),
+    /// views, users, and grants. Two databases with equal fingerprints are
+    /// indistinguishable to every query; the crash-recovery harness compares
+    /// a reopened database against a volatile reference with this.
+    pub fn state_fingerprint(&self) -> String {
+        let inner = self.inner.read();
+        let mut out = String::new();
+        for name in inner.state.catalog.table_names() {
+            let schema = inner.state.catalog.table(name).expect("listed table");
+            out.push_str(&format!("table {name} {schema:?}\n"));
+            if let Some(data) = inner.state.data.get(name) {
+                for (rid, row) in data.iter() {
+                    out.push_str(&format!("row {name} {rid} {row:?}\n"));
+                }
+            }
+        }
+        for name in inner.state.catalog.view_names() {
+            let def = inner.state.catalog.view(name).expect("listed view");
+            out.push_str(&format!("view {name} {def:?}\n"));
+        }
+        for name in inner.privileges.user_names() {
+            let u = inner.privileges.user(name).expect("listed user");
+            out.push_str(&format!(
+                "user {name} superuser={} grants={:?}\n",
+                u.superuser,
+                u.grant_list()
+            ));
+        }
+        out
     }
 
     /// Open a session for `user`.
@@ -70,29 +165,78 @@ impl Database {
             id: self.next_session.fetch_add(1, Ordering::Relaxed),
             user: user.to_owned(),
             undo: Vec::new(),
+            pipeline: CommitPipeline::default(),
             savepoints: Vec::new(),
             status: TxnStatus::Autocommit,
         })
     }
 
+    /// Apply a privilege mutation durably: mutate a clone, commit the redo
+    /// records, and only then swap the clone in — an engine failure leaves
+    /// the catalog (and the log) untouched.
+    fn commit_privilege_change(
+        &self,
+        records: Vec<WalRecord>,
+        mutate: impl FnOnce(&mut PrivilegeCatalog) -> DbResult<()>,
+    ) -> DbResult<()> {
+        let mut guard = self.inner.write();
+        let Inner {
+            engine,
+            state,
+            privileges,
+            ..
+        } = &mut *guard;
+        let mut next = privileges.clone();
+        mutate(&mut next)?;
+        engine.commit_txn(&records, state, &next)?;
+        *privileges = next;
+        Ok(())
+    }
+
     /// Create a user (administrative API).
     pub fn create_user(&self, name: &str, superuser: bool) -> DbResult<()> {
-        self.inner.write().privileges.create_user(name, superuser)
+        self.commit_privilege_change(
+            vec![WalRecord::CreateUser {
+                name: name.to_owned(),
+                superuser,
+            }],
+            |p| p.create_user(name, superuser),
+        )
     }
 
     /// Grant an action on an object (administrative API).
     pub fn grant(&self, user: &str, action: Action, object: &str) -> DbResult<()> {
-        self.inner.write().privileges.grant(user, action, object)
+        self.commit_privilege_change(
+            vec![WalRecord::Grant {
+                user: user.to_owned(),
+                action,
+                object: object.to_owned(),
+            }],
+            |p| p.grant(user, action, object),
+        )
     }
 
     /// Grant all data actions on an object.
     pub fn grant_all(&self, user: &str, object: &str) -> DbResult<()> {
-        self.inner.write().privileges.grant_all(user, object)
+        self.commit_privilege_change(
+            vec![WalRecord::GrantAll {
+                user: user.to_owned(),
+                object: object.to_owned(),
+            }],
+            |p| p.grant_all(user, object),
+        )
     }
 
     /// Revoke an action on an object.
     pub fn revoke(&self, user: &str, action: Action, object: &str) -> DbResult<()> {
-        self.inner.write().privileges.revoke(user, action, object)
+        self.commit_privilege_change(
+            vec![WalRecord::Revoke {
+                user: user.to_owned(),
+                action,
+                object: object.to_owned(),
+            }],
+            |p| p.revoke(user, action, object),
+        )
     }
 
     /// Snapshot of one user's privileges.
@@ -216,14 +360,13 @@ impl Database {
     /// per task run so write tasks cannot contaminate each other.
     pub fn fork(&self) -> Database {
         let inner = self.inner.read();
-        Database {
-            inner: Arc::new(RwLock::new(Inner {
-                state: inner.state.clone(),
-                privileges: inner.privileges.clone(),
-                txn_owner: None,
-            })),
-            next_session: Arc::new(AtomicU64::new(1)),
-        }
+        // Forks are always volatile: benchmark forks of a durable template
+        // must not contend for (or corrupt) the template's WAL directory.
+        Database::from_parts(
+            inner.state.clone(),
+            inner.privileges.clone(),
+            Box::new(VolatileEngine),
+        )
     }
 }
 
@@ -233,9 +376,13 @@ pub struct Session {
     id: u64,
     user: String,
     undo: Vec<UndoOp>,
-    /// Named savepoints: `(name, undo-log length at creation)`. Rolling back
-    /// to one replays the undo suffix; releasing discards the marker.
-    savepoints: Vec<(String, usize)>,
+    /// Redo records staged for the open transaction, kept in lockstep with
+    /// `undo` and handed to the storage engine at COMMIT.
+    pipeline: CommitPipeline,
+    /// Named savepoints: `(name, undo-log length, staged-record count)` at
+    /// creation. Rolling back to one replays the undo suffix and discards
+    /// the matching staged redo suffix; releasing discards the marker.
+    savepoints: Vec<(String, usize, usize)>,
     status: TxnStatus,
 }
 
@@ -295,33 +442,69 @@ impl Session {
                 }
             }
         }
-        // GRANT/REVOKE routes to the privilege catalog.
+        // GRANT/REVOKE routes to the privilege catalog. It commits (and is
+        // logged) immediately, even inside an explicit transaction — it
+        // bypasses the undo log, so BEGIN…ROLLBACK never covered it; the WAL
+        // mirrors that by making it its own durable mini-transaction. The
+        // clone-then-swap keeps the catalog untouched if the engine fails.
         if let Statement::GrantRevoke(g) = stmt {
-            let mut inner = self.db.inner.write();
-            if !inner.privileges.contains(&g.user) {
-                inner.privileges.create_user(&g.user, false)?;
+            let mut guard = self.db.inner.write();
+            let Inner {
+                engine,
+                state,
+                privileges,
+                ..
+            } = &mut *guard;
+            let mut next = privileges.clone();
+            let mut records = Vec::new();
+            if !next.contains(&g.user) {
+                next.create_user(&g.user, false)?;
+                records.push(WalRecord::CreateUser {
+                    name: g.user.clone(),
+                    superuser: false,
+                });
             }
             for object in &g.objects {
-                inner.state.catalog.table(object)?;
+                state.catalog.table(object)?;
                 match &g.actions {
                     None => {
                         if g.grant {
-                            inner.privileges.grant_all(&g.user, object)?;
+                            next.grant_all(&g.user, object)?;
+                            records.push(WalRecord::GrantAll {
+                                user: g.user.clone(),
+                                object: object.clone(),
+                            });
                         } else {
-                            inner.privileges.revoke_all(&g.user, object)?;
+                            next.revoke_all(&g.user, object)?;
+                            records.push(WalRecord::RevokeAll {
+                                user: g.user.clone(),
+                                object: object.clone(),
+                            });
                         }
                     }
                     Some(actions) => {
                         for &a in actions {
                             if g.grant {
-                                inner.privileges.grant(&g.user, a, object)?;
+                                next.grant(&g.user, a, object)?;
+                                records.push(WalRecord::Grant {
+                                    user: g.user.clone(),
+                                    action: a,
+                                    object: object.clone(),
+                                });
                             } else {
-                                inner.privileges.revoke(&g.user, a, object)?;
+                                next.revoke(&g.user, a, object)?;
+                                records.push(WalRecord::Revoke {
+                                    user: g.user.clone(),
+                                    action: a,
+                                    object: object.clone(),
+                                });
                             }
                         }
                     }
                 }
             }
+            engine.commit_txn(&records, state, &next)?;
+            *privileges = next;
             return Ok(QueryResult::Status(if g.grant {
                 "granted".to_owned()
             } else {
@@ -338,33 +521,62 @@ impl Session {
             return exec::explain(&inner.state, explained);
         }
         // Writes: respect the transaction slot.
-        let mut inner = self.db.inner.write();
-        if let Some(owner) = inner.txn_owner {
+        let mut guard = self.db.inner.write();
+        if let Some(owner) = guard.txn_owner {
             if owner != self.id {
                 return Err(DbError::TransactionState(
                     "database is locked by another session's transaction".into(),
                 ));
             }
         }
+        let Inner {
+            engine,
+            state,
+            privileges,
+            ..
+        } = &mut *guard;
         if self.status == TxnStatus::Explicit {
             let mark = self.undo.len();
-            match exec::execute(&mut inner.state, stmt, &mut self.undo) {
-                Ok(result) => Ok(result),
+            match exec::execute(state, stmt, &mut self.undo) {
+                Ok(result) => {
+                    // Stage redo records now, while the state reflects
+                    // exactly this statement (redo images are read live).
+                    // The volatile engine discards them at commit, so skip
+                    // the row cloning entirely unless durability is on.
+                    if engine.is_durable() {
+                        self.pipeline.stage(state, &self.undo[mark..]);
+                    }
+                    Ok(result)
+                }
                 Err(e) => {
                     // Undo the partial effects of this statement, then mark
                     // the transaction aborted (statement-level atomicity).
+                    // Nothing was staged for it — staging is success-only.
                     let partial = self.undo.split_off(mark);
-                    txn::rollback(&mut inner.state, partial);
+                    txn::rollback(state, partial);
                     self.status = TxnStatus::Aborted;
                     Err(e)
                 }
             }
         } else {
             let mut undo = Vec::new();
-            match exec::execute(&mut inner.state, stmt, &mut undo) {
-                Ok(result) => Ok(result),
+            match exec::execute(state, stmt, &mut undo) {
+                Ok(result) => {
+                    // Autocommit: the statement is its own transaction. If
+                    // the engine cannot make it durable, it did not happen.
+                    let records = if engine.is_durable() {
+                        txn::redo_records(state, &undo)
+                    } else {
+                        Vec::new()
+                    };
+                    if let Err(e) = engine.commit_txn(&records, state, privileges) {
+                        txn::rollback(state, undo);
+                        return Err(e);
+                    }
+                    Ok(result)
+                }
                 Err(e) => {
-                    txn::rollback(&mut inner.state, undo);
+                    txn::rollback(state, undo);
                     Err(e)
                 }
             }
@@ -421,6 +633,7 @@ impl Session {
         inner.txn_owner = Some(self.id);
         self.status = TxnStatus::Explicit;
         self.undo.clear();
+        self.pipeline.clear();
         self.savepoints.clear();
         Ok(QueryResult::Status("transaction started".into()))
     }
@@ -433,8 +646,25 @@ impl Session {
                 "no transaction in progress".into(),
             )),
             TxnStatus::Explicit => {
-                let mut inner = self.db.inner.write();
-                inner.txn_owner = None;
+                let mut guard = self.db.inner.write();
+                let Inner {
+                    engine,
+                    state,
+                    privileges,
+                    txn_owner,
+                } = &mut *guard;
+                let records = self.pipeline.take();
+                if let Err(e) = engine.commit_txn(&records, state, privileges) {
+                    // The commit is not durable, so it must not be visible:
+                    // roll the whole transaction back before surfacing.
+                    let log = std::mem::take(&mut self.undo);
+                    txn::rollback(state, log);
+                    self.savepoints.clear();
+                    *txn_owner = None;
+                    self.status = TxnStatus::Autocommit;
+                    return Err(e);
+                }
+                *txn_owner = None;
                 self.undo.clear();
                 self.savepoints.clear();
                 self.status = TxnStatus::Autocommit;
@@ -459,6 +689,7 @@ impl Session {
         let mut inner = self.db.inner.write();
         let log = std::mem::take(&mut self.undo);
         txn::rollback(&mut inner.state, log);
+        self.pipeline.clear();
         self.savepoints.clear();
         inner.txn_owner = None;
         self.status = TxnStatus::Autocommit;
@@ -473,8 +704,9 @@ impl Session {
                 "SAVEPOINT requires an open transaction".into(),
             ));
         }
-        self.savepoints.retain(|(n, _)| n != name);
-        self.savepoints.push((name.to_owned(), self.undo.len()));
+        self.savepoints.retain(|(n, ..)| n != name);
+        self.savepoints
+            .push((name.to_owned(), self.undo.len(), self.pipeline.len()));
         Ok(QueryResult::Status(format!("savepoint \"{name}\" set")))
     }
 
@@ -487,15 +719,16 @@ impl Session {
                 "ROLLBACK TO SAVEPOINT requires an open transaction".into(),
             ));
         }
-        let Some(pos) = self.savepoints.iter().position(|(n, _)| n == name) else {
+        let Some(pos) = self.savepoints.iter().position(|(n, ..)| n == name) else {
             return Err(DbError::TransactionState(format!(
                 "savepoint \"{name}\" does not exist"
             )));
         };
-        let mark = self.savepoints[pos].1;
+        let (_, mark, staged_mark) = self.savepoints[pos].clone();
         // Later savepoints are destroyed; this one survives.
         self.savepoints.truncate(pos + 1);
         let suffix = self.undo.split_off(mark);
+        self.pipeline.truncate(staged_mark);
         let mut inner = self.db.inner.write();
         txn::rollback(&mut inner.state, suffix);
         self.status = TxnStatus::Explicit;
@@ -512,7 +745,7 @@ impl Session {
                 "RELEASE SAVEPOINT requires an open transaction".into(),
             ));
         }
-        let Some(pos) = self.savepoints.iter().position(|(n, _)| n == name) else {
+        let Some(pos) = self.savepoints.iter().position(|(n, ..)| n == name) else {
             return Err(DbError::TransactionState(format!(
                 "savepoint \"{name}\" does not exist"
             )));

@@ -41,6 +41,9 @@ pub enum DbError {
     UnknownUser(String),
     /// Anything else that surfaced during execution.
     Execution(String),
+    /// The storage engine failed to persist or recover state (I/O error,
+    /// corrupt WAL/snapshot). Not retryable: the commit did not happen.
+    Storage(String),
 }
 
 impl fmt::Display for DbError {
@@ -64,6 +67,7 @@ impl fmt::Display for DbError {
             DbError::TransactionState(m) => write!(f, "transaction error: {m}"),
             DbError::UnknownUser(u) => write!(f, "user \"{u}\" does not exist"),
             DbError::Execution(m) => write!(f, "execution error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

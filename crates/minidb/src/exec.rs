@@ -1852,7 +1852,7 @@ fn execute_delete(
 /// validation and FK-keyed equality predicates probe instead of scanning.
 /// Shared by CREATE TABLE and the ALTER TABLE DROP COLUMN rebuild so the
 /// two can never drift.
-fn build_auto_indexes(schema: &TableSchema, data: &mut TableData) -> DbResult<()> {
+pub(crate) fn build_auto_indexes(schema: &TableSchema, data: &mut TableData) -> DbResult<()> {
     if !schema.primary_key.is_empty() {
         let positions = schema.resolve_columns(&schema.primary_key)?;
         data.build_index("__pk", positions, true)

@@ -42,5 +42,9 @@ pub use exec::QueryResult;
 pub use plan::{ExecOptions, PlanSummary};
 pub use privilege::{PrivilegeCatalog, UserPrivileges};
 pub use schema::{Catalog, Column, ForeignKey, TableSchema};
+pub use storage::{
+    DurabilityConfig, DurableEngine, FsyncPolicy, RecoveryReport, StorageEngine, VolatileEngine,
+    WalRecord,
+};
 pub use txn::TxnStatus;
 pub use value::{Row, Value};

@@ -59,6 +59,12 @@ impl UserPrivileges {
     pub fn visible_objects(&self) -> BTreeSet<String> {
         self.grants.iter().map(|(_, o)| o.clone()).collect()
     }
+
+    /// Every explicit grant, in deterministic order (used for persistence
+    /// and state fingerprints; superuser status is separate).
+    pub fn grant_list(&self) -> Vec<(Action, String)> {
+        self.grants.iter().cloned().collect()
+    }
 }
 
 /// All users and their privileges.

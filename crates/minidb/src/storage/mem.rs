@@ -349,6 +349,34 @@ impl TableData {
         self.slots.get(rid).and_then(Option::as_ref)
     }
 
+    /// Total slot count (live + tombstoned). Persisted by snapshots so a
+    /// rebuilt table allocates future row ids exactly like the original.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The free list, in allocation (stack) order. Persisted by snapshots:
+    /// `insert` pops from the *end*, so reproducing the order reproduces
+    /// the original's row-id allocation sequence after recovery.
+    pub fn free_list(&self) -> Vec<RowId> {
+        self.free.clone()
+    }
+
+    /// Overwrite the slot count and free list after a bulk rebuild from
+    /// persisted rows (recovery / ALTER replay). Extends the slot vector so
+    /// every free id addresses a real (tombstoned) slot.
+    pub fn set_free_list(&mut self, slot_count: usize, free: Vec<RowId>) {
+        if slot_count > self.slots.len() {
+            self.slots.resize(slot_count, None);
+        }
+        self.free = free;
+    }
+
+    /// Clone out all live rows as `(RowId, Row)` pairs, in id order.
+    pub fn rows_snapshot(&self) -> Vec<(RowId, Row)> {
+        self.iter().map(|(rid, row)| (rid, row.clone())).collect()
+    }
+
     /// Iterate over `(RowId, &Row)` for live rows, in id order.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
         self.slots

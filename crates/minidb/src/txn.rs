@@ -9,7 +9,7 @@
 
 use crate::exec::DbState;
 use crate::schema::TableSchema;
-use crate::storage::{RowId, TableData};
+use crate::storage::{RowId, TableData, WalRecord};
 use crate::value::Row;
 
 /// One reversible step of a transaction.
@@ -148,6 +148,140 @@ pub fn rollback(state: &mut DbState, log: Vec<UndoOp>) {
         if let Err(e) = data.verify_index_consistency() {
             panic!("index out of sync after rollback of table {table}: {e}");
         }
+    }
+}
+
+/// Derive the logical *redo* records for a statement's undo ops. Must be
+/// called immediately after the statement succeeds, while `state` reflects
+/// exactly that statement: redo images (current row contents, current
+/// schemas) are read from the live state, which is only correct before any
+/// later statement touches the same rows.
+pub fn redo_records(state: &DbState, ops: &[UndoOp]) -> Vec<WalRecord> {
+    let mut records = Vec::with_capacity(ops.len());
+    for op in ops {
+        match op {
+            UndoOp::Insert { table, rid } => {
+                if let Some(row) = state.data.get(table).and_then(|d| d.get(*rid)) {
+                    records.push(WalRecord::RowInsert {
+                        table: table.clone(),
+                        rid: *rid,
+                        row: row.clone(),
+                    });
+                }
+            }
+            UndoOp::Delete { table, rid, .. } => {
+                records.push(WalRecord::RowDelete {
+                    table: table.clone(),
+                    rid: *rid,
+                });
+            }
+            UndoOp::Update { table, rid, .. } => {
+                if let Some(row) = state.data.get(table).and_then(|d| d.get(*rid)) {
+                    records.push(WalRecord::RowUpdate {
+                        table: table.clone(),
+                        rid: *rid,
+                        row: row.clone(),
+                    });
+                }
+            }
+            UndoOp::CreateTable { name } => {
+                if let Ok(schema) = state.catalog.table(name) {
+                    records.push(WalRecord::CreateTable {
+                        schema: schema.clone(),
+                    });
+                }
+            }
+            UndoOp::DropTable { name, .. } => {
+                records.push(WalRecord::DropTable { name: name.clone() });
+            }
+            UndoOp::CreateView { name } => {
+                if let Some(def) = state.catalog.view(name) {
+                    records.push(WalRecord::CreateView {
+                        name: def.name.clone(),
+                        columns: def.columns.clone(),
+                        query_sql: sqlkit::format_select(&def.query),
+                    });
+                }
+            }
+            UndoOp::DropView { def } => {
+                records.push(WalRecord::DropView {
+                    name: def.name.clone(),
+                });
+            }
+            UndoOp::CreateIndex { table, name } => {
+                if let Some(def) = state
+                    .catalog
+                    .table(table)
+                    .ok()
+                    .and_then(|s| s.indexes.iter().find(|i| &i.name == name))
+                {
+                    records.push(WalRecord::CreateIndex {
+                        table: table.clone(),
+                        def: def.clone(),
+                    });
+                }
+            }
+            UndoOp::AlterSnapshot {
+                table, renamed_to, ..
+            } => {
+                // Full re-image of the post-ALTER table (rare; see the
+                // WalRecord::AlterRewrite docs for the trade-off).
+                let current = renamed_to.as_deref().unwrap_or(table);
+                if let (Ok(schema), Some(data)) =
+                    (state.catalog.table(current), state.data.get(current))
+                {
+                    records.push(WalRecord::AlterRewrite {
+                        old_name: table.clone(),
+                        schema: schema.clone(),
+                        slot_count: data.slot_count(),
+                        rows: data.rows_snapshot(),
+                        free: data.free_list(),
+                    });
+                }
+            }
+        }
+    }
+    records
+}
+
+/// Staged redo records for the session's open transaction. Statements stage
+/// records as they succeed; COMMIT hands the batch to the storage engine in
+/// one atomic append; ROLLBACK (or statement failure) discards the affected
+/// suffix in lockstep with the undo log.
+#[derive(Debug, Default)]
+pub struct CommitPipeline {
+    staged: Vec<WalRecord>,
+}
+
+impl CommitPipeline {
+    /// Stage the redo records for one just-executed statement.
+    pub fn stage(&mut self, state: &DbState, ops: &[UndoOp]) {
+        self.staged.extend(redo_records(state, ops));
+    }
+
+    /// Number of staged records (savepoints remember this as a cut point).
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Discard staged records beyond `len` (statement failure / ROLLBACK TO).
+    pub fn truncate(&mut self, len: usize) {
+        self.staged.truncate(len);
+    }
+
+    /// Take the staged batch for commit, leaving the pipeline empty.
+    pub fn take(&mut self) -> Vec<WalRecord> {
+        std::mem::take(&mut self.staged)
+    }
+
+    /// Discard everything (full ROLLBACK).
+    pub fn clear(&mut self) {
+        self.staged.clear();
     }
 }
 

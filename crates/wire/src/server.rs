@@ -85,6 +85,12 @@ impl Tenancy {
         }
     }
 
+    /// The shared database behind this tenancy (e.g. for flushing or
+    /// checkpointing a durable engine around server lifecycle events).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
     /// Builder: external (ML/MCP) tools exposed to every session.
     pub fn with_external(mut self, external: Registry) -> Self {
         self.external = external;
@@ -530,6 +536,9 @@ pub struct WireServer {
     accept: Option<JoinHandle<()>>,
     pool: Arc<Pool>,
     obs: Obs,
+    /// Handle to the tenancy's database so graceful shutdown can flush and
+    /// checkpoint a durable engine.
+    db: Database,
 }
 
 impl WireServer {
@@ -544,6 +553,7 @@ impl WireServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let db = tenancy.database().clone();
         let stop = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(Pool::new(config.workers, config.queue_depth));
         let accept = {
@@ -594,6 +604,7 @@ impl WireServer {
             accept: Some(accept),
             pool,
             obs,
+            db,
         })
     }
 
@@ -608,13 +619,24 @@ impl WireServer {
     }
 
     /// Stop accepting, let live connections notice the stop flag, finish
-    /// in-flight tool calls, and join every thread.
+    /// in-flight tool calls, and join every thread. With a durable engine,
+    /// the drain point then flushes the WAL and compacts a snapshot, so the
+    /// next open recovers instantly without replaying the whole log.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
         self.pool.shutdown();
+        if self.db.is_durable() {
+            if let Err(e) = self.db.flush_wal().and_then(|()| self.db.checkpoint()) {
+                // Committed data is already on disk via commit-time writes;
+                // a failed compaction only costs replay time on reopen.
+                self.obs.incr("wire.shutdown.checkpoint_errors", 1);
+                let mut span = self.obs.span("wire:shutdown-checkpoint-failed");
+                span.attr("error", e.to_string());
+            }
+        }
     }
 }
 

@@ -1,11 +1,15 @@
 //! Serve a demo BridgeScope database over the wire, MCP-style.
 //!
-//! Four modes:
+//! Five modes:
 //!
 //! * `cargo run --example serve` — bind a TCP listener (default
 //!   `127.0.0.1:0`, i.e. an ephemeral port), print the address, and serve
 //!   until the process is killed. Pass `--addr HOST:PORT` to pick a port
-//!   and `--trace FILE` to export the JSONL trace on shutdown.
+//!   and `--trace FILE` to export the JSONL trace on shutdown. Pass
+//!   `--data-dir DIR` to serve a *durable* database (WAL + snapshot in
+//!   `DIR`; recovered on start, seeded with the demo content only when the
+//!   directory is fresh) and `--fsync {always,commit,off}` to pick the
+//!   durability/latency trade-off (default `commit`).
 //! * `cargo run --example serve -- --stdio` — serve exactly one session on
 //!   stdin/stdout (the MCP stdio transport; the parent process owns the
 //!   pipes).
@@ -14,6 +18,12 @@
 //!   fetch, a select, one denied write, one proxy call), validate the
 //!   emitted JSONL trace, and exit non-zero on any mismatch. This is the
 //!   offline CI smoke test.
+//! * `cargo run --example serve -- --selftest-recovery [TRACE_FILE]` —
+//!   open a durable database in a scratch directory, commit work, *kill
+//!   the engine in-process* (no checkpoint, one transaction deliberately
+//!   left uncommitted), reopen it, print the replay summary, and assert
+//!   zero lost commits plus a `recovery:replay` span in the trace. This is
+//!   the offline crash-recovery CI smoke test.
 //! * `cargo run --example serve -- --load [SESSIONS] [CALLS]` — bind an
 //!   ephemeral port and hammer it with the benchkit load generator,
 //!   printing the throughput + latency-histogram report.
@@ -26,6 +36,13 @@ use toolproto::ToolError;
 /// user to demonstrate per-session privilege gating.
 fn demo_db() -> Database {
     let db = Database::new();
+    populate_demo(&db);
+    db
+}
+
+/// Seed the demo content onto an existing (fresh) database — the same
+/// content whether the engine is volatile or durable.
+fn populate_demo(db: &Database) {
     let mut admin = db.session("admin").expect("admin exists");
     for sql in [
         "CREATE TABLE sales (id INTEGER PRIMARY KEY, region TEXT, amount REAL)",
@@ -46,7 +63,6 @@ fn demo_db() -> Database {
     db.create_user("reader", false).expect("fresh user");
     db.grant("reader", sqlkit::Action::Select, "sales")
         .expect("sales exists");
-    db
 }
 
 fn tenancy() -> Tenancy {
@@ -63,6 +79,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("--stdio") => run_stdio(),
         Some("--selftest") => run_selftest(args.get(1).cloned()),
+        Some("--selftest-recovery") => run_selftest_recovery(args.get(1).cloned()),
         Some("--load") => {
             let sessions = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
             let calls = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
@@ -76,6 +93,8 @@ fn main() {
 fn run_tcp(args: &[String]) {
     let mut addr = "127.0.0.1:0".to_owned();
     let mut trace: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -92,6 +111,20 @@ fn run_tcp(args: &[String]) {
                         .unwrap_or_else(|| fail("--trace needs a value")),
                 )
             }
+            "--data-dir" => {
+                data_dir = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| fail("--data-dir needs a value")),
+                )
+            }
+            "--fsync" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| fail("--fsync needs always|commit|off"));
+                fsync = FsyncPolicy::parse(value)
+                    .unwrap_or_else(|| fail(&format!("unknown fsync policy '{value}'")));
+            }
             other => fail(&format!("unknown flag '{other}'")),
         }
     }
@@ -99,7 +132,21 @@ fn run_tcp(args: &[String]) {
         Some(path) => Obs::jsonl(path),
         None => Obs::in_memory(),
     };
-    let server = WireServer::bind(&addr, tenancy(), WireConfig::default(), obs)
+    let tenancy = match &data_dir {
+        Some(dir) => {
+            let config = DurabilityConfig::new(dir).with_fsync(fsync);
+            let (db, report) = Database::open_observed(&config, obs.clone())
+                .unwrap_or_else(|e| fail(&format!("cannot open data dir {dir}: {e}")));
+            println!("{}", report.render());
+            if !report.snapshot_loaded && report.replayed_txns == 0 {
+                populate_demo(&db);
+                println!("seeded fresh durable database in {dir}");
+            }
+            Tenancy::new(db).with_external(ml_registry())
+        }
+        None => tenancy(),
+    };
+    let server = WireServer::bind(&addr, tenancy, WireConfig::default(), obs)
         .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
     println!("listening on {}", server.local_addr());
     println!(
@@ -236,6 +283,106 @@ fn run_selftest(trace_path: Option<String>) {
         Err(e) => fail(&format!("trace flush: {e}")),
     }
     println!("selftest: all ok");
+}
+
+/// The crash-recovery smoke test CI runs: commit work to a durable engine,
+/// kill it in-process with one transaction deliberately uncommitted, reopen,
+/// and assert the recovered state equals the committed state exactly.
+fn run_selftest_recovery(trace_path: Option<String>) {
+    let obs = match &trace_path {
+        Some(path) => Obs::jsonl(path),
+        None => Obs::in_memory(),
+    };
+    let dir = std::env::temp_dir().join(format!("bridgescope-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // No auto-snapshots: recovery must come from the WAL alone.
+    let config = DurabilityConfig::new(&dir).with_snapshot_every(0);
+
+    let (db, report) = Database::open_observed(&config, obs.clone())
+        .unwrap_or_else(|e| fail(&format!("open durable db: {e}")));
+    if report.snapshot_loaded || report.replayed_txns != 0 {
+        fail("scratch directory was not fresh");
+    }
+    populate_demo(&db);
+    let mut admin = db.session("admin").expect("admin exists");
+    for sql in [
+        "BEGIN",
+        "INSERT INTO sales VALUES (900, 'north', 42.0)",
+        "UPDATE sales SET amount = 99.0 WHERE id = 900",
+        "COMMIT",
+        "DELETE FROM sales WHERE id < 10",
+    ] {
+        admin
+            .execute_sql(sql)
+            .unwrap_or_else(|e| fail(&format!("workload '{sql}': {e}")));
+    }
+    drop(admin);
+    let committed = db.state_fingerprint();
+    println!(
+        "selftest: committed workload ok (engine {})",
+        db.engine_name()
+    );
+
+    // The crash: an open transaction whose session never rolls back
+    // (mem::forget skips Drop), then every handle to the engine vanishes
+    // without a checkpoint — exactly what kill -9 leaves on disk.
+    let mut doomed = db.session("admin").expect("admin exists");
+    doomed.execute_sql("BEGIN").expect("begin");
+    doomed
+        .execute_sql("INSERT INTO sales VALUES (901, 'south', 1.0)")
+        .expect("uncommitted insert");
+    std::mem::forget(doomed);
+    drop(db);
+    println!("selftest: engine killed (uncommitted txn in flight)");
+
+    let (db, report) = Database::open_observed(&config, obs.clone())
+        .unwrap_or_else(|e| fail(&format!("reopen durable db: {e}")));
+    println!("{}", report.render());
+    if report.replayed_txns == 0 {
+        fail("recovery replayed no transactions");
+    }
+    if db.state_fingerprint() != committed {
+        fail("recovered state diverges from the committed state (lost commits)");
+    }
+    println!(
+        "selftest: recovery ok ({} txns / {} records replayed, zero lost commits)",
+        report.replayed_txns, report.replayed_records
+    );
+    let rows = db
+        .session("admin")
+        .expect("admin exists")
+        .execute_sql("SELECT id FROM sales WHERE id >= 900")
+        .unwrap_or_else(|e| fail(&format!("post-recovery select: {e}")));
+    match rows {
+        QueryResult::Rows { rows, .. } if rows.len() == 1 => {
+            println!("selftest: uncommitted txn discarded ok");
+        }
+        other => fail(&format!("uncommitted txn leaked into recovery: {other:?}")),
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    match obs.flush() {
+        Ok(Some(path)) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("read trace: {e}")));
+            let parsed = obs::parse_jsonl(&text)
+                .unwrap_or_else(|e| fail(&format!("trace does not parse: {e}")));
+            for needed in ["wal:append", "wal:fsync", "recovery:replay"] {
+                if !parsed.spans.iter().any(|s| s.name == needed) {
+                    fail(&format!("trace is missing a {needed} span"));
+                }
+            }
+            println!(
+                "selftest: trace ok ({} spans, {})",
+                parsed.spans.len(),
+                path.display()
+            );
+        }
+        Ok(None) => println!("selftest: trace skipped (no path given)"),
+        Err(e) => fail(&format!("trace flush: {e}")),
+    }
+    println!("selftest: recovery all ok");
 }
 
 /// Loopback load generation with the benchkit report.

@@ -41,11 +41,15 @@ pub use wire;
 
 /// The types most programs need, in one import.
 pub mod prelude {
+    pub use bridgescope_core::DatabaseHandle;
     pub use bridgescope_core::{
         pg_mcp, pg_mcp_minus, BridgeScopeServer, SecurityPolicy, BRIDGESCOPE_PROMPT,
     };
     pub use llmsim::{LlmProfile, ReactAgent, TaskSpec};
-    pub use minidb::{Database, DbError, QueryResult, Session, Value};
+    pub use minidb::{
+        Database, DbError, DurabilityConfig, FsyncPolicy, QueryResult, RecoveryReport, Session,
+        Value,
+    };
     pub use mltools::ml_registry;
     pub use obs::{Obs, ObsConfig, ObsSnapshot};
     pub use sqlkit::{parse_statement, Action};
