@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# MVCC read-scaling benchmark (offline, hermetic).
+#
+# Serves the BIRD-Ext template over loopback and drives transactional read
+# sessions (BEGIN → gold SELECT → COMMIT, 2ms agent think time) at 1/2/4/8
+# concurrent workers via benchkit::loadgen, with a fixed seed. Emits
+# BENCH_mvcc.json — calls/s plus p50/p99 latency per worker count and the
+# 8-vs-1-worker throughput ratio — which ci/check.sh gates against.
+#
+# Usage: ci/bench.sh [output.json] [calls_per_session]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_mvcc.json}"
+calls="${2:-300}"
+
+cargo run -q --release --offline --locked --example serve -- --bench-mvcc "$out" "$calls"
+
+test -s "$out" || { echo "FAIL: $out is empty or missing"; exit 1; }
+grep -q '"bench": "mvcc_read_scaling"' "$out" \
+  || { echo "FAIL: $out is not an mvcc_read_scaling report"; exit 1; }
+echo "bench report: $out"

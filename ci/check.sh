@@ -3,79 +3,201 @@
 # reproducible in a network-isolated environment. Any dependency that would
 # need crates.io must be vendored under shims/ or feature-gated behind the
 # non-default `external-deps` feature (see DESIGN.md, "Offline build policy").
-set -euo pipefail
+#
+# Structure: every gate is a function registered in EXPECTED_GATES and run
+# through run_gate, which times it and records PASS/FAIL. The summary at the
+# end prints per-gate timing, and the script exits non-zero if any gate
+# failed OR any expected gate never ran — a silently-disabled (skipped) gate
+# is itself a failure, so gates can't rot.
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Gate registry: every name listed here MUST run, or the suite fails.
+EXPECTED_GATES="fmt clippy build-release tier1-tests workspace-tests obs-layer \
+wire-smoke recovery-smoke mvcc-stress mvcc-bench"
+
+GATES_RUN=""
+GATES_FAILED=""
+TIMING_SUMMARY=""
 
 run() {
   echo "==> $*"
   "$@"
 }
 
+run_gate() {
+  local name="$1"
+  local fn="$2"
+  local start end secs status
+  echo
+  echo "=== gate: $name ==="
+  start=$(date +%s)
+  if "$fn"; then
+    status=PASS
+  else
+    status=FAIL
+    GATES_FAILED="$GATES_FAILED $name"
+  fi
+  end=$(date +%s)
+  secs=$((end - start))
+  GATES_RUN="$GATES_RUN $name"
+  TIMING_SUMMARY="$TIMING_SUMMARY$(printf '  %-16s %4ss  %s' "$name" "$secs" "$status")\n"
+  echo "=== gate: $name $status (${secs}s) ==="
+}
+
+# ---------------------------------------------------------------- gates --
+
 # Style and lints first: cheap, and failures are the easiest to fix.
-run cargo fmt --all -- --check
-run cargo clippy --workspace --all-targets --offline --locked -- -D warnings
+gate_fmt() {
+  run cargo fmt --all -- --check
+}
+
+gate_clippy() {
+  run cargo clippy --workspace --all-targets --offline --locked -- -D warnings
+}
 
 # Tier-1 verify (ROADMAP.md): release build + umbrella tests.
-run cargo build --release --offline --locked
-run cargo test -q --offline --locked
+gate_build_release() {
+  run cargo build --release --offline --locked
+}
 
-# Full workspace suite, including the executor fast-path plan-summary and
-# differential tests (crates/minidb/tests/fastpath_differential.rs).
-run cargo test -q --workspace --offline --locked
+gate_tier1_tests() {
+  run cargo test -q --offline --locked
+}
+
+# Full workspace suite, including the executor fast-path differential
+# (crates/minidb/tests/fastpath_differential.rs), the savepoint and engine
+# proptests, and the crashlab differentials (single-session kill points
+# plus the interleaved concurrent-commit scenario).
+gate_workspace_tests() {
+  run cargo test -q --workspace --offline --locked
+}
 
 # Observability layer: the obs kernel builds and tests standalone, and the
 # end-to-end example must produce a non-empty, parseable JSONL trace
 # (task → llm:call → tool:{name} → sql:execute span chain + metrics line).
-run cargo build --offline --locked -p obs
-run cargo test -q --offline --locked -p obs
-trace_file=target/obs-trace.jsonl
-rm -f "$trace_file"
-run cargo run -q --offline --locked --example observability "$trace_file"
-test -s "$trace_file" || { echo "FAIL: $trace_file is empty or missing"; exit 1; }
-head -n 1 "$trace_file" | grep -q '^{.*"type":"span".*}$' \
-  || { echo "FAIL: first JSONL line is not a span record"; exit 1; }
-grep -q '"type":"metrics"' "$trace_file" \
-  || { echo "FAIL: JSONL trace has no metrics record"; exit 1; }
-echo "==> JSONL trace OK ($(wc -l < "$trace_file") lines)"
+gate_obs_layer() {
+  run cargo build --offline --locked -p obs || return 1
+  run cargo test -q --offline --locked -p obs || return 1
+  local trace_file=target/obs-trace.jsonl
+  rm -f "$trace_file"
+  run cargo run -q --offline --locked --example observability "$trace_file" || return 1
+  test -s "$trace_file" || { echo "FAIL: $trace_file is empty or missing"; return 1; }
+  head -n 1 "$trace_file" | grep -q '^{.*"type":"span".*}$' \
+    || { echo "FAIL: first JSONL line is not a span record"; return 1; }
+  grep -q '"type":"metrics"' "$trace_file" \
+    || { echo "FAIL: JSONL trace has no metrics record"; return 1; }
+  echo "==> JSONL trace OK ($(wc -l < "$trace_file") lines)"
+}
 
 # Wire layer: crate builds and tests standalone, then the offline loopback
 # smoke test — examples/serve --selftest binds an ephemeral port and drives
 # a scripted session against it (schema fetch, a select, a denied write, a
 # proxy call) and validates the emitted JSONL trace, printing one
 # `selftest:` marker per step and exiting non-zero on any deviation.
-run cargo build --offline --locked -p wire
-run cargo test -q --offline --locked -p wire
-wire_trace=target/wire-trace.jsonl
-rm -f "$wire_trace"
-selftest_out=$(cargo run -q --offline --locked --example serve -- --selftest "$wire_trace")
-echo "$selftest_out"
-for marker in "schema ok" "select ok" "denied ok" "proxy ok" "trace ok" "all ok"; do
-  echo "$selftest_out" | grep -q "selftest: $marker" \
-    || { echo "FAIL: wire selftest missing marker '$marker'"; exit 1; }
-done
-grep -q '"name":"wire:session"' "$wire_trace" \
-  || { echo "FAIL: wire trace has no wire:session span"; exit 1; }
-echo "==> wire loopback smoke OK"
+gate_wire_smoke() {
+  run cargo build --offline --locked -p wire || return 1
+  run cargo test -q --offline --locked -p wire || return 1
+  local wire_trace=target/wire-trace.jsonl
+  rm -f "$wire_trace"
+  local selftest_out
+  selftest_out=$(cargo run -q --offline --locked --example serve -- --selftest "$wire_trace") || return 1
+  echo "$selftest_out"
+  local marker
+  for marker in "schema ok" "select ok" "denied ok" "proxy ok" "trace ok" "all ok"; do
+    echo "$selftest_out" | grep -q "selftest: $marker" \
+      || { echo "FAIL: wire selftest missing marker '$marker'"; return 1; }
+  done
+  grep -q '"name":"wire:session"' "$wire_trace" \
+    || { echo "FAIL: wire trace has no wire:session span"; return 1; }
+  echo "==> wire loopback smoke OK"
+}
 
 # Durability layer: commit work to a WAL-backed database, kill the engine
 # in-process (no checkpoint, one transaction left uncommitted), reopen, and
 # require zero lost commits plus a recovery:replay span in the trace. The
 # torn-tail proptest and the benchkit crash differential already ran in the
 # workspace suite above; this exercises the same path as a runnable binary.
-recovery_trace=target/recovery-trace.jsonl
-rm -f "$recovery_trace"
-recovery_out=$(cargo run -q --offline --locked --example serve -- --selftest-recovery "$recovery_trace")
-echo "$recovery_out"
-for marker in "committed workload ok" "engine killed" "recovery ok" \
-              "zero lost commits" "uncommitted txn discarded ok" "trace ok" "recovery all ok"; do
-  echo "$recovery_out" | grep -q "$marker" \
-    || { echo "FAIL: recovery selftest missing marker '$marker'"; exit 1; }
-done
-grep -q '"name":"recovery:replay"' "$recovery_trace" \
-  || { echo "FAIL: recovery trace has no recovery:replay span"; exit 1; }
-grep -q '"name":"wal:append"' "$recovery_trace" \
-  || { echo "FAIL: recovery trace has no wal:append span"; exit 1; }
-echo "==> crash-recovery smoke OK"
+gate_recovery_smoke() {
+  local recovery_trace=target/recovery-trace.jsonl
+  rm -f "$recovery_trace"
+  local recovery_out
+  recovery_out=$(cargo run -q --offline --locked --example serve -- --selftest-recovery "$recovery_trace") || return 1
+  echo "$recovery_out"
+  local marker
+  for marker in "committed workload ok" "engine killed" "recovery ok" \
+                "zero lost commits" "uncommitted txn discarded ok" "trace ok" "recovery all ok"; do
+    echo "$recovery_out" | grep -q "$marker" \
+      || { echo "FAIL: recovery selftest missing marker '$marker'"; return 1; }
+  done
+  grep -q '"name":"recovery:replay"' "$recovery_trace" \
+    || { echo "FAIL: recovery trace has no recovery:replay span"; return 1; }
+  grep -q '"name":"wal:append"' "$recovery_trace" \
+    || { echo "FAIL: recovery trace has no wal:append span"; return 1; }
+  echo "==> crash-recovery smoke OK"
+}
 
+# MVCC concurrency stress: deterministic-seed writer threads hammering
+# shared counters, asserting lost-update freedom and fingerprint equality
+# vs serial replay (crates/minidb/tests/mvcc_stress.rs). The assertions are
+# interleaving-independent, so this gate cannot flake.
+gate_mvcc_stress() {
+  run cargo test -q --offline --locked -p minidb --test mvcc_stress
+}
+
+# MVCC scaling benchmark + regression gate: re-measure read-transaction
+# throughput at 1/2/4/8 workers (ci/bench.sh, fixed seed) and fail if the
+# 8-worker run is not better than 1.5× the 1-worker run. The committed
+# baseline (BENCH_mvcc.json) shows ≥2× on an unloaded single-core box; the
+# 1.5× gate leaves generous headroom for CI noise while still catching a
+# return to lock-serialized execution (which measures ~1.0×).
+gate_mvcc_bench() {
+  local fresh=target/BENCH_mvcc.json
+  bash ci/bench.sh "$fresh" 300 || return 1
+  test -s BENCH_mvcc.json \
+    || { echo "FAIL: committed baseline BENCH_mvcc.json missing"; return 1; }
+  local scaling
+  scaling=$(sed -n 's/.*"scaling_8v1": *\([0-9.]*\).*/\1/p' "$fresh")
+  test -n "$scaling" || { echo "FAIL: no scaling_8v1 in $fresh"; return 1; }
+  echo "==> measured scaling_8v1 = $scaling (gate: > 1.5)"
+  awk -v s="$scaling" 'BEGIN { exit (s > 1.5) ? 0 : 1 }' \
+    || { echo "FAIL: 8-worker throughput only ${scaling}x the 1-worker run (need > 1.5x)"; return 1; }
+}
+
+# ------------------------------------------------------------- execution --
+
+run_gate fmt             gate_fmt
+run_gate clippy          gate_clippy
+run_gate build-release   gate_build_release
+run_gate tier1-tests     gate_tier1_tests
+run_gate workspace-tests gate_workspace_tests
+run_gate obs-layer       gate_obs_layer
+run_gate wire-smoke      gate_wire_smoke
+run_gate recovery-smoke  gate_recovery_smoke
+run_gate mvcc-stress     gate_mvcc_stress
+run_gate mvcc-bench      gate_mvcc_bench
+
+# -------------------------------------------------------------- summary --
+
+echo
+echo "=== gate timing summary ==="
+printf "%b" "$TIMING_SUMMARY"
+
+skipped=""
+for g in $EXPECTED_GATES; do
+  case " $GATES_RUN " in
+    *" $g "*) ;;
+    *) skipped="$skipped $g" ;;
+  esac
+done
+
+if [ -n "$skipped" ]; then
+  echo "FAIL: expected gate(s) never ran:$skipped"
+  exit 1
+fi
+if [ -n "$GATES_FAILED" ]; then
+  echo "FAIL: gate(s) failed:$GATES_FAILED"
+  exit 1
+fi
 echo "All checks passed."

@@ -37,7 +37,10 @@ pub mod report;
 pub mod roles;
 
 pub use bird::{generate as generate_bird_ext, BirdExt, BirdTask};
-pub use crashlab::{run as run_crashlab, CrashLabConfig, CrashLabReport, CrashPoint};
+pub use crashlab::{
+    interleaved_commits, run as run_crashlab, CrashLabConfig, CrashLabReport, CrashPoint,
+    InterleavedReport, InterleavedStage,
+};
 pub use harness::{
     build_toolkit_observed, run_bird_cell, run_nl2ml, run_nl2ml_observed, BirdCell, CellOutcome,
     Nl2mlConfig, TaskClass, Toolkit,

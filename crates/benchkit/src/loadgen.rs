@@ -34,6 +34,20 @@ pub struct LoadConfig {
     pub tool: String,
     /// Arguments for every call.
     pub arguments: Json,
+    /// Optional call rotation: when non-empty, every session's `j`-th call
+    /// invokes `rotation[j % len]` (a `(tool, arguments)` pair) instead of
+    /// `tool`/`arguments`. The schedule depends only on the call index —
+    /// never on thread scheduling or commit order — so a fixed seed yields
+    /// the same per-session call sequence at every worker count, and
+    /// stateful sequences (BEGIN → SELECT → COMMIT) stay aligned.
+    pub rotation: Vec<(String, Json)>,
+    /// Think time per call in nanoseconds, slept *before* each call and
+    /// excluded from the latency histogram. Models the agent side of the
+    /// loop (an LLM deciding the next tool call): with think time, a lone
+    /// session leaves the server mostly idle, and throughput scales with
+    /// concurrent sessions until the server saturates — which is exactly
+    /// the serving capacity the scaling benchmark measures.
+    pub think_ns: u64,
 }
 
 impl LoadConfig {
@@ -50,6 +64,41 @@ impl LoadConfig {
             users: vec![user.into()],
             tool: "select".into(),
             arguments: Json::object([("sql", Json::str(sql.into()))]),
+            rotation: Vec::new(),
+            think_ns: 0,
+        }
+    }
+
+    /// A transactional read workload: every session loops BEGIN → SELECT →
+    /// COMMIT over `sqls` (one statement per transaction), with `think_ns`
+    /// of agent think time before each call. Under MVCC any number of these
+    /// transactions run concurrently; under a single global transaction
+    /// slot they would serialize (or fail) immediately.
+    /// `calls_per_session` is rounded up to whole transactions.
+    pub fn txn_read_rotation(
+        sessions: usize,
+        calls_per_session: usize,
+        user: impl Into<String>,
+        sqls: &[String],
+        think_ns: u64,
+    ) -> LoadConfig {
+        let mut rotation: Vec<(String, Json)> = Vec::with_capacity(sqls.len() * 3);
+        for sql in sqls {
+            rotation.push(("begin".into(), Json::Null));
+            rotation.push((
+                "select".into(),
+                Json::object([("sql", Json::str(sql.clone()))]),
+            ));
+            rotation.push(("commit".into(), Json::Null));
+        }
+        LoadConfig {
+            sessions,
+            calls_per_session: calls_per_session.div_ceil(3) * 3,
+            users: vec![user.into()],
+            tool: "select".into(),
+            arguments: Json::object([("sql", Json::str("SELECT 1"))]),
+            rotation,
+            think_ns,
         }
     }
 }
@@ -191,10 +240,19 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
                     sessions_failed.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-                for _ in 0..cfg.calls_per_session {
+                for j in 0..cfg.calls_per_session {
                     calls_attempted.fetch_add(1, Ordering::Relaxed);
+                    let (tool, arguments) = if cfg.rotation.is_empty() {
+                        (cfg.tool.as_str(), &cfg.arguments)
+                    } else {
+                        let (t, a) = &cfg.rotation[j % cfg.rotation.len()];
+                        (t.as_str(), a)
+                    };
+                    if cfg.think_ns > 0 {
+                        std::thread::sleep(std::time::Duration::from_nanos(cfg.think_ns));
+                    }
                     let t0 = Instant::now();
-                    match client.call(&cfg.tool, &cfg.arguments) {
+                    match client.call(tool, arguments) {
                         Ok(Ok(_)) => {
                             latency.observe_ns(t0.elapsed().as_nanos() as u64);
                             calls_ok.fetch_add(1, Ordering::Relaxed);

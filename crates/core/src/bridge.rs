@@ -80,6 +80,7 @@ impl BridgeContext {
         obs: Obs,
     ) -> Result<Arc<Self>, DbError> {
         let db = db.into().into_database();
+        db.attach_obs(obs.clone());
         let session = db.session(user)?;
         Ok(Arc::new(BridgeContext {
             db,
@@ -158,6 +159,9 @@ impl BridgeContext {
 /// [`ToolError::Denied`] (the agent aborts), everything else an execution
 /// error (the agent may retry). Engine privilege errors carry the acted-on
 /// object and action, which are preserved in the denial context.
+/// [`DbError::SerializationConflict`] keeps its stable
+/// `"serialization conflict"` message prefix through the round-trip, so an
+/// agent (or the wire client) can detect it and re-run the transaction.
 pub fn db_error_to_tool(e: DbError) -> ToolError {
     match e {
         DbError::PrivilegeDenied {

@@ -1,43 +1,77 @@
-//! The database facade and per-user sessions.
+//! The database facade and per-user sessions, under MVCC snapshot isolation.
 //!
-//! [`Database`] owns state behind a lock; [`Session`]s execute SQL as a
-//! specific user, with engine-side privilege enforcement and explicit
-//! transaction support. A session in an explicit transaction holds a global
-//! transaction slot, so concurrent writers observe SQLite-style "database is
-//! locked" semantics rather than anomalies — adequate and honest for the
-//! single-agent benchmark workloads (see DESIGN.md).
+//! [`Database`] publishes an immutable [`CommittedVersion`] behind a
+//! pointer-swap `RwLock`; readers clone the `Arc` and execute lock-free
+//! against a consistent snapshot — they never block writers and never see a
+//! torn state. Writers execute on a private copy-on-write workspace and
+//! commit through a single commit lock: the commit timestamp is assigned
+//! there, immediately before the WAL group append, so version order and
+//! durability order agree. Conflicting concurrent writers lose with a typed
+//! [`DbError::SerializationConflict`] (first writer wins); autocommit
+//! statements retry internally, explicit transactions surface the error for
+//! the caller (an agent, via the `ToolError` mapping) to retry. A vacuum —
+//! inline per commit, or a background thread via
+//! [`Database::start_vacuum`] — trims retained history older than the
+//! oldest active snapshot.
 
 use crate::error::{DbError, DbResult};
 use crate::exec::{self, DbState, QueryResult};
+use crate::mvcc::{self, CommittedVersion, TimestampOracle, Ts};
 use crate::plan::{ExecOptions, PlanSummary};
 use crate::privilege::PrivilegeCatalog;
 use crate::schema::TableSchema;
 use crate::storage::{
     self, DurabilityConfig, DurableEngine, RecoveryReport, StorageEngine, VolatileEngine, WalRecord,
 };
-use crate::sync::RwLock;
+use crate::sync::{Mutex, RwLock};
 use crate::txn::{self, CommitPipeline, TxnStatus, UndoOp};
 use crate::value::Value;
 use obs::Obs;
 use sqlkit::ast::{Action, Statement};
 use sqlkit::parse_statement;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-struct Inner {
-    state: DbState,
-    privileges: PrivilegeCatalog,
-    /// Session id currently holding the explicit-transaction slot.
-    txn_owner: Option<u64>,
-    /// The durability seam. Volatile by default; every committed
-    /// transaction's redo records pass through it.
-    engine: Box<dyn StorageEngine>,
+/// Default bound on the retained-version history buffer.
+const DEFAULT_RETAIN_CAP: usize = 32;
+
+/// How many times an autocommit statement re-executes after losing a
+/// first-writer-wins race before surfacing the conflict. Each commit admits
+/// exactly one winner, so a loser makes progress every round; this bound
+/// only triggers under pathological sustained contention.
+const AUTOCOMMIT_RETRIES: usize = 64;
+
+struct Shared {
+    /// Latest committed version. Readers clone the `Arc` (pointer bump) and
+    /// go lock-free; the write guard is held only for the pointer swap.
+    committed: RwLock<Arc<CommittedVersion>>,
+    /// Serializes the commit protocol and owns the durability engine. The
+    /// WAL group append under this lock is the single ordering point.
+    commit: Mutex<Box<dyn StorageEngine>>,
+    /// Global commit-timestamp allocator.
+    oracle: TimestampOracle,
+    /// Whether the engine persists commits (cached; engines never change).
+    durable: bool,
+    /// Begin timestamps of open explicit transactions (multiset). The
+    /// minimum key is the vacuum horizon.
+    active: Mutex<BTreeMap<Ts, usize>>,
+    /// Recent committed versions, oldest first. Versions only leave through
+    /// vacuum; snapshots held by readers stay alive via their own `Arc`s
+    /// regardless, so trimming is always memory-safe.
+    retained: Mutex<VecDeque<Arc<CommittedVersion>>>,
+    /// Bound on `retained` length.
+    retain_cap: AtomicUsize,
+    /// Observability handle (`mvcc.*` counters, `txn:conflict` / `vacuum`
+    /// spans). Swappable after construction via [`Database::attach_obs`].
+    obs: RwLock<Obs>,
 }
 
-/// A shared in-memory database.
+/// A shared in-memory database. Cloning shares the underlying versions.
 #[derive(Clone)]
 pub struct Database {
-    inner: Arc<RwLock<Inner>>,
+    shared: Arc<Shared>,
     next_session: Arc<AtomicU64>,
 }
 
@@ -45,6 +79,20 @@ impl Default for Database {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// What one vacuum pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VacuumReport {
+    /// Versions in the history buffer before the pass.
+    pub examined: usize,
+    /// Versions dropped from the buffer.
+    pub reclaimed: usize,
+    /// Versions still retained after the pass.
+    pub retained: usize,
+    /// Oldest active explicit-transaction snapshot (`None` = no open
+    /// transactions; everything before the latest version is reclaimable).
+    pub oldest_active: Option<Ts>,
 }
 
 impl Database {
@@ -60,13 +108,25 @@ impl Database {
         privileges: PrivilegeCatalog,
         engine: Box<dyn StorageEngine>,
     ) -> Self {
+        let version = Arc::new(CommittedVersion {
+            ts: 1,
+            state,
+            privileges,
+            clocks: BTreeMap::new(),
+            catalog_ts: 0,
+        });
+        let durable = engine.is_durable();
         Database {
-            inner: Arc::new(RwLock::new(Inner {
-                state,
-                privileges,
-                txn_owner: None,
-                engine,
-            })),
+            shared: Arc::new(Shared {
+                committed: RwLock::new(Arc::clone(&version)),
+                commit: Mutex::new(engine),
+                oracle: TimestampOracle::new(1),
+                durable,
+                active: Mutex::new(BTreeMap::new()),
+                retained: Mutex::new(VecDeque::from([version])),
+                retain_cap: AtomicUsize::new(DEFAULT_RETAIN_CAP),
+                obs: RwLock::new(Obs::disabled()),
+            }),
             next_session: Arc::new(AtomicU64::new(1)),
         }
     }
@@ -79,45 +139,61 @@ impl Database {
     }
 
     /// [`Database::open`] with observability: recovery emits a
-    /// `recovery:replay` span and the engine reports `wal.*` counters and
-    /// commit/fsync latency histograms through `obs`.
+    /// `recovery:replay` span, the engine reports `wal.*` counters, and the
+    /// MVCC layer reports `mvcc.*` counters and `txn:conflict` / `vacuum`
+    /// spans through `obs`.
     pub fn open_observed(
         config: &DurabilityConfig,
         obs: Obs,
     ) -> DbResult<(Database, RecoveryReport)> {
-        let (engine, state, privileges, report) = DurableEngine::open(config, obs)?;
-        Ok((
-            Self::from_parts(state, privileges, Box::new(engine)),
-            report,
-        ))
+        let (engine, state, privileges, report) = DurableEngine::open(config, obs.clone())?;
+        let db = Self::from_parts(state, privileges, Box::new(engine));
+        db.attach_obs(obs);
+        Ok((db, report))
+    }
+
+    /// Route `mvcc.*` counters and conflict/vacuum spans into `obs`.
+    pub fn attach_obs(&self, obs: Obs) {
+        *self.shared.obs.write() = obs;
+    }
+
+    fn obs(&self) -> Obs {
+        self.shared.obs.read().clone()
+    }
+
+    /// The latest committed version. This *is* a consistent snapshot:
+    /// holding the `Arc` pins catalog, rows, and privileges exactly as the
+    /// producing transaction left them.
+    pub fn snapshot(&self) -> Arc<CommittedVersion> {
+        self.shared.committed.read().clone()
+    }
+
+    /// The most recently assigned commit timestamp.
+    pub fn last_commit_ts(&self) -> Ts {
+        self.shared.oracle.last()
     }
 
     /// Engine label: `"volatile"` or `"wal"`.
     pub fn engine_name(&self) -> &'static str {
-        self.inner.read().engine.name()
+        self.shared.commit.lock().name()
     }
 
     /// Whether commits survive a process restart.
     pub fn is_durable(&self) -> bool {
-        self.inner.read().engine.is_durable()
+        self.shared.durable
     }
 
     /// Force durability of everything committed so far (fsync the WAL).
     pub fn flush_wal(&self) -> DbResult<()> {
-        self.inner.write().engine.flush()
+        self.shared.commit.lock().flush()
     }
 
     /// Compact the full committed state into a snapshot and truncate the
     /// WAL. No-op on the volatile engine.
     pub fn checkpoint(&self) -> DbResult<()> {
-        let mut guard = self.inner.write();
-        let Inner {
-            engine,
-            state,
-            privileges,
-            ..
-        } = &mut *guard;
-        engine.checkpoint(state, privileges)
+        let mut engine = self.shared.commit.lock();
+        let latest = self.snapshot();
+        engine.checkpoint(&latest.state, &latest.privileges)
     }
 
     /// Deterministic digest of everything durability must preserve: schemas,
@@ -126,23 +202,23 @@ impl Database {
     /// indistinguishable to every query; the crash-recovery harness compares
     /// a reopened database against a volatile reference with this.
     pub fn state_fingerprint(&self) -> String {
-        let inner = self.inner.read();
+        let snap = self.snapshot();
         let mut out = String::new();
-        for name in inner.state.catalog.table_names() {
-            let schema = inner.state.catalog.table(name).expect("listed table");
+        for name in snap.state.catalog.table_names() {
+            let schema = snap.state.catalog.table(name).expect("listed table");
             out.push_str(&format!("table {name} {schema:?}\n"));
-            if let Some(data) = inner.state.data.get(name) {
+            if let Some(data) = snap.state.data.get(name) {
                 for (rid, row) in data.iter() {
                     out.push_str(&format!("row {name} {rid} {row:?}\n"));
                 }
             }
         }
-        for name in inner.state.catalog.view_names() {
-            let def = inner.state.catalog.view(name).expect("listed view");
+        for name in snap.state.catalog.view_names() {
+            let def = snap.state.catalog.view(name).expect("listed view");
             out.push_str(&format!("view {name} {def:?}\n"));
         }
-        for name in inner.privileges.user_names() {
-            let u = inner.privileges.user(name).expect("listed user");
+        for name in snap.privileges.user_names() {
+            let u = snap.privileges.user(name).expect("listed user");
             out.push_str(&format!(
                 "user {name} superuser={} grants={:?}\n",
                 u.superuser,
@@ -154,44 +230,218 @@ impl Database {
 
     /// Open a session for `user`.
     pub fn session(&self, user: &str) -> DbResult<Session> {
-        {
-            let inner = self.inner.read();
-            if !inner.privileges.contains(user) {
-                return Err(DbError::UnknownUser(user.to_owned()));
-            }
+        if !self.snapshot().privileges.contains(user) {
+            return Err(DbError::UnknownUser(user.to_owned()));
         }
         Ok(Session {
             db: self.clone(),
             id: self.next_session.fetch_add(1, Ordering::Relaxed),
             user: user.to_owned(),
-            undo: Vec::new(),
-            pipeline: CommitPipeline::default(),
-            savepoints: Vec::new(),
+            txn: None,
             status: TxnStatus::Autocommit,
         })
     }
 
-    /// Apply a privilege mutation durably: mutate a clone, commit the redo
-    /// records, and only then swap the clone in — an engine failure leaves
-    /// the catalog (and the log) untouched.
+    // -- commit protocol ---------------------------------------------------
+
+    /// Commit one write transaction: validate against everything committed
+    /// since `base`, merge if needed, assign the commit timestamp, append
+    /// to the WAL, and publish the new version. Returns the commit
+    /// timestamp (or `base.ts` for an effect-free transaction).
+    pub(crate) fn commit_write(
+        &self,
+        base: &Arc<CommittedVersion>,
+        undo: &[UndoOp],
+        records: Vec<WalRecord>,
+        work: DbState,
+    ) -> DbResult<Ts> {
+        if undo.is_empty() {
+            return Ok(base.ts); // nothing changed; nothing to publish
+        }
+        let obs = self.obs();
+        let ws = mvcc::write_set(undo);
+        let shared = &*self.shared;
+        let mut engine = shared.commit.lock();
+        let latest = shared.committed.read().clone();
+        let fast = latest.ts == base.ts;
+        let (state, privileges, final_records) = if fast {
+            (work, latest.privileges.clone(), records)
+        } else {
+            let merged = mvcc::validate(&ws, base.ts, &latest)
+                .and_then(|()| mvcc::merge(&latest, &ws, &records));
+            match merged {
+                Ok(m) => (m.state, m.privileges, m.records),
+                Err(e) => {
+                    if e.is_serialization_conflict() {
+                        obs.incr("mvcc.conflicts", 1);
+                        let mut span = obs.span("txn:conflict");
+                        span.attr("error", e.to_string());
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        let ts = shared.oracle.next();
+        engine.commit_txn(&final_records, &state, &privileges)?;
+        let (clocks, catalog_ts) = mvcc::stamped_clocks(&latest, &ws, &final_records, ts);
+        let version = Arc::new(CommittedVersion {
+            ts,
+            state,
+            privileges,
+            clocks,
+            catalog_ts,
+        });
+        *shared.committed.write() = Arc::clone(&version);
+        drop(engine);
+        self.retain_version(version);
+        obs.incr("mvcc.commits", 1);
+        obs.incr(
+            if fast {
+                "mvcc.fast_commits"
+            } else {
+                "mvcc.merged_commits"
+            },
+            1,
+        );
+        Ok(ts)
+    }
+
+    /// Commit a privilege-only change (always against the latest version;
+    /// grants are non-transactional, as in the SQL path).
     fn commit_privilege_change(
         &self,
         records: Vec<WalRecord>,
         mutate: impl FnOnce(&mut PrivilegeCatalog) -> DbResult<()>,
     ) -> DbResult<()> {
-        let mut guard = self.inner.write();
-        let Inner {
-            engine,
-            state,
-            privileges,
-            ..
-        } = &mut *guard;
-        let mut next = privileges.clone();
+        let shared = &*self.shared;
+        let mut engine = shared.commit.lock();
+        let latest = shared.committed.read().clone();
+        let mut next = latest.privileges.clone();
         mutate(&mut next)?;
-        engine.commit_txn(&records, state, &next)?;
-        *privileges = next;
+        engine.commit_txn(&records, &latest.state, &next)?;
+        let ts = shared.oracle.next();
+        let version = Arc::new(CommittedVersion {
+            ts,
+            state: latest.state.clone(),
+            privileges: next,
+            clocks: latest.clocks.clone(),
+            catalog_ts: latest.catalog_ts,
+        });
+        *shared.committed.write() = Arc::clone(&version);
+        drop(engine);
+        self.retain_version(version);
         Ok(())
     }
+
+    fn retain_version(&self, version: Arc<CommittedVersion>) {
+        let cap = self.shared.retain_cap.load(Ordering::Relaxed).max(1);
+        let mut retained = self.shared.retained.lock();
+        retained.push_back(version);
+        // Inline trim bounds the buffer even without a vacuum thread.
+        while retained.len() > cap {
+            retained.pop_front();
+        }
+    }
+
+    // -- snapshot registry & vacuum ---------------------------------------
+
+    fn register_active(&self, ts: Ts) {
+        *self.shared.active.lock().entry(ts).or_insert(0) += 1;
+    }
+
+    fn unregister_active(&self, ts: Ts) {
+        let mut active = self.shared.active.lock();
+        if let Some(n) = active.get_mut(&ts) {
+            *n -= 1;
+            if *n == 0 {
+                active.remove(&ts);
+            }
+        }
+    }
+
+    /// Begin timestamp of the oldest open explicit transaction, if any.
+    /// This is the vacuum horizon: versions older than it serve no open
+    /// snapshot.
+    pub fn oldest_active_snapshot(&self) -> Option<Ts> {
+        self.shared.active.lock().keys().next().copied()
+    }
+
+    /// Number of versions currently in the history buffer.
+    pub fn retained_versions(&self) -> usize {
+        self.shared.retained.lock().len()
+    }
+
+    /// Bound the history buffer to `cap` versions (minimum 1: the latest
+    /// version is always retained).
+    pub fn set_retain_cap(&self, cap: usize) {
+        self.shared.retain_cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// Reclaim retained versions older than the oldest active snapshot
+    /// (safety invariant: a version may be dropped from the buffer only if
+    /// every snapshot that could read it is newer — open transactions pin
+    /// their own version via `Arc`, so the buffer is never load-bearing for
+    /// them, but the horizon keeps history inspectable while they run).
+    pub fn vacuum(&self) -> VacuumReport {
+        let obs = self.obs();
+        let mut span = obs.span("vacuum");
+        let oldest_active = self.oldest_active_snapshot();
+        let cap = self.shared.retain_cap.load(Ordering::Relaxed).max(1);
+        let mut retained = self.shared.retained.lock();
+        let examined = retained.len();
+        let latest_ts = retained.back().map_or(0, |v| v.ts);
+        let horizon = oldest_active.unwrap_or(latest_ts);
+        let mut reclaimed = 0usize;
+        while retained.len() > 1 {
+            let drop_front = match retained.front() {
+                Some(v) => v.ts < horizon || retained.len() > cap,
+                None => false,
+            };
+            if !drop_front {
+                break;
+            }
+            retained.pop_front();
+            reclaimed += 1;
+        }
+        let report = VacuumReport {
+            examined,
+            reclaimed,
+            retained: retained.len(),
+            oldest_active,
+        };
+        drop(retained);
+        obs.incr("mvcc.vacuum.runs", 1);
+        obs.incr("mvcc.vacuum.reclaimed", reclaimed as u64);
+        span.attr("examined", examined as i64);
+        span.attr("reclaimed", reclaimed as i64);
+        report
+    }
+
+    /// Spawn a background vacuum thread running every `interval`. The
+    /// returned handle stops (and joins) the thread when dropped.
+    pub fn start_vacuum(&self, interval: Duration) -> VacuumHandle {
+        let db = self.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("minidb-vacuum".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::park_timeout(interval);
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let _ = db.vacuum();
+                }
+            })
+            .expect("spawn vacuum thread");
+        VacuumHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    // -- administrative API ------------------------------------------------
 
     /// Create a user (administrative API).
     pub fn create_user(&self, name: &str, superuser: bool) -> DbResult<()> {
@@ -241,13 +491,14 @@ impl Database {
 
     /// Snapshot of one user's privileges.
     pub fn privileges_of(&self, user: &str) -> DbResult<crate::privilege::UserPrivileges> {
-        Ok(self.inner.read().privileges.user(user)?.clone())
+        Ok(self.snapshot().privileges.user(user)?.clone())
     }
+
+    // -- read-only introspection (all snapshot-based) ----------------------
 
     /// Table names currently in the catalog.
     pub fn table_names(&self) -> Vec<String> {
-        self.inner
-            .read()
+        self.snapshot()
             .state
             .catalog
             .table_names()
@@ -258,14 +509,13 @@ impl Database {
 
     /// View definitions currently in the catalog, as `(name, columns)`.
     pub fn views(&self) -> Vec<(String, Vec<String>)> {
-        let inner = self.inner.read();
-        inner
-            .state
+        let snap = self.snapshot();
+        snap.state
             .catalog
             .view_names()
             .into_iter()
             .map(|n| {
-                let def = inner.state.catalog.view(n).expect("listed view exists");
+                let def = snap.state.catalog.view(n).expect("listed view exists");
                 (n.to_owned(), def.columns.clone())
             })
             .collect()
@@ -273,25 +523,26 @@ impl Database {
 
     /// Snapshot a table schema.
     pub fn table_schema(&self, name: &str) -> DbResult<TableSchema> {
-        Ok(self.inner.read().state.catalog.table(name)?.clone())
+        Ok(self.snapshot().state.catalog.table(name)?.clone())
     }
 
-    /// Number of rows in a table.
+    /// Number of *committed* rows in a table. An open transaction's
+    /// uncommitted writes are invisible here (snapshot isolation).
     pub fn table_rows(&self, name: &str) -> DbResult<usize> {
-        let inner = self.inner.read();
-        inner.state.catalog.table(name)?;
-        Ok(inner.state.data.get(name).map_or(0, |d| d.len()))
+        let snap = self.snapshot();
+        snap.state.catalog.table(name)?;
+        Ok(snap.state.data.get(name).map_or(0, |d| d.len()))
     }
 
     /// Distinct values of a column, in total order — the raw material for
     /// BridgeScope's `get_value` exemplar retrieval.
     pub fn column_values(&self, table: &str, column: &str) -> DbResult<Vec<Value>> {
-        let inner = self.inner.read();
-        let schema = inner.state.catalog.table(table)?;
+        let snap = self.snapshot();
+        let schema = snap.state.catalog.table(table)?;
         let pos = schema
             .column_index(column)
             .ok_or_else(|| DbError::UnknownColumn(format!("{table}.{column}")))?;
-        let data = inner
+        let data = snap
             .state
             .data
             .get(table)
@@ -350,24 +601,69 @@ impl Database {
             .collect())
     }
 
-    /// Run a read-only closure over the raw state (test/bench support).
+    /// Run a read-only closure over the latest committed state (test/bench
+    /// support).
     pub fn with_state<R>(&self, f: impl FnOnce(&DbState) -> R) -> R {
-        f(&self.inner.read().state)
+        let snap = self.snapshot();
+        f(&snap.state)
     }
 
     /// Deep-copy the database: an independent instance with identical
     /// catalog, data, and privileges. Benchmarks fork a pristine template
     /// per task run so write tasks cannot contaminate each other.
     pub fn fork(&self) -> Database {
-        let inner = self.inner.read();
+        let snap = self.snapshot();
         // Forks are always volatile: benchmark forks of a durable template
         // must not contend for (or corrupt) the template's WAL directory.
         Database::from_parts(
-            inner.state.clone(),
-            inner.privileges.clone(),
+            snap.state.clone(),
+            snap.privileges.clone(),
             Box::new(VolatileEngine),
         )
     }
+}
+
+/// Handle to a background vacuum thread; stops and joins it on drop.
+pub struct VacuumHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl VacuumHandle {
+    /// Stop the vacuum thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            thread.thread().unpark();
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for VacuumHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// An open explicit transaction: the pinned snapshot plus the private
+/// workspace it executes in.
+struct OpenTxn {
+    /// The snapshot this transaction reads (pinned for its lifetime).
+    base: Arc<CommittedVersion>,
+    /// Private copy-on-write workspace; never visible to other sessions.
+    work: DbState,
+    /// Undo log for statement-level atomicity and savepoints.
+    undo: Vec<UndoOp>,
+    /// Redo records staged in lockstep with `undo`; the merge path replays
+    /// them, so they are staged even on the volatile engine.
+    pipeline: CommitPipeline,
+    /// Named savepoints: `(name, undo-log length, staged-record count)`.
+    savepoints: Vec<(String, usize, usize)>,
 }
 
 /// A connection bound to one user, carrying transaction state.
@@ -375,14 +671,9 @@ pub struct Session {
     db: Database,
     id: u64,
     user: String,
-    undo: Vec<UndoOp>,
-    /// Redo records staged for the open transaction, kept in lockstep with
-    /// `undo` and handed to the storage engine at COMMIT.
-    pipeline: CommitPipeline,
-    /// Named savepoints: `(name, undo-log length, staged-record count)` at
-    /// creation. Rolling back to one replays the undo suffix and discards
-    /// the matching staged redo suffix; releasing discards the marker.
-    savepoints: Vec<(String, usize, usize)>,
+    /// Open explicit transaction, if any. Kept through the `Aborted` state
+    /// so ROLLBACK TO SAVEPOINT can recover the workspace.
+    txn: Option<OpenTxn>,
     status: TxnStatus,
 }
 
@@ -390,6 +681,11 @@ impl Session {
     /// The session's user name.
     pub fn user(&self) -> &str {
         &self.user
+    }
+
+    /// Stable session identifier (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Current transaction status.
@@ -424,161 +720,90 @@ impl Session {
                 "current transaction is aborted, commands ignored until ROLLBACK".into(),
             ));
         }
-        // Privilege checks from static analysis.
+        // Privilege checks from static analysis, always against the latest
+        // committed privileges (grants are non-transactional).
         let profile = sqlkit::analyze(stmt);
-        {
-            let inner = self.db.inner.read();
-            if let Statement::GrantRevoke(_) = stmt {
-                if !inner.privileges.user(&self.user)?.superuser {
-                    return Err(DbError::PrivilegeDenied {
-                        user: self.user.clone(),
-                        action: Action::GrantRevoke,
-                        object: profile.all_objects().into_iter().next().unwrap_or_default(),
-                    });
-                }
-            } else {
-                for (action, object) in profile.required_privileges() {
-                    inner.privileges.check(&self.user, action, &object)?;
-                }
-            }
-        }
-        // GRANT/REVOKE routes to the privilege catalog. It commits (and is
-        // logged) immediately, even inside an explicit transaction — it
-        // bypasses the undo log, so BEGIN…ROLLBACK never covered it; the WAL
-        // mirrors that by making it its own durable mini-transaction. The
-        // clone-then-swap keeps the catalog untouched if the engine fails.
+        let snap = self.db.snapshot();
         if let Statement::GrantRevoke(g) = stmt {
-            let mut guard = self.db.inner.write();
-            let Inner {
-                engine,
-                state,
-                privileges,
-                ..
-            } = &mut *guard;
-            let mut next = privileges.clone();
-            let mut records = Vec::new();
-            if !next.contains(&g.user) {
-                next.create_user(&g.user, false)?;
-                records.push(WalRecord::CreateUser {
-                    name: g.user.clone(),
-                    superuser: false,
+            if !snap.privileges.user(&self.user)?.superuser {
+                return Err(DbError::PrivilegeDenied {
+                    user: self.user.clone(),
+                    action: Action::GrantRevoke,
+                    object: profile.all_objects().into_iter().next().unwrap_or_default(),
                 });
             }
-            for object in &g.objects {
-                state.catalog.table(object)?;
-                match &g.actions {
-                    None => {
-                        if g.grant {
-                            next.grant_all(&g.user, object)?;
-                            records.push(WalRecord::GrantAll {
-                                user: g.user.clone(),
-                                object: object.clone(),
-                            });
-                        } else {
-                            next.revoke_all(&g.user, object)?;
-                            records.push(WalRecord::RevokeAll {
-                                user: g.user.clone(),
-                                object: object.clone(),
-                            });
-                        }
-                    }
-                    Some(actions) => {
-                        for &a in actions {
-                            if g.grant {
-                                next.grant(&g.user, a, object)?;
-                                records.push(WalRecord::Grant {
-                                    user: g.user.clone(),
-                                    action: a,
-                                    object: object.clone(),
-                                });
-                            } else {
-                                next.revoke(&g.user, a, object)?;
-                                records.push(WalRecord::Revoke {
-                                    user: g.user.clone(),
-                                    action: a,
-                                    object: object.clone(),
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-            engine.commit_txn(&records, state, &next)?;
-            *privileges = next;
-            return Ok(QueryResult::Status(if g.grant {
-                "granted".to_owned()
-            } else {
-                "revoked".to_owned()
-            }));
+            return self.db.apply_grant_revoke(g);
         }
-        // Reads don't need the transaction slot.
+        for (action, object) in profile.required_privileges() {
+            snap.privileges.check(&self.user, action, &object)?;
+        }
+        // Reads: a transaction sees its own workspace; otherwise the latest
+        // committed snapshot. Either way, no lock is held during execution.
         if let Statement::Select(sel) = stmt {
-            let inner = self.db.inner.read();
-            return exec::execute_select(&inner.state, sel);
+            let state = match &self.txn {
+                Some(t) => &t.work,
+                None => &snap.state,
+            };
+            return exec::execute_select(state, sel);
         }
         if let Statement::Explain(explained) = stmt {
-            let inner = self.db.inner.read();
-            return exec::explain(&inner.state, explained);
+            let state = match &self.txn {
+                Some(t) => &t.work,
+                None => &snap.state,
+            };
+            return exec::explain(state, explained);
         }
-        // Writes: respect the transaction slot.
-        let mut guard = self.db.inner.write();
-        if let Some(owner) = guard.txn_owner {
-            if owner != self.id {
-                return Err(DbError::TransactionState(
-                    "database is locked by another session's transaction".into(),
-                ));
-            }
-        }
-        let Inner {
-            engine,
-            state,
-            privileges,
-            ..
-        } = &mut *guard;
+        // Writes.
         if self.status == TxnStatus::Explicit {
-            let mark = self.undo.len();
-            match exec::execute(state, stmt, &mut self.undo) {
+            let t = self.txn.as_mut().expect("explicit txn has workspace");
+            let mark = t.undo.len();
+            match exec::execute(&mut t.work, stmt, &mut t.undo) {
                 Ok(result) => {
-                    // Stage redo records now, while the state reflects
+                    // Stage redo records now, while the workspace reflects
                     // exactly this statement (redo images are read live).
-                    // The volatile engine discards them at commit, so skip
-                    // the row cloning entirely unless durability is on.
-                    if engine.is_durable() {
-                        self.pipeline.stage(state, &self.undo[mark..]);
-                    }
+                    // Always staged: the commit-time merge replays them even
+                    // on the volatile engine.
+                    t.pipeline.stage(&t.work, &t.undo[mark..]);
                     Ok(result)
                 }
                 Err(e) => {
                     // Undo the partial effects of this statement, then mark
                     // the transaction aborted (statement-level atomicity).
-                    // Nothing was staged for it — staging is success-only.
-                    let partial = self.undo.split_off(mark);
-                    txn::rollback(state, partial);
+                    let partial = t.undo.split_off(mark);
+                    txn::rollback(&mut t.work, partial);
                     self.status = TxnStatus::Aborted;
                     Err(e)
                 }
             }
         } else {
+            self.autocommit_write(stmt, snap)
+        }
+    }
+
+    /// Execute one autocommit write: run on a workspace cloned from the
+    /// snapshot, commit, and transparently re-execute on a fresh snapshot
+    /// if a concurrent committer won the first-writer-wins race.
+    fn autocommit_write(
+        &mut self,
+        stmt: &Statement,
+        first_snap: Arc<CommittedVersion>,
+    ) -> DbResult<QueryResult> {
+        let mut snap = first_snap;
+        let mut attempt = 0usize;
+        loop {
+            let mut work = snap.state.clone();
             let mut undo = Vec::new();
-            match exec::execute(state, stmt, &mut undo) {
-                Ok(result) => {
-                    // Autocommit: the statement is its own transaction. If
-                    // the engine cannot make it durable, it did not happen.
-                    let records = if engine.is_durable() {
-                        txn::redo_records(state, &undo)
-                    } else {
-                        Vec::new()
-                    };
-                    if let Err(e) = engine.commit_txn(&records, state, privileges) {
-                        txn::rollback(state, undo);
-                        return Err(e);
-                    }
-                    Ok(result)
+            // A statement error publishes nothing; the workspace is dropped.
+            let result = exec::execute(&mut work, stmt, &mut undo)?;
+            let records = txn::redo_records(&work, &undo);
+            match self.db.commit_write(&snap, &undo, records, work) {
+                Ok(_) => return Ok(result),
+                Err(e) if e.is_serialization_conflict() && attempt < AUTOCOMMIT_RETRIES => {
+                    attempt += 1;
+                    self.db.obs().incr("mvcc.autocommit_retries", 1);
+                    snap = self.db.snapshot();
                 }
-                Err(e) => {
-                    txn::rollback(state, undo);
-                    Err(e)
-                }
+                Err(e) => return Err(e),
             }
         }
     }
@@ -605,11 +830,15 @@ impl Session {
             ));
         }
         let profile = sqlkit::analyze(&stmt);
-        let inner = self.db.inner.read();
+        let snap = self.db.snapshot();
         for (action, object) in profile.required_privileges() {
-            inner.privileges.check(&self.user, action, &object)?;
+            snap.privileges.check(&self.user, action, &object)?;
         }
-        exec::execute_select_traced(&inner.state, sel, opts)
+        let state = match &self.txn {
+            Some(t) => &t.work,
+            None => &snap.state,
+        };
+        exec::execute_select_traced(state, sel, opts)
     }
 
     /// [`Session::query_with_options`] with the default (fast-path) options.
@@ -617,58 +846,45 @@ impl Session {
         self.query_with_options(sql, &ExecOptions::default())
     }
 
-    /// BEGIN an explicit transaction.
+    /// BEGIN an explicit transaction: pin the latest committed version as
+    /// the snapshot and clone a private workspace from it. Never blocks —
+    /// any number of sessions can hold open transactions concurrently.
     pub fn begin(&mut self) -> DbResult<QueryResult> {
         if self.status != TxnStatus::Autocommit {
             return Err(DbError::TransactionState(
                 "a transaction is already in progress".into(),
             ));
         }
-        let mut inner = self.db.inner.write();
-        if inner.txn_owner.is_some() {
-            return Err(DbError::TransactionState(
-                "database is locked by another session's transaction".into(),
-            ));
-        }
-        inner.txn_owner = Some(self.id);
+        let base = self.db.snapshot();
+        self.db.register_active(base.ts);
+        let work = base.state.clone();
+        self.txn = Some(OpenTxn {
+            base,
+            work,
+            undo: Vec::new(),
+            pipeline: CommitPipeline::default(),
+            savepoints: Vec::new(),
+        });
         self.status = TxnStatus::Explicit;
-        self.undo.clear();
-        self.pipeline.clear();
-        self.savepoints.clear();
         Ok(QueryResult::Status("transaction started".into()))
     }
 
     /// COMMIT the transaction. In the aborted state this degrades to a
-    /// rollback, as in PostgreSQL.
+    /// rollback, as in PostgreSQL. A [`DbError::SerializationConflict`]
+    /// here means a concurrent transaction won the race: the transaction
+    /// has been rolled back and can be retried from BEGIN.
     pub fn commit(&mut self) -> DbResult<QueryResult> {
         match self.status {
             TxnStatus::Autocommit => Err(DbError::TransactionState(
                 "no transaction in progress".into(),
             )),
             TxnStatus::Explicit => {
-                let mut guard = self.db.inner.write();
-                let Inner {
-                    engine,
-                    state,
-                    privileges,
-                    txn_owner,
-                } = &mut *guard;
-                let records = self.pipeline.take();
-                if let Err(e) = engine.commit_txn(&records, state, privileges) {
-                    // The commit is not durable, so it must not be visible:
-                    // roll the whole transaction back before surfacing.
-                    let log = std::mem::take(&mut self.undo);
-                    txn::rollback(state, log);
-                    self.savepoints.clear();
-                    *txn_owner = None;
-                    self.status = TxnStatus::Autocommit;
-                    return Err(e);
-                }
-                *txn_owner = None;
-                self.undo.clear();
-                self.savepoints.clear();
+                let mut t = self.txn.take().expect("explicit txn has workspace");
                 self.status = TxnStatus::Autocommit;
-                Ok(QueryResult::Status("transaction committed".into()))
+                let records = t.pipeline.take();
+                let result = self.db.commit_write(&t.base, &t.undo, records, t.work);
+                self.db.unregister_active(t.base.ts);
+                result.map(|_| QueryResult::Status("transaction committed".into()))
             }
             TxnStatus::Aborted => {
                 self.rollback()?;
@@ -679,19 +895,18 @@ impl Session {
         }
     }
 
-    /// ROLLBACK the transaction, restoring the pre-BEGIN state.
+    /// ROLLBACK the transaction: discard the private workspace. Nothing was
+    /// ever visible outside the session, so there is nothing to undo
+    /// globally.
     pub fn rollback(&mut self) -> DbResult<QueryResult> {
         if self.status == TxnStatus::Autocommit {
             return Err(DbError::TransactionState(
                 "no transaction in progress".into(),
             ));
         }
-        let mut inner = self.db.inner.write();
-        let log = std::mem::take(&mut self.undo);
-        txn::rollback(&mut inner.state, log);
-        self.pipeline.clear();
-        self.savepoints.clear();
-        inner.txn_owner = None;
+        if let Some(t) = self.txn.take() {
+            self.db.unregister_active(t.base.ts);
+        }
         self.status = TxnStatus::Autocommit;
         Ok(QueryResult::Status("transaction rolled back".into()))
     }
@@ -704,33 +919,34 @@ impl Session {
                 "SAVEPOINT requires an open transaction".into(),
             ));
         }
-        self.savepoints.retain(|(n, ..)| n != name);
-        self.savepoints
-            .push((name.to_owned(), self.undo.len(), self.pipeline.len()));
+        let t = self.txn.as_mut().expect("explicit txn has workspace");
+        t.savepoints.retain(|(n, ..)| n != name);
+        t.savepoints
+            .push((name.to_owned(), t.undo.len(), t.pipeline.len()));
         Ok(QueryResult::Status(format!("savepoint \"{name}\" set")))
     }
 
-    /// ROLLBACK TO SAVEPOINT: undo everything after the savepoint, keeping
-    /// the transaction (and the savepoint itself) open. Also recovers an
-    /// aborted transaction, as in PostgreSQL.
+    /// ROLLBACK TO SAVEPOINT: undo everything after the savepoint within
+    /// the workspace, keeping the transaction (and the savepoint itself)
+    /// open. Also recovers an aborted transaction, as in PostgreSQL.
     pub fn rollback_to(&mut self, name: &str) -> DbResult<QueryResult> {
         if self.status == TxnStatus::Autocommit {
             return Err(DbError::TransactionState(
                 "ROLLBACK TO SAVEPOINT requires an open transaction".into(),
             ));
         }
-        let Some(pos) = self.savepoints.iter().position(|(n, ..)| n == name) else {
+        let t = self.txn.as_mut().expect("open txn has workspace");
+        let Some(pos) = t.savepoints.iter().position(|(n, ..)| n == name) else {
             return Err(DbError::TransactionState(format!(
                 "savepoint \"{name}\" does not exist"
             )));
         };
-        let (_, mark, staged_mark) = self.savepoints[pos].clone();
+        let (_, mark, staged_mark) = t.savepoints[pos].clone();
         // Later savepoints are destroyed; this one survives.
-        self.savepoints.truncate(pos + 1);
-        let suffix = self.undo.split_off(mark);
-        self.pipeline.truncate(staged_mark);
-        let mut inner = self.db.inner.write();
-        txn::rollback(&mut inner.state, suffix);
+        t.savepoints.truncate(pos + 1);
+        let suffix = t.undo.split_off(mark);
+        t.pipeline.truncate(staged_mark);
+        txn::rollback(&mut t.work, suffix);
         self.status = TxnStatus::Explicit;
         Ok(QueryResult::Status(format!(
             "rolled back to savepoint \"{name}\""
@@ -745,12 +961,13 @@ impl Session {
                 "RELEASE SAVEPOINT requires an open transaction".into(),
             ));
         }
-        let Some(pos) = self.savepoints.iter().position(|(n, ..)| n == name) else {
+        let t = self.txn.as_mut().expect("explicit txn has workspace");
+        let Some(pos) = t.savepoints.iter().position(|(n, ..)| n == name) else {
             return Err(DbError::TransactionState(format!(
                 "savepoint \"{name}\" does not exist"
             )));
         };
-        self.savepoints.truncate(pos);
+        t.savepoints.truncate(pos);
         Ok(QueryResult::Status(format!(
             "savepoint \"{name}\" released"
         )))
@@ -759,10 +976,89 @@ impl Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
-        // Abandoned open transactions roll back, releasing the slot.
+        // Abandoned open transactions roll back (drop the workspace and
+        // unpin the snapshot).
         if self.status != TxnStatus::Autocommit {
             let _ = self.rollback();
         }
+    }
+}
+
+impl Database {
+    /// Apply a SQL GRANT/REVOKE under the commit lock, against the latest
+    /// version. GRANT/REVOKE commits (and is logged) immediately, even
+    /// inside an explicit transaction — it bypasses the undo log, so
+    /// BEGIN…ROLLBACK never covered it; the WAL mirrors that by making it
+    /// its own durable mini-transaction.
+    fn apply_grant_revoke(&self, g: &sqlkit::ast::GrantRevoke) -> DbResult<QueryResult> {
+        let shared = &*self.shared;
+        let mut engine = shared.commit.lock();
+        let latest = shared.committed.read().clone();
+        let mut next = latest.privileges.clone();
+        let mut records = Vec::new();
+        if !next.contains(&g.user) {
+            next.create_user(&g.user, false)?;
+            records.push(WalRecord::CreateUser {
+                name: g.user.clone(),
+                superuser: false,
+            });
+        }
+        for object in &g.objects {
+            latest.state.catalog.table(object)?;
+            match &g.actions {
+                None => {
+                    if g.grant {
+                        next.grant_all(&g.user, object)?;
+                        records.push(WalRecord::GrantAll {
+                            user: g.user.clone(),
+                            object: object.clone(),
+                        });
+                    } else {
+                        next.revoke_all(&g.user, object)?;
+                        records.push(WalRecord::RevokeAll {
+                            user: g.user.clone(),
+                            object: object.clone(),
+                        });
+                    }
+                }
+                Some(actions) => {
+                    for &a in actions {
+                        if g.grant {
+                            next.grant(&g.user, a, object)?;
+                            records.push(WalRecord::Grant {
+                                user: g.user.clone(),
+                                action: a,
+                                object: object.clone(),
+                            });
+                        } else {
+                            next.revoke(&g.user, a, object)?;
+                            records.push(WalRecord::Revoke {
+                                user: g.user.clone(),
+                                action: a,
+                                object: object.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        engine.commit_txn(&records, &latest.state, &next)?;
+        let ts = shared.oracle.next();
+        let version = Arc::new(CommittedVersion {
+            ts,
+            state: latest.state.clone(),
+            privileges: next,
+            clocks: latest.clocks.clone(),
+            catalog_ts: latest.catalog_ts,
+        });
+        *shared.committed.write() = Arc::clone(&version);
+        drop(engine);
+        self.retain_version(version);
+        Ok(QueryResult::Status(if g.grant {
+            "granted".to_owned()
+        } else {
+            "revoked".to_owned()
+        }))
     }
 }
 
@@ -780,6 +1076,13 @@ mod tests {
             .execute_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
             .unwrap();
         db
+    }
+
+    fn visible_rows(s: &mut Session) -> usize {
+        match s.execute_sql("SELECT * FROM t").unwrap() {
+            QueryResult::Rows { rows, .. } => rows.len(),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -842,7 +1145,10 @@ mod tests {
 
         s.execute_sql("BEGIN").unwrap();
         s.execute_sql("DELETE FROM t").unwrap();
-        assert_eq!(db.table_rows("t").unwrap(), 0);
+        // Snapshot isolation: the uncommitted delete is invisible outside
+        // the transaction, but the session reads its own workspace.
+        assert_eq!(db.table_rows("t").unwrap(), 3, "no dirty read");
+        assert_eq!(visible_rows(&mut s), 0, "own writes visible");
         s.execute_sql("ROLLBACK").unwrap();
         assert_eq!(db.table_rows("t").unwrap(), 3);
     }
@@ -876,18 +1182,126 @@ mod tests {
     }
 
     #[test]
-    fn transaction_slot_blocks_other_writers() {
+    fn concurrent_writers_no_longer_block() {
+        // Under the old global transaction slot, b's write errored with
+        // "database is locked". Under MVCC both proceed; a's commit merges
+        // cleanly because the writes are disjoint.
         let db = setup();
         let mut a = db.session("admin").unwrap();
         let mut b = db.session("admin").unwrap();
         a.execute_sql("BEGIN").unwrap();
         a.execute_sql("INSERT INTO t VALUES (5, 'e')").unwrap();
-        let err = b.execute_sql("INSERT INTO t VALUES (6, 'f')").unwrap_err();
-        assert!(matches!(err, DbError::TransactionState(_)));
-        // Reads still work.
+        b.execute_sql("INSERT INTO t VALUES (6, 'f')").unwrap();
         assert!(b.execute_sql("SELECT COUNT(*) FROM t").is_ok());
         a.execute_sql("COMMIT").unwrap();
-        assert!(b.execute_sql("INSERT INTO t VALUES (6, 'f')").is_ok());
+        assert_eq!(db.table_rows("t").unwrap(), 4, "both inserts committed");
+    }
+
+    #[test]
+    fn first_writer_wins_on_same_row() {
+        let db = setup();
+        let mut a = db.session("admin").unwrap();
+        let mut b = db.session("admin").unwrap();
+        a.execute_sql("BEGIN").unwrap();
+        b.execute_sql("BEGIN").unwrap();
+        a.execute_sql("UPDATE t SET v = 'from-a' WHERE id = 1")
+            .unwrap();
+        b.execute_sql("UPDATE t SET v = 'from-b' WHERE id = 1")
+            .unwrap();
+        a.execute_sql("COMMIT").unwrap();
+        let err = b.execute_sql("COMMIT").unwrap_err();
+        assert!(err.is_serialization_conflict(), "{err}");
+        assert!(!b.in_transaction(), "loser rolled back");
+        // The winner's write survived; b can retry and now succeeds.
+        b.execute_sql("BEGIN").unwrap();
+        b.execute_sql("UPDATE t SET v = 'retry-b' WHERE id = 1")
+            .unwrap();
+        b.execute_sql("COMMIT").unwrap();
+        let mut s = db.session("admin").unwrap();
+        match s.execute_sql("SELECT v FROM t WHERE id = 1").unwrap() {
+            QueryResult::Rows { rows, .. } => {
+                assert_eq!(rows[0][0], Value::Text("retry-b".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_row_writers_both_commit() {
+        let db = setup();
+        let mut a = db.session("admin").unwrap();
+        let mut b = db.session("admin").unwrap();
+        a.execute_sql("BEGIN").unwrap();
+        b.execute_sql("BEGIN").unwrap();
+        a.execute_sql("UPDATE t SET v = 'aa' WHERE id = 1").unwrap();
+        b.execute_sql("UPDATE t SET v = 'bb' WHERE id = 2").unwrap();
+        a.execute_sql("COMMIT").unwrap();
+        b.execute_sql("COMMIT").unwrap();
+        let mut s = db.session("admin").unwrap();
+        match s.execute_sql("SELECT v FROM t ORDER BY id").unwrap() {
+            QueryResult::Rows { rows, .. } => {
+                assert_eq!(rows[0][0], Value::Text("aa".into()));
+                assert_eq!(rows[1][0], Value::Text("bb".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_reads_are_stable_inside_transaction() {
+        let db = setup();
+        let mut reader = db.session("admin").unwrap();
+        reader.execute_sql("BEGIN").unwrap();
+        assert_eq!(visible_rows(&mut reader), 2);
+        // A concurrent autocommit write lands…
+        let mut writer = db.session("admin").unwrap();
+        writer.execute_sql("INSERT INTO t VALUES (3, 'c')").unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 3);
+        // …but the open transaction still sees its snapshot.
+        assert_eq!(visible_rows(&mut reader), 2, "repeatable read");
+        reader.execute_sql("COMMIT").unwrap();
+        assert_eq!(visible_rows(&mut reader), 3, "new snapshot after commit");
+    }
+
+    #[test]
+    fn concurrent_duplicate_pk_insert_conflicts() {
+        let db = setup();
+        let mut a = db.session("admin").unwrap();
+        let mut b = db.session("admin").unwrap();
+        a.execute_sql("BEGIN").unwrap();
+        b.execute_sql("BEGIN").unwrap();
+        a.execute_sql("INSERT INTO t VALUES (7, 'a7')").unwrap();
+        b.execute_sql("INSERT INTO t VALUES (7, 'b7')").unwrap();
+        a.execute_sql("COMMIT").unwrap();
+        let err = b.execute_sql("COMMIT").unwrap_err();
+        assert!(err.is_serialization_conflict(), "{err}");
+        assert_eq!(db.table_rows("t").unwrap(), 3, "only the winner's row");
+    }
+
+    #[test]
+    fn autocommit_writers_retry_transparently() {
+        let db = setup();
+        db.with_state(|_| {});
+        let threads = 4;
+        let per_thread = 8;
+        std::thread::scope(|scope| {
+            for i in 0..threads {
+                let db = db.clone();
+                scope.spawn(move || {
+                    let mut s = db.session("admin").unwrap();
+                    for j in 0..per_thread {
+                        let id = 100 + i * per_thread + j;
+                        s.execute_sql(&format!("INSERT INTO t VALUES ({id}, 'w')"))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            db.table_rows("t").unwrap(),
+            2 + threads * per_thread,
+            "every insert committed exactly once"
+        );
     }
 
     #[test]
@@ -899,6 +1313,7 @@ mod tests {
             a.execute_sql("DELETE FROM t").unwrap();
         } // dropped without commit
         assert_eq!(db.table_rows("t").unwrap(), 2, "uncommitted delete undone");
+        assert_eq!(db.oldest_active_snapshot(), None, "snapshot unpinned");
         let mut b = db.session("admin").unwrap();
         assert!(b.execute_sql("INSERT INTO t VALUES (7, 'g')").is_ok());
     }
@@ -928,6 +1343,59 @@ mod tests {
         let db = setup();
         assert!(db.session("nobody").is_err());
     }
+
+    #[test]
+    fn vacuum_respects_active_snapshots_and_cap() {
+        let db = setup();
+        db.set_retain_cap(100);
+        let mut s = db.session("admin").unwrap();
+        for i in 0..10 {
+            s.execute_sql(&format!("INSERT INTO t VALUES ({}, 'x')", 50 + i))
+                .unwrap();
+        }
+        assert!(db.retained_versions() > 10);
+        // An open transaction pins its snapshot: vacuum keeps history from
+        // its begin timestamp onward.
+        let mut pinner = db.session("admin").unwrap();
+        pinner.execute_sql("BEGIN").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (99, 'y')").unwrap();
+        let report = db.vacuum();
+        assert_eq!(report.oldest_active, db.oldest_active_snapshot());
+        assert!(report.reclaimed > 0, "history before the pin reclaimed");
+        let after_pin = db.retained_versions();
+        assert!(after_pin >= 2, "pinned snapshot & latest kept");
+        pinner.execute_sql("ROLLBACK").unwrap();
+        let report = db.vacuum();
+        assert_eq!(report.oldest_active, None);
+        assert_eq!(db.retained_versions(), 1, "only latest kept");
+        assert_eq!(report.retained, 1);
+    }
+
+    #[test]
+    fn background_vacuum_runs_and_stops() {
+        let db = setup();
+        let handle = db.start_vacuum(Duration::from_millis(5));
+        let mut s = db.session("admin").unwrap();
+        for i in 0..20 {
+            s.execute_sql(&format!("INSERT INTO t VALUES ({}, 'v')", 200 + i))
+                .unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        handle.stop();
+        assert_eq!(db.retained_versions(), 1, "background vacuum trimmed");
+    }
+
+    #[test]
+    fn serialization_conflict_message_is_stable() {
+        let e = DbError::SerializationConflict {
+            table: "t".into(),
+            detail: "row 0 written by a concurrent transaction".into(),
+        };
+        let text = e.to_string();
+        assert!(text.starts_with("serialization conflict"), "{text}");
+        assert!(text.contains("retry"), "{text}");
+        assert!(e.is_retryable());
+    }
 }
 
 #[cfg(test)]
@@ -942,6 +1410,13 @@ mod savepoint_tests {
         db
     }
 
+    fn visible_rows(s: &mut Session) -> usize {
+        match s.execute_sql("SELECT * FROM t").unwrap() {
+            QueryResult::Rows { rows, .. } => rows.len(),
+            other => panic!("{other:?}"),
+        }
+    }
+
     #[test]
     fn rollback_to_savepoint_keeps_earlier_work() {
         let db = setup();
@@ -951,15 +1426,11 @@ mod savepoint_tests {
         s.execute_sql("SAVEPOINT sp1").unwrap();
         s.execute_sql("INSERT INTO t VALUES (2)").unwrap();
         s.execute_sql("ROLLBACK TO SAVEPOINT sp1").unwrap();
-        assert_eq!(
-            db.table_rows("t").unwrap(),
-            1,
-            "post-savepoint insert undone"
-        );
+        assert_eq!(visible_rows(&mut s), 1, "post-savepoint insert undone");
         // The savepoint survives and can be rolled back to again.
         s.execute_sql("INSERT INTO t VALUES (3)").unwrap();
         s.execute_sql("ROLLBACK TO sp1").unwrap();
-        assert_eq!(db.table_rows("t").unwrap(), 1);
+        assert_eq!(visible_rows(&mut s), 1);
         s.execute_sql("COMMIT").unwrap();
         assert_eq!(db.table_rows("t").unwrap(), 1);
     }

@@ -44,6 +44,17 @@ pub enum DbError {
     /// The storage engine failed to persist or recover state (I/O error,
     /// corrupt WAL/snapshot). Not retryable: the commit did not happen.
     Storage(String),
+    /// Optimistic-concurrency failure under snapshot isolation: between this
+    /// transaction's snapshot and its commit, another transaction committed
+    /// a conflicting write (first writer wins). The losing transaction was
+    /// rolled back; re-running it against the new state can succeed.
+    SerializationConflict {
+        /// Table whose clock detected the conflict (`<catalog>` for schema
+        /// races).
+        table: String,
+        /// What conflicted, for diagnostics.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -68,6 +79,10 @@ impl fmt::Display for DbError {
             DbError::UnknownUser(u) => write!(f, "user \"{u}\" does not exist"),
             DbError::Execution(m) => write!(f, "execution error: {m}"),
             DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::SerializationConflict { table, detail } => write!(
+                f,
+                "serialization conflict: {detail} on \"{table}\"; retry the transaction"
+            ),
         }
     }
 }
@@ -87,7 +102,9 @@ impl DbError {
         matches!(self, DbError::PrivilegeDenied { .. })
     }
 
-    /// Whether retrying with corrected SQL could plausibly succeed.
+    /// Whether retrying could plausibly succeed — corrected SQL for the
+    /// analysis errors, or simply re-running the same transaction for a
+    /// serialization conflict.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -96,7 +113,14 @@ impl DbError {
                 | DbError::UnknownColumn(_)
                 | DbError::AmbiguousColumn(_)
                 | DbError::TypeError(_)
+                | DbError::SerializationConflict { .. }
         )
+    }
+
+    /// Whether this is an MVCC first-writer-wins conflict (the transaction
+    /// was rolled back and can be retried verbatim).
+    pub fn is_serialization_conflict(&self) -> bool {
+        matches!(self, DbError::SerializationConflict { .. })
     }
 }
 

@@ -17,7 +17,7 @@ use crate::error::{DbError, DbResult};
 use crate::expr::{self, eval, Scope, ScopeCol};
 use crate::plan::{self, ExecOptions, JoinPath, PlanSummary, ScanPath};
 use crate::schema::{Catalog, Column, ForeignKey, IndexDef, TableSchema};
-use crate::storage::{canonical_key, HashedKey, RowId, TableData};
+use crate::storage::{canonical_key, DataMap, HashedKey, RowId, TableData};
 use crate::txn::UndoOp;
 use crate::value::{Key, Row, Value};
 use sqlkit::ast::{
@@ -33,8 +33,10 @@ use std::hash::{BuildHasher, RandomState};
 pub struct DbState {
     /// Table schemas.
     pub catalog: Catalog,
-    /// Table storage, keyed by table name.
-    pub data: BTreeMap<String, TableData>,
+    /// Table storage, keyed by table name. Copy-on-write: cloning a
+    /// `DbState` (MVCC snapshot / transaction workspace) shares every table
+    /// until it is written.
+    pub data: DataMap,
 }
 
 /// The result of executing one statement.
@@ -1542,7 +1544,11 @@ fn validate_row(
     Ok(())
 }
 
-fn foreign_key_target_exists(state: &DbState, fk: &ForeignKey, key: &[Value]) -> DbResult<bool> {
+pub(crate) fn foreign_key_target_exists(
+    state: &DbState,
+    fk: &ForeignKey,
+    key: &[Value],
+) -> DbResult<bool> {
     let target_schema = state.catalog.table(&fk.foreign_table)?;
     let target_data = state
         .data
@@ -1555,7 +1561,7 @@ fn foreign_key_target_exists(state: &DbState, fk: &ForeignKey, key: &[Value]) ->
 /// Whether any live row matches `key` (SQL equality) at `positions`. Uses
 /// an exactly-matching index as a pre-filter when one exists, re-verifying
 /// candidates with `sql_eq` so the answer is identical to the scan.
-fn rows_match_key(data: &TableData, positions: &[usize], key: &[Value]) -> bool {
+pub(crate) fn rows_match_key(data: &TableData, positions: &[usize], key: &[Value]) -> bool {
     let sql_matches = |row: &Row| {
         positions
             .iter()

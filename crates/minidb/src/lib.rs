@@ -17,10 +17,15 @@
 //!   engine on every statement;
 //! * a concurrency-safe facade ([`db::Database`] / [`db::Session`]).
 //!
-//! Concurrency model: statements serialize on an internal lock and an open
-//! explicit transaction holds a global slot (other writers see "database is
-//! locked"). This is deliberate — the paper's workloads are single-agent —
-//! and is documented in DESIGN.md.
+//! Concurrency model: **MVCC snapshot isolation** ([`mvcc`]). Every
+//! committed state is an immutable version; readers clone an `Arc` to the
+//! latest version and never take a lock or block a writer. Transactions
+//! execute on a private copy-on-write workspace and commit optimistically:
+//! first writer wins, the loser's transaction rolls back with a typed
+//! [`DbError::SerializationConflict`] that callers retry. Commit order and
+//! timestamps are assigned under a single commit lock at the WAL group
+//! append, so durability order and version order agree by construction.
+//! Autocommit statements retry conflicts internally; see DESIGN.md §10.
 
 #![warn(missing_docs)]
 
@@ -28,6 +33,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod mvcc;
 pub mod plan;
 pub mod privilege;
 pub mod schema;
@@ -36,9 +42,10 @@ pub mod sync;
 pub mod txn;
 pub mod value;
 
-pub use db::{Database, Session};
+pub use db::{Database, Session, VacuumHandle, VacuumReport};
 pub use error::{DbError, DbResult};
 pub use exec::QueryResult;
+pub use mvcc::{CommittedVersion, TimestampOracle, Ts};
 pub use plan::{ExecOptions, PlanSummary};
 pub use privilege::{PrivilegeCatalog, UserPrivileges};
 pub use schema::{Catalog, Column, ForeignKey, TableSchema};

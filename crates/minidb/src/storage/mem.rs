@@ -13,9 +13,73 @@
 use crate::value::{Key, Row, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Stable identifier of a row within one table.
 pub type RowId = usize;
+
+/// Copy-on-write map of table storage, keyed by table name.
+///
+/// Each table sits behind an `Arc`, so cloning a whole `DbState` — an MVCC
+/// snapshot or a transaction's private workspace — costs one pointer bump
+/// per table instead of a deep copy. The first mutation of a table inside a
+/// clone copies just that table (`Arc::make_mut`); untouched tables stay
+/// shared with every snapshot holding them. The API mirrors the
+/// `BTreeMap<String, TableData>` it replaced, so the executor and the undo
+/// log are oblivious to the sharing.
+#[derive(Debug, Clone, Default)]
+pub struct DataMap {
+    tables: BTreeMap<String, Arc<TableData>>,
+}
+
+impl DataMap {
+    /// Shared view of one table's storage.
+    pub fn get(&self, name: &str) -> Option<&TableData> {
+        self.tables.get(name).map(Arc::as_ref)
+    }
+
+    /// Mutable view of one table's storage, unsharing it first if any
+    /// snapshot still holds the same version (copy-on-write).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut TableData> {
+        self.tables.get_mut(name).map(Arc::make_mut)
+    }
+
+    /// Register (or replace) a table's storage.
+    pub fn insert(&mut self, name: String, data: TableData) {
+        self.tables.insert(name, Arc::new(data));
+    }
+
+    /// Remove a table's storage, returning it (unshared).
+    pub fn remove(&mut self, name: &str) -> Option<TableData> {
+        self.tables
+            .remove(name)
+            .map(|data| Arc::try_unwrap(data).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Iterate over `(name, storage)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &TableData)> {
+        self.tables.iter().map(|(name, data)| (name, data.as_ref()))
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether no tables are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+impl std::ops::Index<&str> for DataMap {
+    type Output = TableData;
+
+    fn index(&self, name: &str) -> &TableData {
+        self.get(name)
+            .unwrap_or_else(|| panic!("no storage for table \"{name}\""))
+    }
+}
 
 /// Physical representation of an index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -22,7 +22,7 @@ pub mod mem;
 pub mod snapshot;
 pub mod wal;
 
-pub use mem::{canonical_key, HashedKey, IndexData, IndexKind, RowId, TableData};
+pub use mem::{canonical_key, DataMap, HashedKey, IndexData, IndexKind, RowId, TableData};
 pub use wal::{DurableEngine, FsyncPolicy, WalRecord};
 
 use crate::error::DbResult;

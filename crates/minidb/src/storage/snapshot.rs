@@ -42,7 +42,7 @@ fn encode(state: &DbState, privileges: &PrivilegeCatalog) -> Vec<u8> {
     wal::put_u32(&mut buf, table_names.len() as u32);
     for name in &table_names {
         let schema = state.catalog.table(name).expect("catalog lists the table");
-        let data = state.data.get(*name).expect("data mirrors catalog");
+        let data = state.data.get(name).expect("data mirrors catalog");
         wal::put_schema(&mut buf, schema);
         wal::put_table_payload(
             &mut buf,

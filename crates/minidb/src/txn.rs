@@ -1,11 +1,17 @@
-//! Transactions via undo logging.
+//! Transaction mechanics: undo logging and redo staging.
 //!
 //! Every mutating operation appends an [`UndoOp`] describing how to reverse
-//! it. COMMIT discards the log; ROLLBACK replays it in reverse. Sessions run
-//! in autocommit mode unless an explicit transaction is open — matching the
-//! PostgreSQL behaviour BridgeScope's `begin`/`commit`/`rollback` tools rely
-//! on. Isolation is serialized (a single writer lock in the facade), which
-//! trivially provides ACID's "I" for the workloads at hand.
+//! it. Under MVCC ([`crate::mvcc`]) transactions execute on a private
+//! copy-on-write workspace, so the undo log's job is *local*: statement-level
+//! atomicity (a failed statement rolls its partial effects out of the
+//! workspace) and savepoints. Whole-transaction ROLLBACK just drops the
+//! workspace. The undo log doubles as the transaction's *write set* for
+//! commit-time conflict validation, and the [`CommitPipeline`] stages redo
+//! records ([`WalRecord`]) in lockstep — the commit path replays them onto
+//! the latest committed version when a merge is needed, and appends them to
+//! the WAL as the durability point. Sessions run in autocommit mode unless
+//! an explicit transaction is open — matching the PostgreSQL behaviour
+//! BridgeScope's `begin`/`commit`/`rollback` tools rely on.
 
 use crate::exec::DbState;
 use crate::schema::TableSchema;

@@ -18,6 +18,12 @@ fn fresh_db() -> Database {
 
 fn snapshot(db: &Database) -> Vec<(i64, i64)> {
     let mut s = db.session("admin").unwrap();
+    session_view(&mut s)
+}
+
+/// Read through a specific session: inside a transaction this sees the
+/// private workspace; under MVCC no other session can observe it.
+fn session_view(s: &mut minidb::Session) -> Vec<(i64, i64)> {
     match s.execute_sql("SELECT id, v FROM t ORDER BY id").unwrap() {
         QueryResult::Rows { rows, .. } => rows
             .into_iter()
@@ -73,7 +79,7 @@ proptest! {
             s.execute_sql("SAVEPOINT __scratch").unwrap();
         }
         s.execute_sql("SAVEPOINT mid").unwrap();
-        let midpoint = snapshot(&db);
+        let midpoint = session_view(&mut s);
         for o in &after {
             run_op(&mut s, o);
             // Recreate the scratch savepoint above `mid` so error recovery
@@ -81,7 +87,9 @@ proptest! {
             s.execute_sql("SAVEPOINT __scratch").unwrap();
         }
         s.execute_sql("ROLLBACK TO SAVEPOINT mid").unwrap();
-        prop_assert_eq!(snapshot(&db), midpoint.clone());
+        prop_assert_eq!(session_view(&mut s), midpoint.clone());
+        // Snapshot isolation: nothing is visible outside the transaction.
+        prop_assert_eq!(snapshot(&db), snapshot(&fresh_db()));
         // And the whole transaction still rolls back to the original state.
         s.execute_sql("ROLLBACK").unwrap();
         prop_assert_eq!(snapshot(&db), snapshot(&fresh_db()));
@@ -102,7 +110,7 @@ proptest! {
             s.execute_sql("SAVEPOINT __scratch").unwrap();
         }
         s.execute_sql("SAVEPOINT mid").unwrap();
-        let midpoint = snapshot(&db);
+        let midpoint = session_view(&mut s);
         for o in &after {
             run_op(&mut s, o);
             s.execute_sql("SAVEPOINT __scratch").unwrap();

@@ -600,7 +600,16 @@ fn views_roll_back_with_transactions() {
     s.execute_sql("BEGIN").unwrap();
     s.execute_sql("CREATE VIEW tmp AS SELECT id FROM sales")
         .unwrap();
-    assert_eq!(cell(&db, "SELECT COUNT(*) FROM tmp"), Value::Int(5));
+    // The uncommitted view is visible to its own transaction only (MVCC).
+    match s.execute_sql("SELECT COUNT(*) FROM tmp").unwrap() {
+        QueryResult::Rows { rows, .. } => assert_eq!(rows[0][0], Value::Int(5)),
+        other => panic!("{other:?}"),
+    }
+    assert!(db
+        .session("admin")
+        .unwrap()
+        .execute_sql("SELECT * FROM tmp")
+        .is_err());
     s.execute_sql("ROLLBACK").unwrap();
     assert!(db
         .session("admin")

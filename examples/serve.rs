@@ -29,6 +29,7 @@
 //!   printing the throughput + latency-histogram report.
 
 use bridgescope::prelude::*;
+use std::time::Duration;
 use toolproto::ToolError;
 
 /// The demo database: a `sales` table anyone privileged can read, an
@@ -84,6 +85,14 @@ fn main() {
             let sessions = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
             let calls = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
             run_loadgen(sessions, calls);
+        }
+        Some("--bench-mvcc") => {
+            let out = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_mvcc.json".to_owned());
+            let calls = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+            run_bench_mvcc(&out, calls);
         }
         _ => run_tcp(&args),
     }
@@ -146,6 +155,9 @@ fn run_tcp(args: &[String]) {
         }
         None => tenancy(),
     };
+    // Background vacuum keeps the MVCC version history bounded while the
+    // server runs (the handle stops the thread when the process exits).
+    let _vacuum = tenancy.database().start_vacuum(Duration::from_secs(5));
     let server = WireServer::bind(&addr, tenancy, WireConfig::default(), obs)
         .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
     println!("listening on {}", server.local_addr());
@@ -411,4 +423,114 @@ fn run_loadgen(sessions: usize, calls: usize) {
             sessions * calls
         ));
     }
+}
+
+/// MVCC read-scaling benchmark (ci/bench.sh): serve the BIRD-Ext template
+/// over loopback and measure transactional read throughput (BEGIN → SELECT
+/// gold SQL → COMMIT, with agent think time) at 1/2/4/8 concurrent
+/// sessions. Each session holds real snapshot transactions, so any number
+/// of them proceed in parallel under MVCC — under the old single global
+/// transaction slot the concurrent BEGINs would fail outright. Writes a
+/// machine-readable JSON report (consumed by the ci/check.sh regression
+/// gate) and prints one `bench:` line per worker count.
+fn run_bench_mvcc(out_path: &str, calls_per_session: usize) {
+    const SEED: u64 = 42;
+    const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    /// Simulated agent think time per call. Real BridgeScope sessions are
+    /// paced by LLM latency (tens to thousands of ms); 2ms keeps the run
+    /// fast while still leaving a lone session far from saturating the
+    /// server, so the scaling headroom measured is the server's.
+    const THINK_NS: u64 = 2_000_000;
+    let ext = benchkit::generate_bird_ext(SEED);
+    let mut sqls: Vec<String> = Vec::new();
+    for task in ext.tasks.iter().filter(|t| !t.is_write()) {
+        for step in &task.spec.steps {
+            if !sqls.contains(&step.gold) {
+                sqls.push(step.gold.clone());
+            }
+        }
+        if sqls.len() >= 16 {
+            break;
+        }
+    }
+    if sqls.is_empty() {
+        fail("no BIRD read tasks generated");
+    }
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        Tenancy::new(ext.template.fork()),
+        WireConfig::default(),
+        Obs::in_memory(),
+    )
+    .unwrap_or_else(|e| fail(&format!("cannot bind: {e}")));
+    let addr = server.local_addr();
+    println!(
+        "bench: mvcc txn-read scaling, seed {SEED}, {} queries, {} calls/session, think 2ms",
+        sqls.len(),
+        calls_per_session
+    );
+    // Warm-up pass so the first measured run doesn't pay one-time costs.
+    let warm = benchkit::LoadConfig::txn_read_rotation(2, 30, "admin", &sqls, 0);
+    let _ = benchkit::run_load(addr, &warm);
+    let mut runs = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let cfg = benchkit::LoadConfig::txn_read_rotation(
+            workers,
+            calls_per_session,
+            "admin",
+            &sqls,
+            THINK_NS,
+        );
+        let report = benchkit::run_load(addr, &cfg);
+        let expected = (workers * cfg.calls_per_session) as u64;
+        if report.calls_ok != expected {
+            server.shutdown();
+            fail(&format!(
+                "workers={workers}: only {}/{} calls succeeded \
+                 (busy {}, tool-err {}, transport-err {})",
+                report.calls_ok,
+                expected,
+                report.rejected_busy,
+                report.tool_errors,
+                report.transport_errors,
+            ));
+        }
+        let throughput = report.throughput();
+        let p50 = report.latency.quantile_ns(0.50);
+        let p99 = report.latency.quantile_ns(0.99);
+        println!(
+            "bench: workers={workers} calls={} throughput={throughput:.1} calls/s \
+             p50={}us p99={}us",
+            report.calls_ok,
+            p50 / 1_000,
+            p99 / 1_000,
+        );
+        runs.push((workers, report.calls_ok, throughput, p50, p99));
+    }
+    server.shutdown();
+    let t1 = runs[0].2;
+    let t8 = runs[runs.len() - 1].2;
+    let scaling = if t1 > 0.0 { t8 / t1 } else { 0.0 };
+    println!("bench: scaling_8v1={scaling:.2}");
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"mvcc_read_scaling\",\n  \"seed\": {SEED},\n  \"queries\": {},\n  \"calls_per_session\": {calls_per_session},\n",
+        sqls.len()
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (idx, (workers, ok, tput, p50, p99)) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {workers}, \"calls_ok\": {ok}, \"throughput_cps\": {tput:.1}, \
+             \"p50_ns\": {p50}, \"p99_ns\": {p99}}}{}\n",
+            if idx + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"scaling_8v1\": {scaling:.2}\n"));
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(out_path, &json) {
+        fail(&format!("cannot write {out_path}: {e}"));
+    }
+    println!("bench: wrote {out_path}");
 }

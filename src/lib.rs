@@ -48,7 +48,7 @@ pub mod prelude {
     pub use llmsim::{LlmProfile, ReactAgent, TaskSpec};
     pub use minidb::{
         Database, DbError, DurabilityConfig, FsyncPolicy, QueryResult, RecoveryReport, Session,
-        Value,
+        VacuumHandle, VacuumReport, Value,
     };
     pub use mltools::ml_registry;
     pub use obs::{Obs, ObsConfig, ObsSnapshot};
