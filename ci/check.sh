@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 # Gate registry: every name listed here MUST run, or the suite fails.
 EXPECTED_GATES="fmt clippy build-release tier1-tests workspace-tests obs-layer \
-wire-smoke recovery-smoke mvcc-stress mvcc-bench"
+wire-smoke telemetry-smoke recovery-smoke mvcc-stress mvcc-bench"
 
 GATES_RUN=""
 GATES_FAILED=""
@@ -114,6 +114,26 @@ gate_wire_smoke() {
   echo "==> wire loopback smoke OK"
 }
 
+# Live-telemetry smoke: examples/serve --selftest-telemetry binds a wire
+# server plus the admin plane (the same code path as --admin-addr), runs a
+# loadgen smoke, scrapes /metrics twice and asserts every counter series is
+# monotonic, requires the tool-labeled counter / mvcc gauge / latency
+# histogram series, captures a slow call in the flight recorder, verifies
+# /readyz flips to 503 during drain while /healthz stays 200, and compares
+# loadgen throughput with telemetry on vs off (enabled/disabled >= 0.9).
+gate_telemetry_smoke() {
+  local telemetry_out
+  telemetry_out=$(cargo run -q --offline --locked --example serve -- --selftest-telemetry) || return 1
+  echo "$telemetry_out"
+  local marker
+  for marker in "health ok" "metrics ok" "monotonic ok" "slow ok" \
+                "readyz ok" "overhead ok" "all ok"; do
+    echo "$telemetry_out" | grep -q "telemetry: $marker" \
+      || { echo "FAIL: telemetry selftest missing marker '$marker'"; return 1; }
+  done
+  echo "==> telemetry smoke OK"
+}
+
 # Durability layer: commit work to a WAL-backed database, kill the engine
 # in-process (no checkpoint, one transaction left uncommitted), reopen, and
 # require zero lost commits plus a recovery:replay span in the trace. The
@@ -174,6 +194,7 @@ run_gate tier1-tests     gate_tier1_tests
 run_gate workspace-tests gate_workspace_tests
 run_gate obs-layer       gate_obs_layer
 run_gate wire-smoke      gate_wire_smoke
+run_gate telemetry-smoke gate_telemetry_smoke
 run_gate recovery-smoke  gate_recovery_smoke
 run_gate mvcc-stress     gate_mvcc_stress
 run_gate mvcc-bench      gate_mvcc_bench

@@ -136,6 +136,17 @@ impl LoadReport {
         self.calls_ok as f64 / (self.elapsed_ns as f64 / 1e9)
     }
 
+    /// Tail-latency summary `[p50, p95, p99]` in nanoseconds, from the
+    /// run's latency histogram. These land in emitted bench JSON so the
+    /// bench trajectory captures tail latency, not just throughput.
+    pub fn percentiles_ns(&self) -> [u64; 3] {
+        [
+            self.latency.quantile_ns(0.50),
+            self.latency.quantile_ns(0.95),
+            self.latency.quantile_ns(0.99),
+        ]
+    }
+
     /// Human-readable report: headline numbers plus an ASCII latency
     /// histogram (one bar per non-empty bucket).
     pub fn render(&self) -> String {

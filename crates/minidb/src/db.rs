@@ -196,6 +196,52 @@ impl Database {
         engine.checkpoint(&latest.state, &latest.privileges)
     }
 
+    /// WAL bytes appended since the last checkpoint (0 on the volatile
+    /// engine). Read by the `minidb.wal.bytes_since_checkpoint` gauge.
+    pub fn wal_bytes_since_checkpoint(&self) -> u64 {
+        self.shared.commit.lock().wal_bytes_since_checkpoint()
+    }
+
+    /// Register live gauges for this database's MVCC and WAL internals on
+    /// `obs`:
+    ///
+    /// * `minidb.mvcc.retained_versions` — history-buffer length,
+    /// * `minidb.mvcc.oldest_snapshot_age` — commit timestamps between the
+    ///   latest commit and the oldest open explicit transaction's snapshot
+    ///   (0 when no transaction is open — nothing is held back), and
+    /// * `minidb.wal.bytes_since_checkpoint` — un-compacted WAL volume.
+    ///
+    /// Call this once per served database (e.g. from the wire server), not
+    /// per session. The samplers hold `Weak` references, so registering
+    /// gauges never keeps the database alive: after the last `Database`
+    /// clone drops, the samplers report 0.
+    pub fn register_gauges(&self, obs: &Obs) {
+        let weak = Arc::downgrade(&self.shared);
+        obs.register_gauge("minidb.mvcc.retained_versions", &[], move || {
+            weak.upgrade()
+                .map(|s| s.retained.lock().len() as f64)
+                .unwrap_or(0.0)
+        });
+        let weak = Arc::downgrade(&self.shared);
+        obs.register_gauge("minidb.mvcc.oldest_snapshot_age", &[], move || {
+            weak.upgrade()
+                .map(|s| {
+                    let oldest = s.active.lock().keys().next().copied();
+                    match oldest {
+                        Some(ts) => s.oracle.last().saturating_sub(ts) as f64,
+                        None => 0.0,
+                    }
+                })
+                .unwrap_or(0.0)
+        });
+        let weak = Arc::downgrade(&self.shared);
+        obs.register_gauge("minidb.wal.bytes_since_checkpoint", &[], move || {
+            weak.upgrade()
+                .map(|s| s.commit.lock().wal_bytes_since_checkpoint() as f64)
+                .unwrap_or(0.0)
+        });
+    }
+
     /// Deterministic digest of everything durability must preserve: schemas,
     /// rows (with their ids — replay reproduces id allocation exactly),
     /// views, users, and grants. Two databases with equal fingerprints are
@@ -1083,6 +1129,77 @@ mod tests {
             QueryResult::Rows { rows, .. } => rows.len(),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn gauges_report_mvcc_state_without_keeping_db_alive() {
+        let obs = Obs::in_memory();
+        let db = setup();
+        db.register_gauges(&obs);
+
+        let m = obs.snapshot().metrics;
+        assert_eq!(
+            m.gauge("minidb.mvcc.retained_versions", &[]),
+            Some(db.retained_versions() as f64)
+        );
+        assert_eq!(m.gauge("minidb.mvcc.oldest_snapshot_age", &[]), Some(0.0));
+        // Volatile engine: no WAL.
+        assert_eq!(m.gauge("minidb.wal.bytes_since_checkpoint", &[]), Some(0.0));
+
+        // An open transaction pins its snapshot; the age gauge tracks how
+        // far the latest commit has moved past it.
+        let mut pinned = db.session("admin").unwrap();
+        pinned.execute_sql("BEGIN").unwrap();
+        pinned.execute_sql("SELECT * FROM t").unwrap();
+        let mut writer = db.session("admin").unwrap();
+        writer.execute_sql("INSERT INTO t VALUES (3, 'c')").unwrap();
+        let age = obs
+            .snapshot()
+            .metrics
+            .gauge("minidb.mvcc.oldest_snapshot_age", &[])
+            .unwrap();
+        assert!(age >= 1.0, "snapshot age {age}");
+        pinned.execute_sql("COMMIT").unwrap();
+
+        // Weak samplers: dropping the database must not be prevented by
+        // registered gauges, and samplers degrade to 0.
+        drop(pinned);
+        drop(writer);
+        drop(db);
+        let m = obs.snapshot().metrics;
+        assert_eq!(m.gauge("minidb.mvcc.retained_versions", &[]), Some(0.0));
+    }
+
+    #[test]
+    fn wal_bytes_gauge_tracks_appends_and_checkpoint_reset() {
+        let dir = std::env::temp_dir().join(format!("minidb-walgauge-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = DurabilityConfig::new(&dir);
+        let (db, _report) = Database::open(&config).unwrap();
+        assert_eq!(db.wal_bytes_since_checkpoint(), 0);
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("CREATE TABLE w (id INTEGER PRIMARY KEY)")
+            .unwrap();
+        s.execute_sql("INSERT INTO w VALUES (1)").unwrap();
+        let bytes = db.wal_bytes_since_checkpoint();
+        assert!(bytes > 0, "WAL appends must be counted");
+        db.checkpoint().unwrap();
+        assert_eq!(db.wal_bytes_since_checkpoint(), 0);
+        // Restart: the surviving WAL tail (empty after checkpoint) seeds
+        // the counter.
+        drop(s);
+        drop(db);
+        let (db, _report) = Database::open(&config).unwrap();
+        assert_eq!(db.wal_bytes_since_checkpoint(), 0);
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("INSERT INTO w VALUES (2)").unwrap();
+        let tail = db.wal_bytes_since_checkpoint();
+        assert!(tail > 0);
+        drop(s);
+        drop(db);
+        let (db, _report) = Database::open(&config).unwrap();
+        assert_eq!(db.wal_bytes_since_checkpoint(), tail);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

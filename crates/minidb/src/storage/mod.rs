@@ -133,6 +133,12 @@ pub trait StorageEngine: Send + Sync {
 
     /// Compact: write a snapshot of the full state and truncate the WAL.
     fn checkpoint(&mut self, state: &DbState, privileges: &PrivilegeCatalog) -> DbResult<()>;
+
+    /// WAL bytes appended since the last checkpoint (0 for engines without
+    /// a log). A telemetry gauge reads this; it resets on checkpoint.
+    fn wal_bytes_since_checkpoint(&self) -> u64 {
+        0
+    }
 }
 
 /// The default engine: in-memory only, nothing persists. Keeps every

@@ -1095,6 +1095,7 @@ pub struct DurableEngine {
     snapshot_every: usize,
     next_txn: u64,
     commits_since_snapshot: usize,
+    bytes_since_checkpoint: u64,
     last_sync: Instant,
     dirty: bool,
     obs: Obs,
@@ -1183,6 +1184,9 @@ impl DurableEngine {
             snapshot_every: config.snapshot_every,
             next_txn: stats.max_txn + 1,
             commits_since_snapshot: 0,
+            // The surviving WAL tail is exactly the bytes not yet covered
+            // by a snapshot, so the gauge stays truthful across restarts.
+            bytes_since_checkpoint: scanned.valid_len as u64,
             last_sync: Instant::now(),
             dirty: false,
             obs,
@@ -1270,6 +1274,7 @@ impl StorageEngine for DurableEngine {
         self.obs.incr("wal.bytes", buf.len() as u64);
         self.obs
             .observe_ns("wal.commit", t0.elapsed().as_nanos() as u64);
+        self.bytes_since_checkpoint += buf.len() as u64;
         self.commits_since_snapshot += 1;
         if self.snapshot_every > 0 && self.commits_since_snapshot >= self.snapshot_every {
             self.checkpoint(state, privileges)?;
@@ -1302,8 +1307,13 @@ impl StorageEngine for DurableEngine {
             .map_err(|e| io_err("sync truncated WAL", e))?;
         self.dirty = false;
         self.commits_since_snapshot = 0;
+        self.bytes_since_checkpoint = 0;
         self.obs.incr("wal.snapshots", 1);
         Ok(())
+    }
+
+    fn wal_bytes_since_checkpoint(&self) -> u64 {
+        self.bytes_since_checkpoint
     }
 }
 

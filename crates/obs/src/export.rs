@@ -182,9 +182,13 @@ pub fn metrics_from_json(obj: &Json) -> Result<MetricsSnapshot, String> {
             );
         }
     }
+    // Labeled series and gauges are not round-tripped through JSONL yet:
+    // the trace format predates them and the parser tolerates their
+    // absence, so a re-parsed snapshot carries empty vectors here.
     Ok(MetricsSnapshot {
         counters,
         histograms,
+        ..MetricsSnapshot::default()
     })
 }
 

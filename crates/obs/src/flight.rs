@@ -1,0 +1,289 @@
+//! Slow-call flight recorder: a bounded ring buffer of recently completed
+//! slow span trees.
+//!
+//! Post-mortem traces answer "what happened over the whole run"; the flight
+//! recorder answers the live-operations question "what were the worst calls
+//! *recently*, and what did they spend their time on". Every finished span
+//! is offered to the recorder. Spans are buffered in a bounded FIFO pool;
+//! when a *trigger* span (name matching one of the configured prefixes,
+//! e.g. `tool:` or `wire:call`) closes slower than the threshold, the
+//! recorder captures it together with every buffered descendant — children
+//! always close before their parents, so the full subtree is already in the
+//! pool — into a ring of [`SlowCall`] entries. The ring overwrites its
+//! oldest entry when full, so memory stays bounded no matter how long the
+//! server runs.
+
+use crate::span::SpanRecord;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use toolproto::Json;
+
+/// Tuning for a [`FlightRecorder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// A trigger span slower than this (in nanoseconds) is captured.
+    pub threshold_ns: u64,
+    /// Maximum retained [`SlowCall`] entries; the oldest is evicted first.
+    pub ring_capacity: usize,
+    /// Maximum buffered finished spans awaiting their root's close. Bounds
+    /// memory; a subtree larger than this is captured truncated.
+    pub pending_capacity: usize,
+    /// Span-name prefixes that can trigger a capture. `tool:` matches every
+    /// `tool:{name}` span; `wire:call` matches the wire dispatch wrapper.
+    pub trigger_prefixes: Vec<String>,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            threshold_ns: 100_000_000, // 100ms
+            ring_capacity: 64,
+            pending_capacity: 4096,
+            trigger_prefixes: vec!["tool:".to_owned(), "wire:call".to_owned()],
+        }
+    }
+}
+
+impl FlightConfig {
+    /// Config with a custom slow threshold and the default capacities.
+    pub fn with_threshold_ns(threshold_ns: u64) -> Self {
+        FlightConfig {
+            threshold_ns,
+            ..FlightConfig::default()
+        }
+    }
+}
+
+/// One captured slow call: the trigger span plus its recorded subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowCall {
+    /// Monotonic capture sequence number (1-based) within one recorder.
+    pub seq: u64,
+    /// The trigger span that exceeded the threshold.
+    pub root: SpanRecord,
+    /// The captured tree: the root plus every buffered descendant, sorted
+    /// by `(start_ns, id)` so parents precede children.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl SlowCall {
+    /// Duration of the captured root span in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.root.duration_ns()
+    }
+
+    /// JSON form served by the admin `/slow` endpoint and appended to
+    /// JSONL dumps as a `{"type":"slow_call",…}` event.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("type", Json::str("slow_call")),
+            ("seq", Json::num(self.seq as f64)),
+            ("name", Json::str(self.root.name.clone())),
+            ("duration_ns", Json::num(self.duration_ns() as f64)),
+            (
+                "spans",
+                Json::array(self.spans.iter().map(crate::export::span_to_json)),
+            ),
+        ])
+    }
+}
+
+struct FlightInner {
+    /// Finished spans awaiting a potential trigger ancestor, FIFO-bounded.
+    pending: VecDeque<SpanRecord>,
+    /// Captured slow calls, oldest first, ring-bounded.
+    ring: VecDeque<SlowCall>,
+}
+
+/// The recorder itself. Concurrency-safe; one lives inside an enabled
+/// [`crate::Obs`] handle when flight recording is configured.
+pub struct FlightRecorder {
+    config: FlightConfig,
+    inner: Mutex<FlightInner>,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("config", &self.config)
+            .field("captured", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the given tuning.
+    pub fn new(config: FlightConfig) -> Self {
+        FlightRecorder {
+            config,
+            inner: Mutex::new(FlightInner {
+                pending: VecDeque::new(),
+                ring: VecDeque::new(),
+            }),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured slow threshold in nanoseconds.
+    pub fn threshold_ns(&self) -> u64 {
+        self.config.threshold_ns
+    }
+
+    /// Total captures since construction (monotonic, survives ring
+    /// eviction).
+    pub fn captured_total(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    fn is_trigger(&self, name: &str) -> bool {
+        self.config
+            .trigger_prefixes
+            .iter()
+            .any(|p| name.starts_with(p.as_str()))
+    }
+
+    /// Offer one finished span. Returns `true` when this span triggered a
+    /// slow-call capture.
+    pub fn offer(&self, span: SpanRecord) -> bool {
+        let slow = self.is_trigger(&span.name) && span.duration_ns() >= self.config.threshold_ns;
+        let mut inner = self.inner.lock().expect("flight lock");
+        if slow {
+            let mut spans = collect_subtree(&inner.pending, &span);
+            spans.push(span.clone());
+            spans.sort_by_key(|s| (s.start_ns, s.id));
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            if inner.ring.len() >= self.config.ring_capacity.max(1) {
+                inner.ring.pop_front();
+            }
+            inner.ring.push_back(SlowCall {
+                seq,
+                root: span.clone(),
+                spans,
+            });
+        }
+        inner.pending.push_back(span);
+        while inner.pending.len() > self.config.pending_capacity.max(1) {
+            inner.pending.pop_front();
+        }
+        slow
+    }
+
+    /// Captured slow calls, oldest first.
+    pub fn slow_calls(&self) -> Vec<SlowCall> {
+        self.inner
+            .lock()
+            .expect("flight lock")
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+/// Every pending span that is a descendant of `root` (by walking parent
+/// links within the pending pool — ancestors outside the pool terminate the
+/// walk without a match).
+fn collect_subtree(pending: &VecDeque<SpanRecord>, root: &SpanRecord) -> Vec<SpanRecord> {
+    let parent_of: BTreeMap<u64, Option<u64>> = pending.iter().map(|s| (s.id, s.parent)).collect();
+    let mut out = Vec::new();
+    for span in pending {
+        let mut cursor = span.parent;
+        let mut hops = 0usize;
+        while let Some(pid) = cursor {
+            if pid == root.id {
+                out.push(span.clone());
+                break;
+            }
+            hops += 1;
+            if hops > pending.len() {
+                break; // defensive: malformed parent cycle
+            }
+            cursor = parent_of.get(&pid).copied().flatten();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: Option<u64>, name: &str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_owned(),
+            start_ns: start,
+            end_ns: end,
+            error: None,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn captures_trigger_span_with_subtree() {
+        let fr = FlightRecorder::new(FlightConfig::with_threshold_ns(100));
+        // Children close first, then the slow tool span.
+        assert!(!fr.offer(rec(3, Some(2), "sql:execute", 20, 80)));
+        assert!(!fr.offer(rec(4, Some(3), "sql:scan", 30, 60)));
+        assert!(fr.offer(rec(2, Some(1), "tool:select", 10, 200)));
+        let calls = fr.slow_calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].root.name, "tool:select");
+        let names: Vec<&str> = calls[0].spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["tool:select", "sql:execute", "sql:scan"]);
+    }
+
+    #[test]
+    fn fast_and_untriggered_spans_are_ignored() {
+        let fr = FlightRecorder::new(FlightConfig::with_threshold_ns(100));
+        assert!(!fr.offer(rec(1, None, "tool:select", 0, 50))); // fast
+        assert!(!fr.offer(rec(2, None, "sql:execute", 0, 5000))); // not a trigger
+        assert!(fr.slow_calls().is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_around_keeping_newest() {
+        let config = FlightConfig {
+            threshold_ns: 10,
+            ring_capacity: 3,
+            ..FlightConfig::default()
+        };
+        let fr = FlightRecorder::new(config);
+        for i in 0..10u64 {
+            fr.offer(rec(i + 1, None, "tool:slow", i * 1000, i * 1000 + 500));
+        }
+        let calls = fr.slow_calls();
+        assert_eq!(calls.len(), 3);
+        assert_eq!(fr.captured_total(), 10);
+        // Oldest evicted: the survivors are captures 8, 9, 10.
+        assert_eq!(calls[0].seq, 8);
+        assert_eq!(calls[2].seq, 10);
+    }
+
+    #[test]
+    fn pending_pool_is_bounded() {
+        let config = FlightConfig {
+            threshold_ns: 1_000_000,
+            pending_capacity: 4,
+            ..FlightConfig::default()
+        };
+        let fr = FlightRecorder::new(config);
+        for i in 0..100u64 {
+            fr.offer(rec(i + 1, None, "sql:execute", i, i + 1));
+        }
+        assert!(fr.inner.lock().unwrap().pending.len() <= 4);
+    }
+
+    #[test]
+    fn slow_call_json_shape() {
+        let fr = FlightRecorder::new(FlightConfig::with_threshold_ns(1));
+        fr.offer(rec(1, None, "wire:call", 0, 100));
+        let json = fr.slow_calls()[0].to_json();
+        assert_eq!(json.get("type").and_then(Json::as_str), Some("slow_call"));
+        assert_eq!(json.get("name").and_then(Json::as_str), Some("wire:call"));
+        assert_eq!(json.get("duration_ns").and_then(Json::as_i64), Some(100));
+    }
+}

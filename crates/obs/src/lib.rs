@@ -40,14 +40,20 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod observer;
+pub mod prom;
 pub mod recorder;
 pub mod span;
 pub mod summary;
 
 pub use export::{parse_jsonl, to_jsonl};
-pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use flight::{FlightConfig, FlightRecorder, SlowCall};
+pub use metrics::{
+    canonical_labels, GaugeId, GaugeSample, Histogram, HistogramSnapshot, LabelSet, LabeledCounter,
+    LabeledHistogram, MetricsRegistry, MetricsSnapshot,
+};
 pub use observer::RegistryObserver;
 pub use recorder::{Recorder, ShardedSink};
 pub use span::{
@@ -55,9 +61,10 @@ pub use span::{
 };
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// How a server or harness should record observability data.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -78,6 +85,7 @@ pub(crate) struct ObsInner {
     metrics: MetricsRegistry,
     sink: ShardedSink,
     jsonl_path: Option<PathBuf>,
+    flight: Option<FlightRecorder>,
 }
 
 impl ObsInner {
@@ -91,6 +99,11 @@ impl ObsInner {
 
     pub(crate) fn record(&self, span: SpanRecord) {
         use recorder::Recorder as _;
+        if let Some(flight) = &self.flight {
+            if flight.offer(span.clone()) {
+                self.metrics.incr("obs.slow_calls.captured", 1);
+            }
+        }
         self.sink.record(span);
     }
 }
@@ -118,27 +131,35 @@ impl Obs {
         Obs { inner: None }
     }
 
-    fn enabled_with(jsonl_path: Option<PathBuf>) -> Self {
+    fn enabled_with(jsonl_path: Option<PathBuf>, flight: Option<FlightConfig>) -> Self {
+        let epoch = Instant::now();
+        let metrics = MetricsRegistry::new();
+        // Process uptime as a gauge: the epoch Instant is captured by value,
+        // so the sampler stays valid for the life of the registry.
+        metrics.register_gauge("process.uptime_seconds", &[], move || {
+            epoch.elapsed().as_secs_f64()
+        });
         Obs {
             inner: Some(Arc::new(ObsInner {
-                epoch: Instant::now(),
+                epoch,
                 next_id: AtomicU64::new(1),
-                metrics: MetricsRegistry::new(),
+                metrics,
                 sink: ShardedSink::new(),
                 jsonl_path,
+                flight: flight.map(FlightRecorder::new),
             })),
         }
     }
 
     /// An enabled handle recording into memory only.
     pub fn in_memory() -> Self {
-        Obs::enabled_with(None)
+        Obs::enabled_with(None, None)
     }
 
     /// An enabled handle that additionally writes a JSONL trace to `path`
     /// when [`Obs::flush`] is called.
     pub fn jsonl(path: impl Into<PathBuf>) -> Self {
-        Obs::enabled_with(Some(path.into()))
+        Obs::enabled_with(Some(path.into()), None)
     }
 
     /// Build a handle from a configuration value.
@@ -147,6 +168,16 @@ impl Obs {
             ObsConfig::Off => Obs::disabled(),
             ObsConfig::InMemory => Obs::in_memory(),
             ObsConfig::Jsonl(path) => Obs::jsonl(path.clone()),
+        }
+    }
+
+    /// Build a handle from a configuration value with a slow-call flight
+    /// recorder attached (ignored when the config is [`ObsConfig::Off`]).
+    pub fn with_flight(config: &ObsConfig, flight: FlightConfig) -> Self {
+        match config {
+            ObsConfig::Off => Obs::disabled(),
+            ObsConfig::InMemory => Obs::enabled_with(None, Some(flight)),
+            ObsConfig::Jsonl(path) => Obs::enabled_with(Some(path.clone()), Some(flight)),
         }
     }
 
@@ -178,6 +209,69 @@ impl Obs {
         }
     }
 
+    /// Add `by` to the labeled counter series `name{labels}` (no-op when
+    /// disabled). Labels must be low-cardinality; see the metrics docs.
+    pub fn incr_with(&self, name: &str, labels: &[(&str, &str)], by: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.incr_with(name, labels, by);
+        }
+    }
+
+    /// Record a latency observation in the labeled histogram series
+    /// `name{labels}` (no-op when disabled).
+    pub fn observe_ns_with(&self, name: &str, labels: &[(&str, &str)], ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.observe_ns_with(name, labels, ns);
+        }
+    }
+
+    /// Register a gauge sampler on this handle's metrics registry. Returns
+    /// `None` when disabled.
+    pub fn register_gauge(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        sampler: impl Fn() -> f64 + Send + Sync + 'static,
+    ) -> Option<GaugeId> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.metrics.register_gauge(name, labels, sampler))
+    }
+
+    /// Remove a previously registered gauge sampler.
+    pub fn unregister_gauge(&self, id: GaugeId) -> bool {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.metrics.unregister_gauge(id))
+            .unwrap_or(false)
+    }
+
+    /// Whether a flight recorder is attached to this handle.
+    pub fn flight_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.flight.is_some())
+            .unwrap_or(false)
+    }
+
+    /// The flight recorder's slow threshold in nanoseconds, if attached.
+    pub fn flight_threshold_ns(&self) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.flight.as_ref())
+            .map(FlightRecorder::threshold_ns)
+    }
+
+    /// Captured slow calls, oldest first (empty when disabled or no flight
+    /// recorder is attached).
+    pub fn slow_calls(&self) -> Vec<SlowCall> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.flight.as_ref())
+            .map(|flight| flight.slow_calls())
+            .unwrap_or_default()
+    }
+
     /// Nanoseconds since this handle was created (0 when disabled).
     pub fn now_ns(&self) -> u64 {
         self.inner.as_ref().map(|i| i.now_ns()).unwrap_or(0)
@@ -197,13 +291,20 @@ impl Obs {
         }
     }
 
-    /// Serialize the current snapshot as JSONL (empty string when disabled).
+    /// Serialize the current snapshot as JSONL (empty string when
+    /// disabled). Captured slow calls, if any, are appended as
+    /// `{"type":"slow_call",…}` lines after the snapshot events; the
+    /// parser skips unknown types, so older readers ignore them.
     pub fn export_jsonl(&self) -> String {
-        if self.is_enabled() {
-            export::to_jsonl(&self.snapshot())
-        } else {
-            String::new()
+        if !self.is_enabled() {
+            return String::new();
         }
+        let mut out = export::to_jsonl(&self.snapshot());
+        for call in self.slow_calls() {
+            out.push_str(&call.to_json().to_string());
+            out.push('\n');
+        }
+        out
     }
 
     /// The JSONL output path configured for this handle, if any.
@@ -229,6 +330,69 @@ impl Obs {
         } else {
             None
         }
+    }
+
+    /// Start a background thread that calls [`Obs::flush`] every
+    /// `interval`, so a killed process loses at most one interval of trace
+    /// data instead of the whole run. Returns `None` when the handle is
+    /// disabled or has no JSONL path. Dropping the handle stops the thread
+    /// and performs one final flush.
+    pub fn start_flusher(&self, interval: Duration) -> Option<FlushHandle> {
+        self.jsonl_path()?;
+        let obs = self.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("obs-flusher".to_owned())
+            .spawn(move || {
+                // Poll the stop flag at a finer grain than the flush
+                // interval so shutdown is prompt even for long intervals.
+                let tick = interval
+                    .min(Duration::from_millis(50))
+                    .max(Duration::from_millis(1));
+                let mut elapsed = Duration::ZERO;
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    elapsed += tick;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        let _ = obs.flush();
+                    }
+                }
+            })
+            .ok()?;
+        Some(FlushHandle {
+            obs: self.clone(),
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Guard for the periodic JSONL flusher started by [`Obs::start_flusher`].
+/// Dropping it stops the background thread and flushes one last time.
+#[derive(Debug)]
+pub struct FlushHandle {
+    obs: Obs,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl FlushHandle {
+    /// Stop the flusher thread and write a final flush. Idempotent; also
+    /// runs on drop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+            let _ = self.obs.flush();
+        }
+    }
+}
+
+impl Drop for FlushHandle {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -281,6 +445,72 @@ mod tests {
         assert!(Obs::from_config(&ObsConfig::InMemory).is_enabled());
         let obs = Obs::from_config(&ObsConfig::Jsonl(PathBuf::from("/tmp/t.jsonl")));
         assert_eq!(obs.jsonl_path(), Some(Path::new("/tmp/t.jsonl")));
+    }
+
+    #[test]
+    fn flight_recorder_captures_and_exports_slow_calls() {
+        let obs = Obs::with_flight(&ObsConfig::InMemory, FlightConfig::with_threshold_ns(1));
+        {
+            let _call = obs.span("tool:select");
+            let _child = obs.span("sql:execute");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let calls = obs.slow_calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].root.name, "tool:select");
+        assert_eq!(calls[0].spans.len(), 2);
+        assert_eq!(obs.snapshot().metrics.counter("obs.slow_calls.captured"), 1);
+        assert!(obs.export_jsonl().contains("\"type\":\"slow_call\""));
+    }
+
+    #[test]
+    fn uptime_gauge_is_registered_and_passthroughs_work() {
+        let obs = Obs::in_memory();
+        obs.incr_with("tool.calls", &[("tool", "select"), ("outcome", "ok")], 3);
+        obs.observe_ns_with("tool.latency", &[("tool", "select")], 1_000);
+        let id = obs.register_gauge("queue.depth", &[], || 7.0).unwrap();
+        let snap = obs.snapshot().metrics;
+        assert!(snap.gauge("process.uptime_seconds", &[]).is_some());
+        assert_eq!(snap.gauge("queue.depth", &[]), Some(7.0));
+        assert_eq!(
+            snap.labeled_counter("tool.calls", &[("outcome", "ok"), ("tool", "select")]),
+            3
+        );
+        assert!(obs.unregister_gauge(id));
+        assert_eq!(obs.snapshot().metrics.gauge("queue.depth", &[]), None);
+    }
+
+    #[test]
+    fn flusher_writes_periodically_and_on_drop() {
+        let dir = std::env::temp_dir().join(format!("obs-flush-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let obs = Obs::jsonl(&path);
+        drop(obs.span("tool:x"));
+        let handle = obs.start_flusher(Duration::from_millis(10)).unwrap();
+        for _ in 0..100 {
+            if path.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(path.exists(), "periodic flush never wrote the trace");
+        drop(obs.span("tool:y"));
+        drop(handle); // final flush must include the second span
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("tool:y"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_handle_telemetry_is_inert() {
+        let obs = Obs::disabled();
+        obs.incr_with("c", &[("a", "b")], 1);
+        obs.observe_ns_with("h", &[], 5);
+        assert!(obs.register_gauge("g", &[], || 1.0).is_none());
+        assert!(!obs.flight_enabled());
+        assert!(obs.slow_calls().is_empty());
+        assert!(obs.start_flusher(Duration::from_millis(5)).is_none());
     }
 
     #[test]

@@ -1,12 +1,43 @@
-//! Named counters and fixed-bucket latency histograms.
+//! Named counters, fixed-bucket latency histograms, labeled series, and
+//! sampled gauges.
 //!
 //! The registry is concurrency-safe: metric handles are `Arc`ed atomics
 //! behind an `RwLock`ed name map, so the hot path (bumping an existing
 //! metric) takes only a read lock plus an atomic add.
+//!
+//! Two kinds of series exist side by side:
+//!
+//! * **Unlabeled** counters/histograms keyed by name only — the original
+//!   post-mortem naming scheme (`tool.calls.{tool}` etc.) kept for
+//!   backwards compatibility with the summary renderer and JSONL traces.
+//! * **Labeled** counters/histograms keyed by `(name, label set)` — the
+//!   live-telemetry scheme the Prometheus exposition ([`crate::prom`])
+//!   renders. Labels must be *low-cardinality* (tool names, user names,
+//!   outcome classes); never put SQL text, row values, or ids in a label.
+//!
+//! [`Gauge`]s are different from both: a gauge is a registered *sampler
+//! callback* evaluated at snapshot time, so point-in-time values (queue
+//! depth, retained MVCC versions, WAL backlog) are read live instead of
+//! being pushed on every change.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// A canonical label set: `(key, value)` pairs sorted by key. Produced by
+/// [`canonical_labels`]; two call sites naming the same labels in different
+/// orders address the same series.
+pub type LabelSet = Vec<(String, String)>;
+
+/// Sort labels by key into the canonical [`LabelSet`] form.
+pub fn canonical_labels(labels: &[(&str, &str)]) -> LabelSet {
+    let mut out: LabelSet = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    out.sort();
+    out
+}
 
 /// Upper bounds (inclusive, nanoseconds) of the latency histogram buckets.
 /// A final open-ended bucket catches everything above the last bound, for
@@ -103,11 +134,87 @@ impl HistogramSnapshot {
     }
 }
 
-/// A concurrent registry of named counters and latency histograms.
-#[derive(Debug, Default)]
+/// Handle returned by [`MetricsRegistry::register_gauge`]; pass it to
+/// [`MetricsRegistry::unregister_gauge`] to remove the sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GaugeId(u64);
+
+/// A registered gauge: a sampler callback evaluated at snapshot time.
+type Sampler = Arc<dyn Fn() -> f64 + Send + Sync>;
+
+struct Gauge {
+    name: String,
+    labels: LabelSet,
+    sampler: Sampler,
+}
+
+/// One sampled gauge value in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSample {
+    /// Gauge name.
+    pub name: String,
+    /// Canonical label set.
+    pub labels: LabelSet,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// One labeled counter series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledCounter {
+    /// Counter name.
+    pub name: String,
+    /// Canonical label set.
+    pub labels: LabelSet,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One labeled histogram series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledHistogram {
+    /// Histogram name.
+    pub name: String,
+    /// Canonical label set.
+    pub labels: LabelSet,
+    /// Bucket counts and totals.
+    pub histogram: HistogramSnapshot,
+}
+
+/// A concurrent registry of named counters, latency histograms, labeled
+/// series, and sampled gauges.
+#[derive(Default)]
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    labeled_counters: RwLock<BTreeMap<(String, LabelSet), Arc<AtomicU64>>>,
+    labeled_histograms: RwLock<BTreeMap<(String, LabelSet), Arc<Histogram>>>,
+    gauges: RwLock<BTreeMap<u64, Gauge>>,
+    next_gauge: AtomicU64,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field(
+                "counters",
+                &self.counters.read().expect("metrics lock").len(),
+            )
+            .field(
+                "histograms",
+                &self.histograms.read().expect("metrics lock").len(),
+            )
+            .field(
+                "labeled_counters",
+                &self.labeled_counters.read().expect("metrics lock").len(),
+            )
+            .field(
+                "labeled_histograms",
+                &self.labeled_histograms.read().expect("metrics lock").len(),
+            )
+            .field("gauges", &self.gauges.read().expect("metrics lock").len())
+            .finish()
+    }
 }
 
 impl MetricsRegistry {
@@ -144,6 +251,112 @@ impl MetricsRegistry {
         self.histogram(name).observe_ns(ns);
     }
 
+    /// Get or create the labeled counter series `(name, labels)`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicU64> {
+        let key = (name.to_owned(), canonical_labels(labels));
+        if let Some(c) = self
+            .labeled_counters
+            .read()
+            .expect("metrics lock")
+            .get(&key)
+        {
+            return Arc::clone(c);
+        }
+        let mut map = self.labeled_counters.write().expect("metrics lock");
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// Add `by` to the labeled counter series `(name, labels)`.
+    pub fn incr_with(&self, name: &str, labels: &[(&str, &str)], by: u64) {
+        self.counter_with(name, labels)
+            .fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Get or create the labeled histogram series `(name, labels)`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = (name.to_owned(), canonical_labels(labels));
+        if let Some(h) = self
+            .labeled_histograms
+            .read()
+            .expect("metrics lock")
+            .get(&key)
+        {
+            return Arc::clone(h);
+        }
+        let mut map = self.labeled_histograms.write().expect("metrics lock");
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// Record one latency observation in the labeled histogram series.
+    pub fn observe_ns_with(&self, name: &str, labels: &[(&str, &str)], ns: u64) {
+        self.histogram_with(name, labels).observe_ns(ns);
+    }
+
+    /// Current value of the labeled counter series (0 if never bumped).
+    pub fn counter_with_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let key = (name.to_owned(), canonical_labels(labels));
+        self.labeled_counters
+            .read()
+            .expect("metrics lock")
+            .get(&key)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Register a gauge sampler. The callback is evaluated on every
+    /// [`MetricsRegistry::sample_gauges`] / [`MetricsRegistry::snapshot`];
+    /// it must be cheap and must not call back into this registry's gauge
+    /// API. Returns an id for [`MetricsRegistry::unregister_gauge`].
+    pub fn register_gauge(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        sampler: impl Fn() -> f64 + Send + Sync + 'static,
+    ) -> GaugeId {
+        let id = self.next_gauge.fetch_add(1, Ordering::Relaxed);
+        self.gauges.write().expect("metrics lock").insert(
+            id,
+            Gauge {
+                name: name.to_owned(),
+                labels: canonical_labels(labels),
+                sampler: Arc::new(sampler),
+            },
+        );
+        GaugeId(id)
+    }
+
+    /// Remove a gauge sampler. Returns whether it was registered.
+    pub fn unregister_gauge(&self, id: GaugeId) -> bool {
+        self.gauges
+            .write()
+            .expect("metrics lock")
+            .remove(&id.0)
+            .is_some()
+    }
+
+    /// Evaluate every registered gauge sampler. Samplers run *outside* the
+    /// registry lock (they may read other subsystems that themselves record
+    /// metrics), sorted by `(name, labels)` for deterministic output.
+    pub fn sample_gauges(&self) -> Vec<GaugeSample> {
+        let entries: Vec<(String, LabelSet, Sampler)> = self
+            .gauges
+            .read()
+            .expect("metrics lock")
+            .values()
+            .map(|g| (g.name.clone(), g.labels.clone(), Arc::clone(&g.sampler)))
+            .collect();
+        let mut out: Vec<GaugeSample> = entries
+            .into_iter()
+            .map(|(name, labels, sampler)| GaugeSample {
+                name,
+                labels,
+                value: sampler(),
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
+    }
+
     /// Current value of the counter `name` (0 if never bumped).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.counters
@@ -170,26 +383,77 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
+        let labeled_counters = self
+            .labeled_counters
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|((name, labels), v)| LabeledCounter {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: v.load(Ordering::Relaxed),
+            })
+            .collect();
+        let labeled_histograms = self
+            .labeled_histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|((name, labels), v)| LabeledHistogram {
+                name: name.clone(),
+                labels: labels.clone(),
+                histogram: v.snapshot(),
+            })
+            .collect();
         MetricsSnapshot {
             counters,
             histograms,
+            labeled_counters,
+            labeled_histograms,
+            gauges: self.sample_gauges(),
         }
     }
 }
 
-/// Point-in-time copy of a [`MetricsRegistry`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// Point-in-time copy of a [`MetricsRegistry`], gauges sampled at snapshot
+/// time. Labeled series are sorted by `(name, labels)`.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Labeled counter series.
+    pub labeled_counters: Vec<LabeledCounter>,
+    /// Labeled histogram series.
+    pub labeled_histograms: Vec<LabeledHistogram>,
+    /// Gauge samples taken when the snapshot was produced.
+    pub gauges: Vec<GaugeSample>,
 }
 
 impl MetricsSnapshot {
     /// Value of counter `name`, 0 when absent.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of the labeled counter series, 0 when absent.
+    pub fn labeled_counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let labels = canonical_labels(labels);
+        self.labeled_counters
+            .iter()
+            .find(|c| c.name == name && c.labels == labels)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    /// Sampled value of gauge `name` with `labels`, `None` when absent.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let labels = canonical_labels(labels);
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.labels == labels)
+            .map(|g| g.value)
     }
 }
 
@@ -237,6 +501,59 @@ mod tests {
         let empty = Histogram::default().snapshot();
         assert_eq!(empty.quantile_ns(0.5), 0);
         assert_eq!(empty.mean_ns(), 0);
+    }
+
+    #[test]
+    fn labeled_series_are_canonicalized_and_independent() {
+        let m = MetricsRegistry::new();
+        m.incr_with("tool.calls", &[("tool", "select"), ("outcome", "ok")], 2);
+        // Same series, labels given in the other order.
+        m.incr_with("tool.calls", &[("outcome", "ok"), ("tool", "select")], 1);
+        m.incr_with(
+            "tool.calls",
+            &[("tool", "select"), ("outcome", "denied")],
+            5,
+        );
+        assert_eq!(
+            m.counter_with_value("tool.calls", &[("outcome", "ok"), ("tool", "select")]),
+            3
+        );
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.labeled_counter("tool.calls", &[("tool", "select"), ("outcome", "ok")]),
+            3
+        );
+        assert_eq!(
+            snap.labeled_counter("tool.calls", &[("tool", "select"), ("outcome", "denied")]),
+            5
+        );
+        assert_eq!(snap.labeled_counter("tool.calls", &[("tool", "insert")]), 0);
+        m.observe_ns_with("tool.latency", &[("tool", "select")], 2_000);
+        let snap = m.snapshot();
+        assert_eq!(snap.labeled_histograms.len(), 1);
+        assert_eq!(snap.labeled_histograms[0].histogram.count, 1);
+    }
+
+    #[test]
+    fn gauges_sample_live_and_unregister() {
+        let m = MetricsRegistry::new();
+        let value = Arc::new(AtomicU64::new(7));
+        let v = Arc::clone(&value);
+        let id = m.register_gauge("queue.depth", &[("pool", "wire")], move || {
+            v.load(Ordering::Relaxed) as f64
+        });
+        assert_eq!(
+            m.snapshot().gauge("queue.depth", &[("pool", "wire")]),
+            Some(7.0)
+        );
+        value.store(11, Ordering::Relaxed);
+        assert_eq!(
+            m.snapshot().gauge("queue.depth", &[("pool", "wire")]),
+            Some(11.0)
+        );
+        assert!(m.unregister_gauge(id));
+        assert!(!m.unregister_gauge(id));
+        assert_eq!(m.snapshot().gauge("queue.depth", &[("pool", "wire")]), None);
     }
 
     #[test]

@@ -23,7 +23,10 @@ thread_local! {
 ///
 /// Metric names: `tool.calls`, `tool.calls.{tool}`, `tool.errors`,
 /// `tool.errors.{tool}`, `tool.denied`, `tool.denied.{code}`, and latency
-/// histogram `tool.latency.{tool}`.
+/// histogram `tool.latency.{tool}`. Labeled series (served via the admin
+/// `/metrics` endpoint): counter `tool.calls{tool,outcome}` and histogram
+/// `tool.latency{tool}`. The unlabeled dotted names are kept for
+/// backwards compatibility with existing JSONL traces and summaries.
 #[derive(Debug)]
 pub struct RegistryObserver {
     obs: Obs,
@@ -33,6 +36,20 @@ impl RegistryObserver {
     /// Observer recording into `obs`.
     pub fn new(obs: Obs) -> Self {
         RegistryObserver { obs }
+    }
+}
+
+/// Classify a tool result into the low-cardinality `outcome` label:
+/// `ok`, `denied`, `conflict` (MVCC serialization conflict — the retry
+/// storm signal), or `tool-error` for everything else.
+pub fn outcome_of(result: &ToolResult) -> &'static str {
+    match result {
+        Ok(_) => "ok",
+        Err(ToolError::Denied { .. }) => "denied",
+        // minidb's SerializationConflict keeps this stable message prefix
+        // through `db_error_to_tool`, so string matching here is reliable.
+        Err(ToolError::Execution(msg)) if msg.contains("serialization conflict") => "conflict",
+        Err(_) => "tool-error",
     }
 }
 
@@ -63,7 +80,11 @@ impl CallObserver for RegistryObserver {
 
         self.obs.incr("tool.calls", 1);
         self.obs.incr(&format!("tool.calls.{tool}"), 1);
+        let outcome = outcome_of(result);
+        self.obs
+            .incr_with("tool.calls", &[("tool", tool), ("outcome", outcome)], 1);
         span.attr("out_bytes", out_bytes);
+        span.attr("outcome", outcome);
         match result {
             Ok(out) => {
                 span.attr("ok", true);
@@ -85,8 +106,11 @@ impl CallObserver for RegistryObserver {
                 }
             }
         }
+        let elapsed = span.elapsed_ns();
         self.obs
-            .observe_ns(&format!("tool.latency.{tool}"), span.elapsed_ns());
+            .observe_ns(&format!("tool.latency.{tool}"), elapsed);
+        self.obs
+            .observe_ns_with("tool.latency", &[("tool", tool)], elapsed);
     }
 }
 
@@ -152,6 +176,85 @@ mod tests {
         assert_eq!(snap.metrics.counter("tool.denied"), 1);
         assert_eq!(snap.metrics.counter("tool.denied.policy"), 1);
         assert_eq!(snap.metrics.histograms["tool.latency.echo"].count, 1);
+    }
+
+    #[test]
+    fn outcome_labels_classify_results() {
+        let obs = Obs::in_memory();
+        let mut reg = Registry::new();
+        reg.register_tool(FnTool::new(
+            "ok",
+            "succeeds",
+            Signature::new(vec![]),
+            |_: &Args| Ok(ToolOutput::value(Json::Null)),
+        ));
+        reg.register_tool(FnTool::new(
+            "conflict",
+            "mvcc conflict",
+            Signature::new(vec![]),
+            |_: &Args| {
+                Err(ToolError::Execution(
+                    "serialization conflict: concurrent write to users".into(),
+                ))
+            },
+        ));
+        reg.register_tool(FnTool::new(
+            "boom",
+            "plain failure",
+            Signature::new(vec![]),
+            |_: &Args| Err(ToolError::Execution("table missing".into())),
+        ));
+        reg.register_tool(FnTool::new(
+            "deny",
+            "denied",
+            Signature::new(vec![]),
+            |_: &Args| Err(ToolError::denied("policy", "no")),
+        ));
+        reg.set_observer(obs.registry_observer().expect("enabled"));
+        let empty = Json::object([] as [(&str, Json); 0]);
+        reg.call("ok", &empty).unwrap();
+        reg.call("ok", &empty).unwrap();
+        reg.call("conflict", &empty).unwrap_err();
+        reg.call("boom", &empty).unwrap_err();
+        reg.call("deny", &empty).unwrap_err();
+
+        let snap = obs.snapshot();
+        let m = &snap.metrics;
+        assert_eq!(
+            m.labeled_counter("tool.calls", &[("tool", "ok"), ("outcome", "ok")]),
+            2
+        );
+        assert_eq!(
+            m.labeled_counter(
+                "tool.calls",
+                &[("tool", "conflict"), ("outcome", "conflict")]
+            ),
+            1
+        );
+        assert_eq!(
+            m.labeled_counter("tool.calls", &[("tool", "boom"), ("outcome", "tool-error")]),
+            1
+        );
+        assert_eq!(
+            m.labeled_counter("tool.calls", &[("tool", "deny"), ("outcome", "denied")]),
+            1
+        );
+        let lat = m
+            .labeled_histograms
+            .iter()
+            .find(|h| h.name == "tool.latency" && h.labels == [("tool".into(), "ok".into())])
+            .expect("labeled latency series");
+        assert_eq!(lat.histogram.count, 2);
+
+        let conflict_span = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "tool:conflict")
+            .unwrap();
+        assert_eq!(
+            conflict_span.attr("outcome"),
+            Some(&crate::AttrValue::Str("conflict".into()))
+        );
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Telemetry-plane integration tests: labeled metrics under concurrency,
+//! gauge lifecycle, flight-recorder ring semantics, and a golden test for
+//! the Prometheus exposition format.
+
+use obs::metrics::MetricsRegistry;
+use obs::{FlightConfig, Obs, ObsConfig};
+use std::time::Duration;
+
+#[test]
+fn labeled_counters_are_exact_under_concurrency() {
+    let obs = Obs::in_memory();
+    const THREADS: usize = 8;
+    const INCRS: u64 = 1_000;
+    let labels: [&[(&str, &str)]; 3] = [
+        &[("tool", "select"), ("outcome", "ok")],
+        &[("tool", "select"), ("outcome", "denied")],
+        &[("tool", "update"), ("outcome", "ok")],
+    ];
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let obs = obs.clone();
+            s.spawn(move || {
+                for i in 0..INCRS {
+                    let set = labels[(i % 3) as usize];
+                    obs.incr_with("tool.calls", set, 1);
+                    obs.incr("tool.calls", 1);
+                    obs.observe_ns_with("tool.latency", &[("tool", set[0].1)], 1_000 * i);
+                }
+            });
+        }
+    });
+    let m = obs.snapshot().metrics;
+    // 1000 iterations cycle i%3: 334 hits for remainder 0, 333 for 1 and 2.
+    let per_thread = [334, 333, 333];
+    for (set, expect) in labels.iter().zip(per_thread) {
+        assert_eq!(
+            m.labeled_counter("tool.calls", set),
+            expect * THREADS as u64,
+            "{set:?}"
+        );
+    }
+    // Label order must not matter: lookups are canonicalized.
+    assert_eq!(
+        m.labeled_counter("tool.calls", &[("outcome", "ok"), ("tool", "select")]),
+        334 * THREADS as u64
+    );
+    // The unlabeled counter of the same name is a distinct series.
+    assert_eq!(m.counter("tool.calls"), THREADS as u64 * INCRS);
+    // Histogram counts add up across both tools.
+    let total: u64 = m
+        .labeled_histograms
+        .iter()
+        .filter(|h| h.name == "tool.latency")
+        .map(|h| h.histogram.count)
+        .sum();
+    assert_eq!(total, THREADS as u64 * INCRS);
+}
+
+#[test]
+fn gauges_register_sample_and_unregister() {
+    let obs = Obs::in_memory();
+    let id = obs
+        .register_gauge("pool.size", &[("kind", "worker")], || 7.0)
+        .expect("enabled handle registers gauges");
+    let m = obs.snapshot().metrics;
+    assert_eq!(m.gauge("pool.size", &[("kind", "worker")]), Some(7.0));
+    // An enabled handle always samples process uptime.
+    assert!(m.gauge("process.uptime_seconds", &[]).is_some());
+
+    assert!(obs.unregister_gauge(id));
+    assert!(!obs.unregister_gauge(id), "double unregister is a no-op");
+    let m = obs.snapshot().metrics;
+    assert_eq!(m.gauge("pool.size", &[("kind", "worker")]), None);
+
+    // Disabled handles ignore the whole surface.
+    let off = Obs::disabled();
+    assert!(off.register_gauge("x", &[], || 1.0).is_none());
+    off.incr_with("x", &[("a", "b")], 1);
+    assert_eq!(
+        off.snapshot().metrics.labeled_counter("x", &[("a", "b")]),
+        0
+    );
+}
+
+#[test]
+fn flight_ring_wraps_and_respects_threshold_and_prefixes() {
+    let config = FlightConfig {
+        threshold_ns: 1_000_000, // 1ms
+        ring_capacity: 4,
+        ..FlightConfig::default()
+    };
+    let obs = Obs::with_flight(&ObsConfig::InMemory, config);
+    assert!(obs.flight_enabled());
+    assert_eq!(obs.flight_threshold_ns(), Some(1_000_000));
+
+    // Six slow trigger spans: the 4-slot ring keeps only the last four.
+    for i in 0..6 {
+        let span = obs.span(&format!("tool:slow{i}"));
+        std::thread::sleep(Duration::from_millis(3));
+        drop(span);
+    }
+    // Fast trigger span: below threshold, not captured.
+    drop(obs.span("tool:fast"));
+    // Slow non-trigger span: prefix doesn't match, not captured.
+    let span = obs.span("db:background");
+    std::thread::sleep(Duration::from_millis(3));
+    drop(span);
+
+    let calls = obs.slow_calls();
+    assert_eq!(calls.len(), 4, "ring holds exactly its capacity");
+    let names: Vec<&str> = calls.iter().map(|c| c.root.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["tool:slow2", "tool:slow3", "tool:slow4", "tool:slow5"]
+    );
+    for pair in calls.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "captures stay in order");
+    }
+    assert!(calls.iter().all(|c| c.duration_ns() >= 1_000_000));
+    assert_eq!(
+        obs.snapshot().metrics.counter("obs.slow_calls.captured"),
+        6,
+        "wraparound drops entries but the captured counter keeps counting"
+    );
+
+    // A slow call keeps its full span tree, children included.
+    let parent = obs.span("wire:call deep");
+    {
+        let _child = obs.span("tool:inner");
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    drop(parent);
+    let calls = obs.slow_calls();
+    let last = calls.last().unwrap();
+    assert_eq!(last.root.name, "wire:call deep");
+    assert!(
+        last.spans.iter().any(|s| s.name == "tool:inner"),
+        "{last:?}"
+    );
+}
+
+#[test]
+fn golden_prometheus_exposition() {
+    let m = MetricsRegistry::new();
+    m.incr("req.count", 2);
+    m.incr_with("req.count", &[("q", "a\"b\\c\nd")], 1);
+    m.register_gauge("pool.size", &[], || 3.0);
+    m.observe_ns("lat", 500); // first bucket
+    m.observe_ns("lat", 2_000_000_000); // overflow bucket
+
+    let text = obs::prom::render(&m.snapshot());
+    let expected = "\
+# TYPE req_count_total counter
+req_count_total 2
+req_count_total{q=\"a\\\"b\\\\c\\nd\"} 1
+# TYPE pool_size gauge
+pool_size 3
+# TYPE lat histogram
+lat_bucket{le=\"0.000001\"} 1
+lat_bucket{le=\"0.000005\"} 1
+lat_bucket{le=\"0.00001\"} 1
+lat_bucket{le=\"0.00005\"} 1
+lat_bucket{le=\"0.0001\"} 1
+lat_bucket{le=\"0.0005\"} 1
+lat_bucket{le=\"0.001\"} 1
+lat_bucket{le=\"0.005\"} 1
+lat_bucket{le=\"0.01\"} 1
+lat_bucket{le=\"0.05\"} 1
+lat_bucket{le=\"0.1\"} 1
+lat_bucket{le=\"0.5\"} 1
+lat_bucket{le=\"1\"} 1
+lat_bucket{le=\"+Inf\"} 2
+lat_sum 2.0000005
+lat_count 2
+";
+    assert_eq!(text, expected);
+
+    // Rendering is deterministic: a second render is byte-identical.
+    assert_eq!(obs::prom::render(&m.snapshot()), text);
+}

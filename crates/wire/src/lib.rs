@@ -58,11 +58,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod client;
 pub mod frame;
 pub mod rpc;
 pub mod server;
 
+pub use admin::AdminServer;
 pub use client::{mirror_registry, Client, ToolEntry, WireError};
 pub use frame::{FrameError, FrameReader, DEFAULT_MAX_FRAME_BYTES};
 pub use rpc::{ErrorCode, RpcError, PROTOCOL};

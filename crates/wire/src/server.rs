@@ -23,7 +23,7 @@ use minidb::Database;
 use obs::Obs;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -118,15 +118,36 @@ impl Tenancy {
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Live wire-layer occupancy counters, read by registered admin gauges
+/// (`wire.active_sessions`, `wire.queue_depth`).
+#[derive(Debug, Default)]
+struct WireStats {
+    /// Sessions that have initialized and not yet disconnected.
+    active_sessions: AtomicU64,
+    /// Jobs submitted to the worker pool and not yet started.
+    queue_depth: AtomicU64,
+}
+
+/// Decrements the active-session count when a session ends, however the
+/// connection terminates (clean shutdown, timeout, or dropped socket).
+struct ActiveSessionGuard(Arc<WireStats>);
+
+impl Drop for ActiveSessionGuard {
+    fn drop(&mut self) {
+        self.0.active_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Fixed worker pool over a bounded queue. `submit` never blocks: a full
 /// queue is reported to the caller, which turns it into `server_busy`.
 struct Pool {
     tx: Mutex<Option<SyncSender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    stats: Arc<WireStats>,
 }
 
 impl Pool {
-    fn new(workers: usize, queue_depth: usize) -> Pool {
+    fn new(workers: usize, queue_depth: usize, stats: Arc<WireStats>) -> Pool {
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers.max(1))
@@ -149,17 +170,37 @@ impl Pool {
         Pool {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(handles),
+            stats,
         }
     }
 
     fn submit(&self, job: Job) -> Result<(), ErrorCode> {
         let guard = self.tx.lock().expect("pool sender poisoned");
         match guard.as_ref() {
-            Some(tx) => match tx.try_send(job) {
-                Ok(()) => Ok(()),
-                Err(TrySendError::Full(_)) => Err(ErrorCode::ServerBusy),
-                Err(TrySendError::Disconnected(_)) => Err(ErrorCode::ShuttingDown),
-            },
+            Some(tx) => {
+                // Count the job as queued from acceptance until a worker
+                // picks it up, so the gauge reflects real backlog.
+                let stats = Arc::clone(&self.stats);
+                stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                let counted: Job = Box::new({
+                    let stats = Arc::clone(&stats);
+                    move || {
+                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        job();
+                    }
+                });
+                match tx.try_send(counted) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Full(_)) => {
+                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        Err(ErrorCode::ServerBusy)
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        Err(ErrorCode::ShuttingDown)
+                    }
+                }
+            }
             None => Err(ErrorCode::ShuttingDown),
         }
     }
@@ -185,6 +226,9 @@ struct Session {
     registry: Arc<Registry>,
     span: obs::SpanGuard,
     used: u64,
+    user: String,
+    /// Keeps `wire.active_sessions` honest; `None` on the stdio transport.
+    _active: Option<ActiveSessionGuard>,
 }
 
 /// Runs tool calls for a session: TCP connections enqueue onto the shared
@@ -285,6 +329,8 @@ struct SessionCtx<'a> {
     config: &'a WireConfig,
     obs: &'a Obs,
     session: Option<Session>,
+    /// Occupancy counters of the owning TCP server; `None` on stdio.
+    stats: Option<Arc<WireStats>>,
 }
 
 /// Outcome of dispatching one request: the response frame, and whether the
@@ -301,7 +347,13 @@ impl<'a> SessionCtx<'a> {
             config,
             obs,
             session: None,
+            stats: None,
         }
+    }
+
+    fn with_stats(mut self, stats: Arc<WireStats>) -> Self {
+        self.stats = Some(stats);
+        self
     }
 
     fn dispatch(&mut self, req: &Request, exec: &dyn CallExecutor) -> Dispatch {
@@ -386,10 +438,16 @@ impl<'a> SessionCtx<'a> {
         self.obs.incr("wire.sessions", 1);
         let tools = Json::array(server.registry.names().into_iter().map(Json::str));
         let prompt = server.prompt;
+        let active = self.stats.as_ref().map(|stats| {
+            stats.active_sessions.fetch_add(1, Ordering::Relaxed);
+            ActiveSessionGuard(Arc::clone(stats))
+        });
         self.session = Some(Session {
             registry: Arc::new(server.registry),
             span,
             used: 0,
+            user: user.clone(),
+            _active: active,
         });
         Ok(Json::object([
             ("protocol", Json::str(PROTOCOL)),
@@ -445,6 +503,13 @@ impl<'a> SessionCtx<'a> {
             })?
             .to_owned();
         let payload = params.get("arguments").cloned().unwrap_or(Json::Null);
+        // Per-tenant traffic series. `user` is operator-controlled (session
+        // auth), so cardinality stays bounded by the user catalog.
+        self.obs.incr_with(
+            "wire.calls",
+            &[("user", session.user.as_str()), ("tool", name.as_str())],
+            1,
+        );
         let result = exec.execute(
             Arc::clone(&session.registry),
             name,
@@ -533,6 +598,11 @@ const ACCEPT_TICK: Duration = Duration::from_millis(5);
 pub struct WireServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    /// Readiness for the admin `/readyz` endpoint: `true` while serving,
+    /// flipped `false` at the very start of [`WireServer::shutdown`] —
+    /// before the worker pool drains — so load balancers stop routing
+    /// while in-flight calls finish.
+    ready: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     pool: Arc<Pool>,
     obs: Obs,
@@ -555,7 +625,28 @@ impl WireServer {
         let local = listener.local_addr()?;
         let db = tenancy.database().clone();
         let stop = Arc::new(AtomicBool::new(false));
-        let pool = Arc::new(Pool::new(config.workers, config.queue_depth));
+        let ready = Arc::new(AtomicBool::new(true));
+        let stats = Arc::new(WireStats::default());
+        let pool = Arc::new(Pool::new(
+            config.workers,
+            config.queue_depth,
+            Arc::clone(&stats),
+        ));
+        // Live gauges: database internals plus wire-layer occupancy. One
+        // registration per served database — sessions share these.
+        db.register_gauges(&obs);
+        {
+            let stats = Arc::clone(&stats);
+            obs.register_gauge("wire.active_sessions", &[], move || {
+                stats.active_sessions.load(Ordering::Relaxed) as f64
+            });
+        }
+        {
+            let stats = Arc::clone(&stats);
+            obs.register_gauge("wire.queue_depth", &[], move || {
+                stats.queue_depth.load(Ordering::Relaxed) as f64
+            });
+        }
         let accept = {
             let stop = Arc::clone(&stop);
             let pool = Arc::clone(&pool);
@@ -575,10 +666,13 @@ impl WireServer {
                                 let obs = obs.clone();
                                 let tenancy = Arc::clone(&tenancy);
                                 let config = Arc::clone(&config);
+                                let stats = Arc::clone(&stats);
                                 let handle = thread::Builder::new()
                                     .name("wire-conn".into())
                                     .spawn(move || {
-                                        handle_conn(stream, &tenancy, &config, &pool, &obs, &stop);
+                                        handle_conn(
+                                            stream, &tenancy, &config, &pool, &obs, &stop, stats,
+                                        );
                                     })
                                     .expect("spawn wire connection");
                                 conns.push(handle);
@@ -601,6 +695,7 @@ impl WireServer {
         Ok(WireServer {
             addr: local,
             stop,
+            ready,
             accept: Some(accept),
             pool,
             obs,
@@ -618,11 +713,22 @@ impl WireServer {
         &self.obs
     }
 
+    /// The readiness flag mirrored by an [`crate::AdminServer`]'s `/readyz`
+    /// endpoint: `true` while serving, `false` once a drain begins.
+    pub fn ready_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.ready)
+    }
+
     /// Stop accepting, let live connections notice the stop flag, finish
     /// in-flight tool calls, and join every thread. With a durable engine,
     /// the drain point then flushes the WAL and compacts a snapshot, so the
     /// next open recovers instantly without replaying the whole log.
+    /// Finally the telemetry handle is flushed, writing the JSONL trace
+    /// (including captured slow calls) if one is configured.
     pub fn shutdown(mut self) {
+        // Readiness drops first: `/readyz` must report 503 for the whole
+        // drain window, not just after it.
+        self.ready.store(false, Ordering::Relaxed);
         self.stop.store(true, Ordering::Relaxed);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
@@ -637,6 +743,7 @@ impl WireServer {
                 span.attr("error", e.to_string());
             }
         }
+        let _ = self.obs.flush();
     }
 }
 
@@ -647,6 +754,7 @@ fn handle_conn(
     pool: &Arc<Pool>,
     obs: &Obs,
     stop: &AtomicBool,
+    stats: Arc<WireStats>,
 ) {
     let _ = stream.set_read_timeout(Some(SOCKET_TICK));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
@@ -659,7 +767,7 @@ fn handle_conn(
     };
     let mut reader = FrameReader::new(read_half, config.max_frame_bytes);
     let mut writer = stream;
-    let mut ctx = SessionCtx::new(tenancy, config, obs);
+    let mut ctx = SessionCtx::new(tenancy, config, obs).with_stats(stats);
     let exec = PooledExecutor {
         pool: Arc::clone(pool),
         call_timeout: config.call_timeout,

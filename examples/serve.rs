@@ -18,6 +18,13 @@
 //!   fetch, a select, one denied write, one proxy call), validate the
 //!   emitted JSONL trace, and exit non-zero on any mismatch. This is the
 //!   offline CI smoke test.
+//! * `cargo run --example serve -- --selftest-telemetry` — bind a server
+//!   *and* its admin plane on ephemeral ports, drive loadgen smoke traffic
+//!   plus a deliberately slow call, scrape `/metrics` twice over real HTTP
+//!   (asserting labeled counters, gauges, histograms, and monotonicity),
+//!   check `/slow` captured the span tree, verify `/readyz` flips to 503
+//!   on drain, and compare telemetry-on vs telemetry-off loadgen
+//!   throughput. This is the offline live-telemetry CI smoke test.
 //! * `cargo run --example serve -- --selftest-recovery [TRACE_FILE]` —
 //!   open a durable database in a scratch directory, commit work, *kill
 //!   the engine in-process* (no checkpoint, one transaction deliberately
@@ -29,8 +36,10 @@
 //!   printing the throughput + latency-histogram report.
 
 use bridgescope::prelude::*;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
-use toolproto::ToolError;
+use toolproto::{Args, FnTool, Signature, ToolError};
 
 /// The demo database: a `sales` table anyone privileged can read, an
 /// `audit_log` the selftest policy fences off, and a read-only `reader`
@@ -81,6 +90,7 @@ fn main() {
         Some("--stdio") => run_stdio(),
         Some("--selftest") => run_selftest(args.get(1).cloned()),
         Some("--selftest-recovery") => run_selftest_recovery(args.get(1).cloned()),
+        Some("--selftest-telemetry") => run_selftest_telemetry(),
         Some("--load") => {
             let sessions = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
             let calls = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
@@ -101,9 +111,11 @@ fn main() {
 /// Plain TCP serving until killed.
 fn run_tcp(args: &[String]) {
     let mut addr = "127.0.0.1:0".to_owned();
+    let mut admin_addr: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut data_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::default();
+    let mut slow_ms: u64 = 100;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -112,6 +124,19 @@ fn run_tcp(args: &[String]) {
                     .next()
                     .cloned()
                     .unwrap_or_else(|| fail("--addr needs a value"))
+            }
+            "--admin-addr" => {
+                admin_addr = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| fail("--admin-addr needs a value")),
+                )
+            }
+            "--slow-ms" => {
+                slow_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("--slow-ms needs a number of milliseconds"))
             }
             "--trace" => {
                 trace = Some(
@@ -137,9 +162,19 @@ fn run_tcp(args: &[String]) {
             other => fail(&format!("unknown flag '{other}'")),
         }
     }
-    let obs = match &trace {
-        Some(path) => Obs::jsonl(path),
-        None => Obs::in_memory(),
+    let obs_config = match &trace {
+        Some(path) => ObsConfig::Jsonl(path.into()),
+        None => ObsConfig::InMemory,
+    };
+    // The flight recorder rides along whenever the admin plane is up: /slow
+    // is only reachable through it.
+    let obs = if admin_addr.is_some() {
+        Obs::with_flight(
+            &obs_config,
+            FlightConfig::with_threshold_ns(slow_ms.saturating_mul(1_000_000)),
+        )
+    } else {
+        Obs::from_config(&obs_config)
     };
     let tenancy = match &data_dir {
         Some(dir) => {
@@ -158,8 +193,19 @@ fn run_tcp(args: &[String]) {
     // Background vacuum keeps the MVCC version history bounded while the
     // server runs (the handle stops the thread when the process exits).
     let _vacuum = tenancy.database().start_vacuum(Duration::from_secs(5));
-    let server = WireServer::bind(&addr, tenancy, WireConfig::default(), obs)
+    // Periodic trace flush: a killed process loses at most ~2s of trace.
+    let _flusher = obs.start_flusher(Duration::from_secs(2));
+    let server = WireServer::bind(&addr, tenancy, WireConfig::default(), obs.clone())
         .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    let _admin = admin_addr.map(|admin_addr| {
+        let admin = AdminServer::bind(&admin_addr, obs.clone(), server.ready_handle())
+            .unwrap_or_else(|e| fail(&format!("cannot bind admin {admin_addr}: {e}")));
+        println!(
+            "admin on {} (/metrics /healthz /readyz /slow, slow threshold {slow_ms}ms)",
+            admin.local_addr()
+        );
+        admin
+    });
     println!("listening on {}", server.local_addr());
     println!(
         "users: admin (full), reader (select on sales); protocol {}",
@@ -397,6 +443,257 @@ fn run_selftest_recovery(trace_path: Option<String>) {
     println!("selftest: recovery all ok");
 }
 
+/// Minimal HTTP GET over a plain socket, for scraping the admin plane the
+/// way Prometheus would (no curl dependency in CI). Returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream =
+        TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("admin connect: {e}")));
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nhost: ci\r\nconnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap_or_else(|e| fail(&format!("admin write: {e}")));
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .unwrap_or_else(|e| fail(&format!("admin read: {e}")));
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| fail(&format!("malformed admin response: {response:.80}")));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Parse counter series (`name_total{labels} value` lines) out of a
+/// Prometheus exposition body into a (series → value) map.
+fn parse_counter_series(text: &str) -> std::collections::BTreeMap<String, f64> {
+    let mut out = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let name_end = series.find('{').unwrap_or(series.len());
+        if !series[..name_end].ends_with("_total") {
+            continue;
+        }
+        if let Ok(v) = value.parse::<f64>() {
+            out.insert(series.to_owned(), v);
+        }
+    }
+    out
+}
+
+/// Throughput of a think-paced loadgen smoke against a fresh server, with
+/// the telemetry plane (obs + flight recorder) on or off. Think pacing
+/// makes the run agent-shaped — the server is far from saturated — so the
+/// comparison isolates per-call telemetry overhead from scheduler noise.
+fn telemetry_smoke_throughput(telemetry: bool) -> f64 {
+    // Production-shaped telemetry: the default 100ms flight threshold, so
+    // the recorder arms but healthy sub-ms calls are not captured (the 1ms
+    // threshold above exists only to force captures for the functional
+    // checks; in a debug build it would trip on every call).
+    let obs = if telemetry {
+        Obs::with_flight(&ObsConfig::InMemory, FlightConfig::default())
+    } else {
+        Obs::disabled()
+    };
+    let server = WireServer::bind("127.0.0.1:0", tenancy(), WireConfig::default(), obs)
+        .unwrap_or_else(|e| fail(&format!("cannot bind: {e}")));
+    let mut cfg = benchkit::LoadConfig::select(
+        4,
+        40,
+        "admin",
+        "SELECT region, amount FROM sales WHERE id < 50",
+    );
+    cfg.think_ns = 5_000_000;
+    let report = benchkit::run_load(server.local_addr(), &cfg);
+    server.shutdown();
+    if report.calls_ok != 160 {
+        fail(&format!(
+            "overhead smoke (telemetry={telemetry}): {}/160 calls ok",
+            report.calls_ok
+        ));
+    }
+    report.throughput()
+}
+
+/// The live-telemetry smoke test CI runs: every step prints a `telemetry:`
+/// marker the gate greps for, and any deviation exits non-zero.
+fn run_selftest_telemetry() {
+    // 1ms slow threshold: the sleepy tool below (5ms) must trip it, the
+    // sub-millisecond selects must not.
+    let obs = Obs::with_flight(
+        &ObsConfig::InMemory,
+        FlightConfig::with_threshold_ns(1_000_000),
+    );
+    let mut external = ml_registry();
+    external.register_tool(FnTool::new(
+        "sleepy",
+        "sleeps past the slow-call threshold",
+        Signature::new(vec![]),
+        |_: &Args| {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(ToolOutput::value(Json::str("done")))
+        },
+    ));
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        Tenancy::new(demo_db()).with_external(external),
+        WireConfig::default(),
+        obs.clone(),
+    )
+    .unwrap_or_else(|e| fail(&format!("cannot bind: {e}")));
+    let admin = AdminServer::bind("127.0.0.1:0", obs.clone(), server.ready_handle())
+        .unwrap_or_else(|e| fail(&format!("cannot bind admin: {e}")));
+    let admin_addr = admin.local_addr();
+    println!("listening on {} (admin {admin_addr})", server.local_addr());
+
+    let (status, _) = http_get(admin_addr, "/healthz");
+    let (ready_status, _) = http_get(admin_addr, "/readyz");
+    if status != 200 || ready_status != 200 {
+        fail(&format!(
+            "health {status} / ready {ready_status}, want 200/200"
+        ));
+    }
+    println!("telemetry: health ok");
+
+    // Loadgen smoke, then the first scrape mid-run (the server stays up).
+    let cfg = benchkit::LoadConfig::select(
+        8,
+        6,
+        "admin",
+        "SELECT region, amount FROM sales WHERE id < 50",
+    );
+    let report = benchkit::run_load(server.local_addr(), &cfg);
+    if report.calls_ok != 48 {
+        fail(&format!("loadgen smoke: {}/48 calls ok", report.calls_ok));
+    }
+    let (status, scrape1) = http_get(admin_addr, "/metrics");
+    if status != 200 {
+        fail(&format!("/metrics returned {status}"));
+    }
+
+    // A slow call for the flight recorder, plus a second traffic round.
+    let mut client =
+        Client::connect(server.local_addr()).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    client
+        .initialize("admin")
+        .unwrap_or_else(|e| fail(&format!("initialize: {e}")));
+    match client.call("sleepy", &Json::object([] as [(&str, Json); 0])) {
+        Ok(Ok(_)) => {}
+        other => fail(&format!("sleepy call: {other:?}")),
+    }
+    let report = benchkit::run_load(server.local_addr(), &cfg);
+    if report.calls_ok != 48 {
+        fail(&format!("second loadgen round: {}/48 ok", report.calls_ok));
+    }
+    let (_, scrape2) = http_get(admin_addr, "/metrics");
+
+    // Key series: a tool-labeled counter, an mvcc gauge, a latency
+    // histogram, and the uptime gauge.
+    for needle in [
+        "tool_calls_total{outcome=\"ok\",tool=\"select\"}",
+        "# TYPE minidb_mvcc_retained_versions gauge",
+        "minidb_wal_bytes_since_checkpoint",
+        "# TYPE tool_latency histogram",
+        "tool_latency_bucket{tool=\"select\",le=\"+Inf\"}",
+        "process_uptime_seconds",
+        "wire_active_sessions",
+        "wire_queue_depth",
+    ] {
+        if !scrape2.contains(needle) {
+            fail(&format!("/metrics is missing `{needle}`"));
+        }
+    }
+    println!("telemetry: metrics ok");
+
+    // Monotonicity: every counter series present in scrape 1 must be <= in
+    // scrape 2 — counters never go backwards under live traffic.
+    let before = parse_counter_series(&scrape1);
+    let after = parse_counter_series(&scrape2);
+    if before.is_empty() {
+        fail("first scrape contained no counter series");
+    }
+    for (series, v1) in &before {
+        match after.get(series) {
+            Some(v2) if v2 >= v1 => {}
+            Some(v2) => fail(&format!("counter `{series}` went backwards: {v1} -> {v2}")),
+            None => fail(&format!("counter `{series}` vanished between scrapes")),
+        }
+    }
+    println!("telemetry: monotonic ok ({} counter series)", before.len());
+
+    // /slow: the sleepy call was captured with its full span tree.
+    let (status, body) = http_get(admin_addr, "/slow");
+    if status != 200 {
+        fail(&format!("/slow returned {status}"));
+    }
+    let json = Json::parse(&body).unwrap_or_else(|e| fail(&format!("/slow is not JSON: {e}")));
+    let calls = json
+        .get("slow_calls")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail("/slow has no slow_calls array"));
+    let has_sleepy = calls.iter().any(|call| {
+        call.get("spans")
+            .and_then(Json::as_array)
+            .is_some_and(|spans| {
+                spans
+                    .iter()
+                    .any(|s| s.get("name").and_then(Json::as_str) == Some("tool:sleepy"))
+            })
+    });
+    if !has_sleepy {
+        fail(&format!(
+            "no captured slow call contains a tool:sleepy span ({} captures)",
+            calls.len()
+        ));
+    }
+    println!("telemetry: slow ok ({} captures)", calls.len());
+
+    // Drain: readiness flips to 503 while liveness stays green.
+    drop(client);
+    server.shutdown();
+    let (ready_status, _) = http_get(admin_addr, "/readyz");
+    let (health_status, _) = http_get(admin_addr, "/healthz");
+    if ready_status != 503 || health_status != 200 {
+        fail(&format!(
+            "after shutdown: readyz {ready_status} (want 503), healthz {health_status} (want 200)"
+        ));
+    }
+    println!("telemetry: readyz ok (503 during drain)");
+    admin.shutdown();
+
+    // Overhead: the telemetry plane must stay within 10% of the disabled
+    // baseline on the think-paced smoke. Loopback throughput jitters, so
+    // allow a few attempts before declaring a regression.
+    let mut ratio = 0.0;
+    for attempt in 1..=3 {
+        let off = telemetry_smoke_throughput(false);
+        let on = telemetry_smoke_throughput(true);
+        ratio = if off > 0.0 { on / off } else { 0.0 };
+        if ratio >= 0.9 {
+            break;
+        }
+        eprintln!("telemetry: overhead attempt {attempt}: ratio {ratio:.3}, retrying");
+    }
+    if ratio < 0.9 {
+        fail(&format!(
+            "telemetry overhead exceeds 10%: enabled/disabled throughput ratio {ratio:.3}"
+        ));
+    }
+    println!("telemetry: overhead ok (ratio {ratio:.2})");
+    println!("telemetry: all ok");
+}
+
 /// Loopback load generation with the benchkit report.
 fn run_loadgen(sessions: usize, calls: usize) {
     let server = WireServer::bind(
@@ -496,16 +793,16 @@ fn run_bench_mvcc(out_path: &str, calls_per_session: usize) {
             ));
         }
         let throughput = report.throughput();
-        let p50 = report.latency.quantile_ns(0.50);
-        let p99 = report.latency.quantile_ns(0.99);
+        let [p50, p95, p99] = report.percentiles_ns();
         println!(
             "bench: workers={workers} calls={} throughput={throughput:.1} calls/s \
-             p50={}us p99={}us",
+             p50={}us p95={}us p99={}us",
             report.calls_ok,
             p50 / 1_000,
+            p95 / 1_000,
             p99 / 1_000,
         );
-        runs.push((workers, report.calls_ok, throughput, p50, p99));
+        runs.push((workers, report.calls_ok, throughput, p50, p95, p99));
     }
     server.shutdown();
     let t1 = runs[0].2;
@@ -519,10 +816,10 @@ fn run_bench_mvcc(out_path: &str, calls_per_session: usize) {
         sqls.len()
     ));
     json.push_str("  \"runs\": [\n");
-    for (idx, (workers, ok, tput, p50, p99)) in runs.iter().enumerate() {
+    for (idx, (workers, ok, tput, p50, p95, p99)) in runs.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"workers\": {workers}, \"calls_ok\": {ok}, \"throughput_cps\": {tput:.1}, \
-             \"p50_ns\": {p50}, \"p99_ns\": {p99}}}{}\n",
+             \"p50_ns\": {p50}, \"p95_ns\": {p95}, \"p99_ns\": {p99}}}{}\n",
             if idx + 1 < runs.len() { "," } else { "" }
         ));
     }

@@ -51,8 +51,8 @@ pub mod prelude {
         VacuumHandle, VacuumReport, Value,
     };
     pub use mltools::ml_registry;
-    pub use obs::{Obs, ObsConfig, ObsSnapshot};
+    pub use obs::{FlightConfig, Obs, ObsConfig, ObsSnapshot};
     pub use sqlkit::{parse_statement, Action};
     pub use toolproto::{Json, Registry, Risk, Tool, ToolError, ToolOutput};
-    pub use wire::{Client, Tenancy, WireConfig, WireServer};
+    pub use wire::{AdminServer, Client, Tenancy, WireConfig, WireServer};
 }
