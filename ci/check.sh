@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 # Gate registry: every name listed here MUST run, or the suite fails.
 EXPECTED_GATES="fmt clippy build-release tier1-tests workspace-tests obs-layer \
-wire-smoke telemetry-smoke recovery-smoke mvcc-stress mvcc-bench"
+wire-smoke telemetry-smoke recovery-smoke mvcc-stress mvcc-bench gate-smoke"
 
 GATES_RUN=""
 GATES_FAILED=""
@@ -185,6 +185,40 @@ gate_mvcc_bench() {
     || { echo "FAIL: 8-worker throughput only ${scaling}x the 1-worker run (need > 1.5x)"; return 1; }
 }
 
+# Agent-traffic gate: the full-replay cache differential (caches on vs off
+# must be byte-identical across every BIRD task and role, including denial
+# messages), then the runnable gate benchmark (examples/serve --bench-gate)
+# which re-measures the headline numbers and enforces the acceptance
+# thresholds — ≥80% context-tool cache hit rate under the exploration
+# profile, a runaway tenant capped by its budget (the binary fails itself
+# if the cap slips or a steady tenant is starved), steady-tenant throughput
+# parity, and steady-tenant p95 within 20% of the no-runaway baseline.
+gate_gate_smoke() {
+  run cargo test -q --offline --locked -p gate || return 1
+  run cargo test -q --offline --locked --test gate_differential || return 1
+  local fresh=target/BENCH_gate.json
+  rm -f "$fresh"
+  run cargo run -q --offline --locked --example serve -- --bench-gate "$fresh" || return 1
+  test -s BENCH_gate.json \
+    || { echo "FAIL: committed baseline BENCH_gate.json missing"; return 1; }
+  local hit completion fairness p95
+  hit=$(sed -n 's/.*"hit_rate": *\([0-9.]*\).*/\1/p' "$fresh")
+  completion=$(sed -n 's/.*"completion_rate": *\([0-9.]*\).*/\1/p' "$fresh")
+  fairness=$(sed -n 's/.*"fairness_ratio": *\([0-9.]*\).*/\1/p' "$fresh")
+  p95=$(sed -n 's/.*"p95_ratio": *\([0-9.]*\).*/\1/p' "$fresh")
+  test -n "$hit" && test -n "$completion" && test -n "$fairness" && test -n "$p95" \
+    || { echo "FAIL: $fresh is missing headline metrics"; return 1; }
+  echo "==> hit_rate=$hit completion_rate=$completion fairness_ratio=$fairness p95_ratio=$p95"
+  awk -v v="$hit" 'BEGIN { exit (v >= 0.8) ? 0 : 1 }' \
+    || { echo "FAIL: context cache hit rate $hit < 0.8"; return 1; }
+  awk -v v="$completion" 'BEGIN { exit (v >= 0.75) ? 0 : 1 }' \
+    || { echo "FAIL: task completion rate $completion < 0.75"; return 1; }
+  awk -v v="$fairness" 'BEGIN { exit (v <= 1.2) ? 0 : 1 }' \
+    || { echo "FAIL: steady-tenant throughput ratio $fairness > 1.2"; return 1; }
+  awk -v v="$p95" 'BEGIN { exit (v <= 1.2) ? 0 : 1 }' \
+    || { echo "FAIL: steady-tenant p95 ratio $p95 > 1.2 vs no-runaway baseline"; return 1; }
+}
+
 # ------------------------------------------------------------- execution --
 
 run_gate fmt             gate_fmt
@@ -198,6 +232,7 @@ run_gate telemetry-smoke gate_telemetry_smoke
 run_gate recovery-smoke  gate_recovery_smoke
 run_gate mvcc-stress     gate_mvcc_stress
 run_gate mvcc-bench      gate_mvcc_bench
+run_gate gate-smoke      gate_gate_smoke
 
 # -------------------------------------------------------------- summary --
 

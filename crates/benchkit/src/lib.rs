@@ -45,6 +45,6 @@ pub use harness::{
     build_toolkit_observed, run_bird_cell, run_nl2ml, run_nl2ml_observed, BirdCell, CellOutcome,
     Nl2mlConfig, TaskClass, Toolkit,
 };
-pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use loadgen::{run_load, LoadConfig, LoadReport, UserLoadStats};
 pub use report::{fig5, privilege_experiment, table2, Fig5Report, PrivilegeReport, Table2Report};
 pub use roles::Role;

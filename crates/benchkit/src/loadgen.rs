@@ -10,6 +10,7 @@
 //! serving-layer numbers are directly comparable to in-process ones.
 
 use obs::metrics::{Histogram, HistogramSnapshot, LATENCY_BOUNDS_NS};
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -48,6 +49,11 @@ pub struct LoadConfig {
     /// concurrent sessions until the server saturates — which is exactly
     /// the serving capacity the scaling benchmark measures.
     pub think_ns: u64,
+    /// Per-tenant call-mix overrides: sessions authenticated as a user
+    /// listed here run *that* rotation instead of the global one. This is
+    /// how a fairness run gives the runaway tenant an expensive hammering
+    /// mix while well-behaved tenants keep their normal workload.
+    pub user_rotations: Vec<(String, Vec<(String, Json)>)>,
 }
 
 impl LoadConfig {
@@ -66,6 +72,7 @@ impl LoadConfig {
             arguments: Json::object([("sql", Json::str(sql.into()))]),
             rotation: Vec::new(),
             think_ns: 0,
+            user_rotations: Vec::new(),
         }
     }
 
@@ -99,7 +106,52 @@ impl LoadConfig {
             arguments: Json::object([("sql", Json::str("SELECT 1"))]),
             rotation,
             think_ns,
+            user_rotations: Vec::new(),
         }
+    }
+
+    /// Builder: give `user`'s sessions their own call rotation.
+    pub fn with_user_rotation(
+        mut self,
+        user: impl Into<String>,
+        rotation: Vec<(String, Json)>,
+    ) -> LoadConfig {
+        self.user_rotations.push((user.into(), rotation));
+        self
+    }
+}
+
+/// Per-tenant slice of a load run, for the fairness report.
+#[derive(Debug, Clone)]
+pub struct UserLoadStats {
+    /// Calls issued by this tenant's sessions.
+    pub calls_attempted: u64,
+    /// Calls that returned a successful output.
+    pub calls_ok: u64,
+    /// Calls shed with `server_busy`.
+    pub rejected_busy: u64,
+    /// Calls that reached a tool but failed (denials included).
+    pub tool_errors: u64,
+    /// Round-trip latency of this tenant's successful calls.
+    pub latency: HistogramSnapshot,
+    /// Exact per-call latencies (ns) of this tenant's successful calls,
+    /// in no particular order. The histogram's buckets double between
+    /// bounds, which quantizes quantile *ratios* to powers of two; the
+    /// fairness differential (steady tenants' p95 with vs without a
+    /// runaway) needs exact samples to resolve a 20% band.
+    pub latency_samples_ns: Vec<u64>,
+}
+
+impl UserLoadStats {
+    /// This tenant's p95 round-trip latency in nanoseconds — exact (from
+    /// the raw samples) when any were recorded, bucketed otherwise.
+    pub fn p95_ns(&self) -> u64 {
+        if self.latency_samples_ns.is_empty() {
+            return self.latency.quantile_ns(0.95);
+        }
+        let mut sorted = self.latency_samples_ns.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) * 95 / 100]
     }
 }
 
@@ -125,6 +177,8 @@ pub struct LoadReport {
     pub elapsed_ns: u64,
     /// Per-call round-trip latency distribution (successful calls only).
     pub latency: HistogramSnapshot,
+    /// Per-tenant breakdown, keyed by user.
+    pub per_user: BTreeMap<String, UserLoadStats>,
 }
 
 impl LoadReport {
@@ -145,6 +199,34 @@ impl LoadReport {
             self.latency.quantile_ns(0.95),
             self.latency.quantile_ns(0.99),
         ]
+    }
+
+    /// Max/min per-tenant throughput ratio — the headline fairness number.
+    /// Tenants share one wall clock, so the ratio of successful call counts
+    /// *is* the throughput ratio. 1.0 is perfectly fair; a tenant that got
+    /// nothing through makes the ratio infinite; fewer than two tenants
+    /// report 1.0 (fairness is trivially satisfied).
+    pub fn fairness_ratio(&self) -> f64 {
+        let oks: Vec<u64> = self.per_user.values().map(|u| u.calls_ok).collect();
+        if oks.len() < 2 {
+            return 1.0;
+        }
+        let max = *oks.iter().max().expect("nonempty");
+        let min = *oks.iter().min().expect("nonempty");
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+
+    /// A tenant's p95 round-trip latency in nanoseconds, if it ran.
+    pub fn user_p95_ns(&self, user: &str) -> Option<u64> {
+        self.per_user.get(user).map(UserLoadStats::p95_ns)
     }
 
     /// Human-readable report: headline numbers plus an ASCII latency
@@ -181,6 +263,21 @@ impl LoadReport {
             fmt_ns(self.latency.quantile_ns(0.90)),
             fmt_ns(self.latency.quantile_ns(0.99)),
         ));
+        if self.per_user.len() >= 2 {
+            out.push_str(&format!(
+                "  fairness: max/min tenant throughput ratio {:.2}\n",
+                self.fairness_ratio()
+            ));
+            for (user, stats) in &self.per_user {
+                out.push_str(&format!(
+                    "    {user}: ok {}, busy {}, tool-err {}, p95 {}\n",
+                    stats.calls_ok,
+                    stats.rejected_busy,
+                    stats.tool_errors,
+                    fmt_ns(stats.p95_ns()),
+                ));
+            }
+        }
         let peak = self.latency.buckets.iter().copied().max().unwrap_or(0);
         for (idx, &count) in self.latency.buckets.iter().enumerate() {
             if count == 0 {
@@ -220,7 +317,22 @@ fn fmt_ns(ns: u64) -> String {
 /// bugs — all remote failures are counted, not propagated.
 pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
     assert!(!cfg.users.is_empty(), "LoadConfig.users must not be empty");
+    /// Live per-tenant counters, shared by all of a user's sessions.
+    #[derive(Default)]
+    struct UserAgg {
+        attempted: AtomicU64,
+        ok: AtomicU64,
+        busy: AtomicU64,
+        tool_errors: AtomicU64,
+        latency: Histogram,
+        samples: std::sync::Mutex<Vec<u64>>,
+    }
     let latency = Arc::new(Histogram::default());
+    let per_user: BTreeMap<String, Arc<UserAgg>> = cfg
+        .users
+        .iter()
+        .map(|u| (u.clone(), Arc::new(UserAgg::default())))
+        .collect();
     let sessions_failed = AtomicU64::new(0);
     let calls_attempted = AtomicU64::new(0);
     let calls_ok = AtomicU64::new(0);
@@ -231,6 +343,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
     std::thread::scope(|scope| {
         for i in 0..cfg.sessions {
             let user = cfg.users[i % cfg.users.len()].clone();
+            let agg = Arc::clone(per_user.get(&user).expect("per-user slot"));
             let latency = Arc::clone(&latency);
             let sessions_failed = &sessions_failed;
             let calls_attempted = &calls_attempted;
@@ -251,12 +364,19 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
                     sessions_failed.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
+                let user_rotation = cfg
+                    .user_rotations
+                    .iter()
+                    .find(|(u, _)| *u == user)
+                    .map(|(_, r)| r);
                 for j in 0..cfg.calls_per_session {
                     calls_attempted.fetch_add(1, Ordering::Relaxed);
-                    let (tool, arguments) = if cfg.rotation.is_empty() {
+                    agg.attempted.fetch_add(1, Ordering::Relaxed);
+                    let rotation = user_rotation.unwrap_or(&cfg.rotation);
+                    let (tool, arguments) = if rotation.is_empty() {
                         (cfg.tool.as_str(), &cfg.arguments)
                     } else {
-                        let (t, a) = &cfg.rotation[j % cfg.rotation.len()];
+                        let (t, a) = &rotation[j % rotation.len()];
                         (t.as_str(), a)
                     };
                     if cfg.think_ns > 0 {
@@ -265,14 +385,20 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
                     let t0 = Instant::now();
                     match client.call(tool, arguments) {
                         Ok(Ok(_)) => {
-                            latency.observe_ns(t0.elapsed().as_nanos() as u64);
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            latency.observe_ns(ns);
+                            agg.latency.observe_ns(ns);
+                            agg.samples.lock().expect("sampler poisoned").push(ns);
                             calls_ok.fetch_add(1, Ordering::Relaxed);
+                            agg.ok.fetch_add(1, Ordering::Relaxed);
                         }
                         Ok(Err(_)) => {
                             tool_errors.fetch_add(1, Ordering::Relaxed);
+                            agg.tool_errors.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(WireError::Rpc(rpc)) if rpc.code == ErrorCode::ServerBusy => {
                             rejected_busy.fetch_add(1, Ordering::Relaxed);
+                            agg.busy.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(_) => {
                             transport_errors.fetch_add(1, Ordering::Relaxed);
@@ -294,6 +420,25 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
         transport_errors: transport_errors.into_inner(),
         elapsed_ns: started.elapsed().as_nanos() as u64,
         latency: latency.snapshot(),
+        per_user: per_user
+            .into_iter()
+            .map(|(user, agg)| {
+                let stats = UserLoadStats {
+                    calls_attempted: agg.attempted.load(Ordering::Relaxed),
+                    calls_ok: agg.ok.load(Ordering::Relaxed),
+                    rejected_busy: agg.busy.load(Ordering::Relaxed),
+                    tool_errors: agg.tool_errors.load(Ordering::Relaxed),
+                    latency: agg.latency.snapshot(),
+                    latency_samples_ns: agg
+                        .samples
+                        .lock()
+                        .expect("sampler poisoned")
+                        .drain(..)
+                        .collect(),
+                };
+                (user, stats)
+            })
+            .collect(),
     }
 }
 
@@ -343,6 +488,44 @@ mod tests {
         assert!(text.contains("throughput"), "{text}");
         assert!(text.contains('#'), "histogram bars missing: {text}");
         assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn per_user_stats_feed_the_fairness_report() {
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            Tenancy::new(demo_db()),
+            WireConfig::default(),
+            Obs::in_memory(),
+        )
+        .unwrap();
+        let mut cfg = LoadConfig::select(8, 4, "admin", "SELECT * FROM sales");
+        cfg.users = vec!["admin".into(), "reader".into()];
+        // Tenant-specific mix: the reader runs its own cheaper rotation.
+        let cfg = cfg.with_user_rotation(
+            "reader",
+            vec![(
+                "select".into(),
+                Json::object([("sql", Json::str("SELECT id FROM sales"))]),
+            )],
+        );
+        let report = run_load(server.local_addr(), &cfg);
+        server.shutdown();
+
+        assert_eq!(report.calls_ok, 32, "report: {}", report.render());
+        assert_eq!(report.per_user.len(), 2);
+        for user in ["admin", "reader"] {
+            let stats = &report.per_user[user];
+            assert_eq!(stats.calls_attempted, 16);
+            assert_eq!(stats.calls_ok, 16);
+            assert_eq!(stats.latency.count, 16);
+            assert_eq!(stats.latency_samples_ns.len(), 16);
+            assert!(report.user_p95_ns(user).unwrap() > 0);
+        }
+        assert!((report.fairness_ratio() - 1.0).abs() < f64::EPSILON);
+        let text = report.render();
+        assert!(text.contains("fairness"), "{text}");
+        assert!(text.contains("reader:"), "{text}");
     }
 
     #[test]

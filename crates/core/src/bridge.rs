@@ -60,6 +60,11 @@ pub struct BridgeContext {
     /// this server so denials, SQL execution, and proxy data movement land
     /// in one trace.
     pub obs: Obs,
+    /// Prepared-plan cache (parse + static analysis keyed on normalized
+    /// SQL, generation-invalidated). Unset by default; installed once by
+    /// the gated server build. Security checks always re-verify the cached
+    /// profile against live privileges and policy.
+    pub(crate) plan_cache: std::sync::OnceLock<Arc<gate::PlanCache>>,
 }
 
 impl BridgeContext {
@@ -88,7 +93,14 @@ impl BridgeContext {
             policy,
             session: Mutex::new(session),
             obs,
+            plan_cache: std::sync::OnceLock::new(),
         }))
+    }
+
+    /// Install the prepared-plan cache (at most once, from the gated server
+    /// build).
+    pub(crate) fn install_plan_cache(&self, cache: Arc<gate::PlanCache>) {
+        let _ = self.plan_cache.set(cache);
     }
 
     /// Record a denial: bump the per-gate counter and emit an (instant)

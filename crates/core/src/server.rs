@@ -12,11 +12,12 @@ use crate::context_tools::{get_object_tool, get_schema_tool, get_value_tool};
 use crate::proxy::proxy_tool_observed;
 use crate::sql_tools::{action_risk, action_tool};
 use crate::txn_tools::{begin_tool, commit_tool, rollback_tool};
+use gate::{BudgetMeter, CachedTool, GateConfig, GenerationSource, MeteredTool, PlanCache};
 use minidb::DbError;
 use obs::{Obs, ObsConfig, ObsSnapshot};
 use sqlkit::ast::Action;
 use std::sync::Arc;
-use toolproto::Registry;
+use toolproto::{Registry, Tool};
 
 /// A built BridgeScope server: the tool registry for one user plus the
 /// crafted system prompt.
@@ -71,14 +72,54 @@ impl BridgeScopeServer {
         external: &Registry,
         obs: Obs,
     ) -> Result<BridgeScopeServer, DbError> {
+        Self::build_gated(db, user, policy, external, obs, &GateConfig::default())
+    }
+
+    /// [`BridgeScopeServer::build_observed`] behind the agent-traffic gate:
+    /// `gate_config` may enable the retrieval/plan caches (generation-
+    /// invalidated through [`minidb::Database::generation`]) and attach
+    /// per-session / per-user cost budgets metered at tool dispatch. The
+    /// default config is fully transparent — this is exactly
+    /// [`BridgeScopeServer::build_observed`] then.
+    pub fn build_gated(
+        db: impl Into<DatabaseHandle>,
+        user: &str,
+        policy: SecurityPolicy,
+        external: &Registry,
+        obs: Obs,
+        gate_config: &GateConfig,
+    ) -> Result<BridgeScopeServer, DbError> {
         let db = db.into().into_database();
         let ctx = BridgeContext::with_obs(&db, user, policy, obs.clone())?;
         let mut registry = Registry::new();
 
+        // Retrieval-cache wiring: read-only F1 tools get memoized per
+        // session surface, keyed on args and stamped with the database
+        // generation (bumped by every committed DML/DDL/privilege change).
+        let cache_cfg = gate_config.cache.clone();
+        let generation: GenerationSource = {
+            let db = db.clone();
+            Arc::new(move || db.generation())
+        };
+        let wrap_context = |tool: Arc<dyn Tool>| -> Arc<dyn Tool> {
+            match &cache_cfg {
+                Some(cfg) => Arc::new(CachedTool::new(
+                    tool,
+                    cfg.context_capacity,
+                    Arc::clone(&generation),
+                    obs.clone(),
+                )),
+                None => tool,
+            }
+        };
+        if let Some(cfg) = &cache_cfg {
+            ctx.install_plan_cache(Arc::new(PlanCache::new(cfg.plan_capacity)));
+        }
+
         // F1 — context retrieval (always exposed; outputs are filtered).
-        registry.register_tool(get_schema_tool(Arc::clone(&ctx)));
-        registry.register_tool(get_object_tool(Arc::clone(&ctx)));
-        registry.register_tool(get_value_tool(Arc::clone(&ctx)));
+        registry.register(wrap_context(Arc::new(get_schema_tool(Arc::clone(&ctx)))));
+        registry.register(wrap_context(Arc::new(get_object_tool(Arc::clone(&ctx)))));
+        registry.register(wrap_context(Arc::new(get_value_tool(Arc::clone(&ctx)))));
 
         // F2 — per-action SQL tools, exposed by privilege ∧ policy.
         let privs = db.privileges_of(user)?;
@@ -115,6 +156,32 @@ impl BridgeScopeServer {
         // External (MCP-ecosystem) tools join the surface.
         registry.extend(external);
 
+        // Budget metering wraps the whole surface *before* the proxy
+        // snapshots it, so proxy-side producer calls draw down the same
+        // account — an agent cannot route around its budget by hiding work
+        // inside proxy units. Meters are checked session-first, then user.
+        let mut meters: Vec<Arc<BudgetMeter>> = Vec::new();
+        if let Some(limits) = &gate_config.session_budget {
+            meters.push(Arc::new(BudgetMeter::session(limits.clone())));
+        }
+        if let Some(ledger) = &gate_config.user_ledger {
+            meters.push(ledger.meter_for(user));
+        }
+        let wrap_budget = |tool: Arc<dyn Tool>| -> Arc<dyn Tool> {
+            if meters.is_empty() {
+                tool
+            } else {
+                Arc::new(MeteredTool::new(tool, meters.clone(), user, obs.clone()))
+            }
+        };
+        if !meters.is_empty() {
+            let mut metered = Registry::new();
+            for tool in registry.iter() {
+                metered.register(wrap_budget(Arc::clone(tool)));
+            }
+            registry = metered;
+        }
+
         // Every tool invocation through the registry becomes a `tool:{name}`
         // span with per-tool counters and latency histograms. Attached
         // before the proxy snapshot so producer-side calls are traced too
@@ -124,9 +191,13 @@ impl BridgeScopeServer {
             registry.set_observer(observer);
         }
 
-        // F4 — the proxy operates over a snapshot of everything above.
+        // F4 — the proxy operates over a snapshot of everything above. The
+        // proxy call itself is metered like any other tool.
         let surface = registry.clone();
-        registry.register_tool(proxy_tool_observed(surface, obs.clone()));
+        registry.register(wrap_budget(Arc::new(proxy_tool_observed(
+            surface,
+            obs.clone(),
+        ))));
 
         Ok(BridgeScopeServer {
             registry,
@@ -302,6 +373,132 @@ mod tests {
         let snap = server.snapshot();
         assert!(snap.spans.is_empty());
         assert_eq!(snap.metrics.counter("tool.calls"), 0);
+    }
+
+    #[test]
+    fn gated_build_caches_context_tools_and_invalidates_on_write() {
+        let db = demo_db();
+        let obs = Obs::in_memory();
+        let server = BridgeScopeServer::build_gated(
+            db.clone(),
+            "reader",
+            SecurityPolicy::default(),
+            &Registry::new(),
+            obs.clone(),
+            &gate::GateConfig::default().with_cache(),
+        )
+        .unwrap();
+        let a = server.registry.call("get_schema", &Json::Null).unwrap();
+        let b = server.registry.call("get_schema", &Json::Null).unwrap();
+        assert_eq!(a, b, "cached output identical");
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.metrics
+                .labeled_counter("gate.cache", &[("tool", "get_schema"), ("hit", "true")]),
+            1
+        );
+        assert_eq!(
+            snap.metrics
+                .labeled_counter("gate.cache", &[("tool", "get_schema"), ("hit", "false")]),
+            1
+        );
+        // A committed write (by anyone) invalidates: next call is a miss.
+        let mut s = db.session("admin").unwrap();
+        s.execute_sql("INSERT INTO sales VALUES (5, 50.0)").unwrap();
+        server.registry.call("get_schema", &Json::Null).unwrap();
+        assert_eq!(
+            obs.snapshot()
+                .metrics
+                .labeled_counter("gate.cache", &[("tool", "get_schema"), ("hit", "false")]),
+            2
+        );
+    }
+
+    #[test]
+    fn gated_build_plan_cache_hits_on_normalized_sql() {
+        let db = demo_db();
+        let obs = Obs::in_memory();
+        let server = BridgeScopeServer::build_gated(
+            db,
+            "reader",
+            SecurityPolicy::default(),
+            &Registry::new(),
+            obs.clone(),
+            &gate::GateConfig::default().with_cache(),
+        )
+        .unwrap();
+        let args = |sql: &str| Json::object([("sql", Json::str(sql))]);
+        let a = server
+            .registry
+            .call("select", &args("SELECT * FROM sales"))
+            .unwrap();
+        let b = server
+            .registry
+            .call("select", &args("SELECT  *  FROM\n sales"))
+            .unwrap();
+        assert_eq!(a, b);
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.metrics
+                .labeled_counter("gate.cache", &[("tool", "plan"), ("hit", "true")]),
+            1
+        );
+    }
+
+    #[test]
+    fn gated_build_enforces_session_budget_with_typed_denial() {
+        let db = demo_db();
+        let server = BridgeScopeServer::build_gated(
+            db,
+            "reader",
+            SecurityPolicy::default(),
+            &Registry::new(),
+            Obs::disabled(),
+            &gate::GateConfig::default()
+                .with_session_budget(gate::BudgetLimits::default().with_calls(2)),
+        )
+        .unwrap();
+        server.registry.call("get_schema", &Json::Null).unwrap();
+        server.registry.call("get_schema", &Json::Null).unwrap();
+        let err = server.registry.call("get_schema", &Json::Null).unwrap_err();
+        match err {
+            toolproto::ToolError::Denied { code, message, .. } => {
+                assert_eq!(code, "budget");
+                assert_eq!(
+                    message,
+                    "budget exhausted: calls limit for this session reached (2/2)"
+                );
+            }
+            other => panic!("expected budget denial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transparent_gate_config_changes_nothing() {
+        let db = demo_db();
+        let plain = BridgeScopeServer::build(
+            db.clone(),
+            "reader",
+            SecurityPolicy::default(),
+            &Registry::new(),
+        )
+        .unwrap();
+        let gated = BridgeScopeServer::build_gated(
+            db,
+            "reader",
+            SecurityPolicy::default(),
+            &Registry::new(),
+            Obs::disabled(),
+            &gate::GateConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plain.registry.names(), gated.registry.names());
+        assert_eq!(plain.prompt, gated.prompt);
+        let probe = Json::object([("sql", Json::str("SELECT * FROM sales"))]);
+        assert_eq!(
+            plain.registry.call("select", &probe),
+            gated.registry.call("select", &probe)
+        );
     }
 
     #[test]

@@ -13,9 +13,9 @@
 //!    with the transaction tools.
 
 use crate::bridge::{db_error_to_tool, result_to_output, BridgeContext};
+use gate::PreparedPlan;
 use obs::SpanGuard;
 use sqlkit::ast::Action;
-use sqlkit::parse_statement;
 use std::sync::Arc;
 use toolproto::{ArgSpec, ArgType, Args, FnTool, Risk, Signature, Tool, ToolError, ToolResult};
 
@@ -63,13 +63,42 @@ fn verified_execute(ctx: &BridgeContext, expected: Action, sql: &str) -> ToolRes
     result.map_err(|e| e.with_denial_sql(sqlkit::truncate_sql(sql, SQL_ATTR_MAX)))
 }
 
+/// Parse and statically analyze `sql`, through the prepared-plan cache when
+/// the gated build installed one. The cached artifact is pure parse +
+/// analysis — every privilege and policy check below re-runs on live state,
+/// so a cache hit can never widen access; it only skips re-deriving what
+/// the text alone determines.
+fn prepare(ctx: &BridgeContext, sql: &str) -> Result<Arc<PreparedPlan>, ToolError> {
+    match ctx.plan_cache.get() {
+        Some(cache) => {
+            let generation = ctx.db.generation();
+            let (plan, hit) = cache
+                .prepare(sql, generation)
+                .map_err(|e| ToolError::Execution(e.to_string()))?;
+            ctx.obs.incr_with(
+                "gate.cache",
+                &[
+                    ("tool", "plan"),
+                    ("hit", if hit { "true" } else { "false" }),
+                ],
+                1,
+            );
+            Ok(plan)
+        }
+        None => PreparedPlan::prepare(sql)
+            .map(Arc::new)
+            .map_err(|e| ToolError::Execution(e.to_string())),
+    }
+}
+
 fn verify_and_run(
     ctx: &BridgeContext,
     expected: Action,
     sql: &str,
     span: &mut SpanGuard,
 ) -> ToolResult {
-    let stmt = parse_statement(sql).map_err(|e| ToolError::Execution(e.to_string()))?;
+    let prepared = prepare(ctx, sql)?;
+    let stmt = &prepared.stmt;
     let action = stmt.action();
     if action != expected {
         return Err(ToolError::Execution(format!(
@@ -77,7 +106,7 @@ fn verify_and_run(
         )));
     }
     // Object-level verification (tool-side, before the engine sees it).
-    let profile = sqlkit::analyze(&stmt);
+    let profile = &prepared.profile;
     for object in profile.all_objects() {
         // Policy first: policy restrictions exist precisely to hide objects
         // the user *could* access.
@@ -102,7 +131,7 @@ fn verify_and_run(
         .iter()
         .any(|t| ctx.policy.has_column_restrictions(t))
     {
-        let usage = sqlkit::column_usage(&stmt);
+        let usage = &prepared.usage;
         for (table, column) in &ctx.policy.column_blacklist {
             if usage.may_touch(table, column) {
                 return Err(ctx.deny_column(
@@ -124,7 +153,7 @@ fn verify_and_run(
     let result = if expected == Action::Select {
         let mut guard = ctx.session.lock();
         if guard.in_transaction() {
-            guard.execute(&stmt).map_err(db_error_to_tool)?
+            guard.execute(stmt).map_err(db_error_to_tool)?
         } else {
             drop(guard);
             let ephemeral = ctx
@@ -144,14 +173,11 @@ fn verify_and_run(
                 result
             } else {
                 let mut ephemeral = ephemeral;
-                ephemeral.execute(&stmt).map_err(db_error_to_tool)?
+                ephemeral.execute(stmt).map_err(db_error_to_tool)?
             }
         }
     } else {
-        ctx.session
-            .lock()
-            .execute(&stmt)
-            .map_err(db_error_to_tool)?
+        ctx.session.lock().execute(stmt).map_err(db_error_to_tool)?
     };
     Ok(result_to_output(result))
 }

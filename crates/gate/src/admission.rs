@@ -1,0 +1,261 @@
+//! Admission control and fair scheduling across tenants.
+//!
+//! [`WeightedQueues`] replaces a single shared FIFO with one bounded queue
+//! per tenant and a weighted round-robin dequeue: a tenant with weight *w*
+//! is served up to *w* consecutive items each time the rotation reaches it,
+//! then the cursor moves on. A runaway tenant therefore competes only with
+//! its own backlog — it can fill *its* queue (further submissions are
+//! **shed**, surfacing as server-busy backpressure) while other tenants'
+//! queues keep draining at their weighted share of the worker pool.
+//!
+//! The structure is deliberately engine- and transport-agnostic: items are
+//! any `Send` payload (the wire server enqueues boxed jobs), and the only
+//! policy inputs are per-tenant weights, a default weight, and a per-tenant
+//! capacity. Closing the queues wakes every worker; remaining items are
+//! drained before workers observe shutdown, matching the wire pool's
+//! graceful-drain contract.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was not enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The tenant's queue is at capacity — shed (caller maps this to
+    /// server-busy backpressure).
+    Shed,
+    /// The queues are closed (server shutting down).
+    Closed,
+}
+
+struct QueueState<T> {
+    queues: BTreeMap<String, VecDeque<T>>,
+    /// Tenants with at least one queued item, in rotation order.
+    rotation: Vec<String>,
+    cursor: usize,
+    /// Remaining consecutive dequeues owed to the tenant at `cursor`.
+    credit: u32,
+    queued: usize,
+    closed: bool,
+}
+
+/// Per-tenant bounded queues with weighted round-robin dequeue.
+pub struct WeightedQueues<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    per_tenant_capacity: usize,
+    default_weight: u32,
+    weights: BTreeMap<String, u32>,
+}
+
+impl<T> WeightedQueues<T> {
+    /// Create queues where each tenant may hold `per_tenant_capacity`
+    /// pending items, tenants in `weights` get their configured share, and
+    /// everyone else gets `default_weight` (both clamped to ≥ 1).
+    pub fn new(
+        per_tenant_capacity: usize,
+        default_weight: u32,
+        weights: impl IntoIterator<Item = (String, u32)>,
+    ) -> Self {
+        WeightedQueues {
+            state: Mutex::new(QueueState {
+                queues: BTreeMap::new(),
+                rotation: Vec::new(),
+                cursor: 0,
+                credit: 0,
+                queued: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            per_tenant_capacity: per_tenant_capacity.max(1),
+            default_weight: default_weight.max(1),
+            weights: weights.into_iter().map(|(t, w)| (t, w.max(1))).collect(),
+        }
+    }
+
+    /// The weight applied to `tenant`.
+    pub fn weight_of(&self, tenant: &str) -> u32 {
+        self.weights
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.default_weight)
+    }
+
+    /// Enqueue `item` for `tenant`, or report why it cannot be queued.
+    pub fn submit(&self, tenant: &str, item: T) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().expect("gate queue lock");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        let queue = state.queues.entry(tenant.to_owned()).or_default();
+        if queue.len() >= self.per_tenant_capacity {
+            return Err(SubmitError::Shed);
+        }
+        let was_empty = queue.is_empty();
+        queue.push_back(item);
+        if was_empty {
+            state.rotation.push(tenant.to_owned());
+        }
+        state.queued += 1;
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next item under the weighted rotation, blocking while
+    /// the queues are open and empty. Returns `None` only once the queues
+    /// are closed **and** fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("gate queue lock");
+        loop {
+            if state.queued > 0 {
+                return self.pop_locked(&mut state);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("gate queue lock");
+        }
+    }
+
+    fn pop_locked(&self, state: &mut QueueState<T>) -> Option<T> {
+        loop {
+            if state.rotation.is_empty() {
+                return None;
+            }
+            if state.cursor >= state.rotation.len() {
+                state.cursor = 0;
+                state.credit = 0;
+            }
+            let tenant = state.rotation[state.cursor].clone();
+            if state.credit == 0 {
+                state.credit = self.weight_of(&tenant);
+            }
+            let queue = state.queues.get_mut(&tenant).expect("rotated tenant");
+            match queue.pop_front() {
+                Some(item) => {
+                    state.queued -= 1;
+                    state.credit -= 1;
+                    if queue.is_empty() {
+                        // Tenant drained: leave the rotation; its spot's
+                        // remaining credit dies with it.
+                        state.rotation.remove(state.cursor);
+                        state.credit = 0;
+                    } else if state.credit == 0 {
+                        state.cursor += 1;
+                    }
+                    return Some(item);
+                }
+                None => {
+                    // Defensive: an empty queue should have left the
+                    // rotation already.
+                    state.rotation.remove(state.cursor);
+                    state.credit = 0;
+                }
+            }
+        }
+    }
+
+    /// Total items queued across all tenants.
+    pub fn queued(&self) -> usize {
+        self.state.lock().expect("gate queue lock").queued
+    }
+
+    /// Items queued for one tenant.
+    pub fn queued_for(&self, tenant: &str) -> usize {
+        self.state
+            .lock()
+            .expect("gate queue lock")
+            .queues
+            .get(tenant)
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Close the queues: further submissions fail with
+    /// [`SubmitError::Closed`]; workers drain what remains, then observe
+    /// `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("gate queue lock").closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn drain(q: &WeightedQueues<String>) -> Vec<String> {
+        q.close();
+        std::iter::from_fn(|| q.pop()).collect()
+    }
+
+    #[test]
+    fn weighted_rotation_interleaves_by_weight() {
+        let q = WeightedQueues::new(16, 1, [("a".to_string(), 3)]);
+        for i in 0..6 {
+            q.submit("a", format!("a{i}")).unwrap();
+            q.submit("b", format!("b{i}")).unwrap();
+        }
+        let order = drain(&q);
+        // Tenant a (weight 3) gets 3 consecutive slots per cycle, b gets 1.
+        assert_eq!(
+            order,
+            ["a0", "a1", "a2", "b0", "a3", "a4", "a5", "b1", "b2", "b3", "b4", "b5"]
+        );
+    }
+
+    #[test]
+    fn equal_weights_alternate() {
+        let q = WeightedQueues::new(16, 1, []);
+        for i in 0..3 {
+            q.submit("x", format!("x{i}")).unwrap();
+            q.submit("y", format!("y{i}")).unwrap();
+        }
+        assert_eq!(drain(&q), ["x0", "y0", "x1", "y1", "x2", "y2"]);
+    }
+
+    #[test]
+    fn full_tenant_queue_sheds_without_touching_others() {
+        let q = WeightedQueues::new(2, 1, []);
+        q.submit("hog", "h0".to_string()).unwrap();
+        q.submit("hog", "h1".to_string()).unwrap();
+        assert_eq!(q.submit("hog", "h2".to_string()), Err(SubmitError::Shed));
+        q.submit("calm", "c0".to_string()).unwrap();
+        assert_eq!(q.queued_for("hog"), 2);
+        assert_eq!(q.queued_for("calm"), 1);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = WeightedQueues::new(4, 1, []);
+        q.submit("t", "one".to_string()).unwrap();
+        q.close();
+        assert_eq!(q.submit("t", "late".to_string()), Err(SubmitError::Closed));
+        assert_eq!(q.pop(), Some("one".to_string()));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_submit() {
+        let q = Arc::new(WeightedQueues::new(4, 1, []));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit("t", 42u32).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn tenant_reentering_rotation_is_served() {
+        let q = WeightedQueues::new(4, 1, []);
+        q.submit("a", 1u32).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        q.submit("a", 2u32).unwrap();
+        q.submit("b", 3u32).unwrap();
+        let mut got = vec![q.pop().unwrap(), q.pop().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, [2, 3]);
+        assert_eq!(q.queued(), 0);
+    }
+}

@@ -54,6 +54,13 @@ pub struct LlmProfile {
     pub max_retries: usize,
     /// Verbosity multiplier for emitted reasoning text (Claude ≈ 1.6× GPT).
     pub verbosity: f64,
+    /// Extra explore-before-generate rounds: after the initial context
+    /// retrieval the agent re-issues the *identical* schema and exemplar
+    /// probes this many more times before writing SQL. Zero for the
+    /// calibrated model profiles; the `explorer` profile uses it to model
+    /// cautious agents that hammer read-only context tools (the traffic a
+    /// retrieval cache absorbs).
+    pub exploration_rounds: usize,
 }
 
 impl LlmProfile {
@@ -76,6 +83,7 @@ impl LlmProfile {
             verify_unprotected_writes: 0.85,
             max_retries: 2,
             verbosity: 1.0,
+            exploration_rounds: 0,
         }
     }
 
@@ -100,6 +108,33 @@ impl LlmProfile {
             verify_unprotected_writes: 0.90,
             max_retries: 3,
             verbosity: 1.6,
+            exploration_rounds: 0,
+        }
+    }
+
+    /// Exploration-heavy profile: a cautious agent that re-verifies its
+    /// context before generating SQL, re-issuing the identical `get_schema`
+    /// and `get_value` probes five more times per task. Each re-issue is a
+    /// retrieval-cache hit when the gate's caches are on (5 of 6 identical
+    /// probes → ~83% hit rate), and pure waste when they are off. The wide
+    /// context window keeps the repeated probe results from overflowing.
+    pub fn explorer() -> Self {
+        LlmProfile {
+            name: "Explorer".into(),
+            context_window: 400_000,
+            exploration_rounds: 5,
+            ..LlmProfile::claude4()
+        }
+    }
+
+    /// Look up a built-in profile by the (case-insensitive) name used on
+    /// CLI flags and bench harnesses: `gpt4o`, `claude4`, or `explorer`.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "gpt4o" | "gpt-4o" => Some(Self::gpt4o()),
+            "claude4" | "claude-4" => Some(Self::claude4()),
+            "explorer" => Some(Self::explorer()),
+            _ => None,
         }
     }
 }
@@ -110,7 +145,11 @@ mod tests {
 
     #[test]
     fn profiles_are_sane() {
-        for p in [LlmProfile::gpt4o(), LlmProfile::claude4()] {
+        for p in [
+            LlmProfile::gpt4o(),
+            LlmProfile::claude4(),
+            LlmProfile::explorer(),
+        ] {
             assert!(p.context_window >= 100_000);
             for v in [
                 p.schema_hallucination_rate,
@@ -128,6 +167,16 @@ mod tests {
             }
             assert!(p.verbosity >= 1.0);
         }
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        assert_eq!(LlmProfile::by_name("GPT4o").unwrap().name, "GPT-4o");
+        assert_eq!(LlmProfile::by_name("claude-4").unwrap().name, "Claude-4");
+        let explorer = LlmProfile::by_name("explorer").unwrap();
+        assert_eq!(explorer.name, "Explorer");
+        assert!(explorer.exploration_rounds > 0);
+        assert!(LlmProfile::by_name("llama").is_none());
     }
 
     #[test]

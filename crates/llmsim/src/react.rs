@@ -441,6 +441,53 @@ impl<'a> Runner<'a> {
                     }
                 }
             }
+            // Explore-before-generate: cautious profiles re-issue the
+            // *identical* context probes before committing to SQL. The
+            // repeats change nothing semantically (same args, same
+            // results), which is exactly what makes them retrieval-cache
+            // hits when the gate's caches are on.
+            for round in 0..self.profile.exploration_rounds {
+                if self
+                    .step(
+                        &format!(
+                            "Re-checking the schema before generating SQL (exploration round {}).",
+                            round + 1
+                        ),
+                        "get_schema",
+                        Json::object::<_, String>([]),
+                    )
+                    .is_none()
+                {
+                    return Outcome::ContextOverflow;
+                }
+                if self.surface.get_value {
+                    for step in &self.task.steps {
+                        if let Some(lookup) = &step.lookup {
+                            if !schema.tables.contains_key(&lookup.table) {
+                                continue;
+                            }
+                            if self
+                                .step(
+                                    &format!(
+                                        "Re-confirming the stored values for '{}'.",
+                                        lookup.column
+                                    ),
+                                    "get_value",
+                                    Json::object([
+                                        ("table", Json::str(lookup.table.clone())),
+                                        ("column", Json::str(lookup.column.clone())),
+                                        ("key", Json::str(lookup.key.clone())),
+                                        ("k", Json::num(5.0)),
+                                    ]),
+                                )
+                                .is_none()
+                            {
+                                return Outcome::ContextOverflow;
+                            }
+                        }
+                    }
+                }
+            }
         } else if self.surface.execute_sql {
             // PG-MCP⁻: no retrieval tools. The agent first reaches for the
             // information schema (which a slim engine does not expose), then

@@ -173,6 +173,16 @@ impl Database {
         self.shared.oracle.last()
     }
 
+    /// Monotonic generation counter for external caches: the timestamp of
+    /// the latest *published* committed version. Every committed change —
+    /// DML, DDL, and privilege changes alike ([`Database::grant`] and
+    /// friends go through the same publish path) — bumps it, so a result
+    /// computed at generation `g` is valid exactly while `generation()`
+    /// still returns `g`.
+    pub fn generation(&self) -> u64 {
+        self.snapshot().ts
+    }
+
     /// Engine label: `"volatile"` or `"wal"`.
     pub fn engine_name(&self) -> &'static str {
         self.shared.commit.lock().name()

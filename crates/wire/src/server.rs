@@ -19,12 +19,13 @@ use crate::rpc::{
     tool_output_to_json, ErrorCode, Request, RpcError, PROTOCOL,
 };
 use bridgescope_core::{BridgeScopeServer, SecurityPolicy};
+use gate::{GateConfig, SubmitError, WeightedQueues};
 use minidb::Database;
 use obs::Obs;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -36,8 +37,13 @@ use toolproto::{Json, Registry, ToolResult};
 pub struct WireConfig {
     /// Worker threads executing tool calls.
     pub workers: usize,
-    /// Bounded job-queue depth; a full queue yields `server_busy`.
+    /// Bounded job-queue depth *per tenant*; a tenant whose queue is full
+    /// is shed with `server_busy` while other tenants keep queuing.
     pub queue_depth: usize,
+    /// Weighted round-robin shares for named tenants; everyone else gets
+    /// weight 1. A tenant with weight *w* is served up to *w* consecutive
+    /// jobs each time the dequeue rotation reaches it.
+    pub tenant_weights: Vec<(String, u32)>,
     /// Maximum accepted frame size in bytes.
     pub max_frame_bytes: usize,
     /// Per-frame read deadline (also the idle timeout between requests).
@@ -56,6 +62,7 @@ impl Default for WireConfig {
         WireConfig {
             workers: 4,
             queue_depth: 64,
+            tenant_weights: Vec::new(),
             max_frame_bytes: crate::frame::DEFAULT_MAX_FRAME_BYTES,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
@@ -73,15 +80,18 @@ pub struct Tenancy {
     db: Database,
     external: Registry,
     base_policy: SecurityPolicy,
+    gate: GateConfig,
 }
 
 impl Tenancy {
-    /// Serve `db` with a permissive base policy and no external tools.
+    /// Serve `db` with a permissive base policy, no external tools, and a
+    /// transparent gate (no caches or budgets).
     pub fn new(db: Database) -> Self {
         Tenancy {
             db,
             external: Registry::new(),
             base_policy: SecurityPolicy::permissive(),
+            gate: GateConfig::default(),
         }
     }
 
@@ -103,6 +113,14 @@ impl Tenancy {
         self
     }
 
+    /// Builder: the gate policy (caches, budgets) every session is built
+    /// behind. Attach a shared [`gate::BudgetLedger`] here to meter each
+    /// user across all of their sessions.
+    pub fn with_gate(mut self, gate: GateConfig) -> Self {
+        self.gate = gate;
+        self
+    }
+
     /// Build the tool surface for one authenticated session.
     fn surface(
         &self,
@@ -111,8 +129,15 @@ impl Tenancy {
         obs: Obs,
     ) -> Result<BridgeScopeServer, RpcError> {
         let effective = self.base_policy.restricted_by(requested);
-        BridgeScopeServer::build_observed(self.db.clone(), user, effective, &self.external, obs)
-            .map_err(|e| RpcError::new(ErrorCode::AuthFailed, format!("cannot open session: {e}")))
+        BridgeScopeServer::build_gated(
+            self.db.clone(),
+            user,
+            effective,
+            &self.external,
+            obs,
+            &self.gate,
+        )
+        .map_err(|e| RpcError::new(ErrorCode::AuthFailed, format!("cannot open session: {e}")))
     }
 }
 
@@ -138,76 +163,85 @@ impl Drop for ActiveSessionGuard {
     }
 }
 
-/// Fixed worker pool over a bounded queue. `submit` never blocks: a full
-/// queue is reported to the caller, which turns it into `server_busy`.
+/// Fixed worker pool over per-tenant bounded queues with weighted
+/// round-robin dequeue ([`gate::WeightedQueues`]). `submit` never blocks: a
+/// tenant whose queue is full is shed, which the caller turns into
+/// `server_busy` — without touching any other tenant's backlog.
 struct Pool {
-    tx: Mutex<Option<SyncSender<Job>>>,
+    queues: Arc<WeightedQueues<Job>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     stats: Arc<WireStats>,
+    obs: Obs,
 }
 
 impl Pool {
-    fn new(workers: usize, queue_depth: usize, stats: Arc<WireStats>) -> Pool {
-        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+    fn new(
+        workers: usize,
+        queue_depth: usize,
+        tenant_weights: &[(String, u32)],
+        stats: Arc<WireStats>,
+        obs: Obs,
+    ) -> Pool {
+        let queues = Arc::new(WeightedQueues::<Job>::new(
+            queue_depth.max(1),
+            1,
+            tenant_weights.iter().cloned(),
+        ));
         let handles = (0..workers.max(1))
             .map(|i| {
-                let rx = Arc::clone(&rx);
+                let queues = Arc::clone(&queues);
                 thread::Builder::new()
                     .name(format!("wire-worker-{i}"))
-                    .spawn(move || loop {
-                        // Hold the lock only while dequeuing, not while
-                        // running the job.
-                        let job = rx.lock().expect("worker queue poisoned").recv();
-                        match job {
-                            Ok(job) => job(),
-                            Err(_) => break,
+                    .spawn(move || {
+                        // `pop` blocks while open and returns `None` only
+                        // once closed and drained.
+                        while let Some(job) = queues.pop() {
+                            job();
                         }
                     })
                     .expect("spawn wire worker")
             })
             .collect();
         Pool {
-            tx: Mutex::new(Some(tx)),
+            queues,
             workers: Mutex::new(handles),
             stats,
+            obs,
         }
     }
 
-    fn submit(&self, job: Job) -> Result<(), ErrorCode> {
-        let guard = self.tx.lock().expect("pool sender poisoned");
-        match guard.as_ref() {
-            Some(tx) => {
-                // Count the job as queued from acceptance until a worker
-                // picks it up, so the gauge reflects real backlog.
-                let stats = Arc::clone(&self.stats);
-                stats.queue_depth.fetch_add(1, Ordering::Relaxed);
-                let counted: Job = Box::new({
-                    let stats = Arc::clone(&stats);
-                    move || {
-                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        job();
-                    }
-                });
-                match tx.try_send(counted) {
-                    Ok(()) => Ok(()),
-                    Err(TrySendError::Full(_)) => {
-                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        Err(ErrorCode::ServerBusy)
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        Err(ErrorCode::ShuttingDown)
-                    }
-                }
+    fn submit(&self, user: &str, job: Job) -> Result<(), ErrorCode> {
+        // Count the job as queued from acceptance until a worker picks it
+        // up, so the gauge reflects real backlog.
+        let stats = Arc::clone(&self.stats);
+        stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let counted: Job = Box::new({
+            let stats = Arc::clone(&stats);
+            move || {
+                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                job();
             }
-            None => Err(ErrorCode::ShuttingDown),
+        });
+        match self.queues.submit(user, counted) {
+            Ok(()) => {
+                self.obs.incr_with("gate.admitted", &[("user", user)], 1);
+                Ok(())
+            }
+            Err(SubmitError::Shed) => {
+                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.obs.incr_with("gate.shed", &[("user", user)], 1);
+                Err(ErrorCode::ServerBusy)
+            }
+            Err(SubmitError::Closed) => {
+                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                Err(ErrorCode::ShuttingDown)
+            }
         }
     }
 
-    /// Close the queue and join workers; queued jobs drain first.
+    /// Close the queues and join workers; queued jobs drain first.
     fn shutdown(&self) {
-        self.tx.lock().expect("pool sender poisoned").take();
+        self.queues.close();
         let handles: Vec<_> = self
             .workers
             .lock()
@@ -232,11 +266,13 @@ struct Session {
 }
 
 /// Runs tool calls for a session: TCP connections enqueue onto the shared
-/// pool; the stdio transport executes inline.
+/// pool (keyed by the session's user for tenant-fair admission); the stdio
+/// transport executes inline.
 trait CallExecutor {
     fn execute(
         &self,
         registry: Arc<Registry>,
+        user: &str,
         tool: String,
         payload: Json,
         parent: Option<u64>,
@@ -273,6 +309,7 @@ impl CallExecutor for PooledExecutor {
     fn execute(
         &self,
         registry: Arc<Registry>,
+        user: &str,
         tool: String,
         payload: Json,
         parent: Option<u64>,
@@ -284,7 +321,7 @@ impl CallExecutor for PooledExecutor {
             let result = traced_call(&registry, &tool, &payload, parent, &obs_job);
             let _ = done_tx.send(result);
         });
-        self.pool.submit(job).map_err(|code| {
+        self.pool.submit(user, job).map_err(|code| {
             obs.incr("wire.rejected.busy", 1);
             RpcError::new(code, "worker queue is full; retry later")
         })?;
@@ -314,6 +351,7 @@ impl CallExecutor for InlineExecutor {
     fn execute(
         &self,
         registry: Arc<Registry>,
+        _user: &str,
         tool: String,
         payload: Json,
         parent: Option<u64>,
@@ -512,6 +550,7 @@ impl<'a> SessionCtx<'a> {
         );
         let result = exec.execute(
             Arc::clone(&session.registry),
+            &session.user,
             name,
             payload,
             session.span.id(),
@@ -630,7 +669,9 @@ impl WireServer {
         let pool = Arc::new(Pool::new(
             config.workers,
             config.queue_depth,
+            &config.tenant_weights,
             Arc::clone(&stats),
+            obs.clone(),
         ));
         // Live gauges: database internals plus wire-layer occupancy. One
         // registration per served database — sessions share these.

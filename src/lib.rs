@@ -18,6 +18,9 @@
 //! * [`core`](bridgescope_core) — **the paper's contribution**: fine-grained
 //!   context/SQL/transaction tools, privilege-aware exposure, object-level
 //!   verification, and the proxy mechanism;
+//! * [`gate`] — the agent-traffic gate between sessions and the tool
+//!   registry: retrieval + prepared-plan caches, per-session/per-user cost
+//!   budgets, and weighted admission control for multi-tenant serving;
 //! * [`mltools`] — data-processing and ML tool servers (NL2ML's ecosystem);
 //! * [`benchkit`] — the BIRD-Ext and NL2ML benchmarks plus the evaluation
 //!   harness regenerating every table and figure;
@@ -31,6 +34,7 @@
 
 pub use benchkit;
 pub use bridgescope_core as core;
+pub use gate;
 pub use llmsim;
 pub use minidb;
 pub use mltools;
@@ -45,6 +49,7 @@ pub mod prelude {
     pub use bridgescope_core::{
         pg_mcp, pg_mcp_minus, BridgeScopeServer, SecurityPolicy, BRIDGESCOPE_PROMPT,
     };
+    pub use gate::{BudgetLedger, BudgetLimits, CacheConfig, GateConfig};
     pub use llmsim::{LlmProfile, ReactAgent, TaskSpec};
     pub use minidb::{
         Database, DbError, DurabilityConfig, FsyncPolicy, QueryResult, RecoveryReport, Session,

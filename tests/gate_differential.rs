@@ -1,0 +1,120 @@
+//! Differential test for the gate's caches: replaying the full BIRD-Ext
+//! task set with retrieval + plan caches on must be byte-identical to the
+//! uncached replay — same outcomes, same answers, same event stream (tool
+//! arguments, results, errors), same denial messages — for every task and
+//! every role. The caches may only change *latency*, never observable
+//! behaviour.
+
+use benchkit::harness::task_seed;
+use benchkit::roles::install_roles;
+use benchkit::Role;
+use bridgescope_core::{BridgeScopeServer, SecurityPolicy};
+use gate::GateConfig;
+use llmsim::{LlmProfile, ReactAgent, TaskTrace};
+use obs::Obs;
+use toolproto::Registry;
+
+/// Exploration-heavy profile with the privilege-shortcut behaviours pinned
+/// off, so infeasible tasks reach execution and produce real denial events
+/// (the interesting case for cache/no-cache equivalence) on every seed.
+fn replay_profile() -> LlmProfile {
+    LlmProfile {
+        privilege_awareness: 0.0,
+        retry_on_denial: 0.0,
+        spurious_abort_rate: 0.0,
+        ..LlmProfile::explorer()
+    }
+}
+
+/// Replay every (task, role) cell once and return the traces in order,
+/// plus the summed `gate.cache` hit count observed across all runs.
+fn replay(bench: &benchkit::BirdExt, cached: bool) -> (Vec<TaskTrace>, u64) {
+    let task_tables: Vec<String> = bench
+        .template
+        .table_names()
+        .into_iter()
+        .filter(|t| t != "employee_salaries")
+        .collect();
+    let mut traces = Vec::new();
+    let mut cache_hits = 0u64;
+    for task in &bench.tasks {
+        for role in Role::ALL {
+            let obs = Obs::in_memory();
+            let db = bench.template.fork();
+            install_roles(&db, &task_tables);
+            let gate_config = if cached {
+                GateConfig::default().with_cache()
+            } else {
+                GateConfig::default()
+            };
+            let server = BridgeScopeServer::build_gated(
+                db,
+                role.user(),
+                SecurityPolicy::default(),
+                &Registry::new(),
+                obs.clone(),
+                &gate_config,
+            )
+            .expect("role user exists");
+            let agent = ReactAgent::new(replay_profile(), server.prompt);
+            traces.push(agent.run(&server.registry, &task.spec, task_seed(7, &task.spec.id)));
+            let snap = obs.snapshot();
+            for tool in ["get_schema", "get_object", "get_value", "plan"] {
+                cache_hits += snap
+                    .metrics
+                    .labeled_counter("gate.cache", &[("tool", tool), ("hit", "true")]);
+            }
+        }
+    }
+    (traces, cache_hits)
+}
+
+#[test]
+fn bird_replay_with_caches_is_byte_identical() {
+    let bench = benchkit::generate_bird_ext(5);
+    assert!(!bench.tasks.is_empty());
+    let (plain, plain_hits) = replay(&bench, false);
+    let (cached, cached_hits) = replay(&bench, true);
+    assert_eq!(plain_hits, 0, "transparent build must not touch the cache");
+    assert!(
+        cached_hits > 0,
+        "the exploration profile must actually exercise the caches"
+    );
+
+    assert_eq!(plain.len(), cached.len());
+    let mut denials = 0usize;
+    for (p, c) in plain.iter().zip(&cached) {
+        assert_eq!(c.outcome, p.outcome, "task {}", p.task_id);
+        assert_eq!(c.answer, p.answer, "task {}", p.task_id);
+        assert_eq!(c.llm_calls, p.llm_calls, "task {}", p.task_id);
+        assert_eq!(c.tool_calls, p.tool_calls, "task {}", p.task_id);
+        assert_eq!(c.prompt_tokens, p.prompt_tokens, "task {}", p.task_id);
+        assert_eq!(
+            c.completion_tokens, p.completion_tokens,
+            "task {}",
+            p.task_id
+        );
+        assert_eq!(c.rows_via_llm, p.rows_via_llm, "task {}", p.task_id);
+        // The full event stream — tool calls with rendered arguments, tool
+        // results, error messages, final answers — token for token.
+        let render = |t: &TaskTrace| {
+            t.events
+                .iter()
+                .map(|e| (e.call, e.kind.clone(), e.tokens))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(c), render(p), "task {}", p.task_id);
+        denials += p
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(&e.kind, llmsim::EventKind::Error { message, .. }
+                    if message.contains("denied"))
+            })
+            .count();
+    }
+    assert!(
+        denials > 0,
+        "replay must include denial events for the differential to cover them"
+    );
+}

@@ -234,3 +234,75 @@ fn denial_outcomes_identical_through_the_wire() {
         other => panic!("expected a privilege denial, got {other:?}"),
     }
 }
+
+#[test]
+fn budget_denials_round_trip_exactly_over_the_wire() {
+    use gate::{BudgetLimits, GateConfig};
+    let bench = benchkit::generate_bird_ext(2);
+    let task_tables: Vec<String> = bench
+        .template
+        .table_names()
+        .into_iter()
+        .filter(|t| t != "employee_salaries")
+        .collect();
+    let user = Role::Administrator.user();
+    let probe = Json::object([("sql", Json::str("SELECT 1"))]);
+    let gate_config =
+        || GateConfig::default().with_session_budget(BudgetLimits::unlimited().with_calls(2));
+
+    // In-process ground truth: exhaust a 2-call session budget directly.
+    let db_local = bench.template.fork();
+    install_roles(&db_local, &task_tables);
+    let server_local = bridgescope_core::BridgeScopeServer::build_gated(
+        db_local,
+        user,
+        SecurityPolicy::default(),
+        &Registry::new(),
+        Obs::disabled(),
+        &gate_config(),
+    )
+    .unwrap();
+    server_local.registry.call("select", &probe).unwrap();
+    server_local.registry.call("select", &probe).unwrap();
+    let local_err = server_local.registry.call("select", &probe).unwrap_err();
+
+    // Wire run: the same budget enforced server-side, driven via a mirror.
+    let db_remote = bench.template.fork();
+    install_roles(&db_remote, &task_tables);
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        Tenancy::new(db_remote)
+            .with_base_policy(SecurityPolicy::default())
+            .with_gate(gate_config()),
+        WireConfig::default(),
+        Obs::in_memory(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.initialize(user).unwrap();
+    let mirror = mirror_registry(Arc::new(Mutex::new(client))).unwrap();
+    mirror.call("select", &probe).unwrap();
+    mirror.call("select", &probe).unwrap();
+    let wire_err = mirror.call("select", &probe).unwrap_err();
+    server.shutdown();
+
+    assert_eq!(
+        wire_err, local_err,
+        "budget denials must survive the wire byte for byte"
+    );
+    match wire_err {
+        toolproto::ToolError::Denied {
+            code,
+            message,
+            context,
+        } => {
+            assert_eq!(code, "budget", "machine-readable denial code");
+            assert_eq!(
+                message, "budget exhausted: calls limit for this session reached (2/2)",
+                "the reason string is a stable contract agents can parse"
+            );
+            assert_eq!(context.tool.as_deref(), Some("select"));
+        }
+        other => panic!("expected a budget denial, got {other:?}"),
+    }
+}
