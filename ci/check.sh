@@ -15,7 +15,8 @@ cd "$(dirname "$0")/.."
 
 # Gate registry: every name listed here MUST run, or the suite fails.
 EXPECTED_GATES="fmt clippy build-release tier1-tests workspace-tests obs-layer \
-wire-smoke telemetry-smoke recovery-smoke mvcc-stress mvcc-bench gate-smoke"
+wire-smoke telemetry-smoke recovery-smoke mvcc-stress mvcc-bench gate-smoke \
+planner-smoke"
 
 GATES_RUN=""
 GATES_FAILED=""
@@ -219,6 +220,36 @@ gate_gate_smoke() {
     || { echo "FAIL: steady-tenant p95 ratio $p95 > 1.2 vs no-runaway baseline"; return 1; }
 }
 
+# Cost-based planner: golden EXPLAIN snapshots (any silent plan-shape
+# change fails byte-exactly), the BIRD-Ext differential (every gold SELECT
+# through the planner vs the sequential reference, across three statistics
+# regimes), then the runnable planner benchmark (examples/serve
+# --bench-planner, release profile — the nested-loop reference baseline is
+# unusably slow in debug). The binary hard-fails itself unless the index
+# probe wins after ANALYZE, the worst-first three-way join is reordered,
+# and the LIMIT pushdown streams; the thresholds here re-check the emitted
+# JSON so a silently-weakened binary can't pass.
+gate_planner_smoke() {
+  run cargo test -q --offline --locked -p minidb --test explain_golden || return 1
+  run cargo test -q --offline --locked --test planner_differential || return 1
+  local fresh=target/BENCH_planner.json
+  rm -f "$fresh"
+  run cargo run -q --release --offline --locked --example serve -- --bench-planner "$fresh" || return 1
+  test -s BENCH_planner.json \
+    || { echo "FAIL: committed baseline BENCH_planner.json missing"; return 1; }
+  local shape
+  for shape in probe_uses_index join_reordered topk_bounded limit_streams; do
+    grep -q "\"$shape\": true" "$fresh" \
+      || { echo "FAIL: planner bench reports $shape != true"; return 1; }
+  done
+  local limit_speedup
+  limit_speedup=$(sed -n 's/.*"limit_speedup": *\([0-9.]*\).*/\1/p' "$fresh")
+  test -n "$limit_speedup" || { echo "FAIL: no limit_speedup in $fresh"; return 1; }
+  echo "==> limit_speedup=${limit_speedup}x (gate: >= 1.5)"
+  awk -v v="$limit_speedup" 'BEGIN { exit (v >= 1.5) ? 0 : 1 }' \
+    || { echo "FAIL: LIMIT pushdown only ${limit_speedup}x the unpushed plan (need >= 1.5x)"; return 1; }
+}
+
 # ------------------------------------------------------------- execution --
 
 run_gate fmt             gate_fmt
@@ -233,6 +264,7 @@ run_gate recovery-smoke  gate_recovery_smoke
 run_gate mvcc-stress     gate_mvcc_stress
 run_gate mvcc-bench      gate_mvcc_bench
 run_gate gate-smoke      gate_gate_smoke
+run_gate planner-smoke   gate_planner_smoke
 
 # -------------------------------------------------------------- summary --
 

@@ -22,7 +22,10 @@
 //!   report;
 //! * [`crashlab`] — crash-recovery differential harness: replays BIRD-Ext
 //!   write-task gold SQL against a durable engine, kills it at injected
-//!   points, and asserts WAL recovery matches a volatile reference.
+//!   points, and asserts WAL recovery matches a volatile reference;
+//! * [`planner`] — cost-based planner microbenchmark: selective index
+//!   probe, three-way join reorder, and the two LIMIT pushdowns, each
+//!   timed against its pre-planner baseline with plan shapes recorded.
 
 #![warn(missing_docs)]
 
@@ -33,6 +36,7 @@ pub mod harness;
 pub mod housing;
 pub mod loadgen;
 pub mod nl2ml;
+pub mod planner;
 pub mod report;
 pub mod roles;
 
@@ -46,5 +50,6 @@ pub use harness::{
     Nl2mlConfig, TaskClass, Toolkit,
 };
 pub use loadgen::{run_load, LoadConfig, LoadReport, UserLoadStats};
+pub use planner::{run_planner_bench, PlannerBenchConfig, PlannerBenchReport};
 pub use report::{fig5, privilege_experiment, table2, Fig5Report, PrivilegeReport, Table2Report};
 pub use roles::Role;

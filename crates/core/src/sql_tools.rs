@@ -71,7 +71,10 @@ fn verified_execute(ctx: &BridgeContext, expected: Action, sql: &str) -> ToolRes
 fn prepare(ctx: &BridgeContext, sql: &str) -> Result<Arc<PreparedPlan>, ToolError> {
     match ctx.plan_cache.get() {
         Some(cache) => {
-            let generation = ctx.db.generation();
+            // Keyed on plan_generation(), not generation() alone: a cached
+            // plan must also be invalidated when ANALYZE refreshes the
+            // optimizer statistics it was costed against.
+            let generation = ctx.db.plan_generation();
             let (plan, hit) = cache
                 .prepare(sql, generation)
                 .map_err(|e| ToolError::Execution(e.to_string()))?;
@@ -169,6 +172,9 @@ fn verify_and_run(
                     .map_err(db_error_to_tool)?;
                 for (key, count) in plan.attr_counts() {
                     span.attr(key, count);
+                }
+                if !plan.tree.is_empty() {
+                    span.attr("plan.tree", plan.tree.join("\n"));
                 }
                 result
             } else {

@@ -7,9 +7,48 @@
 //! must never exceed its capacity, and every hit must be *exactly* the
 //! model's value.
 
-use gate::GenCache;
+use gate::{GenCache, PlanCache};
 use proptest::prelude::*;
 use std::collections::HashMap;
+
+/// Regression for the plan-cache stats-stamping satellite: a prepared plan
+/// is keyed on `Database::plan_generation()`, which must change when
+/// `ANALYZE` refreshes optimizer statistics — even though ANALYZE commits
+/// no row writes — so a plan costed against stale statistics cannot be
+/// served after the statistics it was costed with are replaced.
+#[test]
+fn analyze_invalidates_cached_plans() {
+    let db = minidb::Database::new();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER)")
+        .unwrap();
+    s.execute_sql("INSERT INTO t VALUES (1, 1), (2, 1), (3, 2)")
+        .unwrap();
+
+    let cache = PlanCache::new(8);
+    let sql = "SELECT * FROM t WHERE grp = 1";
+    let before = db.plan_generation();
+    let (_, hit) = cache.prepare(sql, before).unwrap();
+    assert!(!hit);
+    let (_, hit) = cache.prepare(sql, db.plan_generation()).unwrap();
+    assert!(hit, "stable generation keeps the plan cached");
+
+    // ANALYZE bumps the stats epoch; the combined plan generation moves
+    // even though the committed rows are untouched.
+    s.execute_sql("ANALYZE t").unwrap();
+    let after = db.plan_generation();
+    assert!(
+        after > before,
+        "ANALYZE must advance plan_generation ({before} -> {after})"
+    );
+    let (_, hit) = cache.prepare(sql, after).unwrap();
+    assert!(!hit, "plans cached before ANALYZE must not be served after");
+
+    // The stats component alone moved: committed data generation may also
+    // have advanced (the ANALYZE itself commits), but the stats epoch is
+    // what distinguishes this from a plain write.
+    assert!(db.stats_generation() > 0, "stats epoch records the ANALYZE");
+}
 
 /// One step of a cache workload.
 #[derive(Debug, Clone)]

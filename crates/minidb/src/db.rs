@@ -183,6 +183,22 @@ impl Database {
         self.snapshot().ts
     }
 
+    /// Monotonic counter of optimizer-statistics mutations in the latest
+    /// committed version. `ANALYZE` bumps it; so does anything that drops
+    /// stats (DROP TABLE, table rewrites).
+    pub fn stats_generation(&self) -> u64 {
+        self.snapshot().state.catalog.stats_epoch()
+    }
+
+    /// Generation for *plan* caches: changes whenever either the committed
+    /// state or the optimizer statistics change. Both inputs are monotonic,
+    /// so the sum is too — a cached physical plan is valid exactly while
+    /// `plan_generation()` is unchanged.
+    pub fn plan_generation(&self) -> u64 {
+        let snap = self.snapshot();
+        snap.ts.saturating_add(snap.state.catalog.stats_epoch())
+    }
+
     /// Engine label: `"volatile"` or `"wal"`.
     pub fn engine_name(&self) -> &'static str {
         self.shared.commit.lock().name()
@@ -272,6 +288,10 @@ impl Database {
         for name in snap.state.catalog.view_names() {
             let def = snap.state.catalog.view(name).expect("listed view");
             out.push_str(&format!("view {name} {def:?}\n"));
+        }
+        for name in snap.state.catalog.analyzed_tables() {
+            let stats = snap.state.catalog.table_stats(name).expect("listed stats");
+            out.push_str(&format!("stats {name} {stats:?}\n"));
         }
         for name in snap.privileges.user_names() {
             let u = snap.privileges.user(name).expect("listed user");
@@ -802,12 +822,23 @@ impl Session {
             };
             return exec::execute_select(state, sel);
         }
-        if let Statement::Explain(explained) = stmt {
+        if let Statement::Explain { stmt, analyze } = stmt {
             let state = match &self.txn {
                 Some(t) => &t.work,
                 None => &snap.state,
             };
-            return exec::explain(state, explained);
+            return exec::explain(state, stmt, *analyze);
+        }
+        // ANALYZE with no table touches every table: superuser-only (the
+        // static profile names no object for the per-table check to catch).
+        if let Statement::Analyze { table: None } = stmt {
+            if !snap.privileges.user(&self.user)?.superuser {
+                return Err(DbError::PrivilegeDenied {
+                    user: self.user.clone(),
+                    action: Action::Alter,
+                    object: "*".into(),
+                });
+            }
         }
         // Writes.
         if self.status == TxnStatus::Explicit {

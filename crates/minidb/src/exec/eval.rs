@@ -1,0 +1,1032 @@
+//! Shared execution machinery: subquery resolution, scans, joins, filters,
+//! grouping, aggregates, and projection. Both the sequential reference
+//! pipeline ([`super::seq`]) and the plan-driven executor
+//! ([`super::volcano`]) build on these, so their row-level semantics can
+//! never drift apart.
+
+use super::{execute_select_opts, DbState, QueryResult};
+use crate::error::{DbError, DbResult};
+use crate::expr::{self, eval, Scope, ScopeCol};
+use crate::plan::{self, ExecOptions, JoinPath, PlanSummary, ScanPath};
+use crate::schema::TableSchema;
+use crate::storage::{canonical_key, HashedKey, RowId, TableData};
+use crate::value::{Key, Row, Value};
+use sqlkit::ast::{Expr, JoinKind, OrderDir, Select, SelectItem};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+
+// ---------------------------------------------------------------------------
+// Subquery resolution
+// ---------------------------------------------------------------------------
+
+/// Replace uncorrelated subqueries in an expression with constants by
+/// executing them eagerly (under the caller's options, recording their
+/// accesses in the caller's summary).
+pub(super) fn resolve_expr(
+    state: &DbState,
+    e: &Expr,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<Expr> {
+    Ok(match e {
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
+            let result = execute_select_opts(state, subquery, opts, summary)?;
+            let rows = match result {
+                QueryResult::Rows { rows, .. } => rows,
+                _ => unreachable!("select returns rows"),
+            };
+            let list = rows
+                .into_iter()
+                .map(|mut r| {
+                    if r.is_empty() {
+                        Err(DbError::Execution("subquery returned no columns".into()))
+                    } else {
+                        Ok(Expr::Literal(value_to_literal(r.swap_remove(0))))
+                    }
+                })
+                .collect::<DbResult<Vec<_>>>()?;
+            Expr::InList {
+                expr: Box::new(resolve_expr(state, expr, opts, summary)?),
+                list,
+                negated: *negated,
+            }
+        }
+        Expr::ScalarSubquery(sub) => {
+            let result = execute_select_opts(state, sub, opts, summary)?;
+            let value = match result {
+                QueryResult::Rows { rows, .. } => match rows.into_iter().next() {
+                    Some(mut row) if !row.is_empty() => row.swap_remove(0),
+                    _ => Value::Null,
+                },
+                _ => unreachable!("select returns rows"),
+            };
+            Expr::Literal(value_to_literal(value))
+        }
+        Expr::Literal(_) | Expr::Column(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(resolve_expr(state, left, opts, summary)?),
+            op: *op,
+            right: Box::new(resolve_expr(state, right, opts, summary)?),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| resolve_expr(state, a, opts, summary))
+                .collect::<DbResult<_>>()?,
+            distinct: *distinct,
+            star: *star,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
+            list: list
+                .iter()
+                .map(|i| resolve_expr(state, i, opts, summary))
+                .collect::<DbResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
+            low: Box::new(resolve_expr(state, low, opts, summary)?),
+            high: Box::new(resolve_expr(state, high, opts, summary)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
+            pattern: Box::new(resolve_expr(state, pattern, opts, summary)?),
+            negated: *negated,
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| {
+                    Ok((
+                        resolve_expr(state, c, opts, summary)?,
+                        resolve_expr(state, v, opts, summary)?,
+                    ))
+                })
+                .collect::<DbResult<_>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(resolve_expr(state, e, opts, summary)?)),
+                None => None,
+            },
+        },
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(resolve_expr(state, expr, opts, summary)?),
+            ty: *ty,
+        },
+    })
+}
+
+pub(super) fn value_to_literal(v: Value) -> sqlkit::ast::Literal {
+    use sqlkit::ast::Literal;
+    match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(i),
+        Value::Float(f) => Literal::Float(f),
+        Value::Text(s) => Literal::Str(s),
+        Value::Bool(b) => Literal::Bool(b),
+    }
+}
+
+pub(super) fn resolve_opt(
+    state: &DbState,
+    e: &Option<Expr>,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<Option<Expr>> {
+    match e {
+        Some(e) => Ok(Some(resolve_expr(state, e, opts, summary)?)),
+        None => Ok(None),
+    }
+}
+
+/// Resolve every uncorrelated subquery in a SELECT to constants, returning
+/// the resolved statement. Both execution paths (and the planner) operate
+/// on the resolved form.
+pub(super) fn resolve_select(
+    state: &DbState,
+    sel: &Select,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<Select> {
+    let mut sel = sel.clone();
+    sel.where_clause = resolve_opt(state, &sel.where_clause, opts, summary)?;
+    sel.having = resolve_opt(state, &sel.having, opts, summary)?;
+    for item in &mut sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            *expr = resolve_expr(state, expr, opts, summary)?;
+        }
+    }
+    for g in &mut sel.group_by {
+        *g = resolve_expr(state, g, opts, summary)?;
+    }
+    for o in &mut sel.order_by {
+        o.expr = resolve_expr(state, &o.expr, opts, summary)?;
+    }
+    for j in &mut sel.joins {
+        j.on = resolve_opt(state, &j.on, opts, summary)?;
+    }
+    Ok(sel)
+}
+
+// ---------------------------------------------------------------------------
+// Projection helpers
+// ---------------------------------------------------------------------------
+
+/// Resolve an ORDER BY expression to a sort key for one output row.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn order_key(
+    e: &Expr,
+    sel: &Select,
+    out_columns: &[String],
+    out: &Row,
+    scope_cols: &[ScopeCol],
+    source_rows: &[Row],
+    has_aggregate: bool,
+) -> DbResult<Value> {
+    // ORDER BY <n> — positional reference.
+    if let Expr::Literal(sqlkit::ast::Literal::Int(n)) = e {
+        let idx = *n as usize;
+        if idx >= 1 && idx <= out.len() {
+            return Ok(out[idx - 1].clone());
+        }
+        return Err(DbError::Execution(format!(
+            "ORDER BY position {n} is out of range"
+        )));
+    }
+    // ORDER BY <alias> — matches an output column name.
+    if let Expr::Column(c) = e {
+        if c.table.is_none() {
+            if let Some(i) = out_columns.iter().position(|n| *n == c.column) {
+                return Ok(out[i].clone());
+            }
+        }
+    }
+    // Same expression as a projection item → reuse its value.
+    for (i, item) in sel.items.iter().enumerate() {
+        if let SelectItem::Expr { expr, .. } = item {
+            if expr == e && i < out.len() {
+                return Ok(out[i].clone());
+            }
+        }
+    }
+    // Fall back to evaluating against the source rows.
+    if has_aggregate {
+        eval_agg(e, scope_cols, source_rows)
+    } else {
+        let row = source_rows.first().ok_or_else(|| {
+            DbError::Execution("cannot evaluate ORDER BY expression after projection".into())
+        })?;
+        let scope = Scope {
+            columns: scope_cols,
+            values: row,
+        };
+        eval(e, &scope)
+    }
+}
+
+/// Output column names for a projection.
+pub(super) fn output_columns(sel: &Select, scope_cols: &[ScopeCol]) -> DbResult<Vec<String>> {
+    let mut out = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                out.extend(scope_cols.iter().map(|c| c.name.clone()));
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                out.extend(
+                    scope_cols
+                        .iter()
+                        .filter(|c| c.binding.as_deref() == Some(t.as_str()))
+                        .map(|c| c.name.clone()),
+                );
+            }
+            SelectItem::Expr { expr, alias } => out.push(match alias {
+                Some(a) => a.clone(),
+                None => derive_name(expr),
+            }),
+        }
+    }
+    Ok(out)
+}
+
+pub(crate) fn derive_name(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => c.column.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        Expr::Cast { expr, .. } => derive_name(expr),
+        _ => "expr".to_owned(),
+    }
+}
+
+/// Project one row through the SELECT items (non-aggregate queries). The
+/// single source of truth for per-row projection semantics — both pipelines
+/// call this, so error behavior cannot diverge.
+pub(super) fn project_row(sel: &Select, scope_cols: &[ScopeCol], row: &Row) -> DbResult<Row> {
+    let scope = Scope {
+        columns: scope_cols,
+        values: row,
+    };
+    let mut out = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => out.extend(row.iter().cloned()),
+            SelectItem::QualifiedWildcard(t) => {
+                let mut any = false;
+                for (i, c) in scope_cols.iter().enumerate() {
+                    if c.binding.as_deref() == Some(t.as_str()) {
+                        out.push(row[i].clone());
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Err(DbError::UnknownTable(t.clone()));
+                }
+            }
+            SelectItem::Expr { expr, .. } => out.push(eval(expr, &scope)?),
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+/// Scan a table. Access path, in preference order:
+///
+/// 1. **Index probe** — the predicate pins every column of some index to
+///    non-NULL constants; the probe is a sound *pre-filter* (the caller
+///    still applies the full predicate), so the flag returns `false`.
+/// 2. **Parallel scan** — large tables with a predicate are filtered in
+///    row-partition chunks across scoped threads, each worker evaluating
+///    the *full* predicate; chunks concatenate in row order, so the output
+///    equals the sequential scan and the flag returns `true`.
+/// 3. **Sequential scan** — everything else.
+///
+/// Views expand to their defining query (definer semantics: privilege
+/// checks happened at the session layer against the view object) under the
+/// same options, recording their own accesses.
+pub(super) fn scan_table_filtered(
+    state: &DbState,
+    binding: &str,
+    table: &str,
+    predicate: Option<&Expr>,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<(Vec<ScopeCol>, Vec<Row>, bool)> {
+    if let Some(view) = state.catalog.view(table) {
+        summary.scans.push(ScanPath::ViewExpand {
+            view: table.to_owned(),
+        });
+        let result = execute_select_opts(state, &view.query.clone(), opts, summary)?;
+        let rows = match result {
+            QueryResult::Rows { rows, .. } => rows,
+            _ => unreachable!("select returns rows"),
+        };
+        let cols = view
+            .columns
+            .iter()
+            .map(|c| ScopeCol {
+                binding: Some(binding.to_owned()),
+                name: c.clone(),
+            })
+            .collect();
+        return Ok((cols, rows, false));
+    }
+    let schema = state.catalog.table(table)?;
+    let data = state
+        .data
+        .get(table)
+        .ok_or_else(|| DbError::UnknownTable(table.to_owned()))?;
+    let cols: Vec<ScopeCol> = schema
+        .columns
+        .iter()
+        .map(|c| ScopeCol {
+            binding: Some(binding.to_owned()),
+            name: c.name.clone(),
+        })
+        .collect();
+    if opts.use_indexes {
+        if let Some(pred) = predicate {
+            if let Some((index, rids)) = index_candidates(schema, data, binding, pred) {
+                summary.scans.push(ScanPath::IndexProbe {
+                    table: table.to_owned(),
+                    index,
+                    candidates: rids.len(),
+                });
+                let rows = rids
+                    .into_iter()
+                    .filter_map(|rid| data.get(rid).cloned())
+                    .collect();
+                return Ok((cols, rows, false));
+            }
+        }
+    }
+    let total = data.len();
+    if let Some(pred) = predicate {
+        let workers = opts.workers_for(total);
+        if workers >= 2 {
+            let rows = parallel_filter_scan(data, &cols, pred, workers)?;
+            summary.scans.push(ScanPath::ParallelSeq {
+                table: table.to_owned(),
+                rows: total,
+                workers,
+            });
+            return Ok((cols, rows, true));
+        }
+    }
+    summary.scans.push(ScanPath::Seq {
+        table: table.to_owned(),
+        rows: total,
+    });
+    let rows = data.iter().map(|(_, r)| r.clone()).collect();
+    Ok((cols, rows, false))
+}
+
+/// Filter a table's live rows with the full predicate across scoped worker
+/// threads. Workers take contiguous chunks of the row-id-ordered scan, so
+/// concatenating their outputs in chunk order reproduces the sequential
+/// scan exactly; the first error in row order wins, as it would serially.
+pub(super) fn parallel_filter_scan(
+    data: &TableData,
+    cols: &[ScopeCol],
+    pred: &Expr,
+    workers: usize,
+) -> DbResult<Vec<Row>> {
+    let refs: Vec<&Row> = data.iter().map(|(_, r)| r).collect();
+    let chunk = refs.len().div_ceil(workers).max(1);
+    let chunk_results: Vec<DbResult<Vec<Row>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = refs
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    let mut kept = Vec::new();
+                    for row in part {
+                        let scope = Scope {
+                            columns: cols,
+                            values: row,
+                        };
+                        if expr::truth(&eval(pred, &scope)?) == Some(true) {
+                            kept.push((*row).clone());
+                        }
+                    }
+                    Ok(kept)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::new();
+    for part in chunk_results {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
+/// Split owned rows into up to `workers` contiguous chunks.
+fn split_chunks(mut rows: Vec<Row>, workers: usize) -> Vec<Vec<Row>> {
+    let chunk = rows.len().div_ceil(workers).max(1);
+    let mut parts = Vec::with_capacity(workers);
+    while rows.len() > chunk {
+        let tail = rows.split_off(chunk);
+        parts.push(std::mem::replace(&mut rows, tail));
+    }
+    parts.push(rows);
+    parts
+}
+
+/// Filter already-materialized rows (post-join WHERE), in parallel when
+/// large. Order and error behavior match the sequential loop.
+pub(super) fn filter_rows(
+    rows: Vec<Row>,
+    cols: &[ScopeCol],
+    pred: &Expr,
+    opts: &ExecOptions,
+) -> DbResult<Vec<Row>> {
+    let workers = opts.workers_for(rows.len());
+    if workers < 2 {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let scope = Scope {
+                columns: cols,
+                values: &row,
+            };
+            if expr::truth(&eval(pred, &scope)?) == Some(true) {
+                kept.push(row);
+            }
+        }
+        return Ok(kept);
+    }
+    let parts = split_chunks(rows, workers);
+    let chunk_results: Vec<DbResult<Vec<Row>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                s.spawn(move || {
+                    let mut kept = Vec::with_capacity(part.len());
+                    for row in part {
+                        let scope = Scope {
+                            columns: cols,
+                            values: &row,
+                        };
+                        if expr::truth(&eval(pred, &scope)?) == Some(true) {
+                            kept.push(row);
+                        }
+                    }
+                    Ok(kept)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("filter worker panicked"))
+            .collect()
+    });
+    let mut kept = Vec::new();
+    for part in chunk_results {
+        kept.extend(part?);
+    }
+    Ok(kept)
+}
+
+/// Group rows by GROUP BY key expressions, in parallel when large: each
+/// worker groups one contiguous chunk, and the per-chunk maps merge in
+/// chunk order so rows within a group keep scan order (float aggregate
+/// accumulation order — and thus exact results — match the sequential
+/// path).
+pub(super) fn group_rows(
+    rows: Vec<Row>,
+    cols: &[ScopeCol],
+    group_by: &[Expr],
+    opts: &ExecOptions,
+) -> DbResult<BTreeMap<Key, Vec<Row>>> {
+    let group_one = |groups: &mut BTreeMap<Key, Vec<Row>>, row: Row| -> DbResult<()> {
+        let scope = Scope {
+            columns: cols,
+            values: &row,
+        };
+        let key = Key(group_by
+            .iter()
+            .map(|g| eval(g, &scope))
+            .collect::<DbResult<Vec<_>>>()?);
+        groups.entry(key).or_default().push(row);
+        Ok(())
+    };
+    let workers = opts.workers_for(rows.len());
+    if workers < 2 {
+        let mut groups = BTreeMap::new();
+        for row in rows {
+            group_one(&mut groups, row)?;
+        }
+        return Ok(groups);
+    }
+    let parts = split_chunks(rows, workers);
+    let group_one = &group_one;
+    let chunk_maps: Vec<DbResult<BTreeMap<Key, Vec<Row>>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                s.spawn(move || {
+                    let mut groups = BTreeMap::new();
+                    for row in part {
+                        group_one(&mut groups, row)?;
+                    }
+                    Ok(groups)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("group worker panicked"))
+            .collect()
+    });
+    let mut groups: BTreeMap<Key, Vec<Row>> = BTreeMap::new();
+    for map in chunk_maps {
+        for (key, part_rows) in map? {
+            groups.entry(key).or_default().extend(part_rows);
+        }
+    }
+    Ok(groups)
+}
+
+/// Candidate `(rid, row)` pairs for a DML statement: index-pruned when the
+/// predicate pins an index, otherwise a full scan.
+pub(super) fn dml_candidates(
+    schema: &TableSchema,
+    data: &TableData,
+    table: &str,
+    predicate: Option<&Expr>,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> Vec<(RowId, Row)> {
+    if opts.use_indexes {
+        if let Some(pred) = predicate {
+            if let Some((index, rids)) = index_candidates(schema, data, table, pred) {
+                summary.scans.push(ScanPath::IndexProbe {
+                    table: table.to_owned(),
+                    index,
+                    candidates: rids.len(),
+                });
+                return rids
+                    .into_iter()
+                    .filter_map(|rid| data.get(rid).map(|r| (rid, r.clone())))
+                    .collect();
+            }
+        }
+    }
+    summary.scans.push(ScanPath::Seq {
+        table: table.to_owned(),
+        rows: data.len(),
+    });
+    data.iter().map(|(rid, r)| (rid, r.clone())).collect()
+}
+
+/// If the predicate's top-level AND conjuncts pin every column of some index
+/// to non-NULL constants, return the chosen index's name and the matching
+/// row ids. Index preference lives in [`plan::choose_index`].
+pub(super) fn index_candidates(
+    schema: &TableSchema,
+    data: &TableData,
+    binding: &str,
+    predicate: &Expr,
+) -> Option<(String, Vec<RowId>)> {
+    let pinned = plan::equality_bindings(schema, binding, predicate);
+    if pinned.is_empty() {
+        return None;
+    }
+    let (name, idx, key) = plan::choose_index(data, &pinned)?;
+    Some((name.to_owned(), idx.lookup(&key)))
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// Join accumulated left rows with a new right table, picking a grace-hash
+/// join when the ON condition yields equi-keys (and options allow), else
+/// the nested loop.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn join_rows(
+    left_cols: Vec<ScopeCol>,
+    left_rows: Vec<Row>,
+    right_cols: Vec<ScopeCol>,
+    right_rows: Vec<Row>,
+    kind: JoinKind,
+    on: Option<&Expr>,
+    right_binding: &str,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
+    if opts.hash_join && kind != JoinKind::Cross {
+        if let Some(on) = on {
+            if let Some(equi) = plan::analyze_equi_join(&left_cols, &right_cols, on) {
+                // Grace-style partition count: scale with the build side,
+                // bounded so tiny tables stay in one partition.
+                let partitions = (right_rows.len() / 4096).clamp(1, 16);
+                summary.joins.push(JoinPath::HashJoin {
+                    table: right_binding.to_owned(),
+                    build_rows: right_rows.len(),
+                    partitions,
+                });
+                return hash_join_rows(
+                    left_cols, left_rows, right_cols, right_rows, kind, on, &equi, opts, partitions,
+                );
+            }
+        }
+    }
+    summary.joins.push(JoinPath::NestedLoop {
+        table: right_binding.to_owned(),
+    });
+    nl_join_rows(left_cols, left_rows, right_cols, right_rows, kind, on)
+}
+
+/// The nested-loop join: the reference semantics every other join strategy
+/// must reproduce.
+pub(super) fn nl_join_rows(
+    left_cols: Vec<ScopeCol>,
+    left_rows: Vec<Row>,
+    right_cols: Vec<ScopeCol>,
+    right_rows: Vec<Row>,
+    kind: JoinKind,
+    on: Option<&Expr>,
+) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
+    let mut cols = left_cols;
+    let right_width = right_cols.len();
+    cols.extend(right_cols);
+    let mut out = Vec::new();
+    for l in &left_rows {
+        let mut matched = false;
+        for r in &right_rows {
+            let mut combined = l.clone();
+            combined.extend(r.iter().cloned());
+            let keep = match (kind, on) {
+                (JoinKind::Cross, _) => true,
+                (_, Some(on)) => {
+                    let scope = Scope {
+                        columns: &cols,
+                        values: &combined,
+                    };
+                    expr::truth(&eval(on, &scope)?) == Some(true)
+                }
+                (_, None) => true,
+            };
+            if keep {
+                matched = true;
+                out.push(combined);
+            }
+        }
+        if kind == JoinKind::Left && !matched {
+            let mut combined = l.clone();
+            combined.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(combined);
+        }
+    }
+    Ok((cols, out))
+}
+
+/// Extract a canonicalized join key from a row. `None` (no possible match)
+/// when any key value is NULL or NaN: the corresponding `a = b` conjunct
+/// can never evaluate to TRUE, so the nested loop would reject every pair
+/// too. `-0.0` collapses to `0.0` so key equality (total order) agrees
+/// with SQL equality wherever the latter says "equal".
+pub(super) fn join_key(row: &Row, positions: &[usize]) -> Option<HashedKey> {
+    let mut vals = Vec::with_capacity(positions.len());
+    for &p in positions {
+        match &row[p] {
+            Value::Null => return None,
+            Value::Float(f) if f.is_nan() => return None,
+            v => vals.push(v.clone()),
+        }
+    }
+    Some(HashedKey(canonical_key(Key(vals))))
+}
+
+/// Grace-hash join: partition the build (right) side by key hash, then
+/// probe from the left — in parallel chunks when large. For every
+/// key-matching candidate pair the *full* ON condition is re-evaluated
+/// exactly as the nested loop would, so key hashing is purely a sound
+/// pre-filter and the output (content and order: left order outer, right
+/// insertion order inner, LEFT null-extension included) is identical to
+/// the nested loop's.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn hash_join_rows(
+    left_cols: Vec<ScopeCol>,
+    left_rows: Vec<Row>,
+    right_cols: Vec<ScopeCol>,
+    right_rows: Vec<Row>,
+    kind: JoinKind,
+    on: &Expr,
+    equi: &plan::EquiJoin,
+    opts: &ExecOptions,
+    partitions: usize,
+) -> DbResult<(Vec<ScopeCol>, Vec<Row>)> {
+    let mut cols = left_cols;
+    let right_width = right_cols.len();
+    cols.extend(right_cols);
+
+    // Build phase: right row indices bucketed by key, partitioned by hash.
+    // Indices append in scan order, preserving the nested loop's inner
+    // iteration order.
+    let hasher = RandomState::new();
+    let mut parts: Vec<HashMap<HashedKey, Vec<usize>>> = vec![HashMap::new(); partitions];
+    for (i, r) in right_rows.iter().enumerate() {
+        if let Some(key) = join_key(r, &equi.right_keys) {
+            let slot = (hasher.hash_one(&key) as usize) % partitions;
+            parts[slot].entry(key).or_default().push(i);
+        }
+    }
+
+    // Probe phase.
+    let probe_one = |l: &Row| -> DbResult<Vec<Row>> {
+        let mut out = Vec::new();
+        let mut matched = false;
+        if let Some(key) = join_key(l, &equi.left_keys) {
+            let slot = (hasher.hash_one(&key) as usize) % partitions;
+            if let Some(cands) = parts[slot].get(&key) {
+                for &ri in cands {
+                    let mut combined = l.clone();
+                    combined.extend(right_rows[ri].iter().cloned());
+                    let scope = Scope {
+                        columns: &cols,
+                        values: &combined,
+                    };
+                    if expr::truth(&eval(on, &scope)?) == Some(true) {
+                        matched = true;
+                        out.push(combined);
+                    }
+                }
+            }
+        }
+        if kind == JoinKind::Left && !matched {
+            let mut combined = l.clone();
+            combined.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(combined);
+        }
+        Ok(out)
+    };
+
+    let workers = opts.workers_for(left_rows.len());
+    let mut out = Vec::new();
+    if workers < 2 {
+        for l in &left_rows {
+            out.extend(probe_one(l)?);
+        }
+    } else {
+        let chunk = left_rows.len().div_ceil(workers).max(1);
+        let probe_one = &probe_one;
+        let chunk_results: Vec<DbResult<Vec<Row>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = left_rows
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut kept = Vec::new();
+                        for l in part {
+                            kept.extend(probe_one(l)?);
+                        }
+                        Ok(kept)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("probe worker panicked"))
+                .collect()
+        });
+        for part in chunk_results {
+            out.extend(part?);
+        }
+    }
+    Ok((cols, out))
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+/// Evaluate an expression over a group of rows, computing aggregates over
+/// the group and non-aggregate parts on the group's first row.
+pub(super) fn eval_agg(e: &Expr, cols: &[ScopeCol], group: &[Row]) -> DbResult<Value> {
+    match e {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } if expr::is_aggregate_name(name) => {
+            compute_aggregate(name, args, *distinct, *star, cols, group)
+        }
+        _ if !expr::contains_aggregate(e) => {
+            // Evaluate on the first row of the group (a grouping key, per
+            // SQL's single-value rule; we do not validate the rule).
+            let empty = Vec::new();
+            let row = group.first().unwrap_or(&empty);
+            let scope = Scope {
+                columns: cols,
+                values: row,
+            };
+            eval(e, &scope)
+        }
+        Expr::Unary { op, expr } => {
+            let inner = eval_agg(expr, cols, group)?;
+            let scope = Scope {
+                columns: &[],
+                values: &[],
+            };
+            eval(
+                &Expr::Unary {
+                    op: *op,
+                    expr: Box::new(Expr::Literal(value_to_literal(inner))),
+                },
+                &scope,
+            )
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_agg(left, cols, group)?;
+            let r = eval_agg(right, cols, group)?;
+            let scope = Scope {
+                columns: &[],
+                values: &[],
+            };
+            eval(
+                &Expr::Binary {
+                    left: Box::new(Expr::Literal(value_to_literal(l))),
+                    op: *op,
+                    right: Box::new(Expr::Literal(value_to_literal(r))),
+                },
+                &scope,
+            )
+        }
+        Expr::Cast { expr, ty } => {
+            let v = eval_agg(expr, cols, group)?;
+            v.cast_to(*ty).map_err(DbError::TypeError)
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (c, v) in branches {
+                if expr::truth(&eval_agg(c, cols, group)?) == Some(true) {
+                    return eval_agg(v, cols, group);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_agg(e, cols, group),
+                None => Ok(Value::Null),
+            }
+        }
+        // A scalar function whose arguments contain aggregates, e.g.
+        // ROUND(SUM(x), 2): compute the arguments in aggregate context,
+        // then apply the function.
+        Expr::Function { name, args, .. } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_agg(a, cols, group)?);
+            }
+            expr::scalar_function(name, &vals)
+        }
+        other => Err(DbError::Execution(format!(
+            "unsupported aggregate expression shape: {}",
+            sqlkit::format_expr(other)
+        ))),
+    }
+}
+
+fn compute_aggregate(
+    name: &str,
+    args: &[Expr],
+    distinct: bool,
+    star: bool,
+    cols: &[ScopeCol],
+    group: &[Row],
+) -> DbResult<Value> {
+    if star {
+        if name != "count" {
+            return Err(DbError::Execution(format!("{name}(*) is not valid")));
+        }
+        return Ok(Value::Int(group.len() as i64));
+    }
+    if args.len() != 1 {
+        return Err(DbError::TypeError(format!(
+            "aggregate {name}() expects exactly one argument"
+        )));
+    }
+    // Collect non-null argument values across the group.
+    let mut values = Vec::new();
+    for row in group {
+        let scope = Scope {
+            columns: cols,
+            values: row,
+        };
+        let v = eval(&args[0], &scope)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        values.retain(|v| seen.insert(Key(vec![v.clone()])));
+    }
+    match name {
+        "count" => Ok(Value::Int(values.len() as i64)),
+        "sum" | "avg" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            let mut total = 0f64;
+            for v in &values {
+                total += v.as_f64().ok_or_else(|| {
+                    DbError::TypeError(format!("{name}() on non-numeric value {}", v.render()))
+                })?;
+            }
+            if name == "avg" {
+                Ok(Value::Float(total / values.len() as f64))
+            } else if all_int {
+                Ok(Value::Int(total as i64))
+            } else {
+                Ok(Value::Float(total))
+            }
+        }
+        "min" | "max" => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let take_new = match v.sql_cmp(&b) {
+                            Some(std::cmp::Ordering::Less) => name == "min",
+                            Some(std::cmp::Ordering::Greater) => name == "max",
+                            _ => false,
+                        };
+                        if take_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        other => Err(DbError::Execution(format!("unknown aggregate '{other}'"))),
+    }
+}
+
+/// The comparator ORDER BY uses: per-key total order with direction, ties
+/// resolved Equal (stable sorts preserve input order on ties).
+pub(super) fn order_cmp(
+    order_by: &[sqlkit::ast::OrderItem],
+    ka: &[Value],
+    kb: &[Value],
+) -> std::cmp::Ordering {
+    for (i, item) in order_by.iter().enumerate() {
+        let ord = ka[i].total_cmp(&kb[i]);
+        let ord = match item.dir {
+            OrderDir::Asc => ord,
+            OrderDir::Desc => ord.reverse(),
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}

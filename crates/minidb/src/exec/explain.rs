@@ -1,0 +1,101 @@
+//! EXPLAIN: render the physical plan the cost-based planner would choose,
+//! with per-operator cost and cardinality estimates. `EXPLAIN ANALYZE`
+//! additionally executes the plan and annotates each operator with the
+//! rows it actually emitted.
+
+use super::{eval, volcano, DbState, QueryResult};
+use crate::error::DbResult;
+use crate::plan::{ExecOptions, PlanSummary};
+use crate::schema::TableSchema;
+use crate::value::Value;
+use sqlkit::ast::{Expr, InsertSource, Select, Statement};
+
+/// Describe how a statement would run. For SELECTs this is the costed
+/// physical operator tree; DML statements get a one-line access-path
+/// summary (with the source plan inlined for INSERT ... SELECT).
+pub fn explain(state: &DbState, stmt: &Statement, analyze: bool) -> DbResult<QueryResult> {
+    let mut lines: Vec<String> = Vec::new();
+    match stmt {
+        Statement::Select(sel) => lines.extend(plan_lines(state, sel, analyze, 0)?),
+        Statement::Insert(ins) => {
+            state.catalog.table(&ins.table)?;
+            let rows = match &ins.source {
+                InsertSource::Values(v) => format!("{} row(s)", v.len()),
+                InsertSource::Select(_) => "from subquery".to_owned(),
+            };
+            lines.push(format!("Insert on {} ({rows})", ins.table));
+            if let InsertSource::Select(sel) = &ins.source {
+                lines.extend(plan_lines(state, sel, false, 1)?);
+            }
+        }
+        Statement::Update(up) => {
+            let schema = state.catalog.table(&up.table)?;
+            lines.push(format!(
+                "Update on {} ({})",
+                up.table,
+                access_path(state, schema, &up.table, up.where_clause.as_ref())
+            ));
+        }
+        Statement::Delete(del) => {
+            let schema = state.catalog.table(&del.table)?;
+            lines.push(format!(
+                "Delete on {} ({})",
+                del.table,
+                access_path(state, schema, &del.table, del.where_clause.as_ref())
+            ));
+        }
+        Statement::Analyze { table } => {
+            lines.push(match table {
+                Some(t) => format!("Analyze on {t} (collect row count and per-column statistics)"),
+                None => {
+                    "Analyze on all tables (collect row count and per-column statistics)".to_owned()
+                }
+            });
+        }
+        Statement::Explain { stmt, analyze } => return explain(state, stmt, *analyze),
+        other => {
+            lines.push(format!("Utility: {}", sqlkit::format_statement(other)));
+        }
+    }
+    Ok(QueryResult::Rows {
+        columns: vec!["plan".into()],
+        rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+    })
+}
+
+/// Plan a SELECT (resolving subqueries exactly as execution would) and
+/// render its operator tree — executed first for actual row counts when
+/// `analyze` is set.
+fn plan_lines(state: &DbState, sel: &Select, analyze: bool, depth: usize) -> DbResult<Vec<String>> {
+    let opts = ExecOptions::default();
+    let mut summary = PlanSummary::default();
+    let sel = eval::resolve_select(state, sel, &opts, &mut summary)?;
+    let plan = crate::planner::plan_select(state, &sel, &opts)?;
+    let lines = if analyze {
+        let (_, counts) = volcano::execute_planned_counted(state, &plan, &opts, &mut summary)?;
+        plan.render(Some(&counts))
+    } else {
+        plan.render(None)
+    };
+    let pad = "  ".repeat(depth);
+    Ok(lines.into_iter().map(|l| format!("{pad}{l}")).collect())
+}
+
+fn access_path(
+    state: &DbState,
+    schema: &TableSchema,
+    table: &str,
+    predicate: Option<&Expr>,
+) -> String {
+    match predicate {
+        Some(pred) => {
+            if let Some(data) = state.data.get(&schema.name) {
+                if eval::index_candidates(schema, data, table, pred).is_some() {
+                    return "index scan".into();
+                }
+            }
+            "seq scan".into()
+        }
+        None => "seq scan, all rows".into(),
+    }
+}

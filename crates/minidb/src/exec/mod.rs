@@ -1,0 +1,181 @@
+//! Statement execution, split into focused modules around an explicit
+//! physical plan:
+//!
+//! - [`seq`] — the **sequential reference pipeline**: the semantic ground
+//!   truth every optimized plan must reproduce row-for-row.
+//! - [`volcano`] — the plan-driven executor: interprets the operator tree
+//!   the cost-based planner ([`crate::planner`]) produces, with per-operator
+//!   row accounting for `EXPLAIN ANALYZE`.
+//! - [`eval`] — shared machinery: subquery resolution, scans, joins,
+//!   filtering, grouping, aggregates, projection.
+//! - [`dml`] / [`ddl`] — writes with constraint enforcement, schema changes,
+//!   and `ANALYZE`.
+//! - [`explain`] — renders the physical plan (with cost estimates, and
+//!   measured row counts under `EXPLAIN ANALYZE`).
+//!
+//! Which path ran is recorded in a [`PlanSummary`] so tests and tools can
+//! assert on the choice. Every optimizer-chosen plan must produce rows
+//! identical (content *and* order) to the sequential path; see
+//! `crate::plan` for the invariants and the two sanctioned error-surfacing
+//! divergences.
+
+mod ddl;
+mod dml;
+mod eval;
+mod explain;
+mod seq;
+mod volcano;
+
+pub(crate) use ddl::build_auto_indexes;
+pub(crate) use dml::{foreign_key_target_exists, rows_match_key};
+pub(crate) use eval::derive_name;
+pub use explain::explain;
+
+use crate::error::{DbError, DbResult};
+use crate::plan::{ExecOptions, PlanSummary};
+use crate::schema::Catalog;
+use crate::storage::DataMap;
+use crate::txn::UndoOp;
+use crate::value::Row;
+use sqlkit::ast::{Select, Statement};
+
+/// Mutable database state: catalog + per-table storage.
+#[derive(Debug, Clone, Default)]
+pub struct DbState {
+    /// Table schemas.
+    pub catalog: Catalog,
+    /// Table storage, keyed by table name. Copy-on-write: cloning a
+    /// `DbState` (MVCC snapshot / transaction workspace) shares every table
+    /// until it is written.
+    pub data: DataMap,
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// A result set.
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// Output rows.
+        rows: Vec<Row>,
+    },
+    /// Row count of a DML statement.
+    Affected(usize),
+    /// Status message of a DDL/TCL statement.
+    Status(String),
+}
+
+impl QueryResult {
+    /// Row count for any result kind.
+    pub fn row_count(&self) -> usize {
+        match self {
+            QueryResult::Rows { rows, .. } => rows.len(),
+            QueryResult::Affected(n) => *n,
+            QueryResult::Status(_) => 0,
+        }
+    }
+}
+
+/// Execute any statement except transaction control (handled by sessions).
+pub fn execute(
+    state: &mut DbState,
+    stmt: &Statement,
+    undo: &mut Vec<UndoOp>,
+) -> DbResult<QueryResult> {
+    execute_with_options(state, stmt, undo, &ExecOptions::default()).map(|(r, _)| r)
+}
+
+/// Execute a statement under explicit [`ExecOptions`], returning the result
+/// together with the [`PlanSummary`] of every table access and join the
+/// statement (including its subqueries and view expansions) performed.
+pub fn execute_with_options(
+    state: &mut DbState,
+    stmt: &Statement,
+    undo: &mut Vec<UndoOp>,
+    opts: &ExecOptions,
+) -> DbResult<(QueryResult, PlanSummary)> {
+    let mut summary = PlanSummary::default();
+    let result = execute_inner(state, stmt, undo, opts, &mut summary)?;
+    Ok((result, summary))
+}
+
+fn execute_inner(
+    state: &mut DbState,
+    stmt: &Statement,
+    undo: &mut Vec<UndoOp>,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<QueryResult> {
+    match stmt {
+        Statement::Select(sel) => execute_select_opts(state, sel, opts, summary),
+        Statement::Insert(ins) => dml::execute_insert(state, ins, undo, opts, summary),
+        Statement::Update(up) => dml::execute_update(state, up, undo, opts, summary),
+        Statement::Delete(del) => dml::execute_delete(state, del, undo, opts, summary),
+        Statement::CreateTable(ct) => ddl::execute_create_table(state, ct, undo),
+        Statement::DropTable(dt) => {
+            let mut total = 0;
+            for name in &dt.names {
+                total += ddl::execute_drop_table(state, name, dt.if_exists, &dt.names, undo)?;
+            }
+            Ok(QueryResult::Status(format!("dropped {total} table(s)")))
+        }
+        Statement::CreateView(cv) => ddl::execute_create_view(state, cv, undo),
+        Statement::DropView { name, if_exists } => {
+            ddl::execute_drop_view(state, name, *if_exists, undo)
+        }
+        Statement::CreateIndex(ci) => ddl::execute_create_index(state, ci, undo),
+        Statement::AlterTable(at) => ddl::execute_alter(state, at, undo),
+        Statement::Analyze { table } => ddl::execute_analyze(state, table.as_deref(), undo),
+        Statement::Begin
+        | Statement::Commit
+        | Statement::Rollback
+        | Statement::Savepoint(_)
+        | Statement::RollbackTo(_)
+        | Statement::Release(_) => Err(DbError::TransactionState(
+            "transaction control must go through a session".into(),
+        )),
+        Statement::GrantRevoke(_) => Err(DbError::Execution(
+            "GRANT/REVOKE must go through the database facade".into(),
+        )),
+        Statement::Explain { stmt, analyze } => explain::explain(state, stmt, *analyze),
+    }
+}
+
+/// Execute a SELECT against a read-only state snapshot.
+pub fn execute_select(state: &DbState, sel: &Select) -> DbResult<QueryResult> {
+    let mut summary = PlanSummary::default();
+    execute_select_opts(state, sel, &ExecOptions::default(), &mut summary)
+}
+
+/// Execute a SELECT under explicit options, returning the plan summary of
+/// every table access and join performed (including subqueries and views).
+pub fn execute_select_traced(
+    state: &DbState,
+    sel: &Select,
+    opts: &ExecOptions,
+) -> DbResult<(QueryResult, PlanSummary)> {
+    let mut summary = PlanSummary::default();
+    let result = execute_select_opts(state, sel, opts, &mut summary)?;
+    Ok((result, summary))
+}
+
+/// Route a SELECT: resolve subqueries (the reference pipeline does this
+/// first too — plans are built over the resolved statement), then either
+/// plan + execute through the Volcano tree, or run the sequential
+/// reference pipeline when the planner is disabled.
+pub(crate) fn execute_select_opts(
+    state: &DbState,
+    sel: &Select,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<QueryResult> {
+    let sel = eval::resolve_select(state, sel, opts, summary)?;
+    if opts.planner {
+        let plan = crate::planner::plan_select(state, &sel, opts)?;
+        summary.tree = plan.render(None);
+        volcano::execute_planned(state, &plan, opts, summary)
+    } else {
+        seq::execute_resolved(state, &sel, opts, summary)
+    }
+}

@@ -1,0 +1,193 @@
+//! The sequential reference pipeline: stage-at-a-time SELECT evaluation.
+//!
+//! This is the semantic ground truth. Every plan the cost-based planner
+//! produces must yield rows identical — content *and* order — to this
+//! pipeline (modulo the two sanctioned error-surfacing divergences
+//! documented in [`crate::plan`]). It is kept deliberately simple and is
+//! always reachable via [`ExecOptions::sequential`], so differential tests
+//! can compare any optimized plan against it.
+
+use super::eval;
+use super::{DbState, QueryResult};
+use crate::error::{DbError, DbResult};
+use crate::expr::{self, ScopeCol};
+use crate::plan::{ExecOptions, PlanSummary};
+use crate::value::{Key, Row, Value};
+use sqlkit::ast::{Select, SelectItem};
+use std::collections::BTreeMap;
+
+/// Execute an already-resolved SELECT (no subqueries remain) stage by
+/// stage: FROM/JOIN → WHERE → GROUP/HAVING or projection → ORDER BY →
+/// DISTINCT → OFFSET/LIMIT.
+pub(super) fn execute_resolved(
+    state: &DbState,
+    sel: &Select,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<QueryResult> {
+    // Build the base row set (FROM + JOINs). `prefiltered` means the scan
+    // already applied the full WHERE clause (parallel filtered scan).
+    let (scope_cols, mut rows, prefiltered) = build_from(state, sel, opts, summary)?;
+
+    // WHERE.
+    if !prefiltered {
+        if let Some(pred) = &sel.where_clause {
+            rows = eval::filter_rows(rows, &scope_cols, pred, opts)?;
+        }
+    }
+
+    let has_aggregate = !sel.group_by.is_empty()
+        || sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr::contains_aggregate(expr)))
+        || sel.having.as_ref().is_some_and(expr::contains_aggregate)
+        || sel
+            .order_by
+            .iter()
+            .any(|o| expr::contains_aggregate(&o.expr));
+
+    let out_columns = eval::output_columns(sel, &scope_cols)?;
+
+    // Each output row pairs the projected values with the rows that produced
+    // it (one row, or a whole group) so ORDER BY can evaluate expressions
+    // not present in the projection.
+    let mut produced: Vec<(Row, Vec<Row>)> = Vec::new();
+
+    if has_aggregate {
+        // Group rows by GROUP BY keys (single group if none).
+        let mut groups: BTreeMap<Key, Vec<Row>> = BTreeMap::new();
+        if sel.group_by.is_empty() {
+            groups.insert(Key(vec![]), rows);
+        } else {
+            groups = eval::group_rows(rows, &scope_cols, &sel.group_by, opts)?;
+        }
+        for (_, group_rows) in groups {
+            // An empty global group still yields one row of aggregates
+            // (e.g. COUNT(*) = 0), but grouped queries skip empty groups.
+            if group_rows.is_empty() && !sel.group_by.is_empty() {
+                continue;
+            }
+            if let Some(h) = &sel.having {
+                let keep = eval::eval_agg(h, &scope_cols, &group_rows)?;
+                if expr::truth(&keep) != Some(true) {
+                    continue;
+                }
+            }
+            let mut out = Vec::new();
+            for item in &sel.items {
+                match item {
+                    SelectItem::Expr { expr, .. } => {
+                        out.push(eval::eval_agg(expr, &scope_cols, &group_rows)?);
+                    }
+                    SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                        return Err(DbError::Execution(
+                            "wildcard projection is not valid in aggregate queries".into(),
+                        ));
+                    }
+                }
+            }
+            produced.push((out, group_rows));
+        }
+    } else {
+        for row in rows {
+            let out = eval::project_row(sel, &scope_cols, &row)?;
+            produced.push((out, vec![row]));
+        }
+    }
+
+    // ORDER BY.
+    if !sel.order_by.is_empty() {
+        // Pre-compute sort keys.
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(produced.len());
+        for (out, source_rows) in produced {
+            let mut keys = Vec::with_capacity(sel.order_by.len());
+            for item in &sel.order_by {
+                keys.push(eval::order_key(
+                    &item.expr,
+                    sel,
+                    &out_columns,
+                    &out,
+                    &scope_cols,
+                    &source_rows,
+                    has_aggregate,
+                )?);
+            }
+            keyed.push((keys, out));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| eval::order_cmp(&sel.order_by, ka, kb));
+        produced = keyed.into_iter().map(|(_, out)| (out, vec![])).collect();
+    }
+
+    let mut out_rows: Vec<Row> = produced.into_iter().map(|(out, _)| out).collect();
+
+    // DISTINCT.
+    if sel.distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        out_rows.retain(|r| seen.insert(Key(r.clone())));
+    }
+
+    // OFFSET / LIMIT.
+    if let Some(off) = sel.offset {
+        let off = off as usize;
+        out_rows = if off >= out_rows.len() {
+            Vec::new()
+        } else {
+            out_rows.split_off(off)
+        };
+    }
+    if let Some(lim) = sel.limit {
+        out_rows.truncate(lim as usize);
+    }
+
+    Ok(QueryResult::Rows {
+        columns: out_columns,
+        rows: out_rows,
+    })
+}
+
+/// Build the FROM/JOIN row set and its scope columns. The returned flag
+/// reports whether the base scan already applied the full WHERE clause
+/// (parallel filtered scan), letting the caller skip re-filtering.
+fn build_from(
+    state: &DbState,
+    sel: &Select,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<(Vec<ScopeCol>, Vec<Row>, bool)> {
+    let Some(from) = &sel.from else {
+        // SELECT without FROM: one empty row.
+        return Ok((Vec::new(), vec![Vec::new()], false));
+    };
+    // Single-table queries push the WHERE clause down to the scan so point
+    // predicates use indexes; joined queries filter after the join.
+    let pushdown = if sel.joins.is_empty() {
+        sel.where_clause.as_ref()
+    } else {
+        None
+    };
+    let (mut cols, mut rows, prefiltered) =
+        eval::scan_table_filtered(state, from.binding(), &from.name, pushdown, opts, summary)?;
+    for join in &sel.joins {
+        let (right_cols, right_rows, _) = eval::scan_table_filtered(
+            state,
+            join.table.binding(),
+            &join.table.name,
+            None,
+            opts,
+            summary,
+        )?;
+        (cols, rows) = eval::join_rows(
+            cols,
+            rows,
+            right_cols,
+            right_rows,
+            join.kind,
+            join.on.as_ref(),
+            join.table.binding(),
+            opts,
+            summary,
+        )?;
+    }
+    Ok((cols, rows, prefiltered))
+}

@@ -1,0 +1,644 @@
+//! The plan-driven executor: interprets the physical operator tree the
+//! cost-based planner produces.
+//!
+//! Operators are *blocking* — each drains its child fully before producing
+//! output — which preserves the reference pipeline's stage-at-a-time error
+//! surfacing: the same expression evaluations happen in the same order, so
+//! the first error raised is the same one. The single exception is the
+//! sanctioned streaming pipeline (`Limit → Project → [Filter] → Seq Scan`)
+//! the planner emits for LIMIT pushdown, which stops scanning once the
+//! limit is filled.
+//!
+//! Every operator counts the rows it emits, keyed by its plan node id, so
+//! `EXPLAIN ANALYZE` can annotate the rendered tree with actual
+//! cardinalities.
+
+use super::eval;
+use super::{DbState, QueryResult};
+use crate::error::{DbError, DbResult};
+use crate::expr::{self, eval as eval_expr, Scope};
+use crate::plan::{self, ExecOptions, JoinPath, PlanSummary, ScanPath};
+use crate::planner::physical::{PhysNode, PhysOp, PhysPlan};
+use crate::storage::HashedKey;
+use crate::value::{Key, Row, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Execute a physical plan, discarding the per-operator row counts.
+pub(super) fn execute_planned(
+    state: &DbState,
+    plan: &PhysPlan,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<QueryResult> {
+    execute_planned_counted(state, plan, opts, summary).map(|(r, _)| r)
+}
+
+/// Execute a physical plan, returning the result together with the rows
+/// each operator emitted (node id → count) for `EXPLAIN ANALYZE`.
+pub(super) fn execute_planned_counted(
+    state: &DbState,
+    plan: &PhysPlan,
+    opts: &ExecOptions,
+    summary: &mut PlanSummary,
+) -> DbResult<(QueryResult, BTreeMap<usize, u64>)> {
+    let mut ctx = Ctx {
+        state,
+        plan,
+        opts,
+        counts: BTreeMap::new(),
+    };
+    let columns = eval::output_columns(&plan.sel, &plan.scope_cols)?;
+    let rows = if let Some(rows) = ctx.try_streaming(&plan.root, summary)? {
+        rows
+    } else {
+        ctx.exec_rows(&plan.root, summary)?
+    };
+    Ok((QueryResult::Rows { columns, rows }, ctx.counts))
+}
+
+struct Ctx<'a> {
+    state: &'a DbState,
+    plan: &'a PhysPlan,
+    opts: &'a ExecOptions,
+    counts: BTreeMap<usize, u64>,
+}
+
+impl<'a> Ctx<'a> {
+    fn count(&mut self, id: usize, n: usize) {
+        self.counts.insert(id, n as u64);
+    }
+
+    // -- streaming pipeline -------------------------------------------------
+
+    /// If the root is the planner's streaming early-exit pipeline
+    /// (`Limit → Project → [Filter] → Seq Scan`), run it row-at-a-time and
+    /// stop once the limit is filled. Rows before the limit — including
+    /// offset-skipped ones — are filtered and projected exactly as the
+    /// reference pipeline would, so errors they raise still surface.
+    fn try_streaming(
+        &mut self,
+        root: &PhysNode,
+        summary: &mut PlanSummary,
+    ) -> DbResult<Option<Vec<Row>>> {
+        let PhysOp::Limit {
+            input: project,
+            limit: Some(limit),
+            offset,
+            streaming: true,
+        } = &root.op
+        else {
+            return Ok(None);
+        };
+        let PhysOp::Project {
+            input: below,
+            streaming: true,
+        } = &project.op
+        else {
+            return Ok(None);
+        };
+        let (pred, filter_id, scan) = match &below.op {
+            PhysOp::Filter {
+                input,
+                predicate,
+                streaming: true,
+            } => (Some(predicate), Some(below.id), input),
+            _ => (None, None, below),
+        };
+        let PhysOp::SeqScan {
+            table,
+            pushed: None,
+            parallel: false,
+            ..
+        } = &scan.op
+        else {
+            return Ok(None);
+        };
+        let data = self
+            .state
+            .data
+            .get(table)
+            .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+        summary.scans.push(ScanPath::Seq {
+            table: table.clone(),
+            rows: data.len(),
+        });
+        let sel = &self.plan.sel;
+        let cols = &self.plan.scope_cols;
+        let k = limit.saturating_add(*offset);
+        let mut out = Vec::new();
+        let mut passed = 0u64;
+        let mut scanned = 0usize;
+        let mut projected = 0usize;
+        for (_, row) in data.iter() {
+            if passed >= k {
+                break;
+            }
+            scanned += 1;
+            if let Some(pred) = pred {
+                let scope = Scope {
+                    columns: cols,
+                    values: row,
+                };
+                if expr::truth(&eval_expr(pred, &scope)?) != Some(true) {
+                    continue;
+                }
+            }
+            let projected_row = eval::project_row(sel, cols, row)?;
+            projected += 1;
+            if passed >= *offset {
+                out.push(projected_row);
+            }
+            passed += 1;
+        }
+        self.count(scan.id, scanned);
+        if let Some(fid) = filter_id {
+            self.count(fid, passed as usize);
+        }
+        self.count(project.id, projected);
+        self.count(root.id, out.len());
+        Ok(Some(out))
+    }
+
+    // -- head operators (blocking) ------------------------------------------
+
+    /// Execute a head operator (everything above the relational part),
+    /// producing final output rows.
+    fn exec_rows(&mut self, node: &PhysNode, summary: &mut PlanSummary) -> DbResult<Vec<Row>> {
+        match &node.op {
+            PhysOp::Limit {
+                input,
+                limit,
+                offset,
+                ..
+            } => {
+                let mut rows = self.exec_rows(input, summary)?;
+                let off = *offset as usize;
+                if off > 0 {
+                    rows = if off >= rows.len() {
+                        Vec::new()
+                    } else {
+                        rows.split_off(off)
+                    };
+                }
+                if let Some(lim) = limit {
+                    rows.truncate(*lim as usize);
+                }
+                self.count(node.id, rows.len());
+                Ok(rows)
+            }
+            PhysOp::Distinct { input } => {
+                let mut rows = self.exec_rows(input, summary)?;
+                let mut seen = std::collections::BTreeSet::new();
+                rows.retain(|r| seen.insert(Key(r.clone())));
+                self.count(node.id, rows.len());
+                Ok(rows)
+            }
+            PhysOp::Sort { input, top_k, .. } => {
+                let produced = self.exec_produce(input, summary)?;
+                let rows = self.exec_sort(node, &produced, *top_k, summary)?;
+                Ok(rows)
+            }
+            PhysOp::Project { .. } | PhysOp::HashAggregate { .. } => {
+                let produced = self.exec_produce(node, summary)?;
+                Ok(produced.into_iter().map(|(out, _)| out).collect())
+            }
+            _ => unreachable!("relational operator at head position"),
+        }
+    }
+
+    /// Sort the produced pairs. Keys are computed for *every* row first
+    /// (matching the reference pipeline's error surfacing), then either a
+    /// full stable sort or — under ORDER-BY+LIMIT pushdown — a top-k
+    /// selection whose output provably equals the stable sort's first `k`
+    /// rows (the comparator is made total by tie-breaking on the original
+    /// row index).
+    fn exec_sort(
+        &mut self,
+        node: &PhysNode,
+        produced: &[(Row, Vec<Row>)],
+        top_k: Option<usize>,
+        _summary: &mut PlanSummary,
+    ) -> DbResult<Vec<Row>> {
+        let sel = &self.plan.sel;
+        let out_columns = eval::output_columns(sel, &self.plan.scope_cols)?;
+        let mut keyed: Vec<(Vec<Value>, usize, Row)> = Vec::with_capacity(produced.len());
+        for (i, (out, source_rows)) in produced.iter().enumerate() {
+            let mut keys = Vec::with_capacity(sel.order_by.len());
+            for item in &sel.order_by {
+                keys.push(eval::order_key(
+                    &item.expr,
+                    sel,
+                    &out_columns,
+                    out,
+                    &self.plan.scope_cols,
+                    source_rows,
+                    self.plan.has_aggregate,
+                )?);
+            }
+            keyed.push((keys, i, out.clone()));
+        }
+        let rows = match top_k {
+            Some(k) if k < keyed.len() => {
+                // Total order: ORDER BY keys, ties broken by original index.
+                // With no equal elements, an unstable partial selection +
+                // sort of the prefix yields exactly the stable full sort's
+                // first k rows.
+                let cmp = |a: &(Vec<Value>, usize, Row), b: &(Vec<Value>, usize, Row)| {
+                    eval::order_cmp(&sel.order_by, &a.0, &b.0).then(a.1.cmp(&b.1))
+                };
+                if k == 0 {
+                    Vec::new()
+                } else {
+                    keyed.select_nth_unstable_by(k - 1, cmp);
+                    keyed.truncate(k);
+                    keyed.sort_by(cmp);
+                    keyed.into_iter().map(|(_, _, out)| out).collect()
+                }
+            }
+            _ => {
+                keyed.sort_by(|(ka, _, _), (kb, _, _)| eval::order_cmp(&sel.order_by, ka, kb));
+                keyed.into_iter().map(|(_, _, out)| out).collect()
+            }
+        };
+        self.count(node.id, rows.len());
+        Ok(rows)
+    }
+
+    /// Execute the producing operator (Project or HashAggregate), returning
+    /// output rows paired with their source rows (for ORDER BY expressions
+    /// not present in the projection).
+    fn exec_produce(
+        &mut self,
+        node: &PhysNode,
+        summary: &mut PlanSummary,
+    ) -> DbResult<Vec<(Row, Vec<Row>)>> {
+        let sel = &self.plan.sel;
+        match &node.op {
+            PhysOp::Project { input, .. } => {
+                let rows = self.eval_rel(input, 0, false, summary)?;
+                let mut produced = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let out = eval::project_row(sel, &self.plan.scope_cols, &row)?;
+                    produced.push((out, vec![row]));
+                }
+                self.count(node.id, produced.len());
+                Ok(produced)
+            }
+            PhysOp::HashAggregate { input, .. } => {
+                let rows = self.eval_rel(input, 0, false, summary)?;
+                let scope_cols = &self.plan.scope_cols;
+                let mut groups: BTreeMap<Key, Vec<Row>> = BTreeMap::new();
+                if sel.group_by.is_empty() {
+                    groups.insert(Key(vec![]), rows);
+                } else {
+                    groups = eval::group_rows(rows, scope_cols, &sel.group_by, self.opts)?;
+                }
+                let mut produced = Vec::new();
+                for (_, group_rows) in groups {
+                    // An empty global group still yields one row of
+                    // aggregates (e.g. COUNT(*) = 0), but grouped queries
+                    // skip empty groups.
+                    if group_rows.is_empty() && !sel.group_by.is_empty() {
+                        continue;
+                    }
+                    if let Some(h) = &sel.having {
+                        let keep = eval::eval_agg(h, scope_cols, &group_rows)?;
+                        if expr::truth(&keep) != Some(true) {
+                            continue;
+                        }
+                    }
+                    let mut out = Vec::new();
+                    for item in &sel.items {
+                        match item {
+                            sqlkit::ast::SelectItem::Expr { expr, .. } => {
+                                out.push(eval::eval_agg(expr, scope_cols, &group_rows)?);
+                            }
+                            sqlkit::ast::SelectItem::Wildcard
+                            | sqlkit::ast::SelectItem::QualifiedWildcard(_) => {
+                                return Err(DbError::Execution(
+                                    "wildcard projection is not valid in aggregate queries".into(),
+                                ));
+                            }
+                        }
+                    }
+                    produced.push((out, group_rows));
+                }
+                self.count(node.id, produced.len());
+                Ok(produced)
+            }
+            _ => unreachable!("producer must be Project or HashAggregate"),
+        }
+    }
+
+    // -- relational operators (blocking) ------------------------------------
+
+    /// Width (visible columns) of a relational subtree, for slicing the
+    /// plan's combined scope.
+    fn width_of(&self, node: &PhysNode) -> usize {
+        match &node.op {
+            PhysOp::ResultRow => 0,
+            PhysOp::SeqScan { table, .. } | PhysOp::IndexScan { table, .. } => self
+                .state
+                .catalog
+                .table(table)
+                .map_or(0, |s| s.columns.len()),
+            PhysOp::ViewScan { view, .. } => {
+                self.state.catalog.view(view).map_or(0, |v| v.columns.len())
+            }
+            PhysOp::Filter { input, .. } => self.width_of(input),
+            PhysOp::NestedLoopJoin { left, right, .. } | PhysOp::HashJoin { left, right, .. } => {
+                self.width_of(left) + self.width_of(right)
+            }
+            PhysOp::Restore { perm, .. } => perm.len(),
+            _ => unreachable!("head operator in relational position"),
+        }
+    }
+
+    /// Evaluate a relational subtree to its materialized rows. `base` is the
+    /// subtree's column offset within the plan's combined scope.
+    /// `append_seq` makes scans append a hidden `Value::Int` sequence column
+    /// (reordered join chains restore the original row order from it).
+    fn eval_rel(
+        &mut self,
+        node: &PhysNode,
+        base: usize,
+        append_seq: bool,
+        summary: &mut PlanSummary,
+    ) -> DbResult<Vec<Row>> {
+        match &node.op {
+            PhysOp::ResultRow => {
+                self.count(node.id, 1);
+                Ok(vec![Vec::new()])
+            }
+            PhysOp::SeqScan {
+                table,
+                pushed,
+                parallel,
+                ..
+            } => {
+                let data = self
+                    .state
+                    .data
+                    .get(table)
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                let total = data.len();
+                let rows = match (pushed, parallel) {
+                    (Some(pred), true) => {
+                        let cols = &self.plan.scope_cols[base..base + self.width_of(node)];
+                        let workers = self.opts.workers_for(total).max(1);
+                        summary.scans.push(ScanPath::ParallelSeq {
+                            table: table.clone(),
+                            rows: total,
+                            workers,
+                        });
+                        eval::parallel_filter_scan(data, cols, pred, workers)?
+                    }
+                    _ => {
+                        summary.scans.push(ScanPath::Seq {
+                            table: table.clone(),
+                            rows: total,
+                        });
+                        if append_seq {
+                            data.iter()
+                                .enumerate()
+                                .map(|(i, (_, r))| {
+                                    let mut row = r.clone();
+                                    row.push(Value::Int(i as i64));
+                                    row
+                                })
+                                .collect()
+                        } else {
+                            data.iter().map(|(_, r)| r.clone()).collect()
+                        }
+                    }
+                };
+                self.count(node.id, rows.len());
+                Ok(rows)
+            }
+            PhysOp::IndexScan { table, pinned, .. } => {
+                let data = self
+                    .state
+                    .data
+                    .get(table)
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                // Re-probe against live data; same state as plan time, so
+                // the same index matches. Fall back to a full scan if not
+                // (the parent Filter re-applies the predicate either way).
+                let rows: Vec<Row> = match plan::choose_index(data, pinned) {
+                    Some((name, idx, key)) => {
+                        let rids = idx.lookup(&key);
+                        summary.scans.push(ScanPath::IndexProbe {
+                            table: table.clone(),
+                            index: name.to_owned(),
+                            candidates: rids.len(),
+                        });
+                        rids.into_iter()
+                            .filter_map(|rid| data.get(rid).cloned())
+                            .collect()
+                    }
+                    None => {
+                        summary.scans.push(ScanPath::Seq {
+                            table: table.clone(),
+                            rows: data.len(),
+                        });
+                        data.iter().map(|(_, r)| r.clone()).collect()
+                    }
+                };
+                self.count(node.id, rows.len());
+                Ok(rows)
+            }
+            PhysOp::ViewScan { view, .. } => {
+                summary
+                    .scans
+                    .push(ScanPath::ViewExpand { view: view.clone() });
+                let def = self
+                    .state
+                    .catalog
+                    .view(view)
+                    .ok_or_else(|| DbError::UnknownTable(view.clone()))?;
+                let query = def.query.clone();
+                // The nested execution plans (and renders) its own tree;
+                // keep the outer plan's rendering authoritative.
+                let saved_tree = std::mem::take(&mut summary.tree);
+                let result = super::execute_select_opts(self.state, &query, self.opts, summary);
+                summary.tree = saved_tree;
+                let rows = match result? {
+                    QueryResult::Rows { rows, .. } => rows,
+                    _ => unreachable!("select returns rows"),
+                };
+                self.count(node.id, rows.len());
+                Ok(rows)
+            }
+            PhysOp::Filter {
+                input, predicate, ..
+            } => {
+                let rows = self.eval_rel(input, base, false, summary)?;
+                let cols = self.plan.scope_cols[base..base + self.width_of(input)].to_vec();
+                let rows = eval::filter_rows(rows, &cols, predicate, self.opts)?;
+                self.count(node.id, rows.len());
+                Ok(rows)
+            }
+            PhysOp::NestedLoopJoin {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let wl = self.width_of(left);
+                let wr = self.width_of(right);
+                let left_rows = self.eval_rel(left, base, false, summary)?;
+                let right_rows = self.eval_rel(right, base + wl, false, summary)?;
+                let left_cols = self.plan.scope_cols[base..base + wl].to_vec();
+                let right_cols = self.plan.scope_cols[base + wl..base + wl + wr].to_vec();
+                summary.joins.push(JoinPath::NestedLoop {
+                    table: binding_of(right),
+                });
+                let (_, rows) = eval::nl_join_rows(
+                    left_cols,
+                    left_rows,
+                    right_cols,
+                    right_rows,
+                    *kind,
+                    on.as_ref(),
+                )?;
+                self.count(node.id, rows.len());
+                Ok(rows)
+            }
+            PhysOp::HashJoin {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let wl = self.width_of(left);
+                let wr = self.width_of(right);
+                let left_rows = self.eval_rel(left, base, false, summary)?;
+                let right_rows = self.eval_rel(right, base + wl, false, summary)?;
+                let left_cols = self.plan.scope_cols[base..base + wl].to_vec();
+                let right_cols = self.plan.scope_cols[base + wl..base + wl + wr].to_vec();
+                match plan::analyze_equi_join(&left_cols, &right_cols, on) {
+                    Some(equi) => {
+                        let partitions = (right_rows.len() / 4096).clamp(1, 16);
+                        summary.joins.push(JoinPath::HashJoin {
+                            table: binding_of(right),
+                            build_rows: right_rows.len(),
+                            partitions,
+                        });
+                        let (_, rows) = eval::hash_join_rows(
+                            left_cols, left_rows, right_cols, right_rows, *kind, on, &equi,
+                            self.opts, partitions,
+                        )?;
+                        self.count(node.id, rows.len());
+                        Ok(rows)
+                    }
+                    // Defensive: should be unreachable (the planner proved
+                    // equi-keys over the same scope), but the nested loop is
+                    // always sound.
+                    None => {
+                        summary.joins.push(JoinPath::NestedLoop {
+                            table: binding_of(right),
+                        });
+                        let (_, rows) = eval::nl_join_rows(
+                            left_cols,
+                            left_rows,
+                            right_cols,
+                            right_rows,
+                            *kind,
+                            Some(on),
+                        )?;
+                        self.count(node.id, rows.len());
+                        Ok(rows)
+                    }
+                }
+            }
+            PhysOp::KeyedHashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                // Children carry the hidden sequence columns; key positions
+                // were computed by the planner against that widened layout.
+                let left_rows = self.eval_rel(left, 0, true, summary)?;
+                let right_rows = self.eval_rel(right, 0, true, summary)?;
+                summary.joins.push(JoinPath::HashJoin {
+                    table: binding_of(right),
+                    build_rows: right_rows.len(),
+                    partitions: 1,
+                });
+                // Build: right rows bucketed by canonicalized key.
+                let mut table: HashMap<HashedKey, Vec<usize>> = HashMap::new();
+                for (i, r) in right_rows.iter().enumerate() {
+                    if let Some(key) = eval::join_key(r, right_keys) {
+                        table.entry(key).or_default().push(i);
+                    }
+                }
+                // Probe: the canonical key is a pre-filter; every candidate
+                // pair is verified with SQL equality on each key column, so
+                // matching is exactly the pure equi-conjunction the planner
+                // proved the ON chain to be.
+                let mut out = Vec::new();
+                for l in &left_rows {
+                    if let Some(key) = eval::join_key(l, left_keys) {
+                        if let Some(cands) = table.get(&key) {
+                            for &ri in cands {
+                                let r = &right_rows[ri];
+                                let all_eq = left_keys
+                                    .iter()
+                                    .zip(right_keys)
+                                    .all(|(&lk, &rk)| l[lk].sql_eq(&r[rk]) == Some(true));
+                                if all_eq {
+                                    let mut combined = l.clone();
+                                    combined.extend(r.iter().cloned());
+                                    out.push(combined);
+                                }
+                            }
+                        }
+                    }
+                }
+                self.count(node.id, out.len());
+                Ok(out)
+            }
+            PhysOp::Restore {
+                input,
+                perm,
+                seq_positions,
+            } => {
+                let mut rows = self.eval_rel(input, 0, true, summary)?;
+                // Sort by the hidden sequence tuple in original FROM order.
+                // The tuples are unique (one per source-row combination) and
+                // the left-deep nested loop enumerates combinations in
+                // lexicographic sequence order, so this reconstructs the
+                // reference row order exactly.
+                rows.sort_unstable_by(|a, b| {
+                    for &p in seq_positions {
+                        let ord = a[p].total_cmp(&b[p]);
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                let rows: Vec<Row> = rows
+                    .into_iter()
+                    .map(|r| perm.iter().map(|&p| r[p].clone()).collect())
+                    .collect();
+                self.count(node.id, rows.len());
+                Ok(rows)
+            }
+            _ => unreachable!("head operator in relational position"),
+        }
+    }
+}
+
+/// The FROM binding of a relational subtree's base table (for plan-summary
+/// records). Joins inputs are always scans in the plans we build.
+fn binding_of(node: &PhysNode) -> String {
+    match &node.op {
+        PhysOp::SeqScan { binding, .. }
+        | PhysOp::IndexScan { binding, .. }
+        | PhysOp::ViewScan { binding, .. } => binding.clone(),
+        PhysOp::Filter { input, .. } => binding_of(input),
+        _ => "join".to_owned(),
+    }
+}

@@ -35,6 +35,7 @@ pub mod exec;
 pub mod expr;
 pub mod mvcc;
 pub mod plan;
+pub mod planner;
 pub mod privilege;
 pub mod schema;
 pub mod storage;

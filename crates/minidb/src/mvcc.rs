@@ -188,6 +188,14 @@ pub fn write_set(ops: &[UndoOp]) -> WriteSet {
             UndoOp::CreateIndex { table, .. } => {
                 ws.table(table).ddl = true;
             }
+            UndoOp::SetStats { table, .. } => {
+                // A bare table entry: no row or ddl flags, so validation
+                // only rejects a concurrent schema change on the same table
+                // (the column layout the sample describes may have moved).
+                // Concurrent row DML never conflicts with ANALYZE — stats
+                // are advisory and last-writer-wins is fine.
+                ws.table(table);
+            }
             UndoOp::AlterSnapshot {
                 table, renamed_to, ..
             } => {

@@ -14,11 +14,19 @@
 //!   condition so a hash join can replace the nested loop.
 //!
 //! Every fast path must be *observationally identical* to the sequential
-//! path — same rows, same order. (The one sanctioned divergence, shared
-//! with production engines: a hash join evaluates the ON condition only for
-//! key-matching pairs, so an ON expression that would *error* on some
-//! non-matching pair surfaces that error only under the nested loop.) The
-//! differential tests in `tests/fastpath_differential.rs` enforce this.
+//! path — same rows, same order. Two divergences are sanctioned, both
+//! shared with production engines and limited to *error surfacing*, never
+//! to results:
+//!
+//! 1. A hash join evaluates the ON condition only for key-matching pairs,
+//!    so an ON expression that would *error* on some non-matching pair
+//!    surfaces that error only under the nested loop.
+//! 2. A pushed-down LIMIT stops scanning once enough rows are produced, so
+//!    a predicate that would *error* on a row past the limit surfaces that
+//!    error only under the unpushed plan.
+//!
+//! The differential tests in `tests/fastpath_differential.rs` and
+//! `tests/planner_differential.rs` (BIRD gold SQL) enforce this.
 
 use crate::expr::{conjuncts, literal_value, try_resolve, ScopeCol};
 use crate::schema::TableSchema;
@@ -43,6 +51,14 @@ pub struct ExecOptions {
     pub parallel_threshold: usize,
     /// Upper bound on worker threads per stage.
     pub max_threads: usize,
+    /// Lower SELECTs through the cost-based planner into an explicit
+    /// physical operator tree (`crate::planner` + `exec::volcano`). Off =
+    /// the monolithic reference pipeline in `exec::seq`.
+    pub planner: bool,
+    /// Allow the planner's pushdown optimizations (streaming LIMIT
+    /// early-exit, ORDER BY top-k). Benchmarks disable this to measure the
+    /// pushdown win; it has no effect when `planner` is off.
+    pub pushdown: bool,
 }
 
 impl Default for ExecOptions {
@@ -54,18 +70,23 @@ impl Default for ExecOptions {
             parallel: true,
             parallel_threshold: 4096,
             max_threads: threads,
+            planner: true,
+            pushdown: true,
         }
     }
 }
 
 impl ExecOptions {
-    /// The reference configuration: sequential scans and nested-loop joins
-    /// only. Differential tests compare every fast path against this.
+    /// The reference configuration: the monolithic pipeline with sequential
+    /// scans and nested-loop joins only. Differential tests compare every
+    /// fast path — including every planner-chosen tree — against this.
     pub fn sequential() -> Self {
         ExecOptions {
             use_indexes: false,
             hash_join: false,
             parallel: false,
+            planner: false,
+            pushdown: false,
             ..ExecOptions::default()
         }
     }
@@ -147,6 +168,10 @@ pub struct PlanSummary {
     pub scans: Vec<ScanPath>,
     /// Joins in the order they were performed.
     pub joins: Vec<JoinPath>,
+    /// The physical operator tree the planner chose, rendered one line per
+    /// operator (indentation = depth). Empty when the planner did not run
+    /// (sequential reference path, DML, utility statements).
+    pub tree: Vec<String>,
 }
 
 impl PlanSummary {
@@ -420,6 +445,7 @@ mod tests {
                     partitions: 2,
                 },
             ],
+            tree: Vec::new(),
         };
         let counts: std::collections::BTreeMap<_, _> = plan.attr_counts().into_iter().collect();
         assert_eq!(counts["plan.seq_scans"], 1);

@@ -1,0 +1,762 @@
+//! The cost-based planner: lowers a (subquery-resolved) SELECT into an
+//! explicit physical operator tree ([`physical::PhysPlan`]).
+//!
+//! The planner makes four decisions, each driven by the cost model in
+//! [`cost`] and refined by ANALYZE statistics ([`stats`]):
+//!
+//! 1. **Access path** per base table: index probe vs (parallel) sequential
+//!    scan. Unlike the legacy executor, which probed whenever an index
+//!    matched, the probe must *win on cost* — a probe on a column where
+//!    every row holds the same value is priced at the full table and loses.
+//! 2. **Join strategy** per join: grace-hash vs nested loop, by cost.
+//!    Hash is only *eligible* where the legacy executor would use it
+//!    (equi-keys extracted, options allow); when the cost model prefers the
+//!    nested loop the plan is strictly closer to the reference semantics.
+//! 3. **Join order** for chains of ≥2 inner joins whose ON conditions are
+//!    pure equi-conjunctions over base tables: a greedy smallest-first
+//!    order executed with keyed hash joins, followed by a
+//!    [`physical::PhysOp::Restore`] that provably reconstructs the
+//!    syntactic row order from hidden per-scan sequence numbers.
+//! 4. **Pushdowns**: ORDER BY + LIMIT becomes a top-k sort; LIMIT without
+//!    ORDER BY over a single filtered scan becomes a streaming early-exit
+//!    pipeline.
+//!
+//! Every plan the planner emits must produce rows byte-identical (content
+//! *and* order) to the sequential reference pipeline in `exec::seq`; the
+//! differential suites in `crates/minidb/tests/fastpath_differential.rs`
+//! and `tests/planner_differential.rs` enforce this.
+
+pub mod cost;
+pub mod physical;
+pub mod stats;
+
+use crate::error::DbResult;
+use crate::exec::DbState;
+use crate::expr::{self, ScopeCol};
+use crate::plan::{self, ExecOptions};
+use physical::{PhysNode, PhysOp, PhysPlan};
+use sqlkit::ast::{Expr, JoinKind, Select, SelectItem};
+
+/// Row estimate for a view expansion (views carry no statistics).
+const VIEW_ROWS_ESTIMATE: f64 = 100.0;
+
+/// One FROM item (base table or view) with what planning needs to know.
+struct FromItem {
+    name: String,
+    binding: String,
+    is_view: bool,
+    rows: f64,
+    width: usize,
+}
+
+struct Lowering<'a> {
+    state: &'a DbState,
+    opts: &'a ExecOptions,
+    next_id: usize,
+}
+
+impl<'a> Lowering<'a> {
+    fn node(&mut self, est_rows: f64, cost: f64, op: PhysOp) -> PhysNode {
+        let id = self.next_id;
+        self.next_id += 1;
+        PhysNode {
+            id,
+            est_rows,
+            cost,
+            op,
+        }
+    }
+
+    fn item_of(&self, binding: &str, name: &str) -> DbResult<FromItem> {
+        if let Some(view) = self.state.catalog.view(name) {
+            return Ok(FromItem {
+                name: name.to_owned(),
+                binding: binding.to_owned(),
+                is_view: true,
+                rows: VIEW_ROWS_ESTIMATE,
+                width: view.columns.len(),
+            });
+        }
+        let schema = self.state.catalog.table(name)?;
+        let rows = self.state.data.get(name).map_or(0, |d| d.len()) as f64;
+        Ok(FromItem {
+            name: name.to_owned(),
+            binding: binding.to_owned(),
+            is_view: false,
+            rows,
+            width: schema.columns.len(),
+        })
+    }
+
+    /// A plain scan of a FROM item: no predicate pushdown, no access-path
+    /// choice (used for join inputs, mirroring the reference pipeline).
+    fn plain_scan(&mut self, item: &FromItem) -> PhysNode {
+        if item.is_view {
+            self.node(
+                item.rows,
+                item.rows,
+                PhysOp::ViewScan {
+                    view: item.name.clone(),
+                    binding: item.binding.clone(),
+                },
+            )
+        } else {
+            self.node(
+                item.rows,
+                cost::seq_scan_cost(item.rows),
+                PhysOp::SeqScan {
+                    table: item.name.clone(),
+                    binding: item.binding.clone(),
+                    pushed: None,
+                    parallel: false,
+                },
+            )
+        }
+    }
+
+    /// Access-path choice for a single-table FROM with an optional WHERE.
+    /// Returns the scan subtree (with any residual Filter already applied)
+    /// plus whether the WHERE is fully applied inside it.
+    fn single_table(
+        &mut self,
+        item: &FromItem,
+        predicate: Option<&Expr>,
+        streaming: bool,
+    ) -> DbResult<(PhysNode, bool)> {
+        if item.is_view {
+            let scan = self.plain_scan(item);
+            let node = match predicate {
+                Some(pred) => {
+                    self.filter_above(scan, pred, cost::generic_predicate_selectivity(pred), false)
+                }
+                None => scan,
+            };
+            return Ok((node, true));
+        }
+        let schema = self.state.catalog.table(&item.name)?;
+        let stats = self.state.catalog.table_stats(&item.name);
+        let rows = item.rows;
+        let Some(pred) = predicate else {
+            return Ok((self.plain_scan(item), true));
+        };
+        let selectivity = cost::predicate_selectivity(schema, stats, &item.binding, pred);
+        let filtered = rows * selectivity;
+
+        // Candidate 1: index probe + residual filter. Eligible only when an
+        // index is fully pinned; chosen only when its cost beats the scan.
+        if self.opts.use_indexes && !streaming {
+            let pinned = plan::equality_bindings(schema, &item.binding, pred);
+            if !pinned.is_empty() {
+                if let Some(data) = self.state.data.get(&item.name) {
+                    if let Some((index, _, _)) = plan::choose_index(data, &pinned) {
+                        let est_probe = cost::index_probe_estimate(stats, rows, &pinned);
+                        if cost::index_scan_cost(est_probe) < cost::seq_scan_cost(rows) {
+                            let scan = self.node(
+                                est_probe,
+                                cost::index_scan_cost(est_probe),
+                                PhysOp::IndexScan {
+                                    table: item.name.clone(),
+                                    binding: item.binding.clone(),
+                                    index: index.to_owned(),
+                                    pinned,
+                                },
+                            );
+                            let node = self.filter_above(scan, pred, selectivity.min(1.0), false);
+                            return Ok((node, true));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Candidate 2: parallel filtered scan (predicate evaluated inside
+        // the scan workers). Not compatible with streaming early-exit.
+        if !streaming && self.opts.workers_for(rows as usize) >= 2 {
+            let scan = self.node(
+                filtered,
+                cost::seq_scan_cost(rows),
+                PhysOp::SeqScan {
+                    table: item.name.clone(),
+                    binding: item.binding.clone(),
+                    pushed: Some(pred.clone()),
+                    parallel: true,
+                },
+            );
+            return Ok((scan, true));
+        }
+
+        // Candidate 3: plain scan + filter (streaming when requested).
+        let scan = self.plain_scan(item);
+        let node = self.filter_above(scan, pred, selectivity, streaming);
+        Ok((node, true))
+    }
+
+    fn filter_above(
+        &mut self,
+        input: PhysNode,
+        pred: &Expr,
+        selectivity: f64,
+        streaming: bool,
+    ) -> PhysNode {
+        let est = (input.est_rows * selectivity).max(0.0);
+        let cost = input.cost + input.est_rows;
+        self.node(
+            est,
+            cost,
+            PhysOp::Filter {
+                input: Box::new(input),
+                predicate: pred.clone(),
+                streaming,
+            },
+        )
+    }
+}
+
+/// NDV of the first right-side join key column, when the right input is an
+/// analyzed base table.
+fn right_key_ndv(state: &DbState, item: &FromItem, right_keys: &[usize]) -> Option<u64> {
+    if item.is_view {
+        return None;
+    }
+    let stats = state.catalog.table_stats(&item.name)?;
+    right_keys
+        .first()
+        .and_then(|&k| stats.column_distinct(k))
+        .filter(|&n| n > 0)
+}
+
+/// An equi-edge between two FROM items: `(item, column) = (item, column)`.
+#[derive(Debug, Clone, Copy)]
+struct EquiEdge {
+    a: (usize, usize),
+    b: (usize, usize),
+}
+
+/// Lower a resolved SELECT into a physical plan. `sel` must already have
+/// its subqueries resolved to constants (the executor does this before
+/// planning, exactly as the reference pipeline does before executing).
+pub fn plan_select(state: &DbState, sel: &Select, opts: &ExecOptions) -> DbResult<PhysPlan> {
+    let mut lw = Lowering {
+        state,
+        opts,
+        next_id: 0,
+    };
+
+    // Combined FROM scope in syntactic order (also validates FROM items).
+    let mut items: Vec<FromItem> = Vec::new();
+    let mut scope_cols: Vec<ScopeCol> = Vec::new();
+    if let Some(from) = &sel.from {
+        items.push(lw.item_of(from.binding(), &from.name)?);
+        scope_cols.extend(scope_cols_of(state, from.binding(), &from.name)?);
+        for join in &sel.joins {
+            items.push(lw.item_of(join.table.binding(), &join.table.name)?);
+            scope_cols.extend(scope_cols_of(
+                state,
+                join.table.binding(),
+                &join.table.name,
+            )?);
+        }
+    }
+
+    let has_aggregate = !sel.group_by.is_empty()
+        || sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr::contains_aggregate(expr)))
+        || sel.having.as_ref().is_some_and(expr::contains_aggregate)
+        || sel
+            .order_by
+            .iter()
+            .any(|o| expr::contains_aggregate(&o.expr));
+
+    // Best-effort output names for display; the executor re-derives them at
+    // the same pipeline stage as the reference, so name-resolution errors
+    // surface in the same order there.
+    let out_columns = output_columns_lenient(sel, &scope_cols);
+
+    // LIMIT pushdown: a single-table, non-aggregated, unordered,
+    // non-distinct SELECT with a LIMIT can stop scanning early. Only
+    // worthwhile when the expected rows scanned to fill the limit undercut
+    // the full scan (and no index probe is already sublinear).
+    let mut streaming = false;
+    if opts.pushdown
+        && sel.limit.is_some()
+        && sel.joins.is_empty()
+        && sel.order_by.is_empty()
+        && !sel.distinct
+        && !has_aggregate
+    {
+        if let Some(item) = items.first() {
+            if !item.is_view {
+                let k = (sel.limit.unwrap_or(0) + sel.offset.unwrap_or(0)) as f64;
+                let schema = state.catalog.table(&item.name)?;
+                let item_stats = state.catalog.table_stats(&item.name);
+                let selectivity = sel.where_clause.as_ref().map_or(1.0, |p| {
+                    cost::predicate_selectivity(schema, item_stats, &item.binding, p)
+                });
+                let expected_scan = (k / selectivity).min(item.rows);
+                let index_available = opts.use_indexes
+                    && sel.where_clause.as_ref().is_some_and(|p| {
+                        let pinned = plan::equality_bindings(schema, &item.binding, p);
+                        !pinned.is_empty()
+                            && state
+                                .data
+                                .get(&item.name)
+                                .and_then(|d| plan::choose_index(d, &pinned))
+                                .is_some_and(|_| {
+                                    let est =
+                                        cost::index_probe_estimate(item_stats, item.rows, &pinned);
+                                    cost::index_scan_cost(est) < expected_scan
+                                })
+                    });
+                if !index_available && expected_scan < item.rows {
+                    streaming = true;
+                }
+            }
+        }
+    }
+
+    // Relational part: FROM/JOIN + WHERE.
+    let mut applied_where = false;
+    let mut rel = match (&sel.from, items.len()) {
+        (None, _) => lw.node(1.0, 0.0, PhysOp::ResultRow),
+        (Some(_), 1) => {
+            let (node, applied) =
+                lw.single_table(&items[0], sel.where_clause.as_ref(), streaming)?;
+            applied_where = applied;
+            node
+        }
+        _ => plan_joins(&mut lw, state, sel, &items)?,
+    };
+    if let Some(pred) = &sel.where_clause {
+        if !applied_where {
+            let selectivity = cost::generic_predicate_selectivity(pred);
+            rel = lw.filter_above(rel, pred, selectivity, false);
+        }
+    }
+
+    // Head operators.
+    let mut head = if has_aggregate {
+        let keys = sel.group_by.len();
+        let est = if keys == 0 {
+            1.0
+        } else {
+            (rel.est_rows * 0.1).max(1.0)
+        };
+        let cost = rel.cost + rel.est_rows * cost::EVAL_FACTOR;
+        lw.node(
+            est,
+            cost,
+            PhysOp::HashAggregate {
+                input: Box::new(rel),
+                keys,
+            },
+        )
+    } else {
+        let est = rel.est_rows;
+        let cost = rel.cost + rel.est_rows;
+        lw.node(
+            est,
+            cost,
+            PhysOp::Project {
+                input: Box::new(rel),
+                streaming,
+            },
+        )
+    };
+
+    if !sel.order_by.is_empty() {
+        // ORDER BY pushdown: a LIMIT above (with no DISTINCT in between)
+        // bounds the sort to its first k rows.
+        let top_k = if opts.pushdown && !sel.distinct {
+            sel.limit.map(|l| (l + sel.offset.unwrap_or(0)) as usize)
+        } else {
+            None
+        };
+        let n = head.est_rows.max(1.0);
+        let cost = head.cost
+            + match top_k {
+                Some(k) => n + (k as f64).max(1.0) * (k as f64 + 1.0).log2(),
+                None => n * n.log2().max(1.0),
+            };
+        let est = match top_k {
+            Some(k) => head.est_rows.min(k as f64),
+            None => head.est_rows,
+        };
+        head = lw.node(
+            est,
+            cost,
+            PhysOp::Sort {
+                input: Box::new(head),
+                keys: sel.order_by.len(),
+                top_k,
+            },
+        );
+    }
+
+    if sel.distinct {
+        let est = head.est_rows;
+        let cost = head.cost + head.est_rows;
+        head = lw.node(
+            est,
+            cost,
+            PhysOp::Distinct {
+                input: Box::new(head),
+            },
+        );
+    }
+
+    if sel.limit.is_some() || sel.offset.is_some() {
+        let k = sel.limit.unwrap_or(u64::MAX) as f64;
+        let est = head.est_rows.min(k);
+        let cost = if streaming {
+            // The pipeline stops early: charge only the expected fraction.
+            let frac = (est / head.est_rows.max(1.0)).min(1.0);
+            head.cost * frac.max(0.01)
+        } else {
+            head.cost
+        };
+        head = lw.node(
+            est,
+            cost,
+            PhysOp::Limit {
+                input: Box::new(head),
+                limit: sel.limit,
+                offset: sel.offset.unwrap_or(0),
+                streaming,
+            },
+        );
+    }
+
+    Ok(PhysPlan {
+        root: head,
+        node_count: lw.next_id,
+        sel: sel.clone(),
+        scope_cols,
+        out_columns,
+        has_aggregate,
+    })
+}
+
+/// Lower a join chain: try a cost-improving reorder of all-inner pure
+/// equi-join chains; otherwise build the syntactic left-deep chain with a
+/// per-join strategy choice.
+fn plan_joins(
+    lw: &mut Lowering,
+    state: &DbState,
+    sel: &Select,
+    items: &[FromItem],
+) -> DbResult<PhysNode> {
+    if let Some(node) = try_reorder(lw, state, sel, items)? {
+        return Ok(node);
+    }
+    syntactic_chain(lw, state, sel, items)
+}
+
+/// The syntactic left-deep chain, hash vs nested loop chosen by cost among
+/// the plans the legacy executor deems sound.
+fn syntactic_chain(
+    lw: &mut Lowering,
+    state: &DbState,
+    sel: &Select,
+    items: &[FromItem],
+) -> DbResult<PhysNode> {
+    let mut acc_cols = scope_cols_of(state, &items[0].binding, &items[0].name)?;
+    let mut left = lw.plain_scan(&items[0]);
+    for (i, join) in sel.joins.iter().enumerate() {
+        let item = &items[i + 1];
+        let right_cols = scope_cols_of(state, &item.binding, &item.name)?;
+        let right = lw.plain_scan(item);
+        let (l_est, r_est) = (left.est_rows, right.est_rows);
+        let equi = if lw.opts.hash_join && join.kind != JoinKind::Cross {
+            join.on
+                .as_ref()
+                .and_then(|on| plan::analyze_equi_join(&acc_cols, &right_cols, on))
+        } else {
+            None
+        };
+        left = match equi {
+            Some(equi) => {
+                let ndv = right_key_ndv(state, item, &equi.right_keys);
+                let mut est = cost::join_output_estimate(l_est, r_est, ndv);
+                if join.kind == JoinKind::Left {
+                    est = est.max(l_est);
+                }
+                let hash_cost = left.cost + right.cost + cost::hash_join_cost(l_est, r_est, est);
+                let nl_cost = left.cost + right.cost + cost::nl_join_cost(l_est, r_est);
+                if hash_cost < nl_cost {
+                    lw.node(
+                        est,
+                        hash_cost,
+                        PhysOp::HashJoin {
+                            left: Box::new(left),
+                            right: Box::new(right),
+                            kind: join.kind,
+                            on: join.on.clone().expect("equi join has ON"),
+                        },
+                    )
+                } else {
+                    lw.node(
+                        est,
+                        nl_cost,
+                        PhysOp::NestedLoopJoin {
+                            left: Box::new(left),
+                            right: Box::new(right),
+                            kind: join.kind,
+                            on: join.on.clone(),
+                        },
+                    )
+                }
+            }
+            None => {
+                let est = match join.kind {
+                    JoinKind::Cross => l_est * r_est,
+                    JoinKind::Left => (l_est * r_est * cost::OTHER_SELECTIVITY).max(l_est),
+                    JoinKind::Inner => l_est * r_est * cost::OTHER_SELECTIVITY,
+                };
+                let cost = left.cost + right.cost + cost::nl_join_cost(l_est, r_est);
+                lw.node(
+                    est,
+                    cost,
+                    PhysOp::NestedLoopJoin {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        kind: join.kind,
+                        on: join.on.clone(),
+                    },
+                )
+            }
+        };
+        acc_cols.extend(right_cols);
+    }
+    Ok(left)
+}
+
+/// Attempt a greedy smallest-first reorder of an all-inner, all-base-table,
+/// pure equi-join chain. Returns `None` (fall back to the syntactic chain)
+/// unless every precondition holds, the greedy order differs from the
+/// syntactic one, and its estimated cost is strictly lower.
+fn try_reorder(
+    lw: &mut Lowering,
+    state: &DbState,
+    sel: &Select,
+    items: &[FromItem],
+) -> DbResult<Option<PhysNode>> {
+    let n = items.len();
+    if n < 3
+        || !lw.opts.hash_join
+        || items.iter().any(|i| i.is_view)
+        || sel
+            .joins
+            .iter()
+            .any(|j| j.kind != JoinKind::Inner || j.on.is_none())
+    {
+        return Ok(None);
+    }
+
+    // Extract equi-edges exactly as the syntactic chain would see them;
+    // every ON must be a pure equi-conjunction (no residual) so keyed hash
+    // matching is provably equivalent to ON evaluation.
+    let offsets: Vec<usize> = items
+        .iter()
+        .scan(0usize, |acc, i| {
+            let o = *acc;
+            *acc += i.width;
+            Some(o)
+        })
+        .collect();
+    let mut acc_cols: Vec<ScopeCol> = scope_cols_of(state, &items[0].binding, &items[0].name)?;
+    let mut edges: Vec<EquiEdge> = Vec::new();
+    for (i, join) in sel.joins.iter().enumerate() {
+        let item = &items[i + 1];
+        let right_cols = scope_cols_of(state, &item.binding, &item.name)?;
+        let on = join.on.as_ref().expect("checked above");
+        let Some(equi) = plan::analyze_equi_join(&acc_cols, &right_cols, on) else {
+            return Ok(None);
+        };
+        if !equi.residual.is_empty() {
+            return Ok(None);
+        }
+        for (&lk, &rk) in equi.left_keys.iter().zip(&equi.right_keys) {
+            let t = (0..=i)
+                .rev()
+                .find(|&t| lk >= offsets[t])
+                .expect("key position within accumulated scope");
+            edges.push(EquiEdge {
+                a: (t, lk - offsets[t]),
+                b: (i + 1, rk),
+            });
+        }
+        acc_cols.extend(right_cols);
+    }
+
+    // Greedy order: smallest table first, then the smallest table connected
+    // to the chosen set. Bail if the equi-graph is disconnected.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let smallest = (0..n)
+        .min_by(|&a, &b| items[a].rows.total_cmp(&items[b].rows))
+        .expect("non-empty");
+    order.push(smallest);
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|t| !order.contains(t))
+            .filter(|&t| {
+                edges.iter().any(|e| {
+                    (e.a.0 == t && order.contains(&e.b.0)) || (e.b.0 == t && order.contains(&e.a.0))
+                })
+            })
+            .min_by(|&a, &b| items[a].rows.total_cmp(&items[b].rows));
+        match next {
+            Some(t) => order.push(t),
+            None => return Ok(None),
+        }
+    }
+    if order.iter().copied().eq(0..n) {
+        return Ok(None);
+    }
+
+    // Cost both orders (scan cost + hash-join chain cost).
+    let chain_cost = |ord: &[usize]| -> f64 {
+        let mut cost: f64 = ord.iter().map(|&t| items[t].rows).sum();
+        let mut est = items[ord[0]].rows;
+        for (j, &t) in ord.iter().enumerate().skip(1) {
+            let key_col = edges.iter().find_map(|e| {
+                if e.b.0 == t && ord[..j].contains(&e.a.0) {
+                    Some(e.b.1)
+                } else if e.a.0 == t && ord[..j].contains(&e.b.0) {
+                    Some(e.a.1)
+                } else {
+                    None
+                }
+            });
+            let ndv = key_col.and_then(|c| {
+                state
+                    .catalog
+                    .table_stats(&items[t].name)
+                    .and_then(|s| s.column_distinct(c))
+                    .filter(|&v| v > 0)
+            });
+            let out = cost::join_output_estimate(est, items[t].rows, ndv);
+            cost += cost::hash_join_cost(est, items[t].rows, out);
+            est = out;
+        }
+        cost
+    };
+    let syntactic: Vec<usize> = (0..n).collect();
+    if chain_cost(&order) >= chain_cost(&syntactic) {
+        return Ok(None);
+    }
+
+    // Build the reordered chain. Scans append a hidden sequence column
+    // (handled by the executor), so each item contributes width+1 columns.
+    let ro: Vec<usize> = order
+        .iter()
+        .scan(0usize, |acc, &t| {
+            let o = *acc;
+            *acc += items[t].width + 1;
+            Some(o)
+        })
+        .collect();
+    let pos_in_order = |t: usize| order.iter().position(|&x| x == t).expect("in order");
+
+    let mut node = lw.plain_scan(&items[order[0]]);
+    let mut est = items[order[0]].rows;
+    for (j, &t) in order.iter().enumerate().skip(1) {
+        let right = lw.plain_scan(&items[t]);
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        for e in &edges {
+            let (other, oc, rc) = if e.b.0 == t && order[..j].contains(&e.a.0) {
+                (e.a.0, e.a.1, e.b.1)
+            } else if e.a.0 == t && order[..j].contains(&e.b.0) {
+                (e.b.0, e.b.1, e.a.1)
+            } else {
+                continue;
+            };
+            left_keys.push(ro[pos_in_order(other)] + oc);
+            right_keys.push(rc);
+        }
+        debug_assert!(!left_keys.is_empty(), "greedy order is connected");
+        let ndv = right_key_ndv(state, &items[t], &right_keys);
+        let out = cost::join_output_estimate(est, items[t].rows, ndv);
+        let cost = node.cost + right.cost + cost::hash_join_cost(est, items[t].rows, out);
+        node = lw.node(
+            out,
+            cost,
+            PhysOp::KeyedHashJoin {
+                left: Box::new(node),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+            },
+        );
+        est = out;
+    }
+
+    // Restore: permute columns back to the syntactic layout and sort by the
+    // hidden sequence tuple in original FROM order.
+    let mut perm = Vec::new();
+    let mut seq_positions = Vec::new();
+    for (t, item) in items.iter().enumerate() {
+        let base = ro[pos_in_order(t)];
+        for c in 0..item.width {
+            perm.push(base + c);
+        }
+        seq_positions.push(base + item.width);
+    }
+    let sort_cost = est.max(1.0) * est.max(2.0).log2();
+    let restore = lw.node(
+        est,
+        node.cost + sort_cost,
+        PhysOp::Restore {
+            input: Box::new(node),
+            perm,
+            seq_positions,
+        },
+    );
+    Ok(Some(restore))
+}
+
+/// Scope columns a FROM item (table or view) contributes.
+pub(crate) fn scope_cols_of(state: &DbState, binding: &str, name: &str) -> DbResult<Vec<ScopeCol>> {
+    let names: Vec<String> = match state.catalog.view(name) {
+        Some(view) => view.columns.clone(),
+        None => state
+            .catalog
+            .table(name)?
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect(),
+    };
+    Ok(names
+        .into_iter()
+        .map(|n| ScopeCol {
+            binding: Some(binding.to_owned()),
+            name: n,
+        })
+        .collect())
+}
+
+/// Output column names, tolerating resolution errors (the executor derives
+/// the real names at the reference pipeline's stage so errors surface in
+/// the same order).
+fn output_columns_lenient(sel: &Select, scope_cols: &[ScopeCol]) -> Vec<String> {
+    let mut out = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => out.extend(scope_cols.iter().map(|c| c.name.clone())),
+            SelectItem::QualifiedWildcard(t) => out.extend(
+                scope_cols
+                    .iter()
+                    .filter(|c| c.binding.as_deref() == Some(t.as_str()))
+                    .map(|c| c.name.clone()),
+            ),
+            SelectItem::Expr { expr, alias } => out.push(match alias {
+                Some(a) => a.clone(),
+                None => crate::exec::derive_name(expr),
+            }),
+        }
+    }
+    out
+}

@@ -1,0 +1,371 @@
+//! The physical plan: an explicit operator tree with per-node cost and
+//! cardinality estimates.
+//!
+//! Every node carries a stable `id` (assigned in lowering order) so EXPLAIN
+//! ANALYZE can join the tree against the per-operator row counters the
+//! Volcano executor collects, an estimated output cardinality, and the
+//! estimated cumulative cost of producing it. Rendering is deliberately
+//! deterministic — golden tests snapshot the exact text.
+
+use crate::expr::ScopeCol;
+use crate::value::Value;
+use sqlkit::ast::{Expr, JoinKind, Select};
+use std::collections::BTreeMap;
+
+/// One operator in the physical tree.
+#[derive(Debug, Clone)]
+pub struct PhysNode {
+    /// Stable node id (lowering order); joins estimates to actual counts.
+    pub id: usize,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated cumulative cost (abstract row-visit units).
+    pub cost: f64,
+    /// The operator.
+    pub op: PhysOp,
+}
+
+/// Physical operators. Children are boxed nodes; leaf scans carry what the
+/// executor needs to open them against a [`crate::exec::DbState`].
+#[derive(Debug, Clone)]
+pub enum PhysOp {
+    /// `SELECT` without FROM: exactly one empty row.
+    ResultRow,
+    /// Full scan in row-id order. `pushed` carries the full WHERE clause
+    /// when the scan itself filters (parallel chunked filter); otherwise
+    /// filtering happens in a parent [`PhysOp::Filter`].
+    SeqScan {
+        /// Table name.
+        table: String,
+        /// FROM binding (alias or table name).
+        binding: String,
+        /// Full predicate evaluated inside the (parallel) scan.
+        pushed: Option<Expr>,
+        /// Whether the scan partitions across worker threads.
+        parallel: bool,
+    },
+    /// Secondary-index probe on fully pinned equality columns. The probe
+    /// over-approximates; the parent Filter re-applies the full predicate.
+    IndexScan {
+        /// Table name.
+        table: String,
+        /// FROM binding.
+        binding: String,
+        /// Chosen index.
+        index: String,
+        /// Pinned column position → probe value.
+        pinned: BTreeMap<usize, Value>,
+    },
+    /// FROM item is a view: expands to its defining query at open time.
+    ViewScan {
+        /// View name.
+        view: String,
+        /// FROM binding.
+        binding: String,
+    },
+    /// Residual predicate over child rows. `streaming` evaluates row by
+    /// row (LIMIT early-exit pipelines only — the sanctioned divergence);
+    /// buffered mode filters the whole child batch, preserving the
+    /// reference pipeline's stage-at-a-time error surfacing.
+    Filter {
+        /// Input operator.
+        input: Box<PhysNode>,
+        /// Predicate.
+        predicate: Expr,
+        /// Row-at-a-time evaluation (LIMIT pushdown pipelines only).
+        streaming: bool,
+    },
+    /// Quadratic join; the only sound plan for non-equi conditions.
+    NestedLoopJoin {
+        /// Left (outer) input.
+        left: Box<PhysNode>,
+        /// Right (inner) input.
+        right: Box<PhysNode>,
+        /// Join kind.
+        kind: JoinKind,
+        /// ON condition (absent for CROSS).
+        on: Option<Expr>,
+    },
+    /// Grace-hash join on extracted equi-keys; re-evaluates the full ON for
+    /// key-matching pairs, so output equals the nested loop's.
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<PhysNode>,
+        /// Right (build) input.
+        right: Box<PhysNode>,
+        /// Join kind (Inner or Left).
+        kind: JoinKind,
+        /// Full ON condition.
+        on: Expr,
+    },
+    /// Hash join used inside a reordered all-inner equi-join chain: the
+    /// planner proved the ON chain is a pure equi-conjunction, so matching
+    /// is pure key comparison (`sql_eq` on every pair) — no expression
+    /// evaluation, hence no error-surfacing divergence.
+    KeyedHashJoin {
+        /// Left (probe) input.
+        left: Box<PhysNode>,
+        /// Right (build) input.
+        right: Box<PhysNode>,
+        /// Key column positions in the left input's layout.
+        left_keys: Vec<usize>,
+        /// Key column positions in the right input's layout.
+        right_keys: Vec<usize>,
+    },
+    /// Above a reordered join chain: sorts by the hidden per-scan sequence
+    /// columns (restoring the original FROM-order nested-loop row order)
+    /// and permutes columns back to the syntactic scope layout.
+    Restore {
+        /// Input operator (the reordered join chain).
+        input: Box<PhysNode>,
+        /// Visible-column permutation: output position → input position.
+        perm: Vec<usize>,
+        /// Hidden sequence column positions, in original FROM order.
+        seq_positions: Vec<usize>,
+    },
+    /// Projection of the SELECT items (non-aggregate queries).
+    Project {
+        /// Input operator.
+        input: Box<PhysNode>,
+        /// Row-at-a-time projection (LIMIT pushdown pipelines only).
+        streaming: bool,
+    },
+    /// Grouping + aggregate evaluation + HAVING (aggregate queries).
+    HashAggregate {
+        /// Input operator.
+        input: Box<PhysNode>,
+        /// Number of GROUP BY keys (0 = one global group).
+        keys: usize,
+    },
+    /// ORDER BY. `top_k` bounds the sort to the first `k` rows of the
+    /// stable full sort when a LIMIT above allows it.
+    Sort {
+        /// Input operator.
+        input: Box<PhysNode>,
+        /// Number of sort keys.
+        keys: usize,
+        /// ORDER-BY pushdown: produce only the first `k` rows.
+        top_k: Option<usize>,
+    },
+    /// DISTINCT, first occurrence wins (matches the reference pipeline).
+    Distinct {
+        /// Input operator.
+        input: Box<PhysNode>,
+    },
+    /// OFFSET/LIMIT. `streaming` marks the early-exit pipeline.
+    Limit {
+        /// Input operator.
+        input: Box<PhysNode>,
+        /// LIMIT row count.
+        limit: Option<u64>,
+        /// OFFSET row count.
+        offset: u64,
+        /// Early-exit: stop pulling the child once offset+limit rows are
+        /// produced (sanctioned divergence: predicate errors past the
+        /// limit are not surfaced).
+        streaming: bool,
+    },
+}
+
+impl PhysNode {
+    /// Child nodes, in left-to-right order.
+    pub fn children(&self) -> Vec<&PhysNode> {
+        match &self.op {
+            PhysOp::ResultRow
+            | PhysOp::SeqScan { .. }
+            | PhysOp::IndexScan { .. }
+            | PhysOp::ViewScan { .. } => Vec::new(),
+            PhysOp::Filter { input, .. }
+            | PhysOp::Restore { input, .. }
+            | PhysOp::Project { input, .. }
+            | PhysOp::HashAggregate { input, .. }
+            | PhysOp::Sort { input, .. }
+            | PhysOp::Distinct { input }
+            | PhysOp::Limit { input, .. } => vec![input],
+            PhysOp::NestedLoopJoin { left, right, .. }
+            | PhysOp::HashJoin { left, right, .. }
+            | PhysOp::KeyedHashJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// One-line description of this operator (no cost annotations).
+    pub fn describe(&self) -> String {
+        match &self.op {
+            PhysOp::ResultRow => "Result (no table)".into(),
+            PhysOp::SeqScan {
+                table,
+                binding,
+                pushed,
+                parallel,
+            } => {
+                let mut s = if *parallel {
+                    format!("Parallel Seq Scan on {table}")
+                } else {
+                    format!("Seq Scan on {table}")
+                };
+                if binding != table {
+                    s.push_str(&format!(" as {binding}"));
+                }
+                if let Some(p) = pushed {
+                    s.push_str(&format!(" (filter: {})", sqlkit::format_expr(p)));
+                }
+                s
+            }
+            PhysOp::IndexScan {
+                table,
+                binding,
+                index,
+                ..
+            } => {
+                let mut s = format!("Index Scan on {table}");
+                if binding != table {
+                    s.push_str(&format!(" as {binding}"));
+                }
+                s.push_str(&format!(" using {index}"));
+                s
+            }
+            PhysOp::ViewScan { view, binding } => {
+                let mut s = format!("View Scan on {view}");
+                if binding != view {
+                    s.push_str(&format!(" as {binding}"));
+                }
+                s
+            }
+            PhysOp::Filter {
+                predicate,
+                streaming,
+                ..
+            } => {
+                let mut s = format!("Filter ({})", sqlkit::format_expr(predicate));
+                if *streaming {
+                    s.push_str(" [streaming]");
+                }
+                s
+            }
+            PhysOp::NestedLoopJoin { kind, on, .. } => {
+                let mut s = match kind {
+                    JoinKind::Inner => "Nested Loop Join".to_owned(),
+                    JoinKind::Left => "Nested Loop Left Join".to_owned(),
+                    JoinKind::Cross => "Nested Loop Cross Join".to_owned(),
+                };
+                if let Some(on) = on {
+                    s.push_str(&format!(" on {}", sqlkit::format_expr(on)));
+                }
+                s
+            }
+            // The trailing marker is the satellite requirement: whenever a
+            // hash join replaces the nested loop, the documented ON-error
+            // divergence must be visible in the plan text.
+            PhysOp::HashJoin { kind, on, .. } => {
+                let head = match kind {
+                    JoinKind::Left => "Hash Left Join",
+                    _ => "Hash Join",
+                };
+                format!(
+                    "{head} on {} [over nested loop: ON errors on non-key-matching pairs \
+                     are not surfaced]",
+                    sqlkit::format_expr(on)
+                )
+            }
+            PhysOp::KeyedHashJoin { left_keys, .. } => format!(
+                "Hash Join (reordered, {} key(s)) [pure equi-keys: no ON expression evaluation]",
+                left_keys.len()
+            ),
+            PhysOp::Restore { perm, .. } => {
+                format!("Restore FROM order ({} column(s))", perm.len())
+            }
+            PhysOp::Project { streaming, .. } => {
+                if *streaming {
+                    "Project [streaming]".into()
+                } else {
+                    "Project".into()
+                }
+            }
+            PhysOp::HashAggregate { keys, .. } => {
+                if *keys == 0 {
+                    "Aggregate".into()
+                } else {
+                    format!("HashAggregate ({keys} key(s))")
+                }
+            }
+            PhysOp::Sort { keys, top_k, .. } => match top_k {
+                Some(k) => format!("Sort ({keys} key(s), top-k={k})"),
+                None => format!("Sort ({keys} key(s))"),
+            },
+            PhysOp::Distinct { .. } => "Distinct".into(),
+            PhysOp::Limit {
+                limit,
+                offset,
+                streaming,
+                ..
+            } => {
+                let mut s = "Limit (".to_owned();
+                if let Some(l) = limit {
+                    s.push_str(&format!("limit={l}"));
+                }
+                if *offset > 0 {
+                    if limit.is_some() {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&format!("offset={offset}"));
+                }
+                s.push(')');
+                if *streaming {
+                    s.push_str(" [streaming early-exit]");
+                }
+                s
+            }
+        }
+    }
+}
+
+/// A complete physical plan for one SELECT block.
+#[derive(Debug, Clone)]
+pub struct PhysPlan {
+    /// Root operator.
+    pub root: PhysNode,
+    /// Total nodes in the tree (ids are `0..node_count`).
+    pub node_count: usize,
+    /// The (subquery-resolved) SELECT the plan executes; head operators
+    /// read their expressions from here.
+    pub sel: Select,
+    /// Combined FROM scope in syntactic order.
+    pub scope_cols: Vec<ScopeCol>,
+    /// Output column names.
+    pub out_columns: Vec<String>,
+    /// Whether the query aggregates (GROUP BY or aggregate functions).
+    pub has_aggregate: bool,
+}
+
+impl PhysPlan {
+    /// Render the tree as indented text. `actual` (node id → rows emitted)
+    /// appends EXPLAIN ANALYZE's measured per-operator counts.
+    pub fn render(&self, actual: Option<&BTreeMap<usize, u64>>) -> Vec<String> {
+        let mut lines = Vec::new();
+        render_into(&self.root, 0, actual, &mut lines);
+        lines
+    }
+}
+
+fn render_into(
+    node: &PhysNode,
+    depth: usize,
+    actual: Option<&BTreeMap<usize, u64>>,
+    lines: &mut Vec<String>,
+) {
+    let pad = "  ".repeat(depth);
+    let mut line = format!(
+        "{pad}{} (cost={:.2} rows={})",
+        node.describe(),
+        node.cost,
+        node.est_rows.round().max(0.0) as u64
+    );
+    if let Some(counts) = actual {
+        let n = counts.get(&node.id).copied().unwrap_or(0);
+        line.push_str(&format!(" (actual rows={n})"));
+    }
+    lines.push(line);
+    for child in node.children() {
+        render_into(child, depth + 1, actual, lines);
+    }
+}

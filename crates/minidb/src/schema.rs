@@ -118,11 +118,45 @@ pub struct ViewDef {
     pub columns: Vec<String>,
 }
 
+/// Optimizer statistics for one column, parallel to the schema's column
+/// list. Collected by `ANALYZE`, consumed by the cost model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Number of distinct non-NULL values.
+    pub distinct: u64,
+    /// Number of NULL values.
+    pub nulls: u64,
+}
+
+/// Optimizer statistics for one table: a point-in-time sample taken by
+/// `ANALYZE`. Stats are advisory — they steer plan choice but never
+/// correctness — and go stale silently until the next `ANALYZE`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Row count at collection time.
+    pub row_count: u64,
+    /// Per-column statistics, in schema column order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Distinct count of the column at `index`, if collected.
+    pub fn column_distinct(&self, index: usize) -> Option<u64> {
+        self.columns.get(index).map(|c| c.distinct)
+    }
+}
+
 /// The database catalog: name → schema.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, TableSchema>,
     views: BTreeMap<String, ViewDef>,
+    /// `ANALYZE` output per table. Kept separate from [`TableSchema`] so
+    /// schema equality (and the WAL schema codec) stay stats-agnostic.
+    stats: BTreeMap<String, TableStats>,
+    /// Bumped on every stats mutation; combined with the commit timestamp
+    /// it forms the plan-cache generation (see `Database::plan_generation`).
+    stats_epoch: u64,
 }
 
 impl Catalog {
@@ -167,11 +201,49 @@ impl Catalog {
         Ok(())
     }
 
-    /// Remove a table schema, returning it.
+    /// Remove a table schema, returning it. Any collected statistics are
+    /// dropped with it — a re-created or rewritten table starts unanalyzed
+    /// (stale column counts would mislead the cost model).
     pub fn remove_table(&mut self, name: &str) -> DbResult<TableSchema> {
-        self.tables
+        let schema = self
+            .tables
             .remove(name)
-            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))?;
+        if self.stats.remove(name).is_some() {
+            self.stats_epoch += 1;
+        }
+        Ok(schema)
+    }
+
+    /// Optimizer statistics for a table, if `ANALYZE` has run on it.
+    pub fn table_stats(&self, name: &str) -> Option<&TableStats> {
+        self.stats.get(name)
+    }
+
+    /// Install (or replace) the statistics of a table, bumping the stats
+    /// epoch so plan caches keyed on it re-plan.
+    pub fn set_table_stats(&mut self, name: &str, stats: TableStats) {
+        self.stats.insert(name.to_owned(), stats);
+        self.stats_epoch += 1;
+    }
+
+    /// Remove a table's statistics, returning them (undo of `ANALYZE`).
+    pub fn take_table_stats(&mut self, name: &str) -> Option<TableStats> {
+        let old = self.stats.remove(name);
+        if old.is_some() {
+            self.stats_epoch += 1;
+        }
+        old
+    }
+
+    /// Tables with collected statistics, sorted.
+    pub fn analyzed_tables(&self) -> Vec<&str> {
+        self.stats.keys().map(String::as_str).collect()
+    }
+
+    /// Monotonic counter of statistics mutations.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
     }
 
     /// Mutable access to a schema (ALTER TABLE, index DDL).
@@ -225,9 +297,16 @@ impl Catalog {
         if self.tables.contains_key(new) {
             return Err(DbError::AlreadyExists(new.to_owned()));
         }
+        // Detach stats before `remove_table` drops them: a rename keeps the
+        // column layout, so the collected sample stays valid under the new
+        // name.
+        let stats = self.stats.remove(old);
         let mut schema = self.remove_table(old)?;
         schema.name = new.to_owned();
         self.tables.insert(new.to_owned(), schema);
+        if let Some(stats) = stats {
+            self.stats.insert(new.to_owned(), stats);
+        }
         for t in self.tables.values_mut() {
             for fk in &mut t.foreign_keys {
                 if fk.foreign_table == old {

@@ -72,6 +72,17 @@ fn encode(state: &DbState, privileges: &PrivilegeCatalog) -> Vec<u8> {
             wal::put_str(&mut buf, object);
         }
     }
+    // Optimizer statistics, so ANALYZE survives checkpoint + restart.
+    let analyzed = state.catalog.analyzed_tables();
+    wal::put_u32(&mut buf, analyzed.len() as u32);
+    for name in &analyzed {
+        let stats = state
+            .catalog
+            .table_stats(name)
+            .expect("catalog lists the analyzed table");
+        wal::put_str(&mut buf, name);
+        wal::put_stats(&mut buf, stats);
+    }
     buf
 }
 
@@ -110,6 +121,14 @@ fn decode(payload: &[u8]) -> DbResult<(DbState, PrivilegeCatalog)> {
             let action = r.action().map_err(corrupt)?;
             let object = r.str().map_err(corrupt)?;
             privileges.grant(&name, action, &object)?;
+        }
+    }
+    let nstats = r.u32().map_err(corrupt)? as usize;
+    for _ in 0..nstats {
+        let name = r.str().map_err(corrupt)?;
+        let stats = r.stats().map_err(corrupt)?;
+        if state.catalog.contains(&name) {
+            state.catalog.set_table_stats(&name, stats);
         }
     }
     if !r.is_done() {

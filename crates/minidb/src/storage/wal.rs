@@ -29,7 +29,7 @@ use super::{DurabilityConfig, RecoveryReport, StorageEngine};
 use crate::error::{DbError, DbResult};
 use crate::exec::DbState;
 use crate::privilege::PrivilegeCatalog;
-use crate::schema::{Column, ForeignKey, IndexDef, TableSchema, ViewDef};
+use crate::schema::{Column, ColumnStats, ForeignKey, IndexDef, TableSchema, TableStats, ViewDef};
 use crate::value::{Row, Value};
 use obs::Obs;
 use sqlkit::ast::{self, Action, TypeName};
@@ -218,6 +218,15 @@ pub enum WalRecord {
         /// Object revoked on.
         object: String,
     },
+    /// `ANALYZE` installed optimizer statistics for one table. Replay is
+    /// tolerant: if the table no longer exists the record is skipped (stats
+    /// are advisory, never load-bearing).
+    Analyze {
+        /// Table name.
+        table: String,
+        /// The collected statistics.
+        stats: TableStats,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -374,6 +383,15 @@ pub(crate) fn put_schema(buf: &mut Vec<u8>, schema: &TableSchema) {
         put_str(buf, &ix.name);
         put_strs(buf, &ix.columns);
         put_bool(buf, ix.unique);
+    }
+}
+
+pub(crate) fn put_stats(buf: &mut Vec<u8>, stats: &TableStats) {
+    put_u64(buf, stats.row_count);
+    put_u32(buf, stats.columns.len() as u32);
+    for c in &stats.columns {
+        put_u64(buf, c.distinct);
+        put_u64(buf, c.nulls);
     }
 }
 
@@ -565,6 +583,18 @@ impl<'a> Reader<'a> {
         })
     }
 
+    pub(crate) fn stats(&mut self) -> Result<TableStats, String> {
+        let row_count = self.u64()?;
+        let ncols = self.u32()? as usize;
+        let mut columns = Vec::with_capacity(ncols.min(1 << 16));
+        for _ in 0..ncols {
+            let distinct = self.u64()?;
+            let nulls = self.u64()?;
+            columns.push(ColumnStats { distinct, nulls });
+        }
+        Ok(TableStats { row_count, columns })
+    }
+
     pub(crate) fn table_payload(&mut self) -> Result<TablePayload, String> {
         let slot_count = self.u64()? as usize;
         let nrows = self.u32()? as usize;
@@ -714,6 +744,11 @@ impl WalRecord {
                 put_str(buf, user);
                 put_str(buf, object);
             }
+            WalRecord::Analyze { table, stats } => {
+                buf.push(17);
+                put_str(buf, table);
+                put_stats(buf, stats);
+            }
         }
     }
 
@@ -789,6 +824,10 @@ impl WalRecord {
             16 => WalRecord::RevokeAll {
                 user: r.str()?,
                 object: r.str()?,
+            },
+            17 => WalRecord::Analyze {
+                table: r.str()?,
+                stats: r.stats()?,
             },
             t => return Err(format!("unknown WAL record tag {t}")),
         };
@@ -1012,6 +1051,14 @@ pub(crate) fn apply_record(
         } => privileges.revoke(&user, action, &object),
         WalRecord::GrantAll { user, object } => privileges.grant_all(&user, &object),
         WalRecord::RevokeAll { user, object } => privileges.revoke_all(&user, &object),
+        WalRecord::Analyze { table, stats } => {
+            // Stats for a table dropped later in the log are simply skipped:
+            // they steer the planner, never correctness.
+            if state.catalog.contains(&table) {
+                state.catalog.set_table_stats(&table, stats);
+            }
+            Ok(())
+        }
     }
 }
 

@@ -77,6 +77,14 @@ pub enum UndoOp {
         /// Index name.
         name: String,
     },
+    /// `ANALYZE` installed table statistics; undo restores the previous
+    /// stats (or removes them if the table was unanalyzed).
+    SetStats {
+        /// Table name.
+        table: String,
+        /// Statistics before the ANALYZE, if any.
+        old: Option<crate::schema::TableStats>,
+    },
     /// ALTER TABLE with snapshot-based undo.
     AlterSnapshot {
         /// Original table name.
@@ -132,6 +140,12 @@ pub fn rollback(state: &mut DbState, log: Vec<UndoOp>) {
                     schema.indexes.retain(|i| i.name != name);
                 }
             }
+            UndoOp::SetStats { table, old } => match old {
+                Some(stats) => state.catalog.set_table_stats(&table, stats),
+                None => {
+                    state.catalog.take_table_stats(&table);
+                }
+            },
             UndoOp::AlterSnapshot {
                 table,
                 schema,
@@ -224,6 +238,14 @@ pub fn redo_records(state: &DbState, ops: &[UndoOp]) -> Vec<WalRecord> {
                     records.push(WalRecord::CreateIndex {
                         table: table.clone(),
                         def: def.clone(),
+                    });
+                }
+            }
+            UndoOp::SetStats { table, .. } => {
+                if let Some(stats) = state.catalog.table_stats(table) {
+                    records.push(WalRecord::Analyze {
+                        table: table.clone(),
+                        stats: stats.clone(),
                     });
                 }
             }

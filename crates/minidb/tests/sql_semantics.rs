@@ -672,7 +672,8 @@ fn explain_reports_scan_choices_without_executing() {
     );
     assert!(plan.contains("Limit"), "{plan}");
     assert!(plan.contains("Sort"), "{plan}");
-    assert!(plan.contains("GroupAggregate"), "{plan}");
+    assert!(plan.contains("HashAggregate"), "{plan}");
+    assert!(plan.contains("cost="), "{plan}");
     // An equi-join plans as a hash join; a non-equi join falls back to the
     // nested loop.
     assert!(plan.contains("Hash Join"), "{plan}");

@@ -77,7 +77,7 @@ impl ColumnUsage {
 
 /// Compute the column-level usage of a statement.
 pub fn column_usage(stmt: &Statement) -> ColumnUsage {
-    if let Statement::Explain(inner) = stmt {
+    if let Statement::Explain { stmt: inner, .. } = stmt {
         return column_usage(inner);
     }
     let mut usage = ColumnUsage::default();
@@ -249,7 +249,7 @@ fn expr_children(e: &Expr) -> Vec<&Expr> {
 
 /// Compute the access profile of a statement.
 pub fn analyze(stmt: &Statement) -> AccessProfile {
-    if let Statement::Explain(inner) = stmt {
+    if let Statement::Explain { stmt: inner, .. } = stmt {
         // EXPLAIN requires the explained statement's privileges.
         return analyze(inner);
     }
@@ -322,7 +322,15 @@ pub fn analyze(stmt: &Statement) -> AccessProfile {
         | Statement::Savepoint(_)
         | Statement::RollbackTo(_)
         | Statement::Release(_) => {}
-        Statement::Explain(_) => unreachable!("handled above"),
+        Statement::Explain { .. } => unreachable!("handled above"),
+        Statement::Analyze { table } => {
+            // Statistics collection rewrites the catalog entry of the named
+            // table. A whole-database ANALYZE names no static object; the
+            // engine gates it at execution (superuser only).
+            if let Some(t) = table {
+                writes.insert(t.clone());
+            }
+        }
         Statement::GrantRevoke(g) => {
             for obj in &g.objects {
                 writes.insert(obj.clone());

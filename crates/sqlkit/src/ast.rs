@@ -668,7 +668,20 @@ pub enum Statement {
     /// GRANT / REVOKE.
     GrantRevoke(GrantRevoke),
     /// EXPLAIN wrapping another statement: describe the plan, don't run it.
-    Explain(Box<Statement>),
+    Explain {
+        /// The statement being explained.
+        stmt: Box<Statement>,
+        /// `EXPLAIN ANALYZE`: execute the statement and report real
+        /// per-operator row counts alongside the estimates.
+        analyze: bool,
+    },
+    /// ANALYZE \[table\]: collect optimizer statistics (row counts and
+    /// per-column distinct counts) for one table, or for every table when
+    /// no name is given.
+    Analyze {
+        /// The table to analyze; `None` analyzes the whole database.
+        table: Option<String>,
+    },
 }
 
 impl Statement {
@@ -693,7 +706,9 @@ impl Statement {
             | Statement::Release(_) => Action::Transaction,
             Statement::GrantRevoke(_) => Action::GrantRevoke,
             // EXPLAIN needs the privileges of the statement it explains.
-            Statement::Explain(inner) => inner.action(),
+            Statement::Explain { stmt, .. } => stmt.action(),
+            // ANALYZE rewrites catalog statistics: a schema-level write.
+            Statement::Analyze { .. } => Action::Alter,
         }
     }
 }

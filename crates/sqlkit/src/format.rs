@@ -56,7 +56,18 @@ pub fn format_statement(stmt: &Statement) -> String {
         Statement::Savepoint(name) => format!("SAVEPOINT {name}"),
         Statement::RollbackTo(name) => format!("ROLLBACK TO SAVEPOINT {name}"),
         Statement::Release(name) => format!("RELEASE SAVEPOINT {name}"),
-        Statement::Explain(inner) => format!("EXPLAIN {}", format_statement(inner)),
+        Statement::Explain { stmt, analyze } => {
+            let verb = if *analyze {
+                "EXPLAIN ANALYZE"
+            } else {
+                "EXPLAIN"
+            };
+            format!("{verb} {}", format_statement(stmt))
+        }
+        Statement::Analyze { table } => match table {
+            Some(t) => format!("ANALYZE {t}"),
+            None => "ANALYZE".to_owned(),
+        },
         Statement::GrantRevoke(g) => {
             let verb = if g.grant { "GRANT" } else { "REVOKE" };
             let privs = match &g.actions {

@@ -164,10 +164,58 @@ impl Parser {
         }
     }
 
+    /// True when the token *after* the current one begins a statement —
+    /// used to disambiguate the `ANALYZE` execution flag of `EXPLAIN`.
+    fn next_starts_statement(&self) -> bool {
+        const STARTERS: [&str; 17] = [
+            "explain",
+            "analyze",
+            "select",
+            "insert",
+            "update",
+            "delete",
+            "create",
+            "drop",
+            "alter",
+            "begin",
+            "start",
+            "commit",
+            "rollback",
+            "savepoint",
+            "release",
+            "grant",
+            "revoke",
+        ];
+        match self.peek_at(1) {
+            Some(Token::Ident { text, .. }) => {
+                STARTERS.iter().any(|k| text.eq_ignore_ascii_case(k))
+            }
+            _ => false,
+        }
+    }
+
     fn statement(&mut self) -> Result<Statement, ParseError> {
         if self.eat_keyword("explain") {
+            // `EXPLAIN ANALYZE <stmt>` vs `EXPLAIN ANALYZE [t]` (explaining
+            // the ANALYZE statement itself): ANALYZE is an execution flag
+            // only when a statement keyword follows it.
+            let analyze = self.is_keyword("analyze") && self.next_starts_statement();
+            if analyze {
+                self.pos += 1;
+            }
             let inner = self.statement()?;
-            return Ok(Statement::Explain(Box::new(inner)));
+            return Ok(Statement::Explain {
+                stmt: Box::new(inner),
+                analyze,
+            });
+        }
+        if self.eat_keyword("analyze") {
+            let table = if matches!(self.peek(), Some(Token::Ident { .. })) {
+                Some(self.identifier()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Analyze { table });
         }
         if self.is_keyword("select") {
             return Ok(Statement::Select(self.select()?));

@@ -46,6 +46,13 @@
 //!   and without a budgeted runaway tenant) and writes a machine-readable
 //!   JSON report with `hit_rate`, `completion_rate`, `fairness_ratio`,
 //!   and `p95_ratio`.
+//! * `cargo run --example serve -- --bench-planner [OUT] [ROWS]` — the
+//!   cost-based planner benchmark (ci/check.sh `planner-smoke`): runs the
+//!   benchkit planner microbench, asserts the planner's decisions (index
+//!   probe after ANALYZE, non-syntactic three-way join order, bounded
+//!   top-k sort, streaming LIMIT measurably faster than unpushed), and
+//!   writes a machine-readable JSON report with the plan shapes and
+//!   speedups.
 //!
 //! The TCP mode takes gate flags: `--cache` turns on the retrieval +
 //! prepared-plan caches, `--budgets N` caps every database user at N tool
@@ -120,6 +127,14 @@ fn main() {
                 .cloned()
                 .unwrap_or_else(|| "BENCH_gate.json".to_owned());
             run_bench_gate(&out);
+        }
+        Some("--bench-planner") => {
+            let out = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_planner.json".to_owned());
+            let rows = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+            run_bench_planner(&out, rows);
         }
         Some("--bench-mvcc") => {
             let out = args
@@ -1115,6 +1130,71 @@ fn run_bench_gate(out_path: &str) {
         "  \"hit_rate\": {hit_rate:.3},\n  \"completion_rate\": {completion_rate:.3},\n  \
          \"fairness_ratio\": {fairness_ratio:.3},\n  \"p95_ratio\": {p95_ratio:.3}\n}}\n"
     ));
+    if let Err(e) = std::fs::write(out_path, &json) {
+        fail(&format!("cannot write {out_path}: {e}"));
+    }
+    println!("bench: wrote {out_path}");
+}
+
+/// Cost-based planner benchmark (ci/check.sh `planner-smoke`): run the
+/// benchkit planner microbench, hard-fail unless the optimizer made every
+/// decision it exists to make, and write the JSON report the CI regression
+/// gate consumes. Plan shapes are deterministic; of the timings, only the
+/// streaming-LIMIT speedup is asserted here (its win is orders of
+/// magnitude, so a modest margin is safe against CI noise).
+fn run_bench_planner(out_path: &str, sales_rows: usize) {
+    /// "Measurably faster": the streaming LIMIT touches ~10 rows where the
+    /// unpushed plan materializes the whole filtered table, so the true
+    /// ratio is large; 1.5x is the noise-proof floor.
+    const LIMIT_SPEEDUP_FLOOR: f64 = 1.5;
+    let cfg = benchkit::PlannerBenchConfig {
+        sales_rows,
+        iters: 5,
+    };
+    println!(
+        "bench: planner microbench, {sales_rows} fact rows, best of {} runs",
+        cfg.iters
+    );
+    let report = benchkit::run_planner_bench(&cfg);
+    print!("{}", report.render());
+    if !report.probe_uses_index {
+        fail("analyzed selective probe did not pick the index scan");
+    }
+    if !report.constant_probe_uses_seq_scan {
+        fail("analyzed constant-column probe did not fall back to the seq scan");
+    }
+    if !report.join_reordered {
+        fail("worst-first three-way join kept its syntactic order");
+    }
+    if !report.topk_bounded {
+        fail("ORDER BY + LIMIT sort was not bounded to top-k");
+    }
+    if !report.limit_streams {
+        fail("filtered LIMIT pipeline did not stream");
+    }
+    if report.limit_speedup() < LIMIT_SPEEDUP_FLOOR {
+        fail(&format!(
+            "LIMIT pushdown speedup {:.2}x under the {LIMIT_SPEEDUP_FLOOR}x floor",
+            report.limit_speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"planner\",\n  \"sales_rows\": {},\n  \
+         \"probe_uses_index\": {},\n  \"constant_probe_uses_seq_scan\": {},\n  \
+         \"join_reordered\": {},\n  \"topk_bounded\": {},\n  \"limit_streams\": {},\n  \
+         \"probe_speedup\": {:.2},\n  \"join_speedup\": {:.2},\n  \
+         \"topk_speedup\": {:.2},\n  \"limit_speedup\": {:.2}\n}}\n",
+        report.sales_rows,
+        report.probe_uses_index,
+        report.constant_probe_uses_seq_scan,
+        report.join_reordered,
+        report.topk_bounded,
+        report.limit_streams,
+        report.probe_speedup(),
+        report.join_speedup(),
+        report.topk_speedup(),
+        report.limit_speedup(),
+    );
     if let Err(e) = std::fs::write(out_path, &json) {
         fail(&format!("cannot write {out_path}: {e}"));
     }

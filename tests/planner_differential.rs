@@ -1,0 +1,157 @@
+//! Planner differential suite over the full BIRD-Ext gold SQL.
+//!
+//! Every gold SELECT in the 300-task benchmark runs twice: once through the
+//! cost-based planner + Volcano executor (`ExecOptions::default`) and once
+//! through the monolithic sequential reference (`ExecOptions::sequential`).
+//! Results must be byte-identical — content *and* row order. The sweep runs
+//! in three statistics regimes (unanalyzed, analyzed, analyzed-then-mutated
+//! stale stats), because statistics change *which* plan the optimizer picks
+//! but must never change what it returns.
+//!
+//! Gold write statements are replayed between read sweeps so the data the
+//! plans run over drifts the way a real agent workload drifts; statements
+//! that no longer apply (gold SQL assumes a pristine database) are skipped,
+//! exactly as `benchkit::crashlab` does.
+
+use minidb::{Database, ExecOptions, QueryResult, Session};
+use sqlkit::ast::Statement;
+
+/// Run one SELECT under the planner and the sequential reference; both must
+/// agree byte-for-byte (or fail with the identical error).
+fn differential(session: &Session, sql: &str) -> Option<QueryResult> {
+    let planned = session.query_with_options(sql, &ExecOptions::default());
+    let reference = session.query_with_options(sql, &ExecOptions::sequential());
+    match (planned, reference) {
+        (Ok((planned, summary)), Ok((reference, _))) => {
+            assert_eq!(
+                planned,
+                reference,
+                "planner diverged from the sequential reference for: {sql}\nplan:\n{}",
+                summary.tree.join("\n")
+            );
+            Some(planned)
+        }
+        (Err(p), Err(r)) => {
+            assert_eq!(
+                p.to_string(),
+                r.to_string(),
+                "planner surfaced a different error for: {sql}"
+            );
+            None
+        }
+        (Ok(_), Err(r)) => panic!("only the sequential reference failed for {sql}: {r}"),
+        (Err(p), Ok(_)) => panic!("only the planner path failed for {sql}: {p}"),
+    }
+}
+
+/// EXPLAIN must render a real operator tree with cost estimates, and
+/// EXPLAIN ANALYZE's root actual-row count must equal the rows the query
+/// actually returns.
+fn check_explain(session: &mut Session, sql: &str, expect_rows: usize) {
+    let plan = match session.execute_sql(&format!("EXPLAIN {sql}")) {
+        Ok(QueryResult::Rows { rows, .. }) => rows,
+        other => panic!("EXPLAIN {sql} did not return rows: {other:?}"),
+    };
+    assert!(!plan.is_empty(), "EXPLAIN produced no plan for {sql}");
+    let first = match &plan[0][0] {
+        minidb::Value::Text(t) => t.clone(),
+        v => panic!("EXPLAIN row is not text: {v:?}"),
+    };
+    assert!(
+        first.contains("cost=") && first.contains("rows="),
+        "EXPLAIN root line has no cost estimate: {first}"
+    );
+
+    let analyzed = match session.execute_sql(&format!("EXPLAIN ANALYZE {sql}")) {
+        Ok(QueryResult::Rows { rows, .. }) => rows,
+        other => panic!("EXPLAIN ANALYZE {sql} did not return rows: {other:?}"),
+    };
+    let root = match &analyzed[0][0] {
+        minidb::Value::Text(t) => t.clone(),
+        v => panic!("EXPLAIN ANALYZE row is not text: {v:?}"),
+    };
+    let actual: usize = root
+        .split("(actual rows=")
+        .nth(1)
+        .and_then(|t| t.split(')').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("EXPLAIN ANALYZE root has no actual rows: {root}"));
+    assert_eq!(
+        actual, expect_rows,
+        "EXPLAIN ANALYZE root actual rows disagree with execution for: {sql}"
+    );
+}
+
+/// Sweep every gold SELECT differentially; returns how many ran.
+fn sweep_selects(session: &mut Session, bench: &benchkit::BirdExt, explain_every: usize) -> usize {
+    let mut ran = 0;
+    for task in &bench.tasks {
+        for step in &task.spec.steps {
+            let Ok(stmt) = sqlkit::parse_statement(&step.gold) else {
+                continue;
+            };
+            if !matches!(stmt, Statement::Select(_)) {
+                continue;
+            }
+            if let Some(result) = differential(session, &step.gold) {
+                // EXPLAIN ANALYZE executes the statement again; sample the
+                // suite rather than doubling its runtime end to end.
+                if ran % explain_every == 0 {
+                    check_explain(session, &step.gold, result.row_count());
+                }
+            }
+            ran += 1;
+        }
+    }
+    ran
+}
+
+/// Replay the gold write statements, skipping any that no longer apply.
+fn replay_writes(session: &mut Session, bench: &benchkit::BirdExt) -> usize {
+    let mut applied = 0;
+    for task in &bench.tasks {
+        if !task.is_write() {
+            continue;
+        }
+        for step in &task.spec.steps {
+            let Ok(stmt) = sqlkit::parse_statement(&step.gold) else {
+                continue;
+            };
+            if matches!(stmt, Statement::Select(_)) {
+                continue;
+            }
+            if session.execute_sql(&step.gold).is_ok() {
+                applied += 1;
+            }
+        }
+    }
+    applied
+}
+
+#[test]
+fn bird_gold_sql_planner_matches_sequential_reference() {
+    let bench = benchkit::generate_bird_ext(11);
+    let db: Database = bench.template.fork();
+    let mut session = db.session("admin").expect("admin exists");
+
+    // Regime 1: no statistics — the planner runs on default selectivities.
+    let unanalyzed = sweep_selects(&mut session, &bench, 10);
+    assert!(
+        unanalyzed >= 150,
+        "BIRD-Ext must contribute at least its 150 read-task gold SELECTs, got {unanalyzed}"
+    );
+
+    // Regime 2: fresh statistics — access paths and join orders may change;
+    // results may not.
+    session.execute_sql("ANALYZE").expect("admin may analyze");
+    let analyzed = sweep_selects(&mut session, &bench, 10);
+    assert_eq!(unanalyzed, analyzed);
+
+    // Regime 3: stale statistics — replay the gold write workload so the
+    // stored data drifts away from what ANALYZE sampled, then sweep again.
+    // Stale stats may mis-cost plans; they must never mis-answer them.
+    let applied = replay_writes(&mut session, &bench);
+    assert!(applied > 0, "gold write workload must partially apply");
+    let stale = sweep_selects(&mut session, &bench, 10);
+    assert_eq!(unanalyzed, stale);
+}
