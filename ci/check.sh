@@ -15,8 +15,8 @@ cd "$(dirname "$0")/.."
 
 # Gate registry: every name listed here MUST run, or the suite fails.
 EXPECTED_GATES="fmt clippy build-release tier1-tests workspace-tests obs-layer \
-wire-smoke telemetry-smoke recovery-smoke mvcc-stress mvcc-bench gate-smoke \
-planner-smoke"
+wire-smoke telemetry-smoke trace-smoke recovery-smoke mvcc-stress mvcc-bench \
+gate-smoke planner-smoke"
 
 GATES_RUN=""
 GATES_FAILED=""
@@ -133,6 +133,29 @@ gate_telemetry_smoke() {
       || { echo "FAIL: telemetry selftest missing marker '$marker'"; return 1; }
   done
   echo "==> telemetry smoke OK"
+}
+
+# Distributed-tracing smoke: examples/serve --selftest-tracing binds a
+# gated wire server plus the admin plane and drives the tracing surface end
+# to end — a client-supplied traceparent is echoed back and names the wire,
+# gate, tool, and SQL spans of one call; a traced slow call is served back
+# whole via /slow/<trace-id>; EXPLAIN ANALYZE per-node actual times are
+# plausible (children within the root); a loadgen burst populates
+# /statements with per-(user, normalized statement) aggregates (including
+# plan-cache hits and a reader denial); /queries lists an in-flight call;
+# and the traced plane stays within 10% of the disabled-telemetry loadgen
+# throughput (profiling off — release build, so timings reflect production).
+gate_trace_smoke() {
+  local tracing_out
+  tracing_out=$(cargo run -q --release --offline --locked --example serve -- --selftest-tracing) || return 1
+  echo "$tracing_out"
+  local marker
+  for marker in "traceparent ok" "tail sampling ok" "explain ok" \
+                "statements ok" "queries ok" "overhead ok" "all ok"; do
+    echo "$tracing_out" | grep -q "tracing: $marker" \
+      || { echo "FAIL: tracing selftest missing marker '$marker'"; return 1; }
+  done
+  echo "==> distributed-tracing smoke OK"
 }
 
 # Durability layer: commit work to a WAL-backed database, kill the engine
@@ -260,6 +283,7 @@ run_gate workspace-tests gate_workspace_tests
 run_gate obs-layer       gate_obs_layer
 run_gate wire-smoke      gate_wire_smoke
 run_gate telemetry-smoke gate_telemetry_smoke
+run_gate trace-smoke     gate_trace_smoke
 run_gate recovery-smoke  gate_recovery_smoke
 run_gate mvcc-stress     gate_mvcc_stress
 run_gate mvcc-bench      gate_mvcc_bench

@@ -280,9 +280,10 @@ fn unit_body(
         span.attr("producers", jobs.len() as u64);
     }
     // Run all producers, in parallel when there are several. Worker threads
-    // have no thread-local parent span, so they adopt this unit's span id to
-    // keep the exported tree connected across threads.
-    let parent = span.id();
+    // have no thread-local parent span, so they adopt this unit's span
+    // context to keep the exported tree (and its trace id) connected
+    // across threads.
+    let ctx = span.context();
     let results: Vec<Result<Json, ToolError>> = if jobs.len() <= 1 {
         jobs.iter()
             .map(|p| run_producer(registry, p, depth, obs))
@@ -293,7 +294,7 @@ fn unit_body(
                 .iter()
                 .map(|p| {
                     scope.spawn(move || {
-                        let _scope = obs::adopt(parent);
+                        let _scope = obs::adopt_context(ctx);
                         run_producer(registry, p, depth, obs)
                     })
                 })

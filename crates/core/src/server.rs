@@ -16,7 +16,7 @@ use gate::{BudgetMeter, CachedTool, GateConfig, GenerationSource, MeteredTool, P
 use minidb::DbError;
 use obs::{Obs, ObsConfig, ObsSnapshot};
 use sqlkit::ast::Action;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use toolproto::{Registry, Tool};
 
 /// A built BridgeScope server: the tool registry for one user plus the
@@ -101,25 +101,82 @@ impl BridgeScopeServer {
             let db = db.clone();
             Arc::new(move || db.generation())
         };
-        let wrap_context = |tool: Arc<dyn Tool>| -> Arc<dyn Tool> {
+        let mut retrieval_caches: Vec<Weak<gate::GenCache<toolproto::ToolOutput>>> = Vec::new();
+        let mut wrap_context = |tool: Arc<dyn Tool>| -> Arc<dyn Tool> {
             match &cache_cfg {
-                Some(cfg) => Arc::new(CachedTool::new(
-                    tool,
-                    cfg.context_capacity,
-                    Arc::clone(&generation),
-                    obs.clone(),
-                )),
+                Some(cfg) => {
+                    let cached = Arc::new(CachedTool::new(
+                        tool,
+                        cfg.context_capacity,
+                        Arc::clone(&generation),
+                        obs.clone(),
+                    ));
+                    retrieval_caches.push(Arc::downgrade(cached.cache()));
+                    cached
+                }
                 None => tool,
             }
         };
-        if let Some(cfg) = &cache_cfg {
-            ctx.install_plan_cache(Arc::new(PlanCache::new(cfg.plan_capacity)));
-        }
+        let plan_cache = cache_cfg.as_ref().map(|cfg| {
+            let cache = Arc::new(PlanCache::new(cfg.plan_capacity));
+            ctx.install_plan_cache(Arc::clone(&cache));
+            cache
+        });
 
         // F1 — context retrieval (always exposed; outputs are filtered).
         registry.register(wrap_context(Arc::new(get_schema_tool(Arc::clone(&ctx)))));
         registry.register(wrap_context(Arc::new(get_object_tool(Arc::clone(&ctx)))));
         registry.register(wrap_context(Arc::new(get_value_tool(Arc::clone(&ctx)))));
+
+        // Pull-model cache-health gauges: occupancy and hit rate sampled at
+        // scrape time, labeled by user. Keyed registration replaces the
+        // sampler when the same user rebuilds a server; `Weak` references
+        // keep gauges from pinning a torn-down surface alive — a dead
+        // sampler reports `NaN` and the series vanishes from output.
+        if !retrieval_caches.is_empty() {
+            let caches = retrieval_caches.clone();
+            obs.register_gauge_keyed(
+                "gate.retrieval_cache.entries",
+                &[("user", user)],
+                move || {
+                    let live: Vec<_> = caches.iter().filter_map(Weak::upgrade).collect();
+                    if live.is_empty() {
+                        return f64::NAN;
+                    }
+                    live.iter().map(|c| c.len() as f64).sum()
+                },
+            );
+            let caches = retrieval_caches;
+            obs.register_gauge_keyed(
+                "gate.retrieval_cache.hit_rate",
+                &[("user", user)],
+                move || {
+                    let live: Vec<_> = caches.iter().filter_map(Weak::upgrade).collect();
+                    if live.is_empty() {
+                        return f64::NAN;
+                    }
+                    let (hits, misses) = live.iter().fold((0u64, 0u64), |(h, m), c| {
+                        let s = c.stats();
+                        (h + s.hits, m + s.misses)
+                    });
+                    if hits + misses == 0 {
+                        0.0
+                    } else {
+                        hits as f64 / (hits + misses) as f64
+                    }
+                },
+            );
+        }
+        if let Some(cache) = &plan_cache {
+            let weak = Arc::downgrade(cache);
+            obs.register_gauge_keyed("gate.plan_cache.entries", &[("user", user)], move || {
+                weak.upgrade().map_or(f64::NAN, |c| c.len() as f64)
+            });
+            let weak = Arc::downgrade(cache);
+            obs.register_gauge_keyed("gate.plan_cache.hit_rate", &[("user", user)], move || {
+                weak.upgrade().map_or(f64::NAN, |c| c.stats().hit_rate())
+            });
+        }
 
         // F2 — per-action SQL tools, exposed by privilege ∧ policy.
         let privs = db.privileges_of(user)?;

@@ -42,7 +42,8 @@ fn verified_execute(ctx: &BridgeContext, expected: Action, sql: &str) -> ToolRes
         span.attr("action", expected.keyword());
         span.attr("sql", sqlkit::truncate_sql(sql, SQL_ATTR_MAX));
     }
-    let result = verify_and_run(ctx, expected, sql, &mut span);
+    let mut cache_hit = false;
+    let result = verify_and_run(ctx, expected, sql, &mut span, &mut cache_hit);
     if ctx.obs.is_enabled() {
         match &result {
             Ok(out) => {
@@ -59,6 +60,29 @@ fn verified_execute(ctx: &BridgeContext, expected: Action, sql: &str) -> ToolRes
             }
         }
         ctx.obs.observe_ns("sql.latency", span.elapsed_ns());
+        // Feed the statement statistics store. Keys are the gate's
+        // token-normalized form, so literal-only variants collapse into one
+        // entry (bounded cardinality per user; see `obs::StatementStore`).
+        let outcome = match &result {
+            Ok(_) => obs::StatementOutcome::Ok,
+            Err(ToolError::Denied { .. }) => obs::StatementOutcome::Denied,
+            // `db_error_to_tool` keeps the engine's stable "serialization
+            // conflict" prefix through the round-trip precisely so layers
+            // like this one can classify without a dedicated variant.
+            Err(e) if e.to_string().contains("serialization conflict") => {
+                obs::StatementOutcome::Conflict
+            }
+            Err(_) => obs::StatementOutcome::Error,
+        };
+        let rows = result.as_ref().ok().and_then(|o| o.rows).unwrap_or(0) as u64;
+        ctx.obs.record_statement(
+            &ctx.user,
+            &gate::normalize_sql(sql),
+            span.elapsed_ns(),
+            rows,
+            cache_hit,
+            outcome,
+        );
     }
     result.map_err(|e| e.with_denial_sql(sqlkit::truncate_sql(sql, SQL_ATTR_MAX)))
 }
@@ -67,10 +91,15 @@ fn verified_execute(ctx: &BridgeContext, expected: Action, sql: &str) -> ToolRes
 /// the gated build installed one. The cached artifact is pure parse +
 /// analysis — every privilege and policy check below re-runs on live state,
 /// so a cache hit can never widen access; it only skips re-deriving what
-/// the text alone determines.
-fn prepare(ctx: &BridgeContext, sql: &str) -> Result<Arc<PreparedPlan>, ToolError> {
+/// the text alone determines. Returns whether the plan came from the cache,
+/// for the statement statistics store.
+fn prepare(ctx: &BridgeContext, sql: &str) -> Result<(Arc<PreparedPlan>, bool), ToolError> {
     match ctx.plan_cache.get() {
         Some(cache) => {
+            // The gate's span for the plan-cache consult: nested under the
+            // enclosing `sql:execute`, so a cross-layer trace shows whether
+            // parsing/analysis was skipped.
+            let mut span = ctx.obs.span("gate:plan");
             // Keyed on plan_generation(), not generation() alone: a cached
             // plan must also be invalidated when ANALYZE refreshes the
             // optimizer statistics it was costed against.
@@ -78,6 +107,9 @@ fn prepare(ctx: &BridgeContext, sql: &str) -> Result<Arc<PreparedPlan>, ToolErro
             let (plan, hit) = cache
                 .prepare(sql, generation)
                 .map_err(|e| ToolError::Execution(e.to_string()))?;
+            if span.enabled() {
+                span.attr("hit", hit);
+            }
             ctx.obs.incr_with(
                 "gate.cache",
                 &[
@@ -86,10 +118,10 @@ fn prepare(ctx: &BridgeContext, sql: &str) -> Result<Arc<PreparedPlan>, ToolErro
                 ],
                 1,
             );
-            Ok(plan)
+            Ok((plan, hit))
         }
         None => PreparedPlan::prepare(sql)
-            .map(Arc::new)
+            .map(|plan| (Arc::new(plan), false))
             .map_err(|e| ToolError::Execution(e.to_string())),
     }
 }
@@ -99,14 +131,21 @@ fn verify_and_run(
     expected: Action,
     sql: &str,
     span: &mut SpanGuard,
+    cache_hit: &mut bool,
 ) -> ToolResult {
-    let prepared = prepare(ctx, sql)?;
+    let (prepared, hit) = prepare(ctx, sql)?;
+    *cache_hit = hit;
     let stmt = &prepared.stmt;
     let action = stmt.action();
     if action != expected {
         return Err(ToolError::Execution(format!(
             "this tool executes only {expected} statements, got a {action} statement",
         )));
+    }
+    // Surface the (normalized) statement on the in-flight call registry, so
+    // `/queries` shows what each live trace is executing right now.
+    if ctx.obs.is_enabled() {
+        ctx.obs.note_statement(&gate::normalize_sql(sql));
     }
     // Object-level verification (tool-side, before the engine sees it).
     let profile = &prepared.profile;
@@ -164,17 +203,25 @@ fn verify_and_run(
                 .session(&ctx.user)
                 .map_err(|e| ToolError::Execution(e.to_string()))?;
             if span.enabled() {
-                // Traced execution: same fast path, but the executor also
-                // reports which access paths and join algorithms it used;
-                // those become attributes of this statement's span.
+                // Traced execution: same fast path, but with per-operator
+                // profiling on, so the span carries the annotated operator
+                // tree (actual rows *and* wall time per node). The cost is
+                // two clock reads per operator dispatch — negligible next
+                // to the wire round-trip — and when the flight recorder
+                // later retains this call as slow, the profile explains
+                // where the time went.
+                let opts = minidb::ExecOptions {
+                    profiling: true,
+                    ..minidb::ExecOptions::default()
+                };
                 let (result, plan) = ephemeral
-                    .query_with_options(sql, &minidb::ExecOptions::default())
+                    .query_with_options(sql, &opts)
                     .map_err(db_error_to_tool)?;
                 for (key, count) in plan.attr_counts() {
                     span.attr(key, count);
                 }
                 if !plan.tree.is_empty() {
-                    span.attr("plan.tree", plan.tree.join("\n"));
+                    span.attr("plan.profile", plan.tree.join("\n"));
                 }
                 result
             } else {

@@ -90,12 +90,19 @@ impl Tool for CachedTool {
     }
 
     fn invoke(&self, args: &Args) -> ToolResult {
+        // The gate's own span: under the enclosing `tool:{name}` span, so a
+        // cross-layer trace shows whether the gate short-circuited the call.
+        let mut span = self.obs.span("gate:cache");
+        if span.enabled() {
+            span.attr("tool", self.inner.name());
+        }
         let key = args_key(args);
         // Read the generation *before* invoking: the wrapped call executes
         // against a snapshot at least this new, so an entry stamped here is
         // returned only while no later commit exists.
         let generation = (self.generation)();
         if let Some(out) = self.cache.get(&key, generation) {
+            span.attr("hit", true);
             self.obs.incr_with(
                 "gate.cache",
                 &[("tool", self.inner.name()), ("hit", "true")],
@@ -103,6 +110,7 @@ impl Tool for CachedTool {
             );
             return Ok(out);
         }
+        span.attr("hit", false);
         let result = self.inner.invoke(args);
         self.obs.incr_with(
             "gate.cache",

@@ -67,13 +67,19 @@ pub fn explain(state: &DbState, stmt: &Statement, analyze: bool) -> DbResult<Que
 /// render its operator tree — executed first for actual row counts when
 /// `analyze` is set.
 fn plan_lines(state: &DbState, sel: &Select, analyze: bool, depth: usize) -> DbResult<Vec<String>> {
-    let opts = ExecOptions::default();
+    let opts = ExecOptions {
+        // ANALYZE means "execute and measure": per-operator wall times ride
+        // along with the row counts.
+        profiling: analyze,
+        ..ExecOptions::default()
+    };
     let mut summary = PlanSummary::default();
     let sel = eval::resolve_select(state, sel, &opts, &mut summary)?;
     let plan = crate::planner::plan_select(state, &sel, &opts)?;
     let lines = if analyze {
-        let (_, counts) = volcano::execute_planned_counted(state, &plan, &opts, &mut summary)?;
-        plan.render(Some(&counts))
+        let (_, counts, times) =
+            volcano::execute_planned_profiled(state, &plan, &opts, &mut summary)?;
+        plan.render_profiled(Some(&counts), times.as_ref())
     } else {
         plan.render(None)
     };

@@ -173,8 +173,18 @@ pub(crate) fn execute_select_opts(
     let sel = eval::resolve_select(state, sel, opts, summary)?;
     if opts.planner {
         let plan = crate::planner::plan_select(state, &sel, opts)?;
-        summary.tree = plan.render(None);
-        volcano::execute_planned(state, &plan, opts, summary)
+        if opts.profiling {
+            // Profiled execution: the summary's rendered tree carries the
+            // measured per-operator rows and wall times, so callers (e.g.
+            // the SQL tools' slow-call profiles) get the annotated plan.
+            let (result, counts, times) =
+                volcano::execute_planned_profiled(state, &plan, opts, summary)?;
+            summary.tree = plan.render_profiled(Some(&counts), times.as_ref());
+            Ok(result)
+        } else {
+            summary.tree = plan.render(None);
+            volcano::execute_planned(state, &plan, opts, summary)
+        }
     } else {
         seq::execute_resolved(state, &sel, opts, summary)
     }

@@ -23,6 +23,10 @@ use crate::storage::HashedKey;
 use crate::value::{Key, Row, Value};
 use std::collections::{BTreeMap, HashMap};
 
+/// Per-operator tallies (row counts or inclusive nanoseconds) keyed by
+/// plan node id.
+pub(super) type NodeTally = BTreeMap<usize, u64>;
+
 /// Execute a physical plan, discarding the per-operator row counts.
 pub(super) fn execute_planned(
     state: &DbState,
@@ -30,22 +34,25 @@ pub(super) fn execute_planned(
     opts: &ExecOptions,
     summary: &mut PlanSummary,
 ) -> DbResult<QueryResult> {
-    execute_planned_counted(state, plan, opts, summary).map(|(r, _)| r)
+    execute_planned_profiled(state, plan, opts, summary).map(|(r, _, _)| r)
 }
 
-/// Execute a physical plan, returning the result together with the rows
-/// each operator emitted (node id → count) for `EXPLAIN ANALYZE`.
-pub(super) fn execute_planned_counted(
+/// Execute a physical plan, returning the result, per-operator row counts,
+/// and — when [`ExecOptions::profiling`] is set — per-operator *inclusive*
+/// wall time in nanoseconds (node id → ns, each node's time containing its
+/// children's, so a child's time never exceeds its parent's).
+pub(super) fn execute_planned_profiled(
     state: &DbState,
     plan: &PhysPlan,
     opts: &ExecOptions,
     summary: &mut PlanSummary,
-) -> DbResult<(QueryResult, BTreeMap<usize, u64>)> {
+) -> DbResult<(QueryResult, NodeTally, Option<NodeTally>)> {
     let mut ctx = Ctx {
         state,
         plan,
         opts,
         counts: BTreeMap::new(),
+        times: BTreeMap::new(),
     };
     let columns = eval::output_columns(&plan.sel, &plan.scope_cols)?;
     let rows = if let Some(rows) = ctx.try_streaming(&plan.root, summary)? {
@@ -53,7 +60,8 @@ pub(super) fn execute_planned_counted(
     } else {
         ctx.exec_rows(&plan.root, summary)?
     };
-    Ok((QueryResult::Rows { columns, rows }, ctx.counts))
+    let times = opts.profiling.then_some(ctx.times);
+    Ok((QueryResult::Rows { columns, rows }, ctx.counts, times))
 }
 
 struct Ctx<'a> {
@@ -61,11 +69,30 @@ struct Ctx<'a> {
     plan: &'a PhysPlan,
     opts: &'a ExecOptions,
     counts: BTreeMap<usize, u64>,
+    /// Inclusive per-node wall time (ns), populated only when profiling.
+    times: BTreeMap<usize, u64>,
 }
 
 impl<'a> Ctx<'a> {
     fn count(&mut self, id: usize, n: usize) {
         self.counts.insert(id, n as u64);
+    }
+
+    /// Run `body`, charging its inclusive wall time to node `id` when
+    /// profiling is on. One `Instant` pair per operator *dispatch* — not
+    /// per row — so disabled profiling is a single branch. A node that
+    /// dispatches through two frames (e.g. Project via both `exec_rows`
+    /// and `exec_produce`) is written twice; the outer frame finishes last
+    /// and overwrites with the larger, still-inclusive figure.
+    fn timed<T>(&mut self, id: usize, body: impl FnOnce(&mut Self) -> DbResult<T>) -> DbResult<T> {
+        if !self.opts.profiling {
+            return body(self);
+        }
+        let start = std::time::Instant::now();
+        let out = body(self);
+        let ns = start.elapsed().as_nanos() as u64;
+        self.times.insert(id, ns);
+        out
     }
 
     // -- streaming pipeline -------------------------------------------------
@@ -80,6 +107,7 @@ impl<'a> Ctx<'a> {
         root: &PhysNode,
         summary: &mut PlanSummary,
     ) -> DbResult<Option<Vec<Row>>> {
+        let started = self.opts.profiling.then(std::time::Instant::now);
         let PhysOp::Limit {
             input: project,
             limit: Some(limit),
@@ -156,6 +184,18 @@ impl<'a> Ctx<'a> {
         }
         self.count(project.id, projected);
         self.count(root.id, out.len());
+        if let Some(started) = started {
+            // The fused pipeline executes all four operators per row, so
+            // per-node attribution is meaningless; each node is charged the
+            // whole pipeline's time (inclusive semantics hold trivially).
+            let ns = started.elapsed().as_nanos() as u64;
+            for id in [Some(scan.id), filter_id, Some(project.id), Some(root.id)]
+                .into_iter()
+                .flatten()
+            {
+                self.times.insert(id, ns);
+            }
+        }
         Ok(Some(out))
     }
 
@@ -164,6 +204,14 @@ impl<'a> Ctx<'a> {
     /// Execute a head operator (everything above the relational part),
     /// producing final output rows.
     fn exec_rows(&mut self, node: &PhysNode, summary: &mut PlanSummary) -> DbResult<Vec<Row>> {
+        self.timed(node.id, |ctx| ctx.exec_rows_inner(node, summary))
+    }
+
+    fn exec_rows_inner(
+        &mut self,
+        node: &PhysNode,
+        summary: &mut PlanSummary,
+    ) -> DbResult<Vec<Row>> {
         match &node.op {
             PhysOp::Limit {
                 input,
@@ -272,6 +320,14 @@ impl<'a> Ctx<'a> {
         node: &PhysNode,
         summary: &mut PlanSummary,
     ) -> DbResult<Vec<(Row, Vec<Row>)>> {
+        self.timed(node.id, |ctx| ctx.exec_produce_inner(node, summary))
+    }
+
+    fn exec_produce_inner(
+        &mut self,
+        node: &PhysNode,
+        summary: &mut PlanSummary,
+    ) -> DbResult<Vec<(Row, Vec<Row>)>> {
         let sel = &self.plan.sel;
         match &node.op {
             PhysOp::Project { input, .. } => {
@@ -359,6 +415,18 @@ impl<'a> Ctx<'a> {
     /// `append_seq` makes scans append a hidden `Value::Int` sequence column
     /// (reordered join chains restore the original row order from it).
     fn eval_rel(
+        &mut self,
+        node: &PhysNode,
+        base: usize,
+        append_seq: bool,
+        summary: &mut PlanSummary,
+    ) -> DbResult<Vec<Row>> {
+        self.timed(node.id, |ctx| {
+            ctx.eval_rel_inner(node, base, append_seq, summary)
+        })
+    }
+
+    fn eval_rel_inner(
         &mut self,
         node: &PhysNode,
         base: usize,

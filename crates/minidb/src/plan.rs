@@ -59,6 +59,11 @@ pub struct ExecOptions {
     /// early-exit, ORDER BY top-k). Benchmarks disable this to measure the
     /// pushdown win; it has no effect when `planner` is off.
     pub pushdown: bool,
+    /// Measure per-operator wall time during Volcano execution (`EXPLAIN
+    /// ANALYZE`, slow-call profiles). Off by default: the hot path takes
+    /// one branch per operator *dispatch* — not per row — so disabled
+    /// profiling costs nothing measurable.
+    pub profiling: bool,
 }
 
 impl Default for ExecOptions {
@@ -72,6 +77,7 @@ impl Default for ExecOptions {
             max_threads: threads,
             planner: true,
             pushdown: true,
+            profiling: false,
         }
     }
 }

@@ -341,8 +341,19 @@ impl PhysPlan {
     /// Render the tree as indented text. `actual` (node id → rows emitted)
     /// appends EXPLAIN ANALYZE's measured per-operator counts.
     pub fn render(&self, actual: Option<&BTreeMap<usize, u64>>) -> Vec<String> {
+        self.render_profiled(actual, None)
+    }
+
+    /// Render with measurements: `actual` as in [`PhysPlan::render`], plus
+    /// optional per-operator inclusive wall times (node id → ns) from a
+    /// profiled execution, rendered as `actual time=X.XXXms rows=N`.
+    pub fn render_profiled(
+        &self,
+        actual: Option<&BTreeMap<usize, u64>>,
+        times: Option<&BTreeMap<usize, u64>>,
+    ) -> Vec<String> {
         let mut lines = Vec::new();
-        render_into(&self.root, 0, actual, &mut lines);
+        render_into(&self.root, 0, actual, times, &mut lines);
         lines
     }
 }
@@ -351,6 +362,7 @@ fn render_into(
     node: &PhysNode,
     depth: usize,
     actual: Option<&BTreeMap<usize, u64>>,
+    times: Option<&BTreeMap<usize, u64>>,
     lines: &mut Vec<String>,
 ) {
     let pad = "  ".repeat(depth);
@@ -362,10 +374,18 @@ fn render_into(
     );
     if let Some(counts) = actual {
         let n = counts.get(&node.id).copied().unwrap_or(0);
-        line.push_str(&format!(" (actual rows={n})"));
+        match times.and_then(|t| t.get(&node.id)) {
+            Some(ns) => {
+                line.push_str(&format!(
+                    " (actual time={:.3}ms rows={n})",
+                    *ns as f64 / 1_000_000.0
+                ));
+            }
+            None => line.push_str(&format!(" (actual rows={n})")),
+        }
     }
     lines.push(line);
     for child in node.children() {
-        render_into(child, depth + 1, actual, lines);
+        render_into(child, depth + 1, actual, times, lines);
     }
 }

@@ -226,6 +226,45 @@ Limit (limit=3) [streaming early-exit] (cost=23.00 rows=3)
     );
 }
 
+/// Strip the nondeterministic per-operator wall times (`time=0.123ms `)
+/// from EXPLAIN ANALYZE output — after asserting every measured line had
+/// one — so the rest of the plan stays byte-exact.
+fn strip_times(rendered: &str) -> String {
+    rendered
+        .lines()
+        .map(|line| match line.find("(actual time=") {
+            Some(at) => {
+                let rest = &line[at + "(actual time=".len()..];
+                let ms = rest.find("ms ").expect("time has an ms unit");
+                assert!(
+                    rest[..ms].parse::<f64>().is_ok(),
+                    "unparseable actual time in: {line}"
+                );
+                format!("{}(actual {}", &line[..at], &rest[ms + "ms ".len()..])
+            }
+            None => {
+                assert!(
+                    !line.contains("(actual "),
+                    "ANALYZE line lost its time annotation: {line}"
+                );
+                line.to_owned()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[track_caller]
+fn assert_analyze_plan(s: &mut Session, sql: &str, expected: &str) {
+    let got = strip_times(&explain(s, sql));
+    assert_eq!(
+        got,
+        expected.trim_matches('\n'),
+        "\nplan for `{sql}` changed shape (times stripped).\n-- got --\n{got}\n-- expected --\n{expected}\n\
+         If the change is intentional, re-freeze the snapshot."
+    );
+}
+
 #[test]
 fn explain_analyze_reports_actual_rows() {
     let (_db, mut s) = fixture();
@@ -234,7 +273,7 @@ fn explain_analyze_reports_actual_rows() {
     // probe estimate (NDV 16) is exact; the Filter above re-applies the
     // selectivity it does not know is already satisfied, so its estimate
     // undershoots while the actuals tell the truth.
-    assert_plan(
+    assert_analyze_plan(
         &mut s,
         "EXPLAIN ANALYZE SELECT id FROM sales WHERE sid = 3",
         "
@@ -245,7 +284,7 @@ Project (cost=67.00 rows=2) (actual rows=32)
     );
     // The streaming pipeline's scan stops early: every operator, the scan
     // included, touches only the 3 rows the LIMIT needed.
-    assert_plan(
+    assert_analyze_plan(
         &mut s,
         "EXPLAIN ANALYZE SELECT id FROM sales WHERE amount > 0.0 LIMIT 3",
         "
@@ -255,4 +294,35 @@ Limit (limit=3) [streaming early-exit] (cost=23.00 rows=3) (actual rows=3)
       Seq Scan on sales (cost=512.00 rows=512) (actual rows=3)
 ",
     );
+}
+
+#[test]
+fn explain_analyze_times_are_inclusive() {
+    let (_db, mut s) = fixture();
+    s.execute_sql("ANALYZE").unwrap();
+    // Parse the measured times back out of the rendered tree and check the
+    // inclusive-time invariant: a child operator never reports more time
+    // than its parent (each frame's measurement contains its children's).
+    let rendered = explain(&mut s, "EXPLAIN ANALYZE SELECT id FROM sales WHERE sid = 3");
+    let times: Vec<(usize, f64)> = rendered
+        .lines()
+        .map(|line| {
+            let depth = (line.len() - line.trim_start().len()) / 2;
+            let at = line.find("(actual time=").expect("profiled line") + "(actual time=".len();
+            let ms: f64 = line[at..][..line[at..].find("ms").unwrap()]
+                .parse()
+                .unwrap();
+            (depth, ms)
+        })
+        .collect();
+    assert!(times.len() >= 3, "expected a multi-operator plan");
+    for window in times.windows(2) {
+        let ((pd, pt), (cd, ct)) = (window[0], window[1]);
+        if cd == pd + 1 {
+            assert!(
+                ct <= pt,
+                "child time {ct}ms exceeds parent time {pt}ms in:\n{rendered}"
+            );
+        }
+    }
 }

@@ -15,6 +15,7 @@
 
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
 use crate::span::{AttrValue, SpanRecord};
+use crate::trace::TraceId;
 use crate::ObsSnapshot;
 use std::collections::BTreeMap;
 use toolproto::Json;
@@ -59,6 +60,13 @@ pub fn span_to_json(span: &SpanRecord) -> Json {
                 .map(|p| Json::num(p as f64))
                 .unwrap_or(Json::Null),
         ),
+        // 128-bit trace ids exceed JSON-number precision; encode as 32-hex.
+        (
+            "trace",
+            span.trace
+                .map(|t| Json::str(t.to_string()))
+                .unwrap_or(Json::Null),
+        ),
         ("name", Json::str(span.name.clone())),
         ("start_ns", Json::num(span.start_ns as f64)),
         ("end_ns", Json::num(span.end_ns as f64)),
@@ -92,6 +100,15 @@ pub fn span_from_json(obj: &Json) -> Result<SpanRecord, String> {
                 .ok_or("span `parent` is not an id")?,
         ),
     };
+    // Absent/null trace is legal: pre-trace JSONL lines parse to `None`.
+    let trace = match obj.get("trace") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .and_then(TraceId::parse_hex)
+                .ok_or("span `trace` is not a 32-hex trace id")?,
+        ),
+    };
     let error = match obj.get("error") {
         None | Some(Json::Null) => None,
         Some(v) => Some(v.as_str().ok_or("span `error` is not a string")?.to_owned()),
@@ -110,6 +127,7 @@ pub fn span_from_json(obj: &Json) -> Result<SpanRecord, String> {
     Ok(SpanRecord {
         id: req_u64(obj, "id")?,
         parent,
+        trace,
         name,
         start_ns: req_u64(obj, "start_ns")?,
         end_ns: req_u64(obj, "end_ns")?,
@@ -238,6 +256,7 @@ mod tests {
         SpanRecord {
             id: 7,
             parent: Some(3),
+            trace: TraceId::from_u128(0x4bf9_2f35_77b3_4da6_a3ce_929d_0e0e_4736),
             name: "tool:select".into(),
             start_ns: 1000,
             end_ns: 2500,
@@ -256,8 +275,21 @@ mod tests {
     fn span_round_trips_exactly() {
         let span = sample_span();
         let json = span_to_json(&span);
+        assert_eq!(
+            json.get("trace").and_then(Json::as_str),
+            Some("4bf92f3577b34da6a3ce929d0e0e4736")
+        );
         let back = span_from_json(&json).unwrap();
         assert_eq!(back, span);
+    }
+
+    #[test]
+    fn pre_trace_span_lines_still_parse() {
+        let line = "{\"type\":\"span\",\"id\":1,\"name\":\"x\",\"start_ns\":0,\"end_ns\":5}";
+        let span = span_from_json(&Json::parse(line).unwrap()).unwrap();
+        assert_eq!(span.trace, None);
+        let bad = "{\"type\":\"span\",\"id\":1,\"trace\":\"zz\",\"name\":\"x\",\"start_ns\":0,\"end_ns\":5}";
+        assert!(span_from_json(&Json::parse(bad).unwrap()).is_err());
     }
 
     #[test]

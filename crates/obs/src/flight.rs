@@ -1,26 +1,34 @@
-//! Slow-call flight recorder: a bounded ring buffer of recently completed
-//! slow span trees.
+//! Flight recorder: a bounded ring buffer of recently completed
+//! interesting span trees, with tail-based retention.
 //!
 //! Post-mortem traces answer "what happened over the whole run"; the flight
 //! recorder answers the live-operations question "what were the worst calls
 //! *recently*, and what did they spend their time on". Every finished span
 //! is offered to the recorder. Spans are buffered in a bounded FIFO pool;
 //! when a *trigger* span (name matching one of the configured prefixes,
-//! e.g. `tool:` or `wire:call`) closes slower than the threshold, the
-//! recorder captures it together with every buffered descendant — children
-//! always close before their parents, so the full subtree is already in the
-//! pool — into a ring of [`SlowCall`] entries. The ring overwrites its
-//! oldest entry when full, so memory stays bounded no matter how long the
-//! server runs.
+//! e.g. `tool:` or `wire:call`) closes and the tail-based retention rule
+//! fires — the call was **slow** (over the threshold), **errored**, or
+//! **explicitly sampled** (the `trace.sampled` attribute, set per-user via
+//! [`FlightRecorder::should_sample`]) — the recorder captures it together
+//! with every buffered descendant — children always close before their
+//! parents, so the full subtree is already in the pool — into a ring of
+//! [`SlowCall`] entries. The ring overwrites its oldest entry when full,
+//! so memory stays bounded no matter how long the server runs; evictions
+//! are reported in the [`OfferOutcome`] so the owner can count them.
 
-use crate::span::SpanRecord;
-use std::collections::{BTreeMap, VecDeque};
+use crate::span::{AttrValue, SpanRecord};
+use crate::trace::TraceId;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use toolproto::Json;
 
+/// Span attribute that marks a call tree as explicitly sampled; trigger
+/// spans carrying it are retained regardless of duration.
+pub const SAMPLED_ATTR: &str = "trace.sampled";
+
 /// Tuning for a [`FlightRecorder`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlightConfig {
     /// A trigger span slower than this (in nanoseconds) is captured.
     pub threshold_ns: u64,
@@ -32,6 +40,11 @@ pub struct FlightConfig {
     /// Span-name prefixes that can trigger a capture. `tool:` matches every
     /// `tool:{name}` span; `wire:call` matches the wire dispatch wrapper.
     pub trigger_prefixes: Vec<String>,
+    /// Fraction of calls (per user) retained even when fast and clean, in
+    /// `[0, 1]`. 0 disables explicit sampling.
+    pub sample_rate: f64,
+    /// Per-user overrides of [`FlightConfig::sample_rate`].
+    pub user_sample_rates: Vec<(String, f64)>,
 }
 
 impl Default for FlightConfig {
@@ -41,6 +54,8 @@ impl Default for FlightConfig {
             ring_capacity: 64,
             pending_capacity: 4096,
             trigger_prefixes: vec!["tool:".to_owned(), "wire:call".to_owned()],
+            sample_rate: 0.0,
+            user_sample_rates: Vec::new(),
         }
     }
 }
@@ -53,14 +68,63 @@ impl FlightConfig {
             ..FlightConfig::default()
         }
     }
+
+    /// Set the default per-user sample rate (clamped to `[0, 1]`).
+    pub fn sampled(mut self, rate: f64) -> Self {
+        self.sample_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Override the sample rate for one user (clamped to `[0, 1]`).
+    pub fn sampled_user(mut self, user: &str, rate: f64) -> Self {
+        self.user_sample_rates
+            .push((user.to_owned(), rate.clamp(0.0, 1.0)));
+        self
+    }
 }
 
-/// One captured slow call: the trigger span plus its recorded subtree.
+/// Why a call tree was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureReason {
+    /// The trigger span exceeded the duration threshold.
+    Slow,
+    /// The trigger span carried an error.
+    Error,
+    /// The trigger span was explicitly sampled ([`SAMPLED_ATTR`]).
+    Sampled,
+}
+
+impl CaptureReason {
+    /// Stable lowercase label used in JSON and metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CaptureReason::Slow => "slow",
+            CaptureReason::Error => "error",
+            CaptureReason::Sampled => "sampled",
+        }
+    }
+}
+
+/// What one [`FlightRecorder::offer`] call did, so the owning handle can
+/// account for captures and losses without re-locking the recorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OfferOutcome {
+    /// `Some` when the span triggered a capture, with the retention reason.
+    pub captured: Option<CaptureReason>,
+    /// A previously captured call was evicted from the ring to make room.
+    pub ring_evicted: bool,
+    /// Buffered spans dropped from the pending pool to respect its bound.
+    pub pending_dropped: u64,
+}
+
+/// One captured call: the trigger span plus its recorded subtree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlowCall {
     /// Monotonic capture sequence number (1-based) within one recorder.
     pub seq: u64,
-    /// The trigger span that exceeded the threshold.
+    /// Why this call was retained.
+    pub reason: CaptureReason,
+    /// The trigger span that fired the retention rule.
     pub root: SpanRecord,
     /// The captured tree: the root plus every buffered descendant, sorted
     /// by `(start_ns, id)` so parents precede children.
@@ -73,12 +137,24 @@ impl SlowCall {
         self.root.duration_ns()
     }
 
+    /// The trace id the captured tree belongs to, if recorded with one.
+    pub fn trace(&self) -> Option<TraceId> {
+        self.root.trace
+    }
+
     /// JSON form served by the admin `/slow` endpoint and appended to
     /// JSONL dumps as a `{"type":"slow_call",…}` event.
     pub fn to_json(&self) -> Json {
         Json::object([
             ("type", Json::str("slow_call")),
             ("seq", Json::num(self.seq as f64)),
+            (
+                "trace",
+                self.trace()
+                    .map(|t| Json::str(t.to_string()))
+                    .unwrap_or(Json::Null),
+            ),
+            ("reason", Json::str(self.reason.as_str())),
             ("name", Json::str(self.root.name.clone())),
             ("duration_ns", Json::num(self.duration_ns() as f64)),
             (
@@ -102,6 +178,9 @@ pub struct FlightRecorder {
     config: FlightConfig,
     inner: Mutex<FlightInner>,
     seq: AtomicU64,
+    /// Per-user fractional sampling credit; deterministic (no RNG): each
+    /// decision adds the user's rate and fires when the credit crosses 1.
+    sample_credit: Mutex<HashMap<String, f64>>,
 }
 
 impl std::fmt::Debug for FlightRecorder {
@@ -123,6 +202,7 @@ impl FlightRecorder {
                 ring: VecDeque::new(),
             }),
             seq: AtomicU64::new(0),
+            sample_credit: Mutex::new(HashMap::new()),
         }
     }
 
@@ -144,21 +224,81 @@ impl FlightRecorder {
             .any(|p| name.starts_with(p.as_str()))
     }
 
-    /// Offer one finished span. Returns `true` when this span triggered a
-    /// slow-call capture.
-    pub fn offer(&self, span: SpanRecord) -> bool {
-        let slow = self.is_trigger(&span.name) && span.duration_ns() >= self.config.threshold_ns;
+    /// The effective sample rate for `user`.
+    fn sample_rate_for(&self, user: &str) -> f64 {
+        self.config
+            .user_sample_rates
+            .iter()
+            .find(|(u, _)| u == user)
+            .map(|(_, r)| *r)
+            .unwrap_or(self.config.sample_rate)
+    }
+
+    /// Decide whether `user`'s next call should be explicitly retained.
+    /// Deterministic credit sampling: every decision adds the user's rate
+    /// to an accumulator and fires when it crosses 1, so a rate of 0.25
+    /// retains exactly every 4th call. Credit state is bounded; users past
+    /// the bound fall back to the memoryless rate-≥1 decision.
+    pub fn should_sample(&self, user: &str) -> bool {
+        let rate = self.sample_rate_for(user);
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        const MAX_TRACKED_USERS: usize = 1024;
+        let mut credit = self.sample_credit.lock().expect("sample lock");
+        if !credit.contains_key(user) && credit.len() >= MAX_TRACKED_USERS {
+            return false;
+        }
+        let slot = credit.entry(user.to_owned()).or_insert(0.0);
+        *slot += rate;
+        if *slot >= 1.0 {
+            *slot -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn retention_reason(&self, span: &SpanRecord) -> Option<CaptureReason> {
+        if !self.is_trigger(&span.name) {
+            return None;
+        }
+        if span.duration_ns() >= self.config.threshold_ns {
+            Some(CaptureReason::Slow)
+        } else if span.error.is_some() {
+            Some(CaptureReason::Error)
+        } else if span.attr(SAMPLED_ATTR) == Some(&AttrValue::Bool(true)) {
+            Some(CaptureReason::Sampled)
+        } else {
+            None
+        }
+    }
+
+    /// Offer one finished span; tail-based retention decides capture. The
+    /// returned [`OfferOutcome`] reports the capture (with its reason) and
+    /// any data lost to the ring/pending bounds.
+    pub fn offer(&self, span: SpanRecord) -> OfferOutcome {
+        let captured = self.retention_reason(&span);
+        let mut outcome = OfferOutcome {
+            captured,
+            ..OfferOutcome::default()
+        };
         let mut inner = self.inner.lock().expect("flight lock");
-        if slow {
+        if let Some(reason) = captured {
             let mut spans = collect_subtree(&inner.pending, &span);
             spans.push(span.clone());
             spans.sort_by_key(|s| (s.start_ns, s.id));
             let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
             if inner.ring.len() >= self.config.ring_capacity.max(1) {
                 inner.ring.pop_front();
+                outcome.ring_evicted = true;
             }
             inner.ring.push_back(SlowCall {
                 seq,
+                reason,
                 root: span.clone(),
                 spans,
             });
@@ -166,11 +306,12 @@ impl FlightRecorder {
         inner.pending.push_back(span);
         while inner.pending.len() > self.config.pending_capacity.max(1) {
             inner.pending.pop_front();
+            outcome.pending_dropped += 1;
         }
-        slow
+        outcome
     }
 
-    /// Captured slow calls, oldest first.
+    /// Captured calls, oldest first.
     pub fn slow_calls(&self) -> Vec<SlowCall> {
         self.inner
             .lock()
@@ -179,6 +320,28 @@ impl FlightRecorder {
             .iter()
             .cloned()
             .collect()
+    }
+
+    /// The newest captured call belonging to `trace`, if any is retained.
+    pub fn slow_call_by_trace(&self, trace: TraceId) -> Option<SlowCall> {
+        self.inner
+            .lock()
+            .expect("flight lock")
+            .ring
+            .iter()
+            .rev()
+            .find(|call| call.trace() == Some(trace))
+            .cloned()
+    }
+
+    /// Currently retained captures (ring occupancy, for gauges).
+    pub fn ring_len(&self) -> usize {
+        self.inner.lock().expect("flight lock").ring.len()
+    }
+
+    /// Configured ring capacity.
+    pub fn ring_capacity(&self) -> usize {
+        self.config.ring_capacity
     }
 }
 
@@ -214,6 +377,7 @@ mod tests {
         SpanRecord {
             id,
             parent,
+            trace: TraceId::from_u128(u128::from(id) + 1000),
             name: name.to_owned(),
             start_ns: start,
             end_ns: end,
@@ -226,12 +390,22 @@ mod tests {
     fn captures_trigger_span_with_subtree() {
         let fr = FlightRecorder::new(FlightConfig::with_threshold_ns(100));
         // Children close first, then the slow tool span.
-        assert!(!fr.offer(rec(3, Some(2), "sql:execute", 20, 80)));
-        assert!(!fr.offer(rec(4, Some(3), "sql:scan", 30, 60)));
-        assert!(fr.offer(rec(2, Some(1), "tool:select", 10, 200)));
+        assert!(fr
+            .offer(rec(3, Some(2), "sql:execute", 20, 80))
+            .captured
+            .is_none());
+        assert!(fr
+            .offer(rec(4, Some(3), "sql:scan", 30, 60))
+            .captured
+            .is_none());
+        assert_eq!(
+            fr.offer(rec(2, Some(1), "tool:select", 10, 200)).captured,
+            Some(CaptureReason::Slow)
+        );
         let calls = fr.slow_calls();
         assert_eq!(calls.len(), 1);
         assert_eq!(calls[0].root.name, "tool:select");
+        assert_eq!(calls[0].reason, CaptureReason::Slow);
         let names: Vec<&str> = calls[0].spans.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, ["tool:select", "sql:execute", "sql:scan"]);
     }
@@ -239,9 +413,64 @@ mod tests {
     #[test]
     fn fast_and_untriggered_spans_are_ignored() {
         let fr = FlightRecorder::new(FlightConfig::with_threshold_ns(100));
-        assert!(!fr.offer(rec(1, None, "tool:select", 0, 50))); // fast
-        assert!(!fr.offer(rec(2, None, "sql:execute", 0, 5000))); // not a trigger
+        assert!(fr
+            .offer(rec(1, None, "tool:select", 0, 50))
+            .captured
+            .is_none()); // fast
+        assert!(fr
+            .offer(rec(2, None, "sql:execute", 0, 5000))
+            .captured
+            .is_none()); // not a trigger
         assert!(fr.slow_calls().is_empty());
+    }
+
+    #[test]
+    fn errored_and_sampled_calls_are_retained_even_when_fast() {
+        let fr = FlightRecorder::new(FlightConfig::with_threshold_ns(1_000_000));
+        let mut errored = rec(1, None, "wire:call", 0, 10);
+        errored.error = Some("boom".into());
+        assert_eq!(fr.offer(errored).captured, Some(CaptureReason::Error));
+        let mut sampled = rec(2, None, "tool:select", 20, 30);
+        sampled
+            .attrs
+            .push((SAMPLED_ATTR.to_owned(), AttrValue::Bool(true)));
+        assert_eq!(fr.offer(sampled).captured, Some(CaptureReason::Sampled));
+        // A sampled mark on a non-trigger span does nothing.
+        let mut inner = rec(3, None, "sql:execute", 40, 50);
+        inner
+            .attrs
+            .push((SAMPLED_ATTR.to_owned(), AttrValue::Bool(true)));
+        assert!(fr.offer(inner).captured.is_none());
+        let reasons: Vec<CaptureReason> = fr.slow_calls().iter().map(|c| c.reason).collect();
+        assert_eq!(reasons, [CaptureReason::Error, CaptureReason::Sampled]);
+    }
+
+    #[test]
+    fn lookup_by_trace_finds_newest_capture() {
+        let fr = FlightRecorder::new(FlightConfig::with_threshold_ns(10));
+        fr.offer(rec(1, None, "tool:a", 0, 100));
+        fr.offer(rec(2, None, "tool:b", 200, 300));
+        let trace = TraceId::from_u128(1002).unwrap();
+        let hit = fr.slow_call_by_trace(trace).unwrap();
+        assert_eq!(hit.root.name, "tool:b");
+        assert!(fr
+            .slow_call_by_trace(TraceId::from_u128(9).unwrap())
+            .is_none());
+        assert_eq!(fr.ring_len(), 2);
+    }
+
+    #[test]
+    fn credit_sampling_is_deterministic_per_user() {
+        let fr = FlightRecorder::new(
+            FlightConfig::default()
+                .sampled(0.25)
+                .sampled_user("vip", 1.0),
+        );
+        let fired: Vec<bool> = (0..8).map(|_| fr.should_sample("alice")).collect();
+        assert_eq!(fired.iter().filter(|&&b| b).count(), 2); // 8 × 0.25
+        assert!(fr.should_sample("vip"));
+        let zero = FlightRecorder::new(FlightConfig::default());
+        assert!(!zero.should_sample("alice"));
     }
 
     #[test]
@@ -252,13 +481,16 @@ mod tests {
             ..FlightConfig::default()
         };
         let fr = FlightRecorder::new(config);
+        let mut evictions = 0u64;
         for i in 0..10u64 {
-            fr.offer(rec(i + 1, None, "tool:slow", i * 1000, i * 1000 + 500));
+            let out = fr.offer(rec(i + 1, None, "tool:slow", i * 1000, i * 1000 + 500));
+            evictions += u64::from(out.ring_evicted);
         }
         let calls = fr.slow_calls();
         assert_eq!(calls.len(), 3);
         assert_eq!(fr.captured_total(), 10);
-        // Oldest evicted: the survivors are captures 8, 9, 10.
+        assert_eq!(evictions, 7); // 10 captures into a 3-slot ring
+                                  // Oldest evicted: the survivors are captures 8, 9, 10.
         assert_eq!(calls[0].seq, 8);
         assert_eq!(calls[2].seq, 10);
     }
@@ -271,10 +503,14 @@ mod tests {
             ..FlightConfig::default()
         };
         let fr = FlightRecorder::new(config);
+        let mut dropped = 0u64;
         for i in 0..100u64 {
-            fr.offer(rec(i + 1, None, "sql:execute", i, i + 1));
+            dropped += fr
+                .offer(rec(i + 1, None, "sql:execute", i, i + 1))
+                .pending_dropped;
         }
         assert!(fr.inner.lock().unwrap().pending.len() <= 4);
+        assert_eq!(dropped, 96);
     }
 
     #[test]
@@ -285,5 +521,10 @@ mod tests {
         assert_eq!(json.get("type").and_then(Json::as_str), Some("slow_call"));
         assert_eq!(json.get("name").and_then(Json::as_str), Some("wire:call"));
         assert_eq!(json.get("duration_ns").and_then(Json::as_i64), Some(100));
+        assert_eq!(json.get("reason").and_then(Json::as_str), Some("slow"));
+        assert_eq!(
+            json.get("trace").and_then(Json::as_str),
+            Some(TraceId::from_u128(1001).unwrap().to_string().as_str())
+        );
     }
 }

@@ -41,15 +41,21 @@
 
 pub mod export;
 pub mod flight;
+pub mod inflight;
 pub mod metrics;
 pub mod observer;
 pub mod prom;
 pub mod recorder;
 pub mod span;
+pub mod stmt;
 pub mod summary;
+pub mod trace;
 
 pub use export::{parse_jsonl, to_jsonl};
-pub use flight::{FlightConfig, FlightRecorder, SlowCall};
+pub use flight::{
+    CaptureReason, FlightConfig, FlightRecorder, OfferOutcome, SlowCall, SAMPLED_ATTR,
+};
+pub use inflight::{InflightCall, InflightRegistry};
 pub use metrics::{
     canonical_labels, GaugeId, GaugeSample, Histogram, HistogramSnapshot, LabelSet, LabeledCounter,
     LabeledHistogram, MetricsRegistry, MetricsSnapshot,
@@ -57,8 +63,11 @@ pub use metrics::{
 pub use observer::RegistryObserver;
 pub use recorder::{Recorder, ShardedSink};
 pub use span::{
-    adopt, current_parent, validate_tree, AttrValue, ParentScope, SpanGuard, SpanRecord,
+    adopt, adopt_context, current_context, current_parent, current_trace, validate_tree, AttrValue,
+    ParentScope, SpanContext, SpanGuard, SpanRecord,
 };
+pub use stmt::{StatementEntry, StatementOutcome, StatementStats, StatementStore};
+pub use trace::{next_span_id, next_trace_id, seed_ids, SpanId, TraceContext, TraceId};
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -85,8 +94,16 @@ pub(crate) struct ObsInner {
     metrics: MetricsRegistry,
     sink: ShardedSink,
     jsonl_path: Option<PathBuf>,
-    flight: Option<FlightRecorder>,
+    /// `Arc` so pull-model gauges (ring occupancy) can sample the recorder
+    /// without holding the whole handle alive through `self`.
+    flight: Option<Arc<FlightRecorder>>,
+    statements: Arc<StatementStore>,
+    inflight: Arc<InflightRegistry>,
 }
+
+/// Distinct `(user, normalized statement)` keys retained by the statement
+/// store before LRU eviction kicks in.
+const STATEMENT_STORE_CAPACITY: usize = 512;
 
 impl ObsInner {
     pub(crate) fn next_span_id(&self) -> u64 {
@@ -100,8 +117,16 @@ impl ObsInner {
     pub(crate) fn record(&self, span: SpanRecord) {
         use recorder::Recorder as _;
         if let Some(flight) = &self.flight {
-            if flight.offer(span.clone()) {
+            let outcome = flight.offer(span.clone());
+            if outcome.captured.is_some() {
                 self.metrics.incr("obs.slow_calls.captured", 1);
+            }
+            if outcome.ring_evicted {
+                self.metrics.incr("obs.flight.dropped_total", 1);
+            }
+            if outcome.pending_dropped > 0 {
+                self.metrics
+                    .incr("obs.flight.pending_dropped_total", outcome.pending_dropped);
             }
         }
         self.sink.record(span);
@@ -139,6 +164,21 @@ impl Obs {
         metrics.register_gauge("process.uptime_seconds", &[], move || {
             epoch.elapsed().as_secs_f64()
         });
+        let flight = flight.map(|config| Arc::new(FlightRecorder::new(config)));
+        if let Some(recorder) = &flight {
+            // Samplers capture their own Arc so occupancy stays readable
+            // for as long as the registry lives.
+            let ring = Arc::clone(recorder);
+            metrics.register_gauge("obs.flight.ring_occupancy", &[], move || {
+                ring.ring_len() as f64
+            });
+        }
+        let statements = Arc::new(StatementStore::new(STATEMENT_STORE_CAPACITY));
+        let store = Arc::clone(&statements);
+        metrics.register_gauge("obs.statements.entries", &[], move || store.len() as f64);
+        let inflight = Arc::new(InflightRegistry::new());
+        let live = Arc::clone(&inflight);
+        metrics.register_gauge("obs.queries.in_flight", &[], move || live.len() as f64);
         Obs {
             inner: Some(Arc::new(ObsInner {
                 epoch,
@@ -146,7 +186,9 @@ impl Obs {
                 metrics,
                 sink: ShardedSink::new(),
                 jsonl_path,
-                flight: flight.map(FlightRecorder::new),
+                flight,
+                statements,
+                inflight,
             })),
         }
     }
@@ -238,6 +280,23 @@ impl Obs {
             .map(|inner| inner.metrics.register_gauge(name, labels, sampler))
     }
 
+    /// Register a gauge sampler keyed on `(name, labels)`: re-registering
+    /// the same series replaces the sampler in place instead of adding a
+    /// duplicate. Use for samplers re-registered per session/server build
+    /// (e.g. per-user cache gauges) together with the `Weak`-and-`NaN`
+    /// idiom for samplers that can outlive their subject. Returns `None`
+    /// when disabled.
+    pub fn register_gauge_keyed(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        sampler: impl Fn() -> f64 + Send + Sync + 'static,
+    ) -> Option<GaugeId> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.metrics.register_gauge_keyed(name, labels, sampler))
+    }
+
     /// Remove a previously registered gauge sampler.
     pub fn unregister_gauge(&self, id: GaugeId) -> bool {
         self.inner
@@ -259,7 +318,7 @@ impl Obs {
         self.inner
             .as_ref()
             .and_then(|inner| inner.flight.as_ref())
-            .map(FlightRecorder::threshold_ns)
+            .map(|flight| flight.threshold_ns())
     }
 
     /// Captured slow calls, oldest first (empty when disabled or no flight
@@ -270,6 +329,131 @@ impl Obs {
             .and_then(|inner| inner.flight.as_ref())
             .map(|flight| flight.slow_calls())
             .unwrap_or_default()
+    }
+
+    /// The newest captured call for `trace`, if the flight recorder
+    /// retained one.
+    pub fn slow_call_by_trace(&self, trace: TraceId) -> Option<SlowCall> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.flight.as_ref())
+            .and_then(|flight| flight.slow_call_by_trace(trace))
+    }
+
+    /// Whether `user`'s next call should be explicitly retained by the
+    /// flight recorder (tail-based sampling). Always `false` when disabled
+    /// or no flight recorder is attached.
+    pub fn should_sample(&self, user: &str) -> bool {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.flight.as_ref())
+            .map(|flight| flight.should_sample(user))
+            .unwrap_or(false)
+    }
+
+    /// Record one executed statement into the statement statistics store
+    /// (no-op when disabled). `statement` must already be normalized —
+    /// callers use the gate's token normalizer, which erases whitespace
+    /// and formatting variance so one statement shape is one key.
+    pub fn record_statement(
+        &self,
+        user: &str,
+        statement: &str,
+        latency_ns: u64,
+        rows: u64,
+        cache_hit: bool,
+        outcome: StatementOutcome,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner
+                .statements
+                .record(user, statement, latency_ns, rows, cache_hit, outcome);
+            inner.metrics.incr_with(
+                "stmt.calls",
+                &[
+                    ("user", user),
+                    (
+                        "outcome",
+                        match outcome {
+                            StatementOutcome::Ok => "ok",
+                            StatementOutcome::Conflict => "conflict",
+                            StatementOutcome::Denied => "denied",
+                            StatementOutcome::Error => "error",
+                        },
+                    ),
+                ],
+                1,
+            );
+            inner
+                .metrics
+                .observe_ns_with("stmt.latency", &[("user", user)], latency_ns);
+        }
+    }
+
+    /// Per-(user, statement) aggregates, sorted by total time descending
+    /// (empty when disabled).
+    pub fn statements_snapshot(&self) -> Vec<StatementEntry> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.statements.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// The statement store's JSON form (admin `/statements`); `None` when
+    /// disabled.
+    pub fn statements_json(&self) -> Option<toolproto::Json> {
+        self.inner.as_ref().map(|inner| inner.statements.to_json())
+    }
+
+    /// Keys evicted from the statement store since creation.
+    pub fn statements_evicted_total(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.statements.evicted_total())
+            .unwrap_or(0)
+    }
+
+    /// Register a live call in the in-flight registry, picking up the
+    /// ambient trace id. The call stays listed (admin `/queries`) until the
+    /// returned guard drops — on *any* exit path, so a panicking tool can't
+    /// leak an entry. Call after opening the dispatch span so the trace id
+    /// is in scope.
+    pub fn begin_call(&self, user: &str, tool: &str) -> CallGuard {
+        match &self.inner {
+            None => CallGuard(None),
+            Some(inner) => {
+                let token = inner.next_span_id();
+                inner
+                    .inflight
+                    .begin(token, current_trace(), user, tool, inner.now_ns());
+                CallGuard(Some((Arc::clone(inner), token)))
+            }
+        }
+    }
+
+    /// Attach the currently executing statement to this thread's live call
+    /// (matched through the ambient trace id; no-op when disabled or no
+    /// call is registered).
+    pub fn note_statement(&self, statement: &str) {
+        if let (Some(inner), Some(trace)) = (&self.inner, current_trace()) {
+            inner.inflight.note_statement(trace, statement);
+        }
+    }
+
+    /// Live calls, oldest first (empty when disabled).
+    pub fn inflight(&self) -> Vec<InflightCall> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.inflight.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// The in-flight registry's JSON form (admin `/queries`); `None` when
+    /// disabled.
+    pub fn inflight_json(&self) -> Option<toolproto::Json> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.inflight.to_json(inner.now_ns()))
     }
 
     /// Nanoseconds since this handle was created (0 when disabled).
@@ -366,6 +550,28 @@ impl Obs {
             stop,
             thread: Some(thread),
         })
+    }
+}
+
+/// Guard returned by [`Obs::begin_call`]; removes the call from the
+/// in-flight registry when dropped.
+#[must_use = "the call stays listed as in-flight until the guard drops"]
+pub struct CallGuard(Option<(Arc<ObsInner>, u64)>);
+
+impl Drop for CallGuard {
+    fn drop(&mut self) {
+        if let Some((inner, token)) = self.0.take() {
+            inner.inflight.end(token);
+        }
+    }
+}
+
+impl std::fmt::Debug for CallGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("CallGuard(disabled)"),
+            Some((_, token)) => f.debug_tuple("CallGuard").field(token).finish(),
+        }
     }
 }
 
@@ -524,5 +730,117 @@ mod tests {
         let snap = obs.snapshot();
         assert_eq!(snap.spans.len(), 3);
         validate_tree(&snap.spans).unwrap();
+    }
+
+    #[test]
+    fn children_inherit_trace_and_roots_get_fresh_ones() {
+        let obs = Obs::in_memory();
+        {
+            let _root = obs.span("root");
+            drop(obs.span("child"));
+        }
+        drop(obs.span("other_root"));
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        let root_trace = snap.spans[0].trace.expect("root has a trace");
+        assert_eq!(snap.spans[1].trace, Some(root_trace));
+        assert_ne!(snap.spans[2].trace, Some(root_trace));
+        validate_tree(&snap.spans).unwrap();
+    }
+
+    #[test]
+    fn adopted_context_joins_the_same_trace() {
+        let obs = Obs::in_memory();
+        let ctx = {
+            let root = obs.span("wire:call");
+            root.context()
+        };
+        // Simulate a worker thread picking the context up.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _scope = adopt_context(ctx);
+                drop(obs.span("tool:select"));
+            });
+        });
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[1].trace, snap.spans[0].trace);
+        assert_eq!(snap.spans[1].parent, Some(snap.spans[0].id));
+    }
+
+    #[test]
+    fn inflight_registry_tracks_live_calls() {
+        let obs = Obs::in_memory();
+        let span = obs.span("wire:call");
+        let guard = obs.begin_call("alice", "select");
+        obs.note_statement("SELECT 1");
+        let live = obs.inflight();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].user, "alice");
+        assert_eq!(live[0].trace, span.trace());
+        assert_eq!(live[0].statement.as_deref(), Some("SELECT 1"));
+        let json = obs.inflight_json().unwrap();
+        assert_eq!(
+            json.get("in_flight").and_then(toolproto::Json::as_i64),
+            Some(1)
+        );
+        drop(guard);
+        assert!(obs.inflight().is_empty());
+        assert_eq!(
+            obs.snapshot().metrics.gauge("obs.queries.in_flight", &[]),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn statement_store_rides_the_handle() {
+        let obs = Obs::in_memory();
+        obs.record_statement("alice", "select $n", 500, 3, true, StatementOutcome::Ok);
+        obs.record_statement(
+            "alice",
+            "select $n",
+            700,
+            4,
+            false,
+            StatementOutcome::Conflict,
+        );
+        let snap = obs.statements_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].stats.calls, 2);
+        assert_eq!(snap[0].stats.conflicts, 1);
+        let metrics = obs.snapshot().metrics;
+        assert_eq!(
+            metrics.labeled_counter("stmt.calls", &[("outcome", "ok"), ("user", "alice")]),
+            1
+        );
+        assert_eq!(metrics.gauge("obs.statements.entries", &[]), Some(1.0));
+        assert!(obs.statements_json().is_some());
+        // Disabled handles stay inert.
+        let off = Obs::disabled();
+        off.record_statement("u", "s", 1, 0, false, StatementOutcome::Ok);
+        assert!(off.statements_snapshot().is_empty());
+        assert!(off.statements_json().is_none());
+        assert!(off.inflight_json().is_none());
+        let g = off.begin_call("u", "t");
+        drop(g);
+    }
+
+    #[test]
+    fn flight_dropped_counter_and_occupancy_gauge_are_wired() {
+        let config = FlightConfig {
+            threshold_ns: 1,
+            ring_capacity: 2,
+            ..FlightConfig::default()
+        };
+        let obs = Obs::with_flight(&ObsConfig::InMemory, config);
+        for _ in 0..5 {
+            let span = obs.span("tool:slow");
+            std::thread::sleep(Duration::from_millis(1));
+            drop(span);
+        }
+        let metrics = obs.snapshot().metrics;
+        assert_eq!(metrics.counter("obs.slow_calls.captured"), 5);
+        assert_eq!(metrics.counter("obs.flight.dropped_total"), 3);
+        assert_eq!(metrics.gauge("obs.flight.ring_occupancy", &[]), Some(2.0));
     }
 }

@@ -325,6 +325,42 @@ impl MetricsRegistry {
         GaugeId(id)
     }
 
+    /// Register a gauge sampler keyed on `(name, labels)`: when a gauge
+    /// with the same series identity already exists, its sampler is
+    /// *replaced* instead of a duplicate being added. Use for samplers
+    /// re-registered per session/connection (e.g. per-user cache gauges),
+    /// where plain [`MetricsRegistry::register_gauge`] would accumulate one
+    /// stale entry per registration. A sampler returning `NaN` marks the
+    /// series dead and it is omitted from output (the idiom for samplers
+    /// holding `Weak` references).
+    pub fn register_gauge_keyed(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        sampler: impl Fn() -> f64 + Send + Sync + 'static,
+    ) -> GaugeId {
+        let labels = canonical_labels(labels);
+        let mut gauges = self.gauges.write().expect("metrics lock");
+        if let Some((&id, _)) = gauges
+            .iter()
+            .find(|(_, g)| g.name == name && g.labels == labels)
+        {
+            let slot = gauges.get_mut(&id).expect("gauge just found");
+            slot.sampler = Arc::new(sampler);
+            return GaugeId(id);
+        }
+        let id = self.next_gauge.fetch_add(1, Ordering::Relaxed);
+        gauges.insert(
+            id,
+            Gauge {
+                name: name.to_owned(),
+                labels,
+                sampler: Arc::new(sampler),
+            },
+        );
+        GaugeId(id)
+    }
+
     /// Remove a gauge sampler. Returns whether it was registered.
     pub fn unregister_gauge(&self, id: GaugeId) -> bool {
         self.gauges
@@ -337,6 +373,7 @@ impl MetricsRegistry {
     /// Evaluate every registered gauge sampler. Samplers run *outside* the
     /// registry lock (they may read other subsystems that themselves record
     /// metrics), sorted by `(name, labels)` for deterministic output.
+    /// Samplers returning `NaN` (dead `Weak`-backed series) are omitted.
     pub fn sample_gauges(&self) -> Vec<GaugeSample> {
         let entries: Vec<(String, LabelSet, Sampler)> = self
             .gauges
@@ -352,6 +389,7 @@ impl MetricsRegistry {
                 labels,
                 value: sampler(),
             })
+            .filter(|sample| !sample.value.is_nan())
             .collect();
         out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
         out
@@ -554,6 +592,36 @@ mod tests {
         assert!(m.unregister_gauge(id));
         assert!(!m.unregister_gauge(id));
         assert_eq!(m.snapshot().gauge("queue.depth", &[("pool", "wire")]), None);
+    }
+
+    #[test]
+    fn keyed_gauge_registration_replaces_in_place() {
+        let m = MetricsRegistry::new();
+        let a = m.register_gauge_keyed("cache.entries", &[("user", "alice")], || 3.0);
+        assert_eq!(
+            m.snapshot().gauge("cache.entries", &[("user", "alice")]),
+            Some(3.0)
+        );
+        // Same series identity: replaced, not duplicated.
+        let b = m.register_gauge_keyed("cache.entries", &[("user", "alice")], || 9.0);
+        assert_eq!(a, b);
+        let snap = m.snapshot();
+        let matches: Vec<&GaugeSample> = snap
+            .gauges
+            .iter()
+            .filter(|g| g.name == "cache.entries")
+            .collect();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].value, 9.0);
+        // Different labels: a distinct series.
+        let c = m.register_gauge_keyed("cache.entries", &[("user", "bob")], || 1.0);
+        assert_ne!(b, c);
+        // NaN samplers (dead Weak idiom) vanish from output.
+        m.register_gauge_keyed("cache.entries", &[("user", "bob")], || f64::NAN);
+        assert_eq!(
+            m.snapshot().gauge("cache.entries", &[("user", "bob")]),
+            None
+        );
     }
 
     #[test]

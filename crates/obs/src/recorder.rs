@@ -76,6 +76,7 @@ mod tests {
         SpanRecord {
             id,
             parent: None,
+            trace: None,
             name: format!("s{id}"),
             start_ns: start,
             end_ns: start + 1,

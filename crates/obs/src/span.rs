@@ -7,6 +7,7 @@
 //! thread become its children. Work that hops threads (the proxy's scoped
 //! producer workers) carries parentage across explicitly with [`adopt`].
 
+use crate::trace::TraceId;
 use crate::ObsInner;
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -86,6 +87,10 @@ pub struct SpanRecord {
     pub parent: Option<u64>,
     /// Span name, e.g. `task`, `llm:call`, `tool:select`, `sql:execute`.
     pub name: String,
+    /// Trace this span belongs to. Spans recorded by this crate always
+    /// carry one (inherited from the enclosing span, or fresh for roots);
+    /// `None` survives only for records parsed from pre-trace JSONL.
+    pub trace: Option<TraceId>,
     /// Start time in nanoseconds since the handle's epoch (monotonic clock).
     pub start_ns: u64,
     /// End time in nanoseconds since the handle's epoch; `>= start_ns`.
@@ -111,11 +116,22 @@ impl SpanRecord {
 thread_local! {
     /// Stack of open span ids on this thread; the top is the current parent.
     static PARENT_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Stack of trace ids mirroring [`PARENT_STACK`] plus adopted trace
+    /// scopes; the top is the trace new spans join.
+    static TRACE_STACK: RefCell<Vec<TraceId>> = const { RefCell::new(Vec::new()) };
 }
 
 /// The id of the innermost open span on this thread, if any.
 pub fn current_parent() -> Option<u64> {
     PARENT_STACK
+        .try_with(|s| s.borrow().last().copied())
+        .ok()
+        .flatten()
+}
+
+/// The trace id new spans on this thread would join, if any.
+pub fn current_trace() -> Option<TraceId> {
+    TRACE_STACK
         .try_with(|s| s.borrow().last().copied())
         .ok()
         .flatten()
@@ -137,29 +153,84 @@ fn pop_parent(id: u64) {
     });
 }
 
+fn push_trace(trace: TraceId) {
+    let _ = TRACE_STACK.try_with(|s| s.borrow_mut().push(trace));
+}
+
+fn pop_trace(trace: TraceId) {
+    let _ = TRACE_STACK.try_with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&x| x == trace) {
+            stack.remove(pos);
+        }
+    });
+}
+
+/// Span linkage that can be captured on one thread and adopted on another:
+/// the current trace id plus the innermost open span id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Trace id spans opened under this context join (fresh root if `None`).
+    pub trace: Option<TraceId>,
+    /// Span id spans opened under this context become children of.
+    pub parent: Option<u64>,
+}
+
+/// Capture the current thread's span linkage for adoption elsewhere.
+pub fn current_context() -> SpanContext {
+    SpanContext {
+        trace: current_trace(),
+        parent: current_parent(),
+    }
+}
+
 /// Carries span parentage onto another thread: while the returned scope is
 /// alive, spans opened on the current thread become children of `parent`.
 ///
 /// Used by the proxy executor, whose sibling producers run on scoped worker
-/// threads but must still appear under the `proxy:unit` span.
+/// threads but must still appear under the `proxy:unit` span. Prefer
+/// [`adopt_context`], which also carries the trace id across the hop.
 #[must_use = "parent adoption lasts only while the scope is alive"]
 pub fn adopt(parent: Option<u64>) -> ParentScope {
-    if let Some(id) = parent {
-        push_parent(id);
-    }
-    ParentScope { parent }
+    adopt_context(SpanContext {
+        trace: None,
+        parent,
+    })
 }
 
-/// Guard returned by [`adopt`]; restores the thread's parent stack on drop.
+/// Adopt a [`SpanContext`] on the current thread: while the returned scope
+/// is alive, spans opened here join `ctx.trace` and become children of
+/// `ctx.parent`. This is how one trace id survives thread hops (worker
+/// pools, proxy producers) and process hops (the wire's `traceparent`).
+#[must_use = "context adoption lasts only while the scope is alive"]
+pub fn adopt_context(ctx: SpanContext) -> ParentScope {
+    if let Some(trace) = ctx.trace {
+        push_trace(trace);
+    }
+    if let Some(id) = ctx.parent {
+        push_parent(id);
+    }
+    ParentScope {
+        parent: ctx.parent,
+        trace: ctx.trace,
+    }
+}
+
+/// Guard returned by [`adopt`] / [`adopt_context`]; restores the thread's
+/// parent and trace stacks on drop.
 #[derive(Debug)]
 pub struct ParentScope {
     parent: Option<u64>,
+    trace: Option<TraceId>,
 }
 
 impl Drop for ParentScope {
     fn drop(&mut self) {
         if let Some(id) = self.parent {
             pop_parent(id);
+        }
+        if let Some(trace) = self.trace {
+            pop_trace(trace);
         }
     }
 }
@@ -168,6 +239,7 @@ pub(crate) struct OpenSpan {
     pub(crate) inner: Arc<ObsInner>,
     pub(crate) id: u64,
     pub(crate) parent: Option<u64>,
+    pub(crate) trace: TraceId,
     pub(crate) name: String,
     pub(crate) start_ns: u64,
     pub(crate) error: Option<String>,
@@ -189,12 +261,16 @@ impl SpanGuard {
     pub(crate) fn open(inner: Arc<ObsInner>, name: &str) -> Self {
         let id = inner.next_span_id();
         let parent = current_parent();
+        // Join the ambient trace, or start a new one when this is a root.
+        let trace = current_trace().unwrap_or_else(crate::trace::next_trace_id);
         let start_ns = inner.now_ns();
         push_parent(id);
+        push_trace(trace);
         SpanGuard(Some(OpenSpan {
             inner,
             id,
             parent,
+            trace,
             name: name.to_owned(),
             start_ns,
             error: None,
@@ -211,6 +287,20 @@ impl SpanGuard {
     /// This span's id, when enabled. Hand it to [`adopt`] on worker threads.
     pub fn id(&self) -> Option<u64> {
         self.0.as_ref().map(|s| s.id)
+    }
+
+    /// The trace this span belongs to, when enabled.
+    pub fn trace(&self) -> Option<TraceId> {
+        self.0.as_ref().map(|s| s.trace)
+    }
+
+    /// This span's linkage as a [`SpanContext`], for adoption on another
+    /// thread (or injection into a wire request).
+    pub fn context(&self) -> SpanContext {
+        SpanContext {
+            trace: self.trace(),
+            parent: self.id(),
+        }
     }
 
     /// Attach an attribute (appended; duplicate keys are kept in order).
@@ -240,10 +330,12 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(open) = self.0.take() {
             pop_parent(open.id);
+            pop_trace(open.trace);
             let end_ns = open.inner.now_ns().max(open.start_ns);
             let record = SpanRecord {
                 id: open.id,
                 parent: open.parent,
+                trace: Some(open.trace),
                 name: open.name,
                 start_ns: open.start_ns,
                 end_ns,
@@ -292,6 +384,14 @@ pub fn validate_tree(spans: &[SpanRecord]) -> Result<(), String> {
             let parent = by_id
                 .get(&pid)
                 .ok_or_else(|| format!("span {} has unknown parent {pid}", span.id))?;
+            if let (Some(child_trace), Some(parent_trace)) = (span.trace, parent.trace) {
+                if child_trace != parent_trace {
+                    return Err(format!(
+                        "span {} ({}) trace {child_trace} differs from parent {} trace {parent_trace}",
+                        span.id, span.name, parent.id
+                    ));
+                }
+            }
             if span.start_ns < parent.start_ns || span.end_ns > parent.end_ns {
                 return Err(format!(
                     "span {} ({}) [{}, {}] escapes parent {} ({}) [{}, {}]",
@@ -328,6 +428,7 @@ mod tests {
         SpanRecord {
             id,
             parent,
+            trace: TraceId::from_u128(7),
             name: format!("s{id}"),
             start_ns: start,
             end_ns: end,
@@ -370,6 +471,31 @@ mod tests {
     fn validate_rejects_negative_duration() {
         let spans = vec![rec(1, None, 20, 10)];
         assert!(validate_tree(&spans).unwrap_err().contains("ends before"));
+    }
+
+    #[test]
+    fn validate_rejects_trace_mismatch() {
+        let mut spans = vec![rec(1, None, 0, 100), rec(2, Some(1), 10, 50)];
+        spans[1].trace = TraceId::from_u128(8);
+        assert!(validate_tree(&spans)
+            .unwrap_err()
+            .contains("differs from parent"));
+    }
+
+    #[test]
+    fn adopt_context_carries_trace_onto_scope() {
+        let trace = TraceId::from_u128(42).unwrap();
+        assert_eq!(current_trace(), None);
+        {
+            let _scope = adopt_context(SpanContext {
+                trace: Some(trace),
+                parent: Some(9),
+            });
+            assert_eq!(current_trace(), Some(trace));
+            assert_eq!(current_parent(), Some(9));
+        }
+        assert_eq!(current_trace(), None);
+        assert_eq!(current_parent(), None);
     }
 
     #[test]

@@ -59,12 +59,12 @@ fn adoption_parents_worker_thread_spans() {
     let obs = Obs::in_memory();
     {
         let root = obs.span("proxy:unit");
-        let parent = root.id();
+        let ctx = root.context();
         std::thread::scope(|scope| {
             for i in 0..4 {
                 let obs = obs.clone();
                 scope.spawn(move || {
-                    let _scope = obs::adopt(parent);
+                    let _scope = obs::adopt_context(ctx);
                     let mut sp = obs.span("producer");
                     sp.attr("index", i as u64);
                 });
@@ -112,6 +112,7 @@ fn validate_tree_rejects_broken_shapes() {
     let span = |id: u64, parent: Option<u64>, start: u64, end: u64| SpanRecord {
         id,
         parent,
+        trace: None,
         name: format!("s{id}"),
         start_ns: start,
         end_ns: end,

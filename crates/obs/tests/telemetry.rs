@@ -117,11 +117,16 @@ fn flight_ring_wraps_and_respects_threshold_and_prefixes() {
         assert!(pair[0].seq < pair[1].seq, "captures stay in order");
     }
     assert!(calls.iter().all(|c| c.duration_ns() >= 1_000_000));
+    let metrics = obs.snapshot().metrics;
     assert_eq!(
-        obs.snapshot().metrics.counter("obs.slow_calls.captured"),
+        metrics.counter("obs.slow_calls.captured"),
         6,
         "wraparound drops entries but the captured counter keeps counting"
     );
+    // Ring truncation is never silent: the two captures the 4-slot ring
+    // pushed out are counted, and occupancy is observable as a gauge.
+    assert_eq!(metrics.counter("obs.flight.dropped_total"), 2);
+    assert_eq!(metrics.gauge("obs.flight.ring_occupancy", &[]), Some(4.0));
 
     // A slow call keeps its full span tree, children included.
     let parent = obs.span("wire:call deep");

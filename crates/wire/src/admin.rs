@@ -11,6 +11,13 @@
 //!   load balancer stops routing while in-flight calls finish).
 //! * `GET /slow` — the flight recorder's captured slow calls as JSON, full
 //!   span trees included.
+//! * `GET /slow/<trace-id>` — one captured call looked up by its 32-hex
+//!   trace id: the whole cross-layer trace, or 404 if not retained.
+//! * `GET /statements` — the statement statistics store (pg_stat_statements
+//!   style): per-(user, normalized statement) aggregates, sorted by total
+//!   time descending.
+//! * `GET /queries` — calls in flight right now: trace id, user, tool,
+//!   elapsed time, and the SQL statement currently executing (if any).
 //!
 //! The implementation is deliberately minimal: one accept thread, one
 //! short-lived handler per connection, `Connection: close` on every
@@ -193,11 +200,53 @@ fn route(method: &str, path: &str, obs: &Obs, ready: &AtomicBool) -> String {
             .to_string();
             respond(200, "OK", "application/json", &body)
         }
-        _ => respond(
+        "/statements" => {
+            let body = obs
+                .statements_json()
+                .unwrap_or_else(|| Json::object([("statements", Json::array([]))]))
+                .to_string();
+            respond(200, "OK", "application/json", &body)
+        }
+        "/queries" => {
+            let body = obs
+                .inflight_json()
+                .unwrap_or_else(|| Json::object([("queries", Json::array([]))]))
+                .to_string();
+            respond(200, "OK", "application/json", &body)
+        }
+        _ => {
+            if let Some(hex) = path.strip_prefix("/slow/") {
+                return route_slow_by_trace(hex, obs);
+            }
+            respond(
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "unknown path; try /metrics /healthz /readyz /slow /statements /queries\n",
+            )
+        }
+    }
+}
+
+/// `/slow/<trace-id>`: serve one retained call by trace id. The id comes
+/// off the wire, so it is parsed with the same strict 32-hex validator the
+/// traceparent uses; garbage is a 404, never a panic.
+fn route_slow_by_trace(hex: &str, obs: &Obs) -> String {
+    let Some(trace) = obs::TraceId::parse_hex(hex) else {
+        return respond(
             404,
             "Not Found",
             "text/plain; charset=utf-8",
-            "unknown path; try /metrics /healthz /readyz /slow\n",
+            "trace id must be 32 hex chars\n",
+        );
+    };
+    match obs.slow_call_by_trace(trace) {
+        Some(call) => respond(200, "OK", "application/json", &call.to_json().to_string()),
+        None => respond(
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "no retained call with that trace id\n",
         ),
     }
 }
@@ -232,7 +281,25 @@ mod tests {
         assert!(route("GET", "/readyz", &obs, &ready).starts_with("HTTP/1.1 503"));
         assert!(route("GET", "/metrics", &obs, &ready).contains("x_total 1"));
         assert!(route("GET", "/slow", &obs, &ready).contains("\"slow_calls\""));
+        assert!(route("GET", "/statements", &obs, &ready).contains("\"statements\""));
+        assert!(route("GET", "/queries", &obs, &ready).contains("\"in_flight\""));
         assert!(route("GET", "/nope", &obs, &ready).starts_with("HTTP/1.1 404"));
         assert!(route("POST", "/metrics", &obs, &ready).starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn slow_by_trace_validates_and_misses_cleanly() {
+        let obs = Obs::in_memory();
+        let ready = AtomicBool::new(true);
+        // Garbage trace ids are 404s, never panics.
+        for bad in ["/slow/", "/slow/xyz", "/slow/123", "/slow/../etc"] {
+            assert!(
+                route("GET", bad, &obs, &ready).starts_with("HTTP/1.1 404"),
+                "{bad}"
+            );
+        }
+        // A well-formed id that was never retained is also a 404.
+        let miss = format!("/slow/{:032x}", 0xdeadbeefu64);
+        assert!(route("GET", &miss, &obs, &ready).starts_with("HTTP/1.1 404"));
     }
 }

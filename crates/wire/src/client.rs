@@ -12,8 +12,10 @@
 
 use crate::frame::{write_frame, FrameError, FrameReader};
 use crate::rpc::{
-    request_frame, risk_from_str, rpc_to_tool_error, tool_output_from_json, RpcError, PROTOCOL,
+    request_frame_traced, risk_from_str, rpc_to_tool_error, tool_output_from_json, RpcError,
+    PROTOCOL,
 };
+use obs::TraceContext;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -80,6 +82,7 @@ pub struct Client {
     writer: TcpStream,
     next_id: u64,
     response_timeout: Duration,
+    last_traceparent: Option<String>,
 }
 
 impl Client {
@@ -99,6 +102,7 @@ impl Client {
             writer: stream,
             next_id: 1,
             response_timeout: Duration::from_secs(60),
+            last_traceparent: None,
         })
     }
 
@@ -112,13 +116,30 @@ impl Client {
     /// Issue one request and wait for the matching response. Returns the
     /// `result` value, or the server's error object.
     pub fn request(&mut self, method: &str, params: &Json) -> Result<Json, WireError> {
+        self.request_traced(method, params, None)
+    }
+
+    /// Like [`Client::request`], carrying an optional `traceparent`. The
+    /// traceparent the server echoes (the *effective* one — the server may
+    /// substitute its own context for a malformed value) is retained and
+    /// readable via [`Client::last_traceparent`].
+    pub fn request_traced(
+        &mut self,
+        method: &str,
+        params: &Json,
+        traceparent: Option<&str>,
+    ) -> Result<Json, WireError> {
         let id = Json::num(self.next_id as f64);
         self.next_id += 1;
-        let frame = request_frame(&id, method, params);
+        let frame = request_frame_traced(&id, method, params, traceparent);
         write_frame(&mut self.writer, &frame)?;
         let reply = self.reader.read_frame(Some(self.response_timeout), None)?;
         let doc = Json::parse(&reply)
             .map_err(|e| WireError::Protocol(format!("unparseable response: {e}")))?;
+        self.last_traceparent = doc
+            .get("traceparent")
+            .and_then(Json::as_str)
+            .map(str::to_owned);
         if doc.get("id") != Some(&id) && !doc.get("id").is_none_or(Json::is_null) {
             return Err(WireError::Protocol(format!(
                 "response id mismatch (sent {}, got {})",
@@ -167,8 +188,31 @@ impl Client {
     /// failure) land in the inner [`ToolResult`], structurally identical to
     /// an in-process invocation.
     pub fn call(&mut self, name: &str, arguments: &Json) -> Result<ToolResult, WireError> {
+        // No traceparent: the server nests the call under its own
+        // wire:session span, so a whole session reads as one trace.
+        self.call_inner(name, arguments, None)
+    }
+
+    /// Invoke a remote tool under an explicit trace context — the caller's
+    /// own span context serialized as a traceparent, so the remote spans
+    /// join a trace that started on this side of the wire.
+    pub fn call_traced(
+        &mut self,
+        name: &str,
+        arguments: &Json,
+        ctx: &TraceContext,
+    ) -> Result<ToolResult, WireError> {
+        self.call_inner(name, arguments, Some(&ctx.to_traceparent()))
+    }
+
+    fn call_inner(
+        &mut self,
+        name: &str,
+        arguments: &Json,
+        traceparent: Option<&str>,
+    ) -> Result<ToolResult, WireError> {
         let params = Json::object([("name", Json::str(name)), ("arguments", arguments.clone())]);
-        match self.request("tools/call", &params) {
+        match self.request_traced("tools/call", &params, traceparent) {
             Ok(result) => {
                 let output = tool_output_from_json(&result).map_err(WireError::Protocol)?;
                 Ok(Ok(output))
@@ -179,6 +223,12 @@ impl Client {
             },
             Err(other) => Err(other),
         }
+    }
+
+    /// The `traceparent` echoed on the most recent response, if any — the
+    /// effective trace the server filed that request under.
+    pub fn last_traceparent(&self) -> Option<&str> {
+        self.last_traceparent.as_deref()
     }
 
     /// End the session; the server closes the connection afterwards.

@@ -199,6 +199,11 @@ pub struct Request {
     pub method: String,
     /// Parameters (object, or `Json::Null` when absent).
     pub params: Json,
+    /// Raw `traceparent` member, when the client supplied a string one.
+    /// Carried verbatim: the server validates it (`obs::TraceContext::parse`)
+    /// and falls back to a fresh root when malformed, so a hostile value
+    /// can never fail a request — only lose its own trace continuity.
+    pub traceparent: Option<String>,
 }
 
 /// Parse a frame into a [`Request`]. The `jsonrpc: "2.0"` member is
@@ -232,16 +237,40 @@ pub fn parse_request(frame: &str) -> Result<Request, RpcError> {
         }
     }
     let params = obj.get("params").cloned().unwrap_or(Json::Null);
-    Ok(Request { id, method, params })
+    // A non-string traceparent is treated as absent, not an error: trace
+    // continuity is best-effort metadata, never a reason to refuse work.
+    let traceparent = obj
+        .get("traceparent")
+        .and_then(Json::as_str)
+        .map(str::to_owned);
+    Ok(Request {
+        id,
+        method,
+        params,
+        traceparent,
+    })
 }
 
 /// Encode a request frame.
 pub fn request_frame(id: &Json, method: &str, params: &Json) -> String {
+    request_frame_traced(id, method, params, None)
+}
+
+/// Encode a request frame carrying an optional `traceparent`.
+pub fn request_frame_traced(
+    id: &Json,
+    method: &str,
+    params: &Json,
+    traceparent: Option<&str>,
+) -> String {
     let mut pairs = vec![
         ("jsonrpc", Json::str("2.0")),
         ("id", id.clone()),
         ("method", Json::str(method)),
     ];
+    if let Some(tp) = traceparent {
+        pairs.push(("traceparent", Json::str(tp)));
+    }
     if !params.is_null() {
         pairs.push(("params", params.clone()));
     }
@@ -250,22 +279,33 @@ pub fn request_frame(id: &Json, method: &str, params: &Json) -> String {
 
 /// Encode a success response frame.
 pub fn response_ok(id: &Json, result: Json) -> String {
-    Json::object([
-        ("jsonrpc", Json::str("2.0")),
-        ("id", id.clone()),
-        ("result", result),
-    ])
-    .to_compact()
+    response_ok_traced(id, result, None)
+}
+
+/// Encode a success response frame echoing the effective `traceparent`.
+pub fn response_ok_traced(id: &Json, result: Json, traceparent: Option<&str>) -> String {
+    let mut pairs = vec![("jsonrpc", Json::str("2.0")), ("id", id.clone())];
+    if let Some(tp) = traceparent {
+        pairs.push(("traceparent", Json::str(tp)));
+    }
+    pairs.push(("result", result));
+    Json::object(pairs).to_compact()
 }
 
 /// Encode an error response frame.
 pub fn response_err(id: &Json, error: &RpcError) -> String {
-    Json::object([
-        ("jsonrpc", Json::str("2.0")),
-        ("id", id.clone()),
-        ("error", error.to_json()),
-    ])
-    .to_compact()
+    response_err_traced(id, error, None)
+}
+
+/// Encode an error response frame echoing the effective `traceparent`, so
+/// failed and denied calls stay attributable to their trace too.
+pub fn response_err_traced(id: &Json, error: &RpcError, traceparent: Option<&str>) -> String {
+    let mut pairs = vec![("jsonrpc", Json::str("2.0")), ("id", id.clone())];
+    if let Some(tp) = traceparent {
+        pairs.push(("traceparent", Json::str(tp)));
+    }
+    pairs.push(("error", error.to_json()));
+    Json::object(pairs).to_compact()
 }
 
 /// Render a [`Risk`] for the wire.

@@ -15,8 +15,8 @@
 
 use crate::frame::{write_frame, FrameError, FrameReader};
 use crate::rpc::{
-    parse_request, response_err, response_ok, risk_from_str, risk_to_str, tool_error_to_rpc,
-    tool_output_to_json, ErrorCode, Request, RpcError, PROTOCOL,
+    parse_request, response_err, response_err_traced, response_ok_traced, risk_from_str,
+    risk_to_str, tool_error_to_rpc, tool_output_to_json, ErrorCode, Request, RpcError, PROTOCOL,
 };
 use bridgescope_core::{BridgeScopeServer, SecurityPolicy};
 use gate::{GateConfig, SubmitError, WeightedQueues};
@@ -265,6 +265,42 @@ struct Session {
     _active: Option<ActiveSessionGuard>,
 }
 
+/// The effective trace placement of one request, computed *before* the
+/// executor runs so ok responses, typed errors, and the span tree all file
+/// under the same trace.
+///
+/// A valid client `traceparent` is adopted: the `wire:call` span becomes a
+/// local root of the *client's* trace, with the remote parent span id kept
+/// as an attribute (a foreign span id must not become a local `parent`
+/// edge — `validate_tree` requires parents to exist in the local tree).
+/// Absent or malformed input falls back to the server's own context: the
+/// call nests under the `wire:session` span and joins its trace.
+#[derive(Debug, Clone, Copy)]
+struct CallTrace {
+    ctx: obs::SpanContext,
+    remote_parent: Option<obs::SpanId>,
+}
+
+impl CallTrace {
+    /// No trace at all (pre-initialize requests with no client context).
+    fn none() -> CallTrace {
+        CallTrace {
+            ctx: obs::SpanContext::default(),
+            remote_parent: None,
+        }
+    }
+
+    /// The `traceparent` to echo on the response, naming the effective
+    /// trace and its wire-level parent span.
+    fn echo(&self) -> Option<String> {
+        let trace = self.ctx.trace?;
+        let parent = self
+            .remote_parent
+            .or_else(|| self.ctx.parent.and_then(obs::SpanId::from_u64))?;
+        Some(obs::TraceContext::new(trace, parent).to_traceparent())
+    }
+}
+
 /// Runs tool calls for a session: TCP connections enqueue onto the shared
 /// pool (keyed by the session's user for tenant-fair admission); the stdio
 /// transport executes inline.
@@ -275,22 +311,36 @@ trait CallExecutor {
         user: &str,
         tool: String,
         payload: Json,
-        parent: Option<u64>,
+        trace: CallTrace,
         obs: &Obs,
     ) -> Result<ToolResult, RpcError>;
 }
 
-/// Wrap one registry call in a `wire:call` span parented to the session.
+/// Wrap one registry call in a `wire:call` span placed per [`CallTrace`].
+/// Everything the call does downstream — gate checks, tool dispatch, SQL
+/// execution — runs on this thread under the span's trace, so one trace id
+/// names the full path. The call is also registered in the in-flight
+/// registry for the admin `/queries` endpoint, and tagged for tail
+/// sampling when the user's sample rate fires.
 fn traced_call(
     registry: &Registry,
+    user: &str,
     tool: &str,
     payload: &Json,
-    parent: Option<u64>,
+    trace: CallTrace,
     obs: &Obs,
 ) -> ToolResult {
-    let _scope = obs::adopt(parent);
+    let _scope = obs::adopt_context(trace.ctx);
     let mut span = obs.span("wire:call");
     span.attr("tool", tool);
+    span.attr("user", user);
+    if let Some(remote) = trace.remote_parent {
+        span.attr("trace.remote_parent", remote.to_string());
+    }
+    if obs.should_sample(user) {
+        span.attr(obs::SAMPLED_ATTR, true);
+    }
+    let _inflight = obs.begin_call(user, tool);
     let started = obs.now_ns();
     let result = registry.call(tool, payload);
     obs.observe_ns("wire.call.latency", obs.now_ns().saturating_sub(started));
@@ -312,13 +362,14 @@ impl CallExecutor for PooledExecutor {
         user: &str,
         tool: String,
         payload: Json,
-        parent: Option<u64>,
+        trace: CallTrace,
         obs: &Obs,
     ) -> Result<ToolResult, RpcError> {
         let (done_tx, done_rx) = mpsc::sync_channel::<ToolResult>(1);
         let obs_job = obs.clone();
+        let job_user = user.to_owned();
         let job: Job = Box::new(move || {
-            let result = traced_call(&registry, &tool, &payload, parent, &obs_job);
+            let result = traced_call(&registry, &job_user, &tool, &payload, trace, &obs_job);
             let _ = done_tx.send(result);
         });
         self.pool.submit(user, job).map_err(|code| {
@@ -351,13 +402,13 @@ impl CallExecutor for InlineExecutor {
     fn execute(
         &self,
         registry: Arc<Registry>,
-        _user: &str,
+        user: &str,
         tool: String,
         payload: Json,
-        parent: Option<u64>,
+        trace: CallTrace,
         obs: &Obs,
     ) -> Result<ToolResult, RpcError> {
-        Ok(traced_call(&registry, &tool, &payload, parent, obs))
+        Ok(traced_call(&registry, user, &tool, &payload, trace, obs))
     }
 }
 
@@ -401,26 +452,53 @@ impl<'a> SessionCtx<'a> {
             1,
         );
         let close = req.method == "shutdown";
+        // Resolve the trace before executing anything so success, typed
+        // errors, and the span tree all carry the same effective context.
+        let trace = self.effective_trace(req.traceparent.as_deref());
+        let echo = trace.echo();
         let outcome = match req.method.as_str() {
             "ping" => Ok(Json::str("pong")),
             "initialize" => self.initialize(&req.params),
             "shutdown" => Ok(Json::object([("status", Json::str("bye"))])),
             "tools/list" => self.charged(|ctx| ctx.tools_list()),
-            "tools/call" => self.charged(|ctx| ctx.tools_call(&req.params, exec)),
+            "tools/call" => self.charged(|ctx| ctx.tools_call(&req.params, trace, exec)),
             other => Err(RpcError::new(
                 ErrorCode::MethodNotFound,
                 format!("unknown method '{other}'"),
             )),
         };
         let frame = match outcome {
-            Ok(result) => response_ok(&req.id, result),
+            Ok(result) => response_ok_traced(&req.id, result, echo.as_deref()),
             Err(err) => {
                 self.obs
                     .incr(&format!("wire.errors.{}", err.code.name()), 1);
-                response_err(&req.id, &err)
+                response_err_traced(&req.id, &err, echo.as_deref())
             }
         };
         Dispatch { frame, close }
+    }
+
+    /// Compute the effective [`CallTrace`] for a request: a valid client
+    /// `traceparent` wins; otherwise the session's own span context (so
+    /// unattributed calls still trace under their session); otherwise
+    /// nothing (pre-initialize traffic with no client context).
+    fn effective_trace(&self, traceparent: Option<&str>) -> CallTrace {
+        if let Some(ctx) = traceparent.and_then(obs::TraceContext::parse) {
+            return CallTrace {
+                ctx: obs::SpanContext {
+                    trace: Some(ctx.trace),
+                    parent: None,
+                },
+                remote_parent: Some(ctx.parent),
+            };
+        }
+        match &self.session {
+            Some(session) => CallTrace {
+                ctx: session.span.context(),
+                remote_parent: None,
+            },
+            None => CallTrace::none(),
+        }
     }
 
     /// Run a session-scoped method, enforcing initialization and the
@@ -531,7 +609,12 @@ impl<'a> SessionCtx<'a> {
         Ok(Json::object([("tools", Json::array(tools))]))
     }
 
-    fn tools_call(&mut self, params: &Json, exec: &dyn CallExecutor) -> Result<Json, RpcError> {
+    fn tools_call(
+        &mut self,
+        params: &Json,
+        trace: CallTrace,
+        exec: &dyn CallExecutor,
+    ) -> Result<Json, RpcError> {
         let session = self.session.as_ref().expect("charged() checked");
         let name = params
             .get("name")
@@ -553,7 +636,7 @@ impl<'a> SessionCtx<'a> {
             &session.user,
             name,
             payload,
-            session.span.id(),
+            trace,
             self.obs,
         )?;
         match result {

@@ -1,0 +1,143 @@
+//! Property-based hardening of the admin HTTP listener, mirroring the
+//! JSON-parser hardening in `toolproto/tests/json_props.rs`: the listener
+//! faces whatever a port scanner, a confused load balancer, or a buggy
+//! scrape client throws at it, and must never panic, hang, or wedge the
+//! accept loop. After every malformed exchange `/healthz` must still
+//! answer 200 — the strongest liveness statement a black-box test can make.
+
+use obs::Obs;
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+use wire::AdminServer;
+
+fn bind_admin() -> AdminServer {
+    AdminServer::bind(
+        "127.0.0.1:0",
+        Obs::in_memory(),
+        Arc::new(AtomicBool::new(true)),
+    )
+    .expect("bind admin listener")
+}
+
+/// Write raw bytes, half-close the write side so the server sees EOF
+/// instead of waiting out its read timeout, and collect whatever comes
+/// back. The connection-level contract under fuzzing is only "respond or
+/// close, promptly" — the *content* is checked by the liveness probe.
+fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect to admin listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // The peer may have already responded and closed; a write error then is
+    // the server rejecting input, not a test failure.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    response
+}
+
+/// The liveness probe: a well-formed `/healthz` must return 200 no matter
+/// what garbage the previous connection carried.
+fn assert_alive(addr: SocketAddr) {
+    let response = send_raw(addr, b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    let text = String::from_utf8_lossy(&response);
+    assert!(
+        text.starts_with("HTTP/1.1 200 OK\r\n"),
+        "listener unhealthy after malformed input: {text:?}"
+    );
+}
+
+proptest! {
+    /// Arbitrary printable request lines — mangled methods, paths with
+    /// spaces, missing HTTP versions, queries, unicode — never kill the
+    /// listener.
+    #[test]
+    fn fuzzed_request_lines_never_wedge_the_listener(line in "\\PC{0,80}") {
+        let server = bind_admin();
+        let addr = server.local_addr();
+        let request = format!("{line}\r\nhost: t\r\n\r\n");
+        let response = send_raw(addr, request.as_bytes());
+        // Whatever came back is complete HTTP or nothing; either way the
+        // next request must succeed.
+        prop_assert!(response.is_empty() || response.starts_with(b"HTTP/1.1 "));
+        assert_alive(addr);
+        server.shutdown();
+    }
+
+    /// Entirely arbitrary bytes — not even text — are rejected or answered
+    /// without disturbing the accept loop.
+    #[test]
+    fn raw_byte_streams_never_wedge_the_listener(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let server = bind_admin();
+        let addr = server.local_addr();
+        let _ = send_raw(addr, &bytes);
+        assert_alive(addr);
+        server.shutdown();
+    }
+}
+
+/// A valid request truncated at *every* byte offset: each prefix is either
+/// answered or dropped, and the listener survives all of them on one
+/// server instance (exercising back-to-back malformed connections).
+#[test]
+fn truncation_at_every_offset_is_harmless() {
+    let server = bind_admin();
+    let addr = server.local_addr();
+    let request = b"GET /metrics HTTP/1.1\r\nhost: example\r\naccept: text/plain\r\n\r\n";
+    for cut in 0..=request.len() {
+        let response = send_raw(addr, &request[..cut]);
+        assert!(
+            response.is_empty() || response.starts_with(b"HTTP/1.1 "),
+            "offset {cut}: partial HTTP response {response:?}"
+        );
+    }
+    assert_alive(addr);
+    server.shutdown();
+}
+
+/// Header blocks past the 8 KiB request cap are dropped without a
+/// response — the listener refuses to buffer unbounded input.
+#[test]
+fn oversized_requests_are_dropped() {
+    let server = bind_admin();
+    let addr = server.local_addr();
+    let mut request = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    // Padding headers with no terminating blank line until well past the
+    // cap; the server must bail on size, not wait for the terminator.
+    while request.len() <= 32 * 1024 {
+        request.extend_from_slice(b"x-pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+    }
+    let response = send_raw(addr, &request);
+    assert!(
+        response.is_empty(),
+        "oversized request was answered: {:?}",
+        String::from_utf8_lossy(&response)
+    );
+    assert_alive(addr);
+    server.shutdown();
+}
+
+/// Non-GET methods get a clean 405 and the routes they targeted still work.
+#[test]
+fn non_get_methods_are_rejected_cleanly() {
+    let server = bind_admin();
+    let addr = server.local_addr();
+    for method in ["POST", "PUT", "DELETE", "HEAD", "PATCH", "OPTIONS"] {
+        let request = format!("{method} /metrics HTTP/1.1\r\nhost: t\r\n\r\n");
+        let response = send_raw(addr, request.as_bytes());
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.starts_with("HTTP/1.1 405 "),
+            "{method}: expected 405, got {text:?}"
+        );
+    }
+    assert_alive(addr);
+    server.shutdown();
+}

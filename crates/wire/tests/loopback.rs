@@ -493,7 +493,18 @@ fn wire_spans_nest_under_sessions_and_metrics_count() {
         .iter()
         .find(|s| s.name == "wire:call")
         .expect("wire:call span");
-    assert_eq!(call.parent, Some(session.id), "call nests under session");
+    // Plain calls carry no traceparent, so the server nests them under
+    // the session span: a whole session reads as one trace.
+    assert_eq!(
+        call.parent,
+        Some(session.id),
+        "untraced call nests under wire:session"
+    );
+    assert!(
+        call.attr("trace.remote_parent").is_none(),
+        "no remote parent without a client traceparent"
+    );
+    assert_eq!(call.trace, session.trace, "call joins the session trace");
     let tool = snap
         .spans
         .iter()
@@ -504,6 +515,7 @@ fn wire_spans_nest_under_sessions_and_metrics_count() {
         Some(call.id),
         "tool span nests under wire:call"
     );
+    assert_eq!(tool.trace, call.trace, "tool span joins the call's trace");
     assert_eq!(snap.metrics.counter("wire.sessions"), 1);
     assert!(snap.metrics.counter("wire.requests") >= 3);
     assert_eq!(snap.metrics.counter("wire.requests.tools_call"), 1);

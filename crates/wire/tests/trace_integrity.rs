@@ -1,0 +1,155 @@
+//! Cross-layer trace integrity: one client-supplied trace id must name the
+//! wire span, the gate span, the tool span, and the SQL span of the same
+//! call — and two concurrent sessions must never share a trace.
+
+use minidb::Database;
+use obs::{AttrValue, Obs, SpanRecord, TraceContext, TraceId};
+use toolproto::Json;
+use wire::{Client, Tenancy, WireConfig, WireServer};
+
+fn demo_db() -> Database {
+    let db = Database::new();
+    let mut s = db.session("admin").unwrap();
+    s.execute_sql("CREATE TABLE sales (id INTEGER PRIMARY KEY, amount REAL)")
+        .unwrap();
+    s.execute_sql("INSERT INTO sales VALUES (1, 10.0)").unwrap();
+    db
+}
+
+/// Bind a gated server (plan cache on, so the gate layer contributes a
+/// `gate:plan` span to every SQL call) over a shared in-memory obs plane.
+fn serve_gated(obs: &Obs) -> WireServer {
+    WireServer::bind(
+        "127.0.0.1:0",
+        Tenancy::new(demo_db()).with_gate(gate::GateConfig::default().with_cache()),
+        WireConfig::default(),
+        obs.clone(),
+    )
+    .unwrap()
+}
+
+fn spans_named<'a>(spans: &'a [SpanRecord], name: &str) -> Vec<&'a SpanRecord> {
+    spans.iter().filter(|s| s.name == name).collect()
+}
+
+#[test]
+fn client_supplied_trace_id_names_every_layer() {
+    let obs = Obs::in_memory();
+    let server = serve_gated(&obs);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.initialize("admin").unwrap();
+
+    // A fixed, recognizable trace context supplied by the client.
+    let ctx = TraceContext::parse("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+        .expect("w3c example parses");
+    let out = client
+        .call_traced(
+            "select",
+            &Json::object([("sql", Json::str("SELECT * FROM sales"))]),
+            &ctx,
+        )
+        .unwrap()
+        .unwrap();
+    assert_eq!(out.rows, Some(1));
+    // The response echoes the effective traceparent back to the caller.
+    assert_eq!(
+        client.last_traceparent(),
+        Some(ctx.to_traceparent().as_str())
+    );
+    client.shutdown().unwrap();
+    server.shutdown();
+
+    let spans = obs.snapshot().spans;
+    obs::validate_tree(&spans).expect("span tree is coherent");
+    // Every layer of the call carries the client's trace id.
+    for name in ["wire:call", "gate:plan", "tool:select", "sql:execute"] {
+        let layer = spans_named(&spans, name);
+        assert!(!layer.is_empty(), "no {name} span recorded");
+        for span in layer {
+            assert_eq!(
+                span.trace,
+                Some(ctx.trace),
+                "{name} span is outside the client's trace"
+            );
+        }
+    }
+    // The adopted wire:call is a local root: the client's span id is not a
+    // local span, so it rides along as an attribute instead of a parent
+    // edge that validate_tree could never check.
+    let call = spans_named(&spans, "wire:call")[0];
+    assert_eq!(call.parent, None, "adopted call is a local trace root");
+    assert_eq!(
+        call.attr("trace.remote_parent"),
+        Some(&AttrValue::from(ctx.parent.to_string()))
+    );
+    // The session span stays in its own trace: the client named only the
+    // call, not the connection.
+    for session in spans_named(&spans, "wire:session") {
+        assert_ne!(session.trace, Some(ctx.trace));
+    }
+}
+
+#[test]
+fn concurrent_sessions_never_share_a_trace() {
+    let obs = Obs::in_memory();
+    let server = serve_gated(&obs);
+    let addr = server.local_addr();
+
+    // Two sessions, each issuing calls under its own explicit trace ids,
+    // interleaved by the server's worker pool.
+    const CALLS: u32 = 8;
+    let traces: [u128; 2] = [0x1111_2222_3333_4444, 0xaaaa_bbbb_cccc_dddd];
+    std::thread::scope(|scope| {
+        for base in traces {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.initialize("admin").unwrap();
+                for i in 0..CALLS {
+                    let ctx = TraceContext::new(
+                        TraceId::from_u128(base + u128::from(i)).unwrap(),
+                        obs::next_span_id(),
+                    );
+                    client
+                        .call_traced(
+                            "select",
+                            &Json::object([("sql", Json::str("SELECT * FROM sales"))]),
+                            &ctx,
+                        )
+                        .unwrap()
+                        .unwrap();
+                }
+                client.shutdown().unwrap();
+            });
+        }
+    });
+    server.shutdown();
+
+    let spans = obs.snapshot().spans;
+    obs::validate_tree(&spans).expect("span tree is coherent");
+    let calls = spans_named(&spans, "wire:call");
+    assert_eq!(calls.len(), (CALLS as usize) * 2);
+    // Every call sits in exactly the trace its client supplied, and no two
+    // calls — within a session or across the two — ever share one.
+    let mut seen = std::collections::BTreeSet::new();
+    for call in &calls {
+        let trace = call.trace.expect("wire:call carries a trace");
+        assert!(
+            traces
+                .iter()
+                .any(|base| trace.as_u128().wrapping_sub(*base) < u128::from(CALLS)),
+            "wire:call trace {trace} was never supplied by a client"
+        );
+        assert!(seen.insert(trace), "two calls share trace {trace}");
+    }
+    // Descendant layers never leak across traces: each sql:execute span's
+    // trace belongs to exactly one of the supplied ranges.
+    for sql in spans_named(&spans, "sql:execute") {
+        let trace = sql.trace.expect("sql:execute carries a trace");
+        assert!(
+            traces
+                .iter()
+                .any(|base| trace.as_u128().wrapping_sub(*base) < u128::from(CALLS)),
+            "sql:execute trace {trace} was never supplied by a client"
+        );
+    }
+}

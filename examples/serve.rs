@@ -25,6 +25,16 @@
 //!   check `/slow` captured the span tree, verify `/readyz` flips to 503
 //!   on drain, and compare telemetry-on vs telemetry-off loadgen
 //!   throughput. This is the offline live-telemetry CI smoke test.
+//! * `cargo run --example serve -- --selftest-tracing` — bind a gated server
+//!   and its admin plane, then drive the distributed-tracing surface end to
+//!   end: a client-supplied `traceparent` must be echoed back and name the
+//!   wire, gate, tool, and SQL spans of the same call; a traced slow call
+//!   must be retrievable by its trace id via `/slow/<trace-id>`; EXPLAIN
+//!   ANALYZE timings must be plausible (children within the root); a
+//!   loadgen burst must populate `/statements` with per-(user, statement)
+//!   aggregates; `/queries` must list an in-flight call; and the traced
+//!   plane must stay within 10% of the disabled-telemetry throughput.
+//!   This is the offline distributed-tracing CI smoke test.
 //! * `cargo run --example serve -- --selftest-recovery [TRACE_FILE]` —
 //!   open a durable database in a scratch directory, commit work, *kill
 //!   the engine in-process* (no checkpoint, one transaction deliberately
@@ -116,6 +126,7 @@ fn main() {
         Some("--selftest") => run_selftest(args.get(1).cloned()),
         Some("--selftest-recovery") => run_selftest_recovery(args.get(1).cloned()),
         Some("--selftest-telemetry") => run_selftest_telemetry(),
+        Some("--selftest-tracing") => run_selftest_tracing(),
         Some("--load") => {
             let sessions = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
             let calls = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
@@ -774,6 +785,331 @@ fn run_selftest_telemetry() {
     }
     println!("telemetry: overhead ok (ratio {ratio:.2})");
     println!("telemetry: all ok");
+}
+
+/// The distributed-tracing smoke test CI runs (`trace-smoke`): every step
+/// prints a `tracing:` marker the gate greps for, and any deviation exits
+/// non-zero.
+fn run_selftest_tracing() {
+    use obs::{TraceContext, TraceId};
+
+    // 1ms slow threshold so the sleepy call below is tail-sampled into the
+    // flight recorder and retrievable by trace id.
+    let obs = Obs::with_flight(
+        &ObsConfig::InMemory,
+        FlightConfig::with_threshold_ns(1_000_000),
+    );
+    let mut external = ml_registry();
+    external.register_tool(FnTool::new(
+        "sleepy",
+        "sleeps past the slow-call threshold",
+        Signature::new(vec![]),
+        |_: &Args| {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(ToolOutput::value(Json::str("done")))
+        },
+    ));
+    external.register_tool(FnTool::new(
+        "napper",
+        "sleeps long enough to be observed in flight",
+        Signature::new(vec![]),
+        |_: &Args| {
+            std::thread::sleep(Duration::from_millis(250));
+            Ok(ToolOutput::value(Json::str("rested")))
+        },
+    ));
+    // Gate with caches on: SQL calls consult the prepared-plan cache (a
+    // `gate:plan` span + statement-store cache hits), context tools the
+    // retrieval cache.
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        Tenancy::new(demo_db())
+            .with_external(external)
+            .with_gate(GateConfig::default().with_cache()),
+        WireConfig::default(),
+        obs.clone(),
+    )
+    .unwrap_or_else(|e| fail(&format!("cannot bind: {e}")));
+    let admin = AdminServer::bind("127.0.0.1:0", obs.clone(), server.ready_handle())
+        .unwrap_or_else(|e| fail(&format!("cannot bind admin: {e}")));
+    let admin_addr = admin.local_addr();
+    println!("listening on {} (admin {admin_addr})", server.local_addr());
+
+    // 1. Traceparent round trip: a client-supplied context is echoed back
+    // and its trace id names every layer of the call.
+    let ctx = TraceContext::parse("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+        .unwrap_or_else(|| fail("w3c example traceparent must parse"));
+    let mut client =
+        Client::connect(server.local_addr()).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    client
+        .initialize("admin")
+        .unwrap_or_else(|e| fail(&format!("initialize: {e}")));
+    let select_args = Json::object([(
+        "sql",
+        Json::str("SELECT region, amount FROM sales WHERE id < 50"),
+    )]);
+    match client.call_traced("select", &select_args, &ctx) {
+        Ok(Ok(out)) if out.rows == Some(50) => {}
+        other => fail(&format!("traced select: {other:?}")),
+    }
+    if client.last_traceparent() != Some(ctx.to_traceparent().as_str()) {
+        fail(&format!(
+            "traceparent echo mismatch: sent {}, got {:?}",
+            ctx.to_traceparent(),
+            client.last_traceparent()
+        ));
+    }
+    let layers = ["wire:call", "gate:plan", "tool:select", "sql:execute"];
+    // The wire:call span closes just after the response is written; give
+    // the worker a moment to flush it.
+    let mut missing = Vec::new();
+    for _ in 0..100 {
+        let spans = obs.snapshot().spans;
+        missing = layers
+            .iter()
+            .filter(|name| {
+                !spans
+                    .iter()
+                    .any(|s| &s.name == *name && s.trace == Some(ctx.trace))
+            })
+            .collect();
+        if missing.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if !missing.is_empty() {
+        fail(&format!(
+            "layers missing a span in the client's trace: {missing:?}"
+        ));
+    }
+    println!("tracing: traceparent ok ({} layers)", layers.len());
+
+    // 2. Tail sampling: a slow traced call is retained whole and served
+    // back by its trace id.
+    let slow_ctx = TraceContext::new(
+        TraceId::from_u128(0xfeed_face_cafe_f00d_dead_beef_0badu128).unwrap(),
+        obs::next_span_id(),
+    );
+    match client.call_traced("sleepy", &Json::object([] as [(&str, Json); 0]), &slow_ctx) {
+        Ok(Ok(_)) => {}
+        other => fail(&format!("traced sleepy call: {other:?}")),
+    }
+    let trace_hex = slow_ctx.trace.to_string();
+    let mut retained = None;
+    for _ in 0..100 {
+        let (status, body) = http_get(admin_addr, &format!("/slow/{trace_hex}"));
+        if status == 200 {
+            retained = Some(body);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let body = retained.unwrap_or_else(|| {
+        fail(&format!(
+            "/slow/{trace_hex} never returned the retained call"
+        ))
+    });
+    let call = Json::parse(&body).unwrap_or_else(|e| fail(&format!("/slow/<id> not JSON: {e}")));
+    let has_sleepy = call
+        .get("spans")
+        .and_then(Json::as_array)
+        .is_some_and(|spans| {
+            spans
+                .iter()
+                .any(|s| s.get("name").and_then(Json::as_str) == Some("tool:sleepy"))
+        });
+    if !has_sleepy {
+        fail(&format!(
+            "retained call for {trace_hex} has no tool:sleepy span: {body:.200}"
+        ));
+    }
+    println!("tracing: tail sampling ok (/slow/{trace_hex})");
+
+    // 3. EXPLAIN ANALYZE plausibility: every node renders an actual time,
+    // and no child's inclusive time exceeds the root's.
+    let db = demo_db();
+    let mut session = db.session("admin").unwrap_or_else(|e| fail(&e.to_string()));
+    let analyzed = match session.execute_sql(
+        "EXPLAIN ANALYZE SELECT region, SUM(amount) FROM sales WHERE amount > 20 \
+         GROUP BY region ORDER BY region",
+    ) {
+        Ok(QueryResult::Rows { rows, .. }) => rows,
+        other => fail(&format!("EXPLAIN ANALYZE did not return rows: {other:?}")),
+    };
+    let times: Vec<f64> = analyzed
+        .iter()
+        .map(|row| {
+            let line = match &row[0] {
+                Value::Text(t) => t.clone(),
+                v => fail(&format!("EXPLAIN ANALYZE row is not text: {v:?}")),
+            };
+            line.split("(actual time=")
+                .nth(1)
+                .and_then(|t| t.split("ms").next())
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| fail(&format!("plan line has no actual time: {line}")))
+        })
+        .collect();
+    if times.len() < 3 {
+        fail(&format!(
+            "expected a multi-node plan, got {} node(s)",
+            times.len()
+        ));
+    }
+    let root = times[0];
+    // Operator times are inclusive: a child's window is a sub-interval of
+    // the root's, so child <= root up to the 3-decimal rendering rounding.
+    for (i, t) in times.iter().enumerate().skip(1) {
+        if *t > root + 0.002 {
+            fail(&format!(
+                "node {i} actual time {t:.3}ms exceeds root {root:.3}ms"
+            ));
+        }
+    }
+    println!(
+        "tracing: explain ok ({} nodes, root {root:.3}ms)",
+        times.len()
+    );
+
+    // 4. Statement statistics: a loadgen burst plus one denial populate
+    // per-(user, normalized statement) aggregates on /statements.
+    let cfg = benchkit::LoadConfig::select(
+        4,
+        25,
+        "admin",
+        "SELECT region, amount FROM sales WHERE id < 50",
+    );
+    let report = benchkit::run_load(server.local_addr(), &cfg);
+    if report.calls_ok != 100 {
+        fail(&format!("loadgen burst: {}/100 calls ok", report.calls_ok));
+    }
+    let mut reader =
+        Client::connect(server.local_addr()).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    reader
+        .initialize("reader")
+        .unwrap_or_else(|e| fail(&format!("initialize reader: {e}")));
+    match reader.call(
+        "select",
+        &Json::object([("sql", Json::str("SELECT note FROM audit_log"))]),
+    ) {
+        Ok(Err(ToolError::Denied { .. })) => {}
+        other => fail(&format!("reader probe should be denied, got {other:?}")),
+    }
+    let (status, body) = http_get(admin_addr, "/statements");
+    if status != 200 {
+        fail(&format!("/statements returned {status}"));
+    }
+    let json = Json::parse(&body).unwrap_or_else(|e| fail(&format!("/statements not JSON: {e}")));
+    let statements = json
+        .get("statements")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail("/statements has no statements array"));
+    let field = |e: &Json, k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let admin_entry = statements
+        .iter()
+        .find(|e| {
+            e.get("user").and_then(Json::as_str) == Some("admin")
+                && e.get("statement")
+                    .and_then(Json::as_str)
+                    .is_some_and(|s| s.to_ascii_lowercase().contains("sales"))
+                && field(e, "calls") >= 100.0
+        })
+        .unwrap_or_else(|| {
+            fail(&format!(
+                "no admin sales aggregate with >=100 calls in /statements: {body:.400}"
+            ))
+        });
+    if field(admin_entry, "rows") < 100.0 * 50.0 {
+        fail(&format!(
+            "admin aggregate rows {} < 5000",
+            field(admin_entry, "rows")
+        ));
+    }
+    if field(admin_entry, "cache_hits") == 0.0 {
+        fail("repeated identical statements never hit the plan cache");
+    }
+    if field(admin_entry, "total_ns") <= 0.0 || field(admin_entry, "mean_ns") <= 0.0 {
+        fail("admin aggregate has no latency totals");
+    }
+    let denied = statements.iter().any(|e| {
+        e.get("user").and_then(Json::as_str) == Some("reader") && field(e, "denials") >= 1.0
+    });
+    if !denied {
+        fail(&format!(
+            "reader denial missing from /statements: {body:.400}"
+        ));
+    }
+    let (_, scrape) = http_get(admin_addr, "/metrics");
+    if !scrape.contains("obs_statements_entries") {
+        fail("/metrics is missing obs_statements_entries");
+    }
+    println!("tracing: statements ok ({} aggregates)", statements.len());
+
+    // 5. In-flight queries: a long call shows up on /queries while it runs.
+    let wire_addr = server.local_addr();
+    let napper = std::thread::spawn(move || {
+        let mut c = Client::connect(wire_addr).expect("connect napper client");
+        c.initialize("admin").expect("initialize napper client");
+        match c.call("napper", &Json::object([] as [(&str, Json); 0])) {
+            Ok(Ok(_)) => {}
+            other => panic!("napper call: {other:?}"),
+        }
+    });
+    let mut observed = false;
+    for _ in 0..200 {
+        let (status, body) = http_get(admin_addr, "/queries");
+        if status != 200 {
+            fail(&format!("/queries returned {status}"));
+        }
+        let json = Json::parse(&body).unwrap_or_else(|e| fail(&format!("/queries not JSON: {e}")));
+        let queries = json
+            .get("queries")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| fail("/queries has no queries array"));
+        if queries.iter().any(|q| {
+            q.get("tool").and_then(Json::as_str) == Some("napper")
+                && q.get("user").and_then(Json::as_str) == Some("admin")
+        }) {
+            observed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    napper
+        .join()
+        .unwrap_or_else(|_| fail("napper thread panicked"));
+    if !observed {
+        fail("the napper call never appeared on /queries while in flight");
+    }
+    println!("tracing: queries ok");
+
+    client.shutdown().ok();
+    reader.shutdown().ok();
+    server.shutdown();
+    admin.shutdown();
+
+    // 6. Overhead: with profiling off (no traced slow calls — the default
+    // 100ms threshold captures nothing on this smoke), the traced plane
+    // including the statement store and in-flight registry must stay
+    // within 10% of the disabled-telemetry baseline.
+    let mut ratio = 0.0;
+    for attempt in 1..=3 {
+        let off = telemetry_smoke_throughput(false);
+        let on = telemetry_smoke_throughput(true);
+        ratio = if off > 0.0 { on / off } else { 0.0 };
+        if ratio >= 0.9 {
+            break;
+        }
+        eprintln!("tracing: overhead attempt {attempt}: ratio {ratio:.3}, retrying");
+    }
+    if ratio < 0.9 {
+        fail(&format!(
+            "tracing overhead exceeds 10%: enabled/disabled throughput ratio {ratio:.3}"
+        ));
+    }
+    println!("tracing: overhead ok (ratio {ratio:.2})");
+    println!("tracing: all ok");
 }
 
 /// Loopback load generation with the benchkit report. With a profile name,

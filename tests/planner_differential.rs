@@ -70,9 +70,13 @@ fn check_explain(session: &mut Session, sql: &str, expect_rows: usize) {
         minidb::Value::Text(t) => t.clone(),
         v => panic!("EXPLAIN ANALYZE row is not text: {v:?}"),
     };
+    // The annotation is `(actual time=0.123ms rows=N)` — the time renders
+    // only under profiling, so parse the rows count from whatever follows
+    // `(actual `.
     let actual: usize = root
-        .split("(actual rows=")
+        .split("(actual ")
         .nth(1)
+        .and_then(|t| t.split("rows=").nth(1))
         .and_then(|t| t.split(')').next())
         .and_then(|n| n.parse().ok())
         .unwrap_or_else(|| panic!("EXPLAIN ANALYZE root has no actual rows: {root}"));
